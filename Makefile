@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full e1 e2 reference examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper's full 25-case scale (hours of wall clock).
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+e1:
+	$(PYTHON) -m repro.experiments e1 --save results/e1.csv
+
+e2:
+	$(PYTHON) -m repro.experiments e2 --save results/e2.csv
+
+reference:
+	$(PYTHON) -m repro.experiments reference
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""Ablation: guarding the unchecked COMM consumer of SetValue.
+
+Table 4 places SetValue's assertion in V_REG (one of its two consumers);
+the COMM transmission to the slave node samples the signal *without*
+passing the test, so with recovery enabled on the master a corrupt set
+point can still reach the slave's drum between the V_REG and COMM slots.
+This ablation adds the same assertion (plus hold-last-valid recovery) at
+the slave's reception and measures the end-to-end effect on SetValue
+MSB errors — a placement-completeness experiment in the spirit of the
+paper's step 7 ("decide on locations for the mechanisms").
+"""
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.injection.errors import build_e1_error_set
+from repro.injection.injector import TimeTriggeredInjector
+
+_CASE = TestCase(14000.0, 55.0)
+_BITS = (12, 13, 14, 15)
+
+
+def _failures(with_slave_assertion):
+    errors = [
+        e for e in build_e1_error_set(MasterMemory()) if e.signal == "SetValue"
+    ]
+    failures = 0
+    detections = 0
+    for bit in _BITS:
+        config = RunConfig(
+            with_recovery=True,
+            slave_assertion=with_slave_assertion,
+        )
+        system = TargetSystem(_CASE, config=config)
+        result = system.run(TimeTriggeredInjector(errors[bit], start_ms=500))
+        failures += result.failed
+        detections += result.detected
+    return failures, detections
+
+
+def test_ablation_slave_assertion(benchmark):
+    def run_both():
+        return {
+            "master-recovery-only": _failures(False),
+            "plus-slave-assertion": _failures(True),
+        }
+
+    outcome = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"Ablation: SetValue MSB errors (bits {_BITS}) with recovery enabled")
+    for config, (failures, detections) in outcome.items():
+        print(f"  {config:22s} failures={failures}/{len(_BITS)}  detections={detections}/{len(_BITS)}")
+
+    unguarded_failures, _ = outcome["master-recovery-only"]
+    guarded_failures, guarded_detections = outcome["plus-slave-assertion"]
+    # The unchecked consumer path loses arrestments; guarding it helps.
+    assert guarded_failures < unguarded_failures
+    assert guarded_detections == len(_BITS)

@@ -1,0 +1,73 @@
+"""Ablation: assertion test period vs detectability.
+
+The Table-2 rates are *per test*: testing a signal less often widens the
+legal per-test change and with it the envelope an error can hide in.
+This ablation runs the same pulse-counter stream (the paper's pulscnt
+shape) through monitors tested every 1 / 7 / 21 ms — the candidate
+module periods of the target — with the rate envelope scaled to the
+period, and measures which injected bit-flips stay detectable.
+
+The effect the paper's placement implicitly exploits: DIST_S tests
+pulscnt at the fastest (1-ms) period, which keeps the envelope at 2
+pulses per test and catches everything above bit 1.
+"""
+
+from repro.core.assertions import ContinuousAssertion
+from repro.core.parameters import ContinuousParams
+
+#: Simulated engagement: 55 m/s over the pulse pitch = 1.1 pulses/ms.
+_PULSES_PER_MS = 1.1
+_DURATION_MS = 8000
+_INJECT_EVERY_MS = 20
+_BITS = (1, 2, 3, 4, 5, 6)
+
+
+def _pulse_count(t_ms):
+    return int(_PULSES_PER_MS * t_ms)
+
+
+def _detects(test_period_ms, bit):
+    """Does a period-scaled monitor catch a toggling 2^bit error?"""
+    envelope = ContinuousParams.dynamic_monotonic(
+        0, 60000, rmin=0, rmax=2 * test_period_ms, increasing=True
+    )
+    assertion = ContinuousAssertion(envelope)
+    prev = None
+    corrupted = 0
+    for t in range(0, _DURATION_MS, test_period_ms):
+        if (t // _INJECT_EVERY_MS) % 2 == 1:
+            corrupted = 1 << bit  # the toggling flip is currently applied
+        else:
+            corrupted = 0
+        sample = _pulse_count(t) + corrupted
+        if not assertion.holds(sample, prev):
+            return True
+        prev = sample
+    return False
+
+
+def test_ablation_test_period(benchmark):
+    def sweep():
+        return {
+            period: [bit for bit in _BITS if _detects(period, bit)]
+            for period in (1, 7, 21)
+        }
+
+    detected = benchmark(sweep)
+
+    print()
+    print("Ablation: detectable pulscnt bit-flips vs assertion test period")
+    for period, bits in detected.items():
+        escaped = [b for b in _BITS if b not in bits]
+        print(f"  period {period:2d} ms (rmax={2 * period:2d}/test): "
+              f"detected bits {bits}, escaped {escaped}")
+
+    # Faster testing => tighter envelope => at least as many bits caught.
+    assert set(detected[7]) <= set(detected[1])
+    assert set(detected[21]) <= set(detected[7])
+    # The 1-ms period catches everything from bit 2 up (the paper's EA4).
+    assert {2, 3, 4, 5, 6} <= set(detected[1])
+    # The 21-ms period lets more low bits hide: any flip smaller than the
+    # ~23-pulse natural increment keeps the per-test delta positive and
+    # inside the 42-pulse envelope.
+    assert 4 not in detected[21]

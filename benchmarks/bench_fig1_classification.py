@@ -1,0 +1,56 @@
+"""Figure 1: the signal classification scheme, executable.
+
+The figure is a taxonomy; its executable counterpart is the Table-1
+template dispatch: given a parameter set, which leaf class does it
+satisfy?  The benchmark measures classification dispatch and asserts the
+taxonomy's structure.
+"""
+
+from repro.core.classes import CONTINUOUS_CLASSES, DISCRETE_CLASSES, SignalClass
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    classify_continuous,
+    linear_transition_map,
+)
+
+_EXAMPLES = [
+    (ContinuousParams.static_monotonic(0, 0xFFFF, 1), SignalClass.CONTINUOUS_MONOTONIC_STATIC),
+    (ContinuousParams.dynamic_monotonic(0, 9000, 0, 2), SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC),
+    (ContinuousParams.random(0, 6000, 250, 250), SignalClass.CONTINUOUS_RANDOM),
+]
+
+
+def test_fig1_continuous_classification(benchmark):
+    def classify_all():
+        return [classify_continuous(params) for params, _ in _EXAMPLES]
+
+    classes = benchmark(classify_all)
+    assert classes == [expected for _, expected in _EXAMPLES]
+
+
+def test_fig1_discrete_classification(benchmark):
+    sequential_linear = linear_transition_map(range(7))
+    sequential_nonlinear = DiscreteParams.sequential(
+        {"v1": ["v2", "v4"], "v2": ["v3", "v4"], "v3": ["v4"], "v4": ["v5"], "v5": ["v1"]}
+    )
+    random_discrete = DiscreteParams.random({"on", "off", "standby"})
+
+    def classify_all():
+        return [
+            sequential_linear.classify(),
+            sequential_nonlinear.classify(),
+            random_discrete.classify(),
+        ]
+
+    classes = benchmark(classify_all)
+    assert classes == [
+        SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+        SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR,
+        SignalClass.DISCRETE_RANDOM,
+    ]
+
+    print()
+    print("Figure 1. Signal classification scheme (leaf classes):")
+    for cls in sorted(CONTINUOUS_CLASSES | DISCRETE_CLASSES, key=lambda c: c.value):
+        print(f"  {cls.value:10s}  {cls.name}")

@@ -1,0 +1,57 @@
+"""Figure 3: the example non-linear sequential discrete signal.
+
+Builds the five-state diagram of Figure 3, walks valid paths through it
+(clean walks must pass), and checks that every invalid transition is
+detected.  The benchmark measures the Table-3 test throughput.
+"""
+
+from repro.core.assertions import DiscreteAssertion
+from repro.core.parameters import DiscreteParams
+
+_FIGURE3 = {
+    "v1": ["v2", "v4"],
+    "v2": ["v3", "v4"],
+    "v3": ["v4"],
+    "v4": ["v5"],
+    "v5": ["v1"],
+}
+
+#: A long valid walk: the cycle v1-v2-v3-v4-v5 with occasional shortcuts.
+_WALK = (["v1", "v2", "v3", "v4", "v5"] * 100 + ["v1", "v4", "v5"] * 100)
+
+
+def test_fig3_valid_walks_pass(benchmark):
+    assertion = DiscreteAssertion(DiscreteParams.sequential(_FIGURE3))
+
+    def sweep():
+        prev = None
+        failures = 0
+        for state in _WALK:
+            if not assertion.holds(state, prev):
+                failures += 1
+            prev = state
+        return failures
+
+    failures = benchmark(sweep)
+    assert failures == 0
+
+    print()
+    print("Figure 3. Non-linear sequential signal: D and T(d):")
+    for state, targets in _FIGURE3.items():
+        print(f"  T({state}) = {{{', '.join(targets)}}}")
+
+
+def test_fig3_every_invalid_transition_detected():
+    assertion = DiscreteAssertion(DiscreteParams.sequential(_FIGURE3))
+    states = sorted(_FIGURE3)
+    detected = 0
+    checked = 0
+    for prev in states:
+        for state in states:
+            checked += 1
+            expected_valid = state in _FIGURE3[prev]
+            assert assertion.holds(state, prev) == expected_valid
+            if not expected_valid:
+                detected += 1
+    assert checked == 25
+    assert detected == 25 - sum(len(t) for t in _FIGURE3.values())

@@ -1,0 +1,46 @@
+"""Figures 5/6: the instrumented target system on fault-free arrestments.
+
+The experimental precondition of Section 3.4: across the whole test-case
+envelope, the fully instrumented system (all seven assertions active at
+the Figure-6 locations) reports no detection and violates no constraint.
+The benchmark measures one full arrestment of the mid-envelope aircraft.
+"""
+
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.experiments.testcases import make_test_cases
+
+
+def test_fig5_fault_free_arrestment(benchmark):
+    def arrest():
+        return TargetSystem(TestCase(14000.0, 55.0)).run()
+
+    result = benchmark.pedantic(arrest, rounds=3, iterations=1)
+    assert not result.detected
+    assert not result.failed
+    assert result.summary.stopped
+
+    print()
+    print("Figures 5/6. Fault-free arrestment, mid-envelope aircraft:")
+    s = result.summary
+    print(f"  stop distance {s.stop_distance_m:6.1f} m   (limit 335 m)")
+    print(f"  peak retardation {s.max_retardation_g:4.2f} g  (limit 2.8 g)")
+    print(f"  peak cable force {s.max_cable_force_n / 1e3:6.1f} kN")
+    print(f"  duration {s.duration_s:5.1f} s")
+
+
+def test_fig5_fault_free_grid_precondition(benchmark):
+    corners = [
+        case
+        for case in make_test_cases()
+        if case.mass_kg in (8000.0, 20000.0) and case.velocity_mps in (40.0, 70.0)
+    ]
+
+    def arrest_corners():
+        return [TargetSystem(case).run() for case in corners]
+
+    results = benchmark.pedantic(arrest_corners, rounds=1, iterations=1)
+    assert len(results) == 4
+    for result in results:
+        assert not result.detected
+        assert not result.failed
+        assert result.summary.stop_distance_m < 335.0

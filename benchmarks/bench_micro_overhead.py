@@ -1,0 +1,74 @@
+"""Micro-benchmarks: the run-time cost of the mechanisms themselves.
+
+The paper positions executable assertions as a *low-cost* technique;
+these benchmarks quantify the per-test cost of each engine and the
+end-to-end overhead the seven assertions add to a control cycle.
+"""
+
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.core.assertions import ContinuousAssertion, DiscreteAssertion
+from repro.core.monitor import SignalMonitor
+from repro.core.classes import SignalClass
+from repro.core.parameters import ContinuousParams, linear_transition_map
+
+_CASE = TestCase(14000.0, 55.0)
+
+
+def test_continuous_assertion_throughput(benchmark):
+    assertion = ContinuousAssertion(
+        ContinuousParams.random(0, 10000, rmax_incr=460, rmax_decr=460)
+    )
+    samples = [(i * 37) % 8000 for i in range(1000)]
+
+    def sweep():
+        prev = None
+        ok = 0
+        for value in samples:
+            if assertion.holds(value, prev):
+                ok += 1
+            prev = value
+        return ok
+
+    benchmark(sweep)
+
+
+def test_discrete_assertion_throughput(benchmark):
+    assertion = DiscreteAssertion(linear_transition_map(range(7)))
+    samples = [i % 7 for i in range(1, 1001)]
+
+    def sweep():
+        prev = 0
+        ok = 0
+        for value in samples:
+            if assertion.holds(value, prev):
+                ok += 1
+            prev = value
+        return ok
+
+    benchmark(sweep)
+
+
+def test_signal_monitor_throughput(benchmark):
+    monitor = SignalMonitor(
+        "mscnt",
+        SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+        ContinuousParams.static_monotonic(0, 0xFFFF, 1, wrap=True),
+    )
+
+    def sweep():
+        for value in range(1000):
+            monitor.test(value, value)
+
+    benchmark.pedantic(sweep, rounds=20, iterations=1, setup=monitor.reset)
+
+
+def test_arrestment_with_and_without_assertions(benchmark):
+    """End-to-end overhead of the full instrumentation."""
+
+    def instrumented():
+        return TargetSystem(_CASE).run().duration_ms
+
+    duration = benchmark.pedantic(instrumented, rounds=2, iterations=1)
+
+    bare = TargetSystem(_CASE, enabled_eas=()).run()
+    assert abs(bare.duration_ms - duration) < 500  # same control behaviour

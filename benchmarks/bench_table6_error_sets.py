@@ -1,0 +1,30 @@
+"""Table 6: the distribution of errors in the error set E1.
+
+Regenerates the table (7 signals x 16 bit-flip errors, numbered S1-S112)
+and benchmarks error-set construction.
+"""
+
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.experiments.tables import render_table6
+from repro.injection.errors import build_e1_error_set, build_e2_error_set
+
+
+def test_table6_error_set_distribution(benchmark):
+    memory = MasterMemory()
+    errors = benchmark(build_e1_error_set, memory)
+
+    assert len(errors) == 112
+    for signal in MONITORED_SIGNALS:
+        assert sum(1 for e in errors if e.signal == signal) == 16
+
+    print()
+    print("Table 6. The distribution of errors in the error set E1.")
+    print(render_table6(errors, cases_per_error=25))
+
+
+def test_table6_e2_error_set_construction(benchmark):
+    memory = MasterMemory()
+    errors = benchmark(build_e2_error_set, memory)
+    assert len(errors) == 200
+    assert sum(1 for e in errors if e.area == "ram") == 150
+    assert sum(1 for e in errors if e.area == "stack") == 50

@@ -1,0 +1,45 @@
+"""Table 7: error detection probabilities (%) per signal x version.
+
+Regenerates the paper's headline table from the shared E1 campaign and
+checks the qualitative shape the paper reports:
+
+* counter-like signals (i, pulscnt, ms_slot_nbr, mscnt) detected at or
+  near 100 % under the all-assertions version;
+* environment-valued continuous signals (SetValue, IsValue, OutValue)
+  partially covered (LSB errors escape);
+* total P(d) around the paper's 74 %, total P(d|fail) near 100 %.
+"""
+
+from repro.experiments.campaign import E1_VERSIONS
+from repro.experiments.tables import render_table7
+
+
+def test_table7_detection_probabilities(benchmark, e1_results):
+    table = benchmark(render_table7, e1_results, E1_VERSIONS)
+
+    print()
+    print("Table 7. Error detection probabilities (%) with 95% confidence")
+    print("intervals (paper totals, All version: P(d)=74.0, P(d|fail)=99.6,")
+    print("P(d|no fail)=60.6).")
+    print(table)
+
+    # -- the paper's qualitative shape --------------------------------------
+    for counter in ("i", "pulscnt", "ms_slot_nbr", "mscnt"):
+        cell = e1_results.coverage(signal=counter, version="All").p_d
+        assert cell.percent >= 90.0, f"{counter} should be ~100% under All"
+
+    for continuous in ("SetValue", "IsValue", "OutValue"):
+        cell = e1_results.coverage(signal=continuous, version="All").p_d
+        assert 15.0 <= cell.percent <= 85.0, (
+            f"{continuous} should be partially covered, got {cell.percent}"
+        )
+
+    total = e1_results.coverage(version="All")
+    assert 55.0 <= total.p_d.percent <= 90.0  # paper: 74.0
+    assert total.p_d_fail.percent >= 90.0  # paper: 99.6
+    assert total.p_d_no_fail.percent < total.p_d_fail.percent  # paper: 60.6 < 99.6
+
+    # Single-mechanism versions cover less than the combined version.
+    for version in E1_VERSIONS[:-1]:
+        single = e1_results.coverage(version=version).p_d
+        assert single.percent < total.p_d.percent

@@ -1,0 +1,45 @@
+"""Table 9: results for error set E2 (random RAM/stack locations).
+
+Regenerates the E2 table from the shared campaign and checks the shape
+the paper reports:
+
+* overall detection probability is low (most random locations are cold);
+* RAM errors that cause failure are detected with high probability
+  (paper: 81 %) — failures come from state that propagates into the
+  monitored signals;
+* stack errors are detected worse than RAM errors (control-flow errors,
+  which the mechanisms are not aimed at);
+* E2 latencies exceed E1 latencies (propagation takes time).
+"""
+
+from repro.experiments.tables import render_table9
+
+
+def test_table9_random_memory_errors(benchmark, e1_results, e2_results):
+    table = benchmark(render_table9, e2_results)
+
+    print()
+    print("Table 9. Results for error set E2")
+    print("(paper: RAM P(d)=12.8, P(d|fail)=81.1; stack P(d)=4.2, P(d|fail)=13.7;")
+    print(" total P(d)=10.6, P(d|fail)=39.4).")
+    print(table)
+
+    ram = e2_results.coverage(area="ram")
+    stack = e2_results.coverage(area="stack")
+    total = e2_results.coverage()
+
+    # Overall coverage is low: most random bits are cold.
+    assert total.p_d.percent < 40.0  # paper: 10.6
+
+    # RAM failures are caught with high probability.
+    if ram.p_d_fail.defined and ram.p_d_fail.ne >= 3:
+        assert ram.p_d_fail.percent >= 50.0  # paper: 81.1
+
+    # Stack coverage below RAM coverage (control-flow errors).
+    assert stack.p_d.percent <= ram.p_d.percent + 5.0
+
+    # E2 latencies longer than E1 latencies (propagation delay).
+    e1_avg = e1_results.latency(version="All").average
+    e2_avg = e2_results.latency().average
+    if e2_avg is not None and e1_avg is not None:
+        assert e2_avg > 0.5 * e1_avg

@@ -1,0 +1,56 @@
+"""Shared campaign fixtures for the benchmark suite.
+
+The E1/E2 campaigns are the expensive part (hundreds to thousands of
+simulated arrestments); they run once per session here and are shared by
+every table/figure benchmark.  Campaign sizing follows
+:meth:`repro.experiments.CampaignConfig.from_env`:
+
+* default: every error, a reduced test-case subset (minutes of runtime);
+* ``REPRO_FULL=1``: the paper's full 25-case scale (hours);
+* ``REPRO_CASES_ALL`` / ``REPRO_CASES_EA`` / ``REPRO_CASES_E2``:
+  individual overrides.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignConfig,
+    run_e1_campaign,
+    run_e2_campaign,
+)
+
+
+def _progress(label):
+    start = time.time()
+
+    def hook(done, total):
+        if done % 50 == 0 or done == total:
+            elapsed = time.time() - start
+            sys.stderr.write(
+                f"\r[{label}] {done}/{total} runs ({elapsed:.0f}s elapsed)"
+            )
+            if done == total:
+                sys.stderr.write("\n")
+            sys.stderr.flush()
+
+    return hook
+
+
+@pytest.fixture(scope="session")
+def campaign_config():
+    return CampaignConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def e1_results(campaign_config):
+    """The E1 experiment (Tables 7 and 8), run once per session."""
+    return run_e1_campaign(campaign_config, progress=_progress("E1"))
+
+
+@pytest.fixture(scope="session")
+def e2_results(campaign_config):
+    """The E2 experiment (Table 9), run once per session."""
+    return run_e2_campaign(campaign_config, progress=_progress("E2"))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Arrestment demo: the full target system stopping an aircraft.
+
+Runs the instrumented aircraft-arresting system (master node, slave node,
+environment simulator) on one incoming aircraft and renders the
+trajectory — cable payout, velocity, brake pressure — as an ASCII strip
+chart, then prints the failure-classification verdict.
+
+Run:  python examples/arrestment_demo.py [mass_kg] [velocity_mps]
+"""
+
+import sys
+
+from repro.arrestor import constants as k
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.plant.failure import RETARDATION_LIMIT_G, RUNWAY_LENGTH_M
+
+
+def _strip_chart(samples, width=72, height=12, label=""):
+    """Render one series as a crude ASCII chart."""
+    if not samples:
+        return
+    lo, hi = min(samples), max(samples)
+    span = (hi - lo) or 1.0
+    step = max(1, len(samples) // width)
+    columns = samples[::step][:width]
+    print(f"  {label}  (min {lo:.1f}, max {hi:.1f})")
+    for row in range(height, -1, -1):
+        threshold = lo + span * row / height
+        line = "".join("#" if value >= threshold else " " for value in columns)
+        print(f"    |{line}")
+    print("    +" + "-" * len(columns))
+
+
+def main():
+    mass = float(sys.argv[1]) if len(sys.argv) > 1 else 16000.0
+    velocity = float(sys.argv[2]) if len(sys.argv) > 2 else 62.0
+
+    case = TestCase(mass_kg=mass, velocity_mps=velocity)
+    system = TargetSystem(case)
+    system.env.enable_trajectory_trace(0.05)  # sample for plotting
+
+    print(f"arresting a {mass:.0f} kg aircraft engaging at {velocity:.0f} m/s ...")
+    result = system.run()
+
+    trace = system.env.trace
+    times = [t for t, *_ in trace]
+    positions = [x for _, x, *_ in trace]
+    velocities = [v for _, _, v, *_ in trace]
+    forces = [f / 1000.0 for *_, f in trace]
+
+    print()
+    _strip_chart(velocities, label="velocity (m/s)")
+    print()
+    _strip_chart(positions, label="cable payout (m)")
+    print()
+    _strip_chart(forces, label="cable force (kN)")
+
+    summary = result.summary
+    limit = system.classifier.force_limit_for(mass, velocity)
+    print()
+    print("arrestment summary")
+    print(f"  stopped            : {summary.stopped}")
+    print(f"  stopping distance  : {summary.stop_distance_m:6.1f} m  (< {RUNWAY_LENGTH_M:.0f} m)")
+    print(f"  peak retardation   : {summary.max_retardation_g:6.2f} g  (< {RETARDATION_LIMIT_G} g)")
+    print(f"  peak cable force   : {summary.max_cable_force_n / 1e3:6.1f} kN (< {limit / 1e3:.1f} kN)")
+    print(f"  duration           : {summary.duration_s:6.1f} s")
+    print(f"  checkpoints passed : {system.master.mem.i.get()} / {k.N_CHECKPOINTS}")
+    print(f"  mass estimate      : {system.master.mem.m_est_kg.get()} kg (true {mass:.0f})")
+    print(f"  failure verdict    : {'FAILED ' + str(result.verdict.violated) if result.failed else 'ok'}")
+    print(f"  assertions fired   : {result.detection_count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The Section-2.4 coverage model, measured on the live system.
+
+``Pdetect = (Pen * Pprop + Pem) * Pds`` decomposes total detection into
+where errors land (Pem), whether they propagate into a monitored signal
+(Pprop), and how well the mechanisms cover errors once there (Pds).
+This example measures each term on the arresting system:
+
+* Pem from the memory layout (monitored bytes / injectable bytes),
+* Pprop by comparing monitored-signal trajectories against a fault-free
+  reference run (a small random-location campaign),
+* Pds from a mini E1 slice (two signals, all bits),
+
+then confronts the model's prediction with the measured detection rate —
+quantifying the uniformity caveat the paper raises in Section 5.2.
+
+Run:  python examples/coverage_model.py   (~1 minute)
+"""
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import TestCase
+from repro.experiments.propagation import run_propagation_study
+from repro.injection.errors import build_e1_error_set, build_e2_error_set
+from repro.injection.fic import CampaignController
+
+CASE = TestCase(14000.0, 55.0)
+
+
+def measure_pds_slice():
+    """Pds over a 2-signal slice of E1 (one counter, one continuous)."""
+    errors = [
+        e
+        for e in build_e1_error_set(MasterMemory())
+        if e.signal in ("mscnt", "SetValue")
+    ]
+    controller = CampaignController()
+    detected = sum(
+        controller.run_injection(error, CASE, "All").detected for error in errors
+    )
+    return detected / len(errors)
+
+
+def main():
+    print("measuring Pds on an E1 slice (32 runs) ...")
+    pds = measure_pds_slice()
+    print(f"  Pds ~ {100 * pds:.0f} %  (paper, full E1: 74 %)")
+
+    print("\nmeasuring Pprop over 30 random memory locations ...")
+    errors = build_e2_error_set(MasterMemory())[:30]
+    study = run_propagation_study(errors, CASE)
+
+    print(f"  Pem   = {100 * study.pem:.2f} %  (monitored bytes / injectable bytes)")
+    print(f"  Pprop = {study.pprop.format()} %  (trajectory-divergence measurement)")
+
+    model = study.model(pds)
+    print("\nthe Section-2.4 model:")
+    print(f"  reach  = Pen*Pprop + Pem = {100 * model.reach:.1f} %")
+    print(f"  model Pdetect            = {100 * model.pdetect:.1f} %")
+    print(f"  measured detection       = {study.detected.format()} %")
+    print(
+        "\nThe model over-predicts: it assumes propagated errors are detected"
+        "\nlike direct bit-flips (probability Pds), but propagation delivers"
+        "\nsmooth disturbances the envelopes tolerate — the distribution"
+        "\ncaveat of the paper's Section 5.2, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A miniature fault-injection campaign (a slice of the E1 experiment).
+
+Injects bit-flips into two monitored signals of the arresting system —
+the millisecond clock (mscnt, a counter) and the pressure set point
+(SetValue, an environment-valued continuous signal) — across all 16 bit
+positions, and prints the per-bit outcome.  It reproduces, in miniature,
+the paper's central contrast: counters are caught at every bit, while
+continuous signals let low-bit errors escape.
+
+Run:  python examples/fault_injection_campaign.py
+"""
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import TestCase
+from repro.injection.errors import build_e1_error_set
+from repro.injection.fic import CampaignController
+from repro.stats.estimators import estimate_coverage
+
+CASE = TestCase(mass_kg=14000.0, velocity_mps=55.0)
+SIGNALS = ("mscnt", "SetValue")
+
+
+def main():
+    errors = build_e1_error_set(MasterMemory())
+    controller = CampaignController()
+
+    print("mini E1 campaign: 2 signals x 16 bits, all-assertions version")
+    print(f"test case: {CASE.mass_kg:.0f} kg at {CASE.velocity_mps:.0f} m/s")
+    print()
+    print(f"{'signal':10s} {'bit':>3s} {'detected':>9s} {'failed':>7s} {'latency':>9s}")
+
+    detected_by_signal = {}
+    for signal in SIGNALS:
+        detected = 0
+        for error in (e for e in errors if e.signal == signal):
+            record = controller.run_injection(error, CASE, "All")
+            detected += record.detected
+            latency = (
+                f"{record.latency_ms:.0f} ms" if record.latency_ms is not None else "-"
+            )
+            print(
+                f"{signal:10s} {error.signal_bit:3d} "
+                f"{str(record.detected):>9s} {str(record.failed):>7s} {latency:>9s}"
+            )
+        detected_by_signal[signal] = detected
+
+    print()
+    for signal in SIGNALS:
+        estimate = estimate_coverage(detected_by_signal[signal], 16)
+        print(f"P(d) for {signal:10s} = {estimate.format()} %")
+    print()
+    print("paper (Table 7, All version): mscnt 100.0, SetValue 59.5±4.0")
+
+
+if __name__ == "__main__":
+    main()

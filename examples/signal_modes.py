@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Signal modes: one parameter set per phase of operation (Section 2.1).
+
+A signal may behave differently in different modes of the system; the
+scheme gives it one Pcont/Pdisc per mode, and the mode variable is itself
+a discrete signal that can be monitored.  This example instruments an
+engine-coolant pump controller:
+
+* ``flow`` — continuous/random, with a tight envelope while the pump is
+  ``idle`` and a wide one while it is ``running``;
+* ``pump_mode`` — a discrete sequential signal over
+  idle -> starting -> running -> stopping -> idle.
+
+The same flow disturbance is shown to be an error in one mode and normal
+behaviour in the other, and an illegal mode transition is caught by the
+mode variable's own assertion.
+
+Run:  python examples/signal_modes.py
+"""
+
+from repro.core import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    SignalClass,
+    SignalMonitor,
+)
+
+
+def build_monitors():
+    flow_modes = ModalParameterSet(
+        {
+            "idle": ContinuousParams.random(0, 20, rmax_incr=2, rmax_decr=2),
+            "starting": ContinuousParams.random(0, 400, rmax_incr=40, rmax_decr=10),
+            "running": ContinuousParams.random(150, 400, rmax_incr=25, rmax_decr=25),
+            "stopping": ContinuousParams.random(0, 400, rmax_incr=10, rmax_decr=40),
+        },
+        initial_mode="idle",
+    )
+    flow = SignalMonitor("flow", SignalClass.CONTINUOUS_RANDOM, flow_modes)
+
+    # Self-loops: the mode variable is sampled every cycle and usually
+    # has not changed since the previous test.
+    mode_params = DiscreteParams.sequential(
+        {
+            "idle": ["idle", "starting"],
+            "starting": ["starting", "running", "stopping"],
+            "running": ["running", "stopping"],
+            "stopping": ["stopping", "idle"],
+        }
+    )
+    mode = SignalMonitor(
+        "pump_mode", SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR, mode_params
+    )
+    return flow, flow_modes, mode
+
+
+def main():
+    flow, flow_modes, mode = build_monitors()
+    t = 0
+
+    def observe(mode_value, flow_value):
+        nonlocal t
+        mode_before = mode.violations
+        mode.test(mode_value, t)
+        if flow_modes.mode != mode_value and mode.violations == mode_before:
+            flow.set_mode(mode_value)
+        flow_before = flow.violations
+        flow.test(flow_value, t)
+        flags = []
+        if mode.violations > mode_before:
+            flags.append("MODE VIOLATION")
+        if flow.violations > flow_before:
+            flags.append("FLOW VIOLATION")
+        print(f"  t={t:2d}  mode={mode_value:9s} flow={flow_value:3d}  {' '.join(flags)}")
+        t += 1
+
+    print("phase 1: idle — a +15 flow jump violates the tight idle envelope")
+    observe("idle", 2)
+    observe("idle", 3)
+    observe("idle", 18)  # +15 in idle: violation
+    assert flow.violations == 1
+
+    print("\nphase 2: start-up — large increases are legitimate now")
+    observe("starting", 40)
+    observe("starting", 78)
+    observe("starting", 115)
+    observe("starting", 150)
+    assert flow.violations == 1  # no new violations
+
+    print("\nphase 3: running — the same +15 jump is normal behaviour")
+    observe("running", 165)
+    observe("running", 180)  # +15 in running: fine
+    assert flow.violations == 1
+
+    print("\nphase 4: an illegal mode transition (running -> idle)")
+    observe("idle", 179)
+    assert mode.violations == 1
+
+    print("\nsignal modes: the envelope followed the operating phase, and")
+    print("the mode variable itself was monitored as a discrete signal")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (legacy setup.py develop path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: Executable assertions for detecting data errors in embedded
+control systems — a reproduction of Hiller (DSN 2000).
+
+The package splits into:
+
+* :mod:`repro.core` — the paper's contribution: the signal classification
+  scheme, the parameterised executable assertions, monitors, recovery,
+  the coverage model and the incorporation process;
+* :mod:`repro.stats` — coverage estimators and latency summaries;
+* :mod:`repro.memory`, :mod:`repro.rtos`, :mod:`repro.plant`,
+  :mod:`repro.arrestor` — the target system: emulated memory, the slot
+  scheduler, the environment simulator and the arresting-system software;
+* :mod:`repro.injection`, :mod:`repro.experiments` — the fault-injection
+  machinery and the campaign harness regenerating the paper's tables.
+"""
+
+from repro.core import (
+    AssertionResult,
+    ContinuousAssertion,
+    ContinuousParams,
+    CoverageModel,
+    DetectionLog,
+    DiscreteAssertion,
+    DiscreteParams,
+    ModalParameterSet,
+    MonitorBank,
+    ParameterError,
+    SignalClass,
+    SignalMonitor,
+    build_assertion,
+    linear_transition_map,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssertionResult",
+    "ContinuousAssertion",
+    "ContinuousParams",
+    "CoverageModel",
+    "DetectionLog",
+    "DiscreteAssertion",
+    "DiscreteParams",
+    "ModalParameterSet",
+    "MonitorBank",
+    "ParameterError",
+    "SignalClass",
+    "SignalMonitor",
+    "build_assertion",
+    "linear_transition_map",
+    "__version__",
+]

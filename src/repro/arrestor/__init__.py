@@ -1,0 +1,39 @@
+"""The target system: an aircraft-arresting embedded control system."""
+
+from repro.arrestor import constants
+from repro.arrestor.instrumentation import (
+    ALL_EAS,
+    EA_BY_SIGNAL,
+    EA_IDS,
+    SIGNAL_BY_EA,
+    assertion_parameters,
+    build_instrumentation_plan,
+    build_monitors,
+    build_signal_inventory,
+    default_fmeca_entries,
+)
+from repro.arrestor.master import MasterNode
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.arrestor.slave import SlaveNode
+from repro.arrestor.system import RunConfig, RunResult, TargetSystem, TestCase
+
+__all__ = [
+    "constants",
+    "ALL_EAS",
+    "EA_BY_SIGNAL",
+    "EA_IDS",
+    "SIGNAL_BY_EA",
+    "assertion_parameters",
+    "build_instrumentation_plan",
+    "build_monitors",
+    "build_signal_inventory",
+    "default_fmeca_entries",
+    "MasterNode",
+    "MONITORED_SIGNALS",
+    "MasterMemory",
+    "SlaveNode",
+    "RunConfig",
+    "RunResult",
+    "TargetSystem",
+    "TestCase",
+]

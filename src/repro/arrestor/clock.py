@@ -1,0 +1,55 @@
+"""CLOCK: time base and module scheduler (Section 3.1).
+
+Provides the millisecond clock ``mscnt`` and the slot counter
+``ms_slot_nbr`` that tells the scheduler which of the seven 1-ms slots is
+current.  Per Table 4 the executable assertions EA5 (``ms_slot_nbr``,
+discrete/sequential/linear) and EA6 (``mscnt``, continuous/monotonic/
+static) are placed here and run every millisecond.
+"""
+
+from __future__ import annotations
+
+from repro.arrestor import constants as k
+from repro.arrestor.module_base import ModuleBase
+
+__all__ = ["Clock"]
+
+
+class Clock(ModuleBase):
+    """Time-keeping module; also owns the slot counter."""
+
+    name = "CLOCK"
+
+    def __init__(self, node) -> None:
+        super().__init__(node, return_slot=0)
+        mem = node.mem
+        self._mscnt = mem.mscnt
+        self._slot = mem.ms_slot_nbr
+        self._mon_slot = node.monitors.get("EA5")
+        self._mon_mscnt = node.monitors.get("EA6")
+
+    def step(self, now_ms: int) -> int:
+        """Advance the time base; returns the slot the scheduler must run.
+
+        The slot counter wraps through ``if (++slot >= N) slot = 0`` —
+        the idiom a 16-bit target uses — so a corrupted value re-enters
+        the valid domain within one tick while EA5 still observes the
+        illegal transition.
+        """
+        if not self.enter():
+            # The context block is corrupted: time-keeping is lost this
+            # tick.  The scheduler still needs a slot; re-use the stored
+            # one (whatever state it is in).
+            return self._slot.get() % k.N_SLOTS
+
+        self._mscnt.add(1)
+        if self._mon_mscnt is not None:
+            self.checked(self._mon_mscnt, self._mscnt, now_ms)
+
+        slot = self._slot.get() + 1
+        if slot >= k.N_SLOTS:
+            slot = 0
+        self._slot.set(slot)
+        if self._mon_slot is not None:
+            slot = self.checked(self._mon_slot, self._slot, now_ms)
+        return slot % k.N_SLOTS

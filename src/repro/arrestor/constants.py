@@ -1,0 +1,151 @@
+"""System constants of the arresting-system software.
+
+Everything the embedded code of the master/slave nodes needs to agree on:
+module identities, slot layout, signal scaling, controller gains and the
+checkpoint configuration.  The executable-assertion envelopes derived
+from these constants live in :mod:`repro.arrestor.instrumentation`.
+
+Signal scaling (all signals are 16-bit, as in the paper):
+
+========== ======================= =========================
+signal      unit                    range used in practice
+========== ======================= =========================
+mscnt       1 ms                    0 .. 40 000 per run
+ms_slot_nbr slot index              0 .. 6
+pulscnt     rotation pulses         0 .. ~6 700 (335 m)
+i           checkpoint index        0 .. 6
+SetValue    pressure counts (kPa)   0 .. ~5 700
+IsValue     pressure counts (kPa)   0 .. 10 000
+OutValue    pressure counts (kPa)   0 .. 10 000
+========== ======================= =========================
+"""
+
+from __future__ import annotations
+
+from repro.plant.aircraft import BRAKE_FORCE_PER_PA
+from repro.plant.drum import PULSE_PITCH_M
+
+__all__ = [
+    "N_SLOTS",
+    "MODULE_IDLE",
+    "MODULE_CLOCK",
+    "MODULE_DIST_S",
+    "MODULE_PRES_S",
+    "MODULE_V_REG",
+    "MODULE_PRES_A",
+    "MODULE_CALC",
+    "MODULE_COMM",
+    "SLOT_PRES_S",
+    "SLOT_V_REG",
+    "SLOT_PRES_A",
+    "SLOT_COMM",
+    "CHECKPOINT_DISTANCES_M",
+    "CHECKPOINT_PULSES",
+    "N_CHECKPOINTS",
+    "TARGET_STOP_DISTANCE_M",
+    "PRETENSION_COUNTS",
+    "SETVALUE_SLEW_PER_PASS",
+    "SETVALUE_MAX_COUNTS",
+    "OUTVALUE_MAX_COUNTS",
+    "PID_KP_NUM",
+    "PID_KP_DEN",
+    "PID_KI_SHIFT",
+    "PID_INTEGRAL_CLAMP",
+    "INITIAL_MASS_GUESS_KG",
+    "MASS_ESTIMATE_MIN_KG",
+    "MASS_ESTIMATE_MAX_KG",
+    "FORCE_CAP_MARGIN_NUM",
+    "FORCE_CAP_MARGIN_DEN",
+    "CONTROLLER_LIMIT_MARGIN_NUM",
+    "CONTROLLER_LIMIT_MARGIN_DEN",
+    "CONTROLLER_NOMINAL_STOP_M",
+    "FORCE_N_PER_COUNT",
+    "MAX_PULSES_PER_MS",
+    "TELEMETRY_PERIOD_MS",
+]
+
+#: The system operates in seven 1-ms slots (Section 3.1).
+N_SLOTS = 7
+
+# Module identity bytes: these appear in dispatch/control words, so a
+# corrupted word that still names a valid id redirects control flow.
+MODULE_IDLE = 0x00
+MODULE_CLOCK = 0x01
+MODULE_DIST_S = 0x02
+MODULE_PRES_S = 0x03
+MODULE_V_REG = 0x04
+MODULE_PRES_A = 0x05
+MODULE_CALC = 0x06
+MODULE_COMM = 0x07
+
+# Slot layout of the 7-ms modules on the master node.  CLOCK and DIST_S
+# run every tick; CALC runs in the background.
+SLOT_PRES_S = 0
+SLOT_V_REG = 2
+SLOT_PRES_A = 4
+SLOT_COMM = 6
+
+#: The six set-point checkpoints along the runway (Section 3.1: constant
+#: spacing; the first sits early so the controller gets a velocity
+#: estimate before committing to a braking profile).
+CHECKPOINT_DISTANCES_M = (10.0, 60.0, 110.0, 160.0, 210.0, 260.0)
+N_CHECKPOINTS = len(CHECKPOINT_DISTANCES_M)
+
+#: The same checkpoints expressed in rotation pulses — the internally
+#: stored pulscnt values the current count is compared against.
+CHECKPOINT_PULSES = tuple(
+    int(round(d / PULSE_PITCH_M)) for d in CHECKPOINT_DISTANCES_M
+)
+
+#: Where the controller aims to bring the aircraft to rest (15 m margin
+#: to the 335 m runway limit).
+TARGET_STOP_DISTANCE_M = 320.0
+
+#: Cable pretension pressure applied before the first checkpoint, counts.
+PRETENSION_COUNTS = 200
+
+#: CALC moves SetValue toward its target by at most this many counts per
+#: background pass (1 ms), avoiding hydraulic shock and giving EA1 a
+#: tight rate envelope: at most 7 * 30 = 210 counts per 7-ms V_REG test.
+SETVALUE_SLEW_PER_PASS = 30
+
+#: Set-point authority.  The largest legitimate set point across the
+#: evaluation envelope is ~5 700 counts (0.9 * Fmax(20 t, 70 m/s) / 40).
+SETVALUE_MAX_COUNTS = 6000
+
+#: Valve command authority (full valve scale).
+OUTVALUE_MAX_COUNTS = 10000
+
+# V_REG's PID (integer arithmetic, as on the 16-bit target):
+#   OutValue = SetValue + err * KP_NUM / KP_DEN + integral
+#   integral += err >> KI_SHIFT, clamped to +/- PID_INTEGRAL_CLAMP.
+PID_KP_NUM = 3
+PID_KP_DEN = 4
+PID_KI_SHIFT = 3
+PID_INTEGRAL_CLAMP = 1500
+
+#: CALC's initial mass estimate: the design-minimum aircraft, so the
+#: first braking segment can never over-force a light aircraft.  The
+#: estimate is corrected from measured energy loss at later checkpoints.
+INITIAL_MASS_GUESS_KG = 8000
+MASS_ESTIMATE_MIN_KG = 6000
+MASS_ESTIMATE_MAX_KG = 30000
+
+#: The controller caps its commanded force at this fraction of its own
+#: certified-envelope curve (margin * m * v0^2 / (2 * nominal stop)).
+FORCE_CAP_MARGIN_NUM = 9
+FORCE_CAP_MARGIN_DEN = 10
+CONTROLLER_LIMIT_MARGIN_NUM = 135
+CONTROLLER_LIMIT_MARGIN_DEN = 100
+CONTROLLER_NOMINAL_STOP_M = 260.0
+
+#: Newtons of cable force per pressure count commanded on both drums:
+#: 2 drums * BRAKE_FORCE_PER_PA * 1000 Pa/count = 40 N/count.
+FORCE_N_PER_COUNT = 2.0 * BRAKE_FORCE_PER_PA * 1000.0
+
+#: Physical ceiling on rotation pulses per millisecond: even 100 m/s of
+#: cable payout yields 2 pulses/ms at the 0.05 m pulse pitch.
+MAX_PULSES_PER_MS = 2
+
+#: CALC writes a telemetry record into the rotating RAM buffer this often.
+TELEMETRY_PERIOD_MS = 100

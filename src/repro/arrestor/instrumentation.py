@@ -1,0 +1,233 @@
+"""Software instrumentation of the target system (Section 3.2, Table 4).
+
+Applying the Section-2.3 process to the arresting system identifies seven
+service-critical signals out of the system's 24; this module declares the
+signal inventory, classifies the seven signals per the Figure-1 scheme and
+derives their assertion parameter sets from the physical characteristics
+of the system (sensor time constants, valve dynamics, actuator authority
+— exactly the parameter sources Section 2.3 lists):
+
+========== ==== ============== ============ ======================================
+signal      EA   class          location     envelope source
+========== ==== ============== ============ ======================================
+SetValue    EA1  Co/Ra          V_REG        set-point authority + CALC slew limit
+IsValue     EA2  Co/Ra          V_REG        valve first-order slew + quantisation
+i           EA3  Co/Mo/Dy       CALC         six checkpoints, one step at a time
+pulscnt     EA4  Co/Mo/Dy       DIST_S       max cable speed over the pulse pitch
+ms_slot_nbr EA5  Di/Se/Li       CLOCK        the seven-slot cyclic schedule
+mscnt       EA6  Co/Mo/St       CLOCK        1-ms clock, 16-bit wrap-around
+OutValue    EA7  Co/Ra          PRES_A       valve command authority + PID dynamics
+========== ==== ============== ============ ======================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.arrestor import constants as k
+from repro.core.classes import SignalClass
+from repro.core.monitor import DetectionLog, SignalMonitor
+from repro.core.parameters import ContinuousParams, DiscreteParams, linear_transition_map
+from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+from repro.core.recovery import RecoveryStrategy, default_recovery_for
+from repro.plant.hydraulics import VALVE_MAX_PA, VALVE_TIME_CONSTANT_S, PA_PER_COUNT
+
+__all__ = [
+    "EA_IDS",
+    "EA_BY_SIGNAL",
+    "SIGNAL_BY_EA",
+    "ALL_EAS",
+    "build_signal_inventory",
+    "default_fmeca_entries",
+    "assertion_parameters",
+    "build_instrumentation_plan",
+    "build_monitors",
+]
+
+#: Mechanism identifiers, in Table-4 / Table-6 order.
+EA_IDS = ("EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7")
+
+#: Signal monitored by each mechanism (the boldface pairs of Table 7).
+SIGNAL_BY_EA: Dict[str, str] = {
+    "EA1": "SetValue",
+    "EA2": "IsValue",
+    "EA3": "i",
+    "EA4": "pulscnt",
+    "EA5": "ms_slot_nbr",
+    "EA6": "mscnt",
+    "EA7": "OutValue",
+}
+
+EA_BY_SIGNAL: Dict[str, str] = {sig: ea for ea, sig in SIGNAL_BY_EA.items()}
+
+ALL_EAS = frozenset(EA_IDS)
+
+#: Test locations per Table 4.
+_TEST_LOCATION: Dict[str, str] = {
+    "SetValue": "V_REG",
+    "IsValue": "V_REG",
+    "i": "CALC",
+    "pulscnt": "DIST_S",
+    "ms_slot_nbr": "CLOCK",
+    "mscnt": "CLOCK",
+    "OutValue": "PRES_A",
+}
+
+#: Classifications per Table 4.
+_CLASSIFICATION: Dict[str, SignalClass] = {
+    "SetValue": SignalClass.CONTINUOUS_RANDOM,
+    "IsValue": SignalClass.CONTINUOUS_RANDOM,
+    "i": SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC,
+    "pulscnt": SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC,
+    "ms_slot_nbr": SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+    "mscnt": SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+    "OutValue": SignalClass.CONTINUOUS_RANDOM,
+}
+
+
+def build_signal_inventory() -> SignalInventory:
+    """Steps 1-3 of the process: the master node's signal dataflow (Figure 5)."""
+    inventory = SignalInventory()
+    inventory.declare("pulse_sensor", "input", "RotationSensor", ["DIST_S"])
+    inventory.declare("pressure_sensor", "input", "PressureSensor", ["PRES_S"])
+    inventory.declare("mscnt", "internal", "CLOCK", ["CALC"])
+    inventory.declare("ms_slot_nbr", "internal", "CLOCK", ["CLOCK"])
+    inventory.declare("pulscnt", "internal", "DIST_S", ["CALC"])
+    inventory.declare("i", "internal", "CALC", ["CALC"])
+    inventory.declare("SetValue", "internal", "CALC", ["V_REG", "COMM"])
+    inventory.declare("IsValue", "internal", "PRES_S", ["V_REG"])
+    inventory.declare("OutValue", "internal", "V_REG", ["PRES_A"])
+    inventory.declare("valve_command", "output", "PRES_A", ["PressureValve"])
+    inventory.declare("comm_SetValue", "output", "COMM", ["SlaveNode"])
+    return inventory
+
+
+def default_fmeca_entries() -> Tuple[FmecaEntry, ...]:
+    """Step 4: the FMECA table that selects the seven monitored signals."""
+    return (
+        FmecaEntry("SetValue", "wrong braking set point", severity=9, occurrence=4),
+        FmecaEntry("IsValue", "false pressure feedback", severity=8, occurrence=4),
+        FmecaEntry("i", "checkpoint sequence corrupted", severity=8, occurrence=3),
+        FmecaEntry("pulscnt", "distance count corrupted", severity=9, occurrence=3),
+        FmecaEntry("ms_slot_nbr", "schedule derailed", severity=7, occurrence=3),
+        FmecaEntry("mscnt", "time base corrupted", severity=7, occurrence=3),
+        FmecaEntry("OutValue", "valve command corrupted", severity=9, occurrence=4),
+        FmecaEntry("valve_command", "actuator interface stuck", severity=9, occurrence=1, detectability=4),
+        FmecaEntry("comm_SetValue", "slave set point stale", severity=5, occurrence=2, detectability=5),
+    )
+
+
+# -- assertion envelopes (step 6) ---------------------------------------------
+
+#: EA2/EA7 are tested every 7 ms (the V_REG / PRES_A period).
+_TEST_PERIOD_S = k.N_SLOTS / 1000.0
+
+#: Largest physically possible IsValue change between two 7-ms samples:
+#: a full-scale first-order step decayed over one test period, plus one
+#: count of quantisation.
+_ISVALUE_MAX_SLEW = (
+    int(
+        math.ceil(
+            VALVE_MAX_PA
+            * (1.0 - math.exp(-_TEST_PERIOD_S / VALVE_TIME_CONSTANT_S))
+            / PA_PER_COUNT
+        )
+    )
+    + 1
+)
+
+#: SetValue moves at most SLEW * N_SLOTS counts between V_REG tests; the
+#: envelope adds ~20 % margin.
+_SETVALUE_MAX_RATE = (k.SETVALUE_SLEW_PER_PASS * k.N_SLOTS * 12) // 10
+
+#: OutValue's per-test change is bounded by the set-point slew plus the
+#: PID's proportional and integral response to a transient; 1000 counts
+#: covers the worst fault-free transient with about 2x margin.
+_OUTVALUE_MAX_RATE = 1000
+
+
+def assertion_parameters() -> Dict[str, Union[ContinuousParams, DiscreteParams]]:
+    """Step 6: the per-signal ``Pcont``/``Pdisc`` the assertions use."""
+    return {
+        "SetValue": ContinuousParams.random(
+            0,
+            k.SETVALUE_MAX_COUNTS,
+            rmax_incr=_SETVALUE_MAX_RATE,
+            rmax_decr=_SETVALUE_MAX_RATE,
+        ),
+        "IsValue": ContinuousParams.random(
+            0,
+            k.OUTVALUE_MAX_COUNTS,
+            rmax_incr=_ISVALUE_MAX_SLEW,
+            rmax_decr=_ISVALUE_MAX_SLEW,
+        ),
+        "i": ContinuousParams.dynamic_monotonic(
+            0, k.N_CHECKPOINTS, rmin=0, rmax=1, increasing=True
+        ),
+        "pulscnt": ContinuousParams.dynamic_monotonic(
+            0, 9000, rmin=0, rmax=k.MAX_PULSES_PER_MS, increasing=True
+        ),
+        "ms_slot_nbr": linear_transition_map(range(k.N_SLOTS), cyclic=True),
+        "mscnt": ContinuousParams.static_monotonic(0, 0xFFFF, rate=1, wrap=True),
+        "OutValue": ContinuousParams.random(
+            0,
+            k.OUTVALUE_MAX_COUNTS,
+            rmax_incr=_OUTVALUE_MAX_RATE,
+            rmax_decr=_OUTVALUE_MAX_RATE,
+        ),
+    }
+
+
+def build_instrumentation_plan() -> InstrumentationPlan:
+    """Steps 5-7 for the master node, validated against the inventory."""
+    inventory = build_signal_inventory()
+    plan = InstrumentationPlan(inventory)
+    params = assertion_parameters()
+    for ea in EA_IDS:
+        signal = SIGNAL_BY_EA[ea]
+        plan.plan(
+            signal,
+            _CLASSIFICATION[signal],
+            params[signal],
+            location=_TEST_LOCATION[signal],
+            monitor_id=ea,
+        )
+    return plan
+
+
+def build_monitors(
+    enabled: Optional[Iterable[str]] = None,
+    log: Optional[DetectionLog] = None,
+    with_recovery: bool = False,
+) -> Dict[str, SignalMonitor]:
+    """Step 8: instantiate the monitors, keyed by EA id.
+
+    *enabled* selects a subset of EA ids (the evaluation's eight system
+    versions); ``None`` enables all seven.  All monitors share *log*.
+    ``with_recovery`` attaches each signal's default recovery strategy
+    (used by the recovery ablation, not by the paper's experiments).
+    """
+    enabled_set = set(enabled) if enabled is not None else set(EA_IDS)
+    unknown = enabled_set - set(EA_IDS)
+    if unknown:
+        raise ValueError(f"unknown mechanism ids: {sorted(unknown)}")
+    shared_log = log if log is not None else DetectionLog()
+    params = assertion_parameters()
+    monitors: Dict[str, SignalMonitor] = {}
+    for ea in EA_IDS:
+        if ea not in enabled_set:
+            continue
+        signal = SIGNAL_BY_EA[ea]
+        recovery: Optional[RecoveryStrategy] = None
+        if with_recovery:
+            recovery = default_recovery_for(params[signal])
+        monitors[ea] = SignalMonitor(
+            signal,
+            _CLASSIFICATION[signal],
+            params[signal],
+            log=shared_log,
+            recovery=recovery,
+            monitor_id=ea,
+        )
+    return monitors

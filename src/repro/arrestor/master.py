@@ -1,0 +1,167 @@
+"""The master node: memory, modules, scheduler and instrumentation.
+
+Assembles the software architecture of Figure 5: CLOCK (time base +
+module scheduler), DIST_S, PRES_S, V_REG, PRES_A periodic modules, COMM
+to the slave, and the CALC background process — with the executable
+assertions of Table 4 placed inside the modules listed as their test
+locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.arrestor import constants as k
+from repro.arrestor.calc import Calc
+from repro.arrestor.clock import Clock
+from repro.arrestor.comm import Comm
+from repro.arrestor.dist_s import DistS
+from repro.arrestor.instrumentation import assertion_parameters, build_monitors
+from repro.arrestor.pres_a import PresA
+from repro.arrestor.pres_s import PresS
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.v_reg import VReg
+from repro.core.monitor import DetectionLog, SignalMonitor
+from repro.core.parameters import ContinuousParams
+from repro.rtos.scheduler import SlotScheduler
+from repro.rtos.task import Task
+
+__all__ = ["MasterNode"]
+
+
+class MasterNode:
+    """The master control node of the arresting system."""
+
+    def __init__(
+        self,
+        env,
+        enabled_eas: Optional[Iterable[str]] = None,
+        detection_log: Optional[DetectionLog] = None,
+        with_recovery: bool = False,
+    ) -> None:
+        self.env = env
+        self.mem = MasterMemory()
+        self.detection_log = (
+            detection_log if detection_log is not None else DetectionLog()
+        )
+        self.monitors: Dict[str, SignalMonitor] = build_monitors(
+            enabled_eas, log=self.detection_log, with_recovery=with_recovery
+        )
+        self.wedged = False
+
+        # Modules (constructed after monitors so they can bind them).
+        self.clock = Clock(self)
+        self.dist_s = DistS(self)
+        self.pres_s = PresS(self)
+        self.v_reg = VReg(self)
+        self.pres_a = PresA(self)
+        self.comm = Comm(self)
+        self.calc = Calc(self)
+
+        self.scheduler = SlotScheduler(k.N_SLOTS)
+        self.scheduler.add_every_tick(Task("DIST_S", k.MODULE_DIST_S, self.dist_s.step))
+        self.scheduler.add_slot_task(
+            k.SLOT_PRES_S, Task("PRES_S", k.MODULE_PRES_S, self.pres_s.step)
+        )
+        self.scheduler.add_slot_task(
+            k.SLOT_V_REG, Task("V_REG", k.MODULE_V_REG, self.v_reg.step)
+        )
+        self.scheduler.add_slot_task(
+            k.SLOT_PRES_A, Task("PRES_A", k.MODULE_PRES_A, self.pres_a.step)
+        )
+        self.scheduler.add_slot_task(
+            k.SLOT_COMM, Task("COMM", k.MODULE_COMM, self.comm.step)
+        )
+        self.scheduler.set_background(Task("CALC", k.MODULE_CALC, self.calc.step))
+        self.scheduler.attach_control_words(self.mem.dispatch)
+
+        # All stack frames are known now: fill the remaining stack depth.
+        self.mem.finish_layout()
+        self.boot()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Power-on initialisation of the node's memory image."""
+        mem = self.mem
+        mem.map.clear()
+        mem.dispatch.reset()
+        mem.calc_frame.reset()
+        mem.return_words.reset()
+
+        mem.ms_slot_nbr.set(0)
+        mem.mscnt.set(0)
+        mem.set_value.set(k.PRETENSION_COUNTS)
+        mem.target_set_value.set(k.PRETENSION_COUNTS)
+        mem.m_est_kg.set(k.INITIAL_MASS_GUESS_KG)
+        mem.p_cap_counts.set(0)
+        mem.diag_boot_flags.set(0xA55A)
+        for var, pulses in zip(mem.cp_pulses, k.CHECKPOINT_PULSES):
+            var.set(pulses)
+        self._fill_config_mirror()
+        self._fill_ea_param_mirror()
+
+        self.wedged = False
+        self.scheduler.reset()
+
+    def _fill_config_mirror(self) -> None:
+        """Boot copy of the controller configuration (read at init only)."""
+        values = [
+            k.PRETENSION_COUNTS,
+            k.SETVALUE_SLEW_PER_PASS,
+            k.SETVALUE_MAX_COUNTS,
+            k.OUTVALUE_MAX_COUNTS,
+            k.PID_KP_NUM,
+            k.PID_KP_DEN,
+            k.PID_KI_SHIFT,
+            k.PID_INTEGRAL_CLAMP,
+            k.INITIAL_MASS_GUESS_KG,
+            k.MASS_ESTIMATE_MIN_KG,
+            k.MASS_ESTIMATE_MAX_KG,
+            int(k.CONTROLLER_NOMINAL_STOP_M),
+        ]
+        for var, value in zip(self.mem.config_mirror, values):
+            var.set(value)
+
+    def _fill_ea_param_mirror(self) -> None:
+        """Boot copy of the assertion parameter sets (read at init only)."""
+        params = assertion_parameters()
+        mirror = iter(self.mem.ea_param_mirror)
+        for name in sorted(params):
+            p = params[name]
+            if isinstance(p, ContinuousParams):
+                values = (
+                    int(p.smin),
+                    int(p.smax),
+                    int(p.rmax_incr),
+                    int(p.rmax_decr),
+                    int(p.rmin_incr),
+                    int(p.rmin_decr),
+                )
+            else:
+                values = (len(p.domain), 0, 0, 0, 0, 0)
+            for value in values:
+                next(mirror).set(value)
+
+    def wedge(self) -> None:
+        """A control-flow error has taken the node's CPU into the weeds."""
+        self.wedged = True
+        self.scheduler.wedged = True
+
+    # -- execution ----------------------------------------------------------------
+
+    def tick(self, now_ms: int) -> Optional[int]:
+        """One millisecond of node execution; returns the slot that ran.
+
+        A wedged node executes nothing (its valves hold their last
+        command) and returns ``None``.
+        """
+        if self.wedged:
+            return None
+        slot = self.clock.step(now_ms)
+        if self.wedged:
+            return None
+        self.scheduler.tick(now_ms, slot)
+        if self.scheduler.wedged:
+            self.wedged = True
+        return slot

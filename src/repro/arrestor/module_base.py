@@ -1,0 +1,75 @@
+"""Common machinery for the target's software modules.
+
+Each module:
+
+* keeps its state in the node's emulated memory (so injections reach it),
+* consults its saved-context/return word in the stack-resident context
+  block before running — a corrupted word loses the invocation or wedges
+  the node (the control-flow-error semantics of
+  :mod:`repro.memory.stack`),
+* runs the executable assertions placed at its location (Table 4) via
+  :meth:`checked`, which also writes a recovery value back into the
+  signal's memory when the monitor is configured with recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.monitor import SignalMonitor
+from repro.memory.memmap import Variable
+
+__all__ = ["ModuleBase"]
+
+
+class ModuleBase:
+    """Base class for CLOCK, DIST_S, PRES_S, V_REG, PRES_A, COMM and CALC."""
+
+    #: Subclasses set their name for diagnostics.
+    name = "MODULE"
+
+    def __init__(self, node, return_slot: Optional[int] = None) -> None:
+        self.node = node
+        self._return_slot = return_slot
+        self._return_table = node.mem.return_words if return_slot is not None else None
+
+    # -- control flow ------------------------------------------------------
+
+    def enter(self) -> bool:
+        """Consult the module's saved-context word; False loses the call.
+
+        A ``redirect``/``skip`` outcome means the corrupted context sent
+        execution somewhere harmless-but-wrong: the module body does not
+        run this invocation.  A ``wedge`` outcome halts the node.
+        """
+        if self._return_table is None:
+            return True
+        outcome = self._return_table.consult(self._return_slot)
+        if outcome.kind == "ok":
+            return True
+        if outcome.kind == "wedge":
+            self.node.wedge()
+        return False
+
+    # -- executable assertions ---------------------------------------------
+
+    @staticmethod
+    def checked(monitor: Optional[SignalMonitor], var: Variable, now_ms: int) -> int:
+        """Read *var* through *monitor* (when enabled) at time *now_ms*.
+
+        Returns the value the module should compute with; a recovery
+        replacement is written back to memory so the rest of the system
+        sees the recovered signal.
+        """
+        value = var.get()
+        if monitor is None:
+            return value
+        result = monitor.test(value, now_ms)
+        if result != value:
+            var.set(result)
+        return result
+
+    # -- interface -----------------------------------------------------------
+
+    def step(self, now_ms: int) -> None:
+        raise NotImplementedError

@@ -1,0 +1,30 @@
+"""PRES_A: pressure actuation (Section 3.1).
+
+Uses ``OutValue`` to set the pressure valve.  EA7 (``OutValue``,
+continuous/random) is placed here — PRES_A is the consumer — per
+Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.arrestor.module_base import ModuleBase
+
+__all__ = ["PresA"]
+
+
+class PresA(ModuleBase):
+    """Valve actuation for the master drum."""
+
+    name = "PRES_A"
+
+    def __init__(self, node) -> None:
+        super().__init__(node, return_slot=4)
+        self._out_value = node.mem.out_value
+        self._env = node.env
+        self._mon = node.monitors.get("EA7")
+
+    def step(self, now_ms: int) -> None:
+        if not self.enter():
+            return
+        out = self.checked(self._mon, self._out_value, now_ms)
+        self._env.command_master_valve_counts(out)

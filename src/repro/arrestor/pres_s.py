@@ -1,0 +1,31 @@
+"""PRES_S: pressure-sensor monitor (Section 3.1).
+
+Samples the pressure actually applied by the node's valve and publishes
+it as ``IsValue`` for the PID regulator.  ``IsValue`` itself is tested in
+V_REG (its consumer), per Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.arrestor.module_base import ModuleBase
+
+__all__ = ["PresS"]
+
+
+class PresS(ModuleBase):
+    """Pressure sensing for the master drum."""
+
+    name = "PRES_S"
+
+    def __init__(self, node) -> None:
+        super().__init__(node, return_slot=2)
+        mem = node.mem
+        self._is_value = mem.is_value
+        self._latch = mem.raw_pressure_latch
+        self._env = node.env
+
+    def step(self, now_ms: int) -> None:
+        if not self.enter():
+            return
+        self._latch.set(self._env.read_master_pressure_counts())
+        self._is_value.set(self._latch.get())

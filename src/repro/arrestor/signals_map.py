@@ -1,0 +1,176 @@
+"""Memory layout of the master node.
+
+The paper injects into the application RAM (417 bytes) and stack (1008
+bytes) of the master node; this module lays those areas out.  The seven
+monitored signals of Table 4 live in RAM together with the *unmonitored*
+application state (controller estimates, PID state, checkpoint table,
+communication buffer, telemetry ring, configuration mirrors), so random
+RAM errors have the realistic mix of consequences: corrupting a monitored
+signal directly, corrupting state that propagates into one, or hitting a
+cold byte and staying benign.
+
+The stack area holds the scheduler dispatch words, CALC's always-live
+frame linkage, per-module return words and scratch locals, with the
+remaining depth filled by anonymous deep-stack space (present and
+injectable, but not touched at the simulated call depth) — see
+:mod:`repro.memory.stack` for the control-flow-error semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arrestor import constants as k
+from repro.memory.layout import APP_RAM_SIZE, STACK_SIZE, MemoryRegion, RegionAllocator
+from repro.memory.memmap import MemoryMap, Variable
+from repro.memory.stack import ControlWordTable, ScratchArena
+
+__all__ = ["MasterMemory", "RAM_REGION", "STACK_REGION", "MONITORED_SIGNALS"]
+
+RAM_REGION = MemoryRegion("ram", 0x0000, APP_RAM_SIZE)
+STACK_REGION = MemoryRegion("stack", 0x0200, STACK_SIZE)
+
+#: The seven service-critical signals of Table 4, in table order.
+MONITORED_SIGNALS = (
+    "SetValue",
+    "IsValue",
+    "i",
+    "pulscnt",
+    "ms_slot_nbr",
+    "mscnt",
+    "OutValue",
+)
+
+
+class MasterMemory:
+    """The master node's emulated memory, symbols and typed handles."""
+
+    def __init__(self) -> None:
+        self.map = MemoryMap([RAM_REGION, STACK_REGION])
+        self.ram = RegionAllocator(RAM_REGION)
+        self.stack = RegionAllocator(STACK_REGION)
+
+        # -- the monitored signals (Table 4) ---------------------------------
+        self.mscnt = self._var("mscnt")
+        self.ms_slot_nbr = self._var("ms_slot_nbr")
+        self.pulscnt = self._var("pulscnt")
+        self.i = self._var("i")
+        self.set_value = self._var("SetValue")
+        self.is_value = self._var("IsValue")
+        self.out_value = self._var("OutValue")
+
+        # -- CALC's controller state ----------------------------------------
+        self.target_set_value = self._var("target_SetValue")
+        self.last_cp_pulscnt = self._var("last_cp_pulscnt")
+        self.last_cp_mscnt = self._var("last_cp_mscnt")
+        self.v_prev_cmps = self._var("v_prev_cmps")
+        self.v0_cmps = self._var("v0_cmps")
+        self.m_est_kg = self._var("m_est_kg")
+        self.p_cap_counts = self._var("p_cap_counts")
+
+        # -- V_REG's PID state -------------------------------------------------
+        self.pid_integral = self._var("pid_integral", signed=True)
+        self.pid_last_err = self._var("pid_last_err", signed=True)
+
+        # -- communication with the slave node ---------------------------------
+        self.comm_tx_set_value = self._var("comm_tx_SetValue")
+        self.comm_seq = self._var("comm_seq")
+
+        # -- sensor interface latches -------------------------------------------
+        self.raw_pulse_latch = self._var("raw_pulse_latch")
+        self.raw_pressure_latch = self._var("raw_pressure_latch")
+
+        # -- checkpoint table (installation config, copied to RAM at boot) -----
+        self.cp_pulses: List[Variable] = [
+            Variable(self.map, sym)
+            for sym in self.ram.allocate_array("cp_pulses", k.N_CHECKPOINTS)
+        ]
+
+        # -- boot-time configuration mirror (read at initialisation only) ------
+        self.config_mirror: List[Variable] = [
+            Variable(self.map, sym)
+            for sym in self.ram.allocate_array("config_mirror", 12)
+        ]
+
+        # -- executable-assertion parameter mirror (read at boot only) ---------
+        self.ea_param_mirror: List[Variable] = [
+            Variable(self.map, sym)
+            for sym in self.ram.allocate_array("ea_params", 42)
+        ]
+
+        # -- telemetry ring (4 words per record) -------------------------------
+        self.telemetry_index = self._var("telemetry_index")
+        self.telemetry_ring: List[Variable] = [
+            Variable(self.map, sym)
+            for sym in self.ram.allocate_array("telemetry", 48)
+        ]
+
+        # -- diagnostic counters ---------------------------------------------
+        self.diag_comm_errors = self._var("diag_comm_errors")
+        self.diag_boot_flags = self._var("diag_boot_flags")
+        self.diag_watchdog = self._var("diag_watchdog")
+
+        # Remaining RAM bytes stay unallocated: cold spare capacity, as on
+        # the real target (still mapped, still injectable, never read).
+
+        # -- stack: dispatch words, CALC frame, return words, scratch ----------
+        self.dispatch = ControlWordTable(
+            self.map,
+            self.stack,
+            self._slot_module_ids(),
+            name="dispatch",
+        )
+        # The background process's frame linkage: the return chain and
+        # frame pointers of CALC's call tree (checkpoint handler, mass
+        # refinement, envelope cap, set-point computation and their
+        # callees).  The frame is live for the whole run — CALC is always
+        # either executing or preempted — so every word is consulted on
+        # every background pass.
+        self.calc_frame = ControlWordTable(
+            self.map,
+            self.stack,
+            [k.MODULE_CALC] * 10,
+            name="calc_frame",
+        )
+        self.return_words = ControlWordTable(
+            self.map,
+            self.stack,
+            [
+                k.MODULE_CLOCK,
+                k.MODULE_DIST_S,
+                k.MODULE_PRES_S,
+                k.MODULE_V_REG,
+                k.MODULE_PRES_A,
+            ],
+            name="return_words",
+        )
+        self.scratch = ScratchArena(self.map, self.stack)
+
+    def _var(self, name: str, signed: bool = False) -> Variable:
+        return Variable(self.map, self.ram.allocate(name, 2), signed=signed)
+
+    @staticmethod
+    def _slot_module_ids() -> List[int]:
+        ids = [k.MODULE_IDLE] * k.N_SLOTS
+        ids[k.SLOT_PRES_S] = k.MODULE_PRES_S
+        ids[k.SLOT_V_REG] = k.MODULE_V_REG
+        ids[k.SLOT_PRES_A] = k.MODULE_PRES_A
+        ids[k.SLOT_COMM] = k.MODULE_COMM
+        return ids
+
+    def signal_variable(self, name: str) -> Variable:
+        """The :class:`Variable` handle of a monitored signal, by Table-4 name."""
+        mapping: Dict[str, Variable] = {
+            "SetValue": self.set_value,
+            "IsValue": self.is_value,
+            "i": self.i,
+            "pulscnt": self.pulscnt,
+            "ms_slot_nbr": self.ms_slot_nbr,
+            "mscnt": self.mscnt,
+            "OutValue": self.out_value,
+        }
+        return mapping[name]
+
+    def finish_layout(self) -> None:
+        """Fill the remaining stack depth with anonymous deep-stack space."""
+        self.scratch.fill_remainder(STACK_REGION)

@@ -1,0 +1,65 @@
+"""V_REG: the software-implemented PID pressure regulator (Section 3.1).
+
+Uses ``SetValue`` and ``IsValue`` to control ``OutValue``, the command to
+the pressure valve: a feed-forward of the set point plus an integer PI
+correction for the valve's lag.  EA1 (``SetValue``) and EA2 (``IsValue``)
+are placed here — V_REG is the consumer of both — per Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.arrestor import constants as k
+from repro.arrestor.module_base import ModuleBase
+
+__all__ = ["VReg"]
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+class VReg(ModuleBase):
+    """PI(D) regulator: OutValue = SetValue + Kp*err + integral."""
+
+    name = "V_REG"
+
+    def __init__(self, node) -> None:
+        super().__init__(node, return_slot=3)
+        mem = node.mem
+        self._set_value = mem.set_value
+        self._is_value = mem.is_value
+        self._out_value = mem.out_value
+        self._integral = mem.pid_integral
+        self._last_err = mem.pid_last_err
+        self._err_scratch = node.mem.scratch.slot("v_reg.err")
+        self._mon_set = node.monitors.get("EA1")
+        self._mon_is = node.monitors.get("EA2")
+
+    def step(self, now_ms: int) -> None:
+        if not self.enter():
+            return
+        set_value = self.checked(self._mon_set, self._set_value, now_ms)
+        is_value = self.checked(self._mon_is, self._is_value, now_ms)
+
+        # The error term passes through a stack local (as the compiled
+        # 16-bit code would spill it) before the P term is formed.
+        self._err_scratch.set(set_value - is_value)
+        err = self._err_scratch.get()
+        if err >= 0x8000:
+            err -= 0x10000
+
+        integral = self._integral.get()
+        integral = _clamp(
+            integral + (err >> k.PID_KI_SHIFT),
+            -k.PID_INTEGRAL_CLAMP,
+            k.PID_INTEGRAL_CLAMP,
+        )
+        self._integral.set(integral)
+        self._last_err.set(err)
+
+        out = set_value + (err * k.PID_KP_NUM) // k.PID_KP_DEN + integral
+        self._out_value.set(_clamp(out, 0, k.OUTVALUE_MAX_COUNTS))

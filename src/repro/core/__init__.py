@@ -1,0 +1,106 @@
+"""Core library: the paper's signal-classification + executable-assertion scheme."""
+
+from repro.core.classes import (
+    CONTINUOUS_CLASSES,
+    DISCRETE_CLASSES,
+    SignalCategory,
+    SignalClass,
+    parse_class_code,
+)
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    ParameterError,
+    classify_continuous,
+    linear_transition_map,
+    validate_continuous,
+)
+from repro.core.assertions import (
+    AssertionResult,
+    ContinuousAssertion,
+    DiscreteAssertion,
+    build_assertion,
+)
+from repro.core.monitor import DetectionEvent, DetectionLog, MonitorBank, SignalMonitor
+from repro.core.recovery import (
+    ClampToDomain,
+    ExtrapolateRate,
+    HoldLastValid,
+    RecoveryStrategy,
+    ResetToValue,
+    default_recovery_for,
+)
+from repro.core.coverage import CoverageModel, required_pds, total_detection_probability
+from repro.core.dynamic import (
+    AdaptiveContinuousMonitor,
+    EwmaRateEstimator,
+    WindowedRateEstimator,
+)
+from repro.core.config import (
+    continuous_from_dict,
+    continuous_to_dict,
+    discrete_from_dict,
+    discrete_to_dict,
+    modal_from_dict,
+    modal_to_dict,
+    monitor_from_config,
+    params_from_dict,
+    params_to_dict,
+)
+from repro.core.process import (
+    FmecaEntry,
+    InstrumentationPlan,
+    PlannedAssertion,
+    SignalDeclaration,
+    SignalInventory,
+)
+
+__all__ = [
+    "CONTINUOUS_CLASSES",
+    "DISCRETE_CLASSES",
+    "SignalCategory",
+    "SignalClass",
+    "parse_class_code",
+    "ContinuousParams",
+    "DiscreteParams",
+    "ModalParameterSet",
+    "ParameterError",
+    "classify_continuous",
+    "linear_transition_map",
+    "validate_continuous",
+    "AssertionResult",
+    "ContinuousAssertion",
+    "DiscreteAssertion",
+    "build_assertion",
+    "DetectionEvent",
+    "DetectionLog",
+    "MonitorBank",
+    "SignalMonitor",
+    "ClampToDomain",
+    "ExtrapolateRate",
+    "HoldLastValid",
+    "RecoveryStrategy",
+    "ResetToValue",
+    "default_recovery_for",
+    "CoverageModel",
+    "required_pds",
+    "total_detection_probability",
+    "AdaptiveContinuousMonitor",
+    "EwmaRateEstimator",
+    "WindowedRateEstimator",
+    "FmecaEntry",
+    "InstrumentationPlan",
+    "PlannedAssertion",
+    "SignalDeclaration",
+    "SignalInventory",
+    "continuous_from_dict",
+    "continuous_to_dict",
+    "discrete_from_dict",
+    "discrete_to_dict",
+    "modal_from_dict",
+    "modal_to_dict",
+    "monitor_from_config",
+    "params_from_dict",
+    "params_to_dict",
+]

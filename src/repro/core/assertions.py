@@ -1,0 +1,263 @@
+"""Executable assertion engines (Section 2.2, Tables 2 and 3).
+
+The assertions are *generic algorithms instantiated with parameters*: one
+engine per main signal category, configured by a
+:class:`~repro.core.parameters.ContinuousParams` or
+:class:`~repro.core.parameters.DiscreteParams`.
+
+Continuous signals (Table 2).  Each test of a sample ``s`` against the
+previously tested sample ``s'`` runs at most five assertions:
+
+* tests **1** and **2** (domain bounds ``s <= smax`` and ``s >= smin``) are
+  always executed; if either fails the entire test fails;
+* the remaining tests depend on the *signal status* (the relation between
+  ``s`` and ``s'``) and the test passes if **any one** of them holds:
+
+  - ``s > s'``: **3a** change is a legal increase, or **4a** wrap-around is
+    allowed and the change is a legal decrease *through* the domain edge;
+  - ``s < s'``: **3b** change is a legal decrease, or **4b** wrap-around is
+    allowed and the change is a legal increase through the domain edge;
+  - ``s = s'``: **3c** the signal is monotonically decreasing and a zero
+    decrease is within its parameters, or **4c** it is monotonically
+    increasing and a zero increase is within its parameters, or **5c** it
+    is a random signal whose parameters admit a zero change.
+
+Discrete signals (Table 3).  Random discrete signals assert ``s in D``;
+sequential signals additionally assert ``s in T(s')``.
+
+A violation of any constraint is interpreted as the detection of an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Optional, Tuple, Union
+
+from repro.core.classes import SignalClass
+from repro.core.parameters import ContinuousParams, DiscreteParams, ParameterError
+
+__all__ = [
+    "AssertionResult",
+    "ContinuousAssertion",
+    "DiscreteAssertion",
+    "build_assertion",
+    "PASS",
+]
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class AssertionResult:
+    """Outcome of one executable-assertion test.
+
+    ``ok`` is the verdict.  ``failed_tests`` names the Table-2/Table-3
+    tests that were evaluated and did not hold; ``passed_test`` names the
+    test that validated the sample (for the alternative tests 3a-5c) when
+    the verdict is a pass.
+    """
+
+    ok: bool
+    failed_tests: Tuple[str, ...] = ()
+    passed_test: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+#: Shared result for the common all-clear case (avoids churn in hot loops).
+PASS = AssertionResult(True)
+_PASS_FIRST = AssertionResult(True, passed_test="first-sample")
+
+
+class ContinuousAssertion:
+    """Executable assertion for a continuous signal (Table 2)."""
+
+    __slots__ = (
+        "params",
+        "_smin",
+        "_smax",
+        "_rmin_incr",
+        "_rmax_incr",
+        "_rmin_decr",
+        "_rmax_decr",
+        "_wrap",
+        "_hold_ok",
+    )
+
+    def __init__(self, params: ContinuousParams) -> None:
+        self.params = params
+        # Unpacked copies: attribute loads off __slots__ are measurably
+        # cheaper than dataclass field access in the 1-ms simulation loop.
+        self._smin = params.smin
+        self._smax = params.smax
+        self._rmin_incr = params.rmin_incr
+        self._rmax_incr = params.rmax_incr
+        self._rmin_decr = params.rmin_decr
+        self._rmax_decr = params.rmax_decr
+        self._wrap = params.wrap
+        self._hold_ok = self._unchanged_permitted(params)
+
+    @staticmethod
+    def _unchanged_permitted(p: ContinuousParams) -> bool:
+        """Precompute the s = s' alternatives (tests 3c, 4c, 5c of Table 2)."""
+        test_3c = p.increase_forbidden and p.rmin_decr == 0
+        test_4c = p.decrease_forbidden and p.rmin_incr == 0
+        test_5c = p.is_random() and (p.rmin_incr == 0 or p.rmin_decr == 0)
+        return test_3c or test_4c or test_5c
+
+    # -- hot path --------------------------------------------------------
+
+    def holds(self, s: Number, s_prev: Optional[Number]) -> bool:
+        """Fast boolean form of :meth:`check` for simulation inner loops."""
+        if s > self._smax or s < self._smin:
+            return False
+        if s_prev is None:
+            return True
+        if s > s_prev:
+            delta = s - s_prev
+            if self._rmin_incr <= delta <= self._rmax_incr:
+                return True
+            if self._wrap:
+                wrapped = (s_prev - self._smin) + (self._smax - s)
+                return self._rmin_decr <= wrapped <= self._rmax_decr
+            return False
+        if s < s_prev:
+            delta = s_prev - s
+            if self._rmin_decr <= delta <= self._rmax_decr:
+                return True
+            if self._wrap:
+                wrapped = (self._smax - s_prev) + (s - self._smin)
+                return self._rmin_incr <= wrapped <= self._rmax_incr
+            return False
+        return self._hold_ok
+
+    # -- diagnostic path ---------------------------------------------------
+
+    def check(self, s: Number, s_prev: Optional[Number]) -> AssertionResult:
+        """Run the Table-2 test battery and report which tests failed/passed.
+
+        ``s_prev`` is the previously *tested* value ``s'``; pass ``None``
+        on the first test of a signal, in which case only the domain
+        bounds (tests 1 and 2) apply.
+        """
+        failed = []
+        if s > self._smax:
+            failed.append("1")
+        if s < self._smin:
+            failed.append("2")
+        if failed:
+            return AssertionResult(False, tuple(failed))
+        if s_prev is None:
+            return _PASS_FIRST
+
+        if s > s_prev:
+            delta = s - s_prev
+            if self._rmin_incr <= delta <= self._rmax_incr:
+                return AssertionResult(True, passed_test="3a")
+            failed.append("3a")
+            if self._wrap:
+                wrapped = (s_prev - self._smin) + (self._smax - s)
+                if self._rmin_decr <= wrapped <= self._rmax_decr:
+                    return AssertionResult(True, ("3a",), "4a")
+            failed.append("4a")
+            return AssertionResult(False, tuple(failed))
+
+        if s < s_prev:
+            delta = s_prev - s
+            if self._rmin_decr <= delta <= self._rmax_decr:
+                return AssertionResult(True, passed_test="3b")
+            failed.append("3b")
+            if self._wrap:
+                wrapped = (self._smax - s_prev) + (s - self._smin)
+                if self._rmin_incr <= wrapped <= self._rmax_incr:
+                    return AssertionResult(True, ("3b",), "4b")
+            failed.append("4b")
+            return AssertionResult(False, tuple(failed))
+
+        # s == s': tests 3c / 4c / 5c on the parameter template itself.
+        p = self.params
+        if p.increase_forbidden and p.rmin_decr == 0:
+            return AssertionResult(True, passed_test="3c")
+        if p.decrease_forbidden and p.rmin_incr == 0:
+            return AssertionResult(True, ("3c",), "4c")
+        if p.is_random() and (p.rmin_incr == 0 or p.rmin_decr == 0):
+            return AssertionResult(True, ("3c", "4c"), "5c")
+        return AssertionResult(False, ("3c", "4c", "5c"))
+
+
+class DiscreteAssertion:
+    """Executable assertion for a discrete signal (Table 3)."""
+
+    __slots__ = ("params", "_domain", "_transitions")
+
+    def __init__(self, params: DiscreteParams) -> None:
+        self.params = params
+        self._domain = params.domain
+        self._transitions = params.transitions
+
+    # -- hot path --------------------------------------------------------
+
+    def holds(self, s: Hashable, s_prev: Optional[Hashable]) -> bool:
+        """Fast boolean form of :meth:`check` for simulation inner loops."""
+        if s not in self._domain:
+            return False
+        if self._transitions is None or s_prev is None:
+            return True
+        allowed = self._transitions.get(s_prev)
+        if allowed is None:
+            # s' itself was corrupted outside D between tests; the only
+            # checkable property left is domain membership, which held.
+            return True
+        return s in allowed
+
+    # -- diagnostic path ---------------------------------------------------
+
+    def check(self, s: Hashable, s_prev: Optional[Hashable]) -> AssertionResult:
+        """Run the Table-3 tests and report which failed.
+
+        Test ids: ``"D"`` for domain membership ``s in D`` and ``"T"`` for
+        the sequential transition test ``s in T(s')``.
+        """
+        if s not in self._domain:
+            failed = ("D", "T") if self._transitions is not None else ("D",)
+            return AssertionResult(False, failed)
+        if self._transitions is None or s_prev is None:
+            return AssertionResult(True, passed_test="D")
+        allowed = self._transitions.get(s_prev)
+        if allowed is None:
+            return AssertionResult(True, passed_test="D")
+        if s in allowed:
+            return AssertionResult(True, passed_test="T")
+        return AssertionResult(False, ("T",))
+
+
+Assertion = Union[ContinuousAssertion, DiscreteAssertion]
+
+
+def build_assertion(
+    signal_class: SignalClass,
+    params: Union[ContinuousParams, DiscreteParams],
+) -> Assertion:
+    """Instantiate the generic assertion algorithm for a classified signal.
+
+    Validates that *params* matches the Table-1 template of *signal_class*
+    before building the engine, so a mis-declared signal fails loudly at
+    configuration time rather than silently mis-detecting at run time.
+    """
+    if signal_class.is_continuous:
+        if not isinstance(params, ContinuousParams):
+            raise ParameterError(f"{signal_class} requires ContinuousParams")
+        from repro.core.parameters import validate_continuous
+
+        validate_continuous(params, signal_class)
+        return ContinuousAssertion(params)
+
+    if not isinstance(params, DiscreteParams):
+        raise ParameterError(f"{signal_class} requires DiscreteParams")
+    actual = params.classify()
+    if actual is not signal_class:
+        raise ParameterError(
+            f"discrete parameters describe {actual}, not the requested {signal_class}"
+        )
+    return DiscreteAssertion(params)

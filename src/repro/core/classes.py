@@ -1,0 +1,122 @@
+"""Signal classification scheme (Figure 1 of the paper).
+
+The scheme partitions signals into two main categories:
+
+* **Continuous** signals model quantities of continuous nature in the
+  environment (temperatures, pressures, velocities, counters of physical
+  events).  They subdivide into *monotonic* signals (which may only move in
+  one direction between consecutive tests) and *random* signals (free to
+  move either way within rate limits).  Monotonic signals further split
+  into *static-rate* (constant change per test) and *dynamic-rate*
+  (change bounded by a range).
+
+* **Discrete** signals take values from a finite domain and typically carry
+  state information (operating modes, scheduler slots, panel settings).
+  They subdivide into *sequential* signals whose transitions are
+  restricted (either *linear* -- a fixed cyclic order -- or *non-linear*
+  -- an arbitrary transition relation) and *random* signals that may jump
+  between any two values of the domain.
+
+Every leaf of the taxonomy maps onto a constraint template over the
+parameter sets of :mod:`repro.core.parameters` (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "SignalCategory",
+    "SignalClass",
+    "CONTINUOUS_CLASSES",
+    "DISCRETE_CLASSES",
+    "parse_class_code",
+]
+
+
+class SignalCategory(enum.Enum):
+    """Top-level split of the classification scheme (Figure 1)."""
+
+    CONTINUOUS = "continuous"
+    DISCRETE = "discrete"
+
+
+class SignalClass(enum.Enum):
+    """Leaves of the signal classification scheme (Figure 1).
+
+    The enum values double as the abbreviations used in Table 4 of the
+    paper (``Co`` = continuous, ``Di`` = discrete, ``Mo`` = monotonic,
+    ``Ra`` = random, ``St`` = static rate, ``Dy`` = dynamic rate,
+    ``Se`` = sequential, ``Li`` = linear, ``Nl`` = non-linear).
+    """
+
+    CONTINUOUS_MONOTONIC_STATIC = "Co/Mo/St"
+    CONTINUOUS_MONOTONIC_DYNAMIC = "Co/Mo/Dy"
+    CONTINUOUS_RANDOM = "Co/Ra"
+    DISCRETE_SEQUENTIAL_LINEAR = "Di/Se/Li"
+    DISCRETE_SEQUENTIAL_NONLINEAR = "Di/Se/Nl"
+    DISCRETE_RANDOM = "Di/Ra"
+
+    @property
+    def category(self) -> SignalCategory:
+        """The main category (continuous or discrete) of this class."""
+        if self in CONTINUOUS_CLASSES:
+            return SignalCategory.CONTINUOUS
+        return SignalCategory.DISCRETE
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.category is SignalCategory.CONTINUOUS
+
+    @property
+    def is_discrete(self) -> bool:
+        return self.category is SignalCategory.DISCRETE
+
+    @property
+    def is_monotonic(self) -> bool:
+        """True for the two monotonic continuous classes."""
+        return self in (
+            SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+            SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC,
+        )
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for the two sequential discrete classes."""
+        return self in (
+            SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+            SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR,
+        )
+
+
+#: The three continuous leaves of Figure 1.
+CONTINUOUS_CLASSES = frozenset(
+    {
+        SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+        SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC,
+        SignalClass.CONTINUOUS_RANDOM,
+    }
+)
+
+#: The three discrete leaves of Figure 1.
+DISCRETE_CLASSES = frozenset(
+    {
+        SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+        SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR,
+        SignalClass.DISCRETE_RANDOM,
+    }
+)
+
+_CODE_TABLE = {cls.value: cls for cls in SignalClass}
+
+
+def parse_class_code(code: str) -> SignalClass:
+    """Parse a Table-4 style abbreviation (e.g. ``"Co/Mo/Dy"``).
+
+    Raises :class:`ValueError` for unknown codes.
+    """
+    try:
+        return _CODE_TABLE[code]
+    except KeyError:
+        valid = ", ".join(sorted(_CODE_TABLE))
+        raise ValueError(f"unknown signal class code {code!r}; valid codes: {valid}") from None

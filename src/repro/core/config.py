@@ -1,0 +1,202 @@
+"""Serialisation of parameter sets: configuration-driven instantiation.
+
+The mechanisms are *"generic algorithms that are instantiated with
+parameters"* (Section 2.2) — which makes the parameters the natural
+configuration artefact: reviewed by engineers, version-controlled,
+calibrated by fault-injection.  This module round-trips every parameter
+kind through plain dictionaries (JSON-ready) and builds monitors straight
+from such configuration:
+
+>>> cfg = {
+...     "class": "Co/Mo/St",
+...     "params": {"smin": 0, "smax": 65535, "rate": 1, "wrap": True},
+... }
+>>> monitor = monitor_from_config("mscnt", cfg)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.core.classes import SignalClass, parse_class_code
+from repro.core.monitor import SignalMonitor
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    ParameterError,
+)
+
+__all__ = [
+    "continuous_to_dict",
+    "continuous_from_dict",
+    "discrete_to_dict",
+    "discrete_from_dict",
+    "params_to_dict",
+    "params_from_dict",
+    "modal_to_dict",
+    "modal_from_dict",
+    "monitor_from_config",
+]
+
+Params = Union[ContinuousParams, DiscreteParams]
+
+
+def continuous_to_dict(params: ContinuousParams) -> Dict[str, Any]:
+    """Encode a ``Pcont`` as a plain dictionary."""
+    return {
+        "kind": "continuous",
+        "smin": params.smin,
+        "smax": params.smax,
+        "rmin_incr": params.rmin_incr,
+        "rmax_incr": params.rmax_incr,
+        "rmin_decr": params.rmin_decr,
+        "rmax_decr": params.rmax_decr,
+        "wrap": params.wrap,
+    }
+
+
+def continuous_from_dict(data: Dict[str, Any]) -> ContinuousParams:
+    """Decode a ``Pcont``; validates via the normal constructor checks."""
+    try:
+        return ContinuousParams(
+            smin=data["smin"],
+            smax=data["smax"],
+            rmin_incr=data.get("rmin_incr", 0),
+            rmax_incr=data.get("rmax_incr", 0),
+            rmin_decr=data.get("rmin_decr", 0),
+            rmax_decr=data.get("rmax_decr", 0),
+            wrap=bool(data.get("wrap", False)),
+        )
+    except KeyError as missing:
+        raise ParameterError(f"continuous parameter config missing key {missing}") from None
+
+
+def discrete_to_dict(params: DiscreteParams) -> Dict[str, Any]:
+    """Encode a ``Pdisc``.
+
+    The domain is emitted sorted by repr so the encoding is stable; for
+    sequential signals the transition relation is emitted per element.
+    """
+    encoded: Dict[str, Any] = {
+        "kind": "discrete",
+        "domain": sorted(params.domain, key=repr),
+    }
+    if params.transitions is not None:
+        encoded["transitions"] = {
+            repr(src): sorted(dsts, key=repr)
+            for src, dsts in sorted(params.transitions.items(), key=lambda kv: repr(kv[0]))
+        }
+        encoded["_sources"] = sorted(params.transitions, key=repr)
+    return encoded
+
+
+def discrete_from_dict(data: Dict[str, Any]) -> DiscreteParams:
+    """Decode a ``Pdisc``.
+
+    Transition sources are matched back to domain elements by ``repr``
+    (values themselves may be non-string, e.g. integers).
+    """
+    try:
+        domain = data["domain"]
+    except KeyError:
+        raise ParameterError("discrete parameter config missing key 'domain'") from None
+    if "transitions" not in data:
+        return DiscreteParams.random(domain)
+    by_repr = {repr(value): value for value in domain}
+    transitions = {}
+    for src_repr, dsts in data["transitions"].items():
+        if src_repr not in by_repr:
+            raise ParameterError(f"transition source {src_repr} not found in domain")
+        transitions[by_repr[src_repr]] = frozenset(dsts)
+    return DiscreteParams(frozenset(domain), transitions)
+
+
+def params_to_dict(params: Params) -> Dict[str, Any]:
+    """Encode either parameter kind."""
+    if isinstance(params, ContinuousParams):
+        return continuous_to_dict(params)
+    if isinstance(params, DiscreteParams):
+        return discrete_to_dict(params)
+    raise ParameterError(f"cannot encode parameters of type {type(params).__name__}")
+
+
+def params_from_dict(data: Dict[str, Any]) -> Params:
+    """Decode either parameter kind (dispatch on the ``kind`` field)."""
+    kind = data.get("kind")
+    if kind == "continuous":
+        return continuous_from_dict(data)
+    if kind == "discrete":
+        return discrete_from_dict(data)
+    raise ParameterError(f"unknown parameter kind {kind!r}")
+
+
+def modal_to_dict(modal: ModalParameterSet) -> Dict[str, Any]:
+    """Encode a modal parameter set (one entry per mode)."""
+    return {
+        "kind": "modal",
+        "initial_mode": modal.mode,
+        "modes": {
+            str(mode): params_to_dict(modal.params_for(mode)) for mode in modal.modes
+        },
+    }
+
+
+def modal_from_dict(data: Dict[str, Any]) -> ModalParameterSet:
+    """Decode a modal parameter set (modes keyed by string)."""
+    try:
+        modes = {
+            mode: params_from_dict(encoded) for mode, encoded in data["modes"].items()
+        }
+        return ModalParameterSet(modes, initial_mode=data["initial_mode"])
+    except KeyError as missing:
+        raise ParameterError(f"modal parameter config missing key {missing}") from None
+
+
+def monitor_from_config(name: str, config: Dict[str, Any]) -> SignalMonitor:
+    """Build a :class:`SignalMonitor` from a configuration dictionary.
+
+    ``config`` holds the Table-4-style class code under ``"class"`` and
+    the parameter encoding under ``"params"``.  Continuous parameter
+    encodings may use the shorthand constructor fields (``rate`` for
+    static-monotonic, ``rmin``/``rmax`` for dynamic-monotonic) instead of
+    the six raw rate fields.
+    """
+    try:
+        signal_class = parse_class_code(config["class"])
+        raw = dict(config["params"])
+    except KeyError as missing:
+        raise ParameterError(f"monitor config missing key {missing}") from None
+
+    if signal_class.is_continuous:
+        if "rate" in raw:
+            params: Params = ContinuousParams.static_monotonic(
+                raw["smin"],
+                raw["smax"],
+                raw["rate"],
+                increasing=raw.get("increasing", True),
+                wrap=raw.get("wrap", False),
+            )
+        elif "rmin" in raw or "rmax" in raw:
+            params = ContinuousParams.dynamic_monotonic(
+                raw["smin"],
+                raw["smax"],
+                raw.get("rmin", 0),
+                raw["rmax"],
+                increasing=raw.get("increasing", True),
+                wrap=raw.get("wrap", False),
+            )
+        else:
+            raw.setdefault("kind", "continuous")
+            params = continuous_from_dict(raw)
+    else:
+        raw.setdefault("kind", "discrete")
+        params = discrete_from_dict(raw)
+
+    return SignalMonitor(
+        name,
+        signal_class,
+        params,
+        monitor_id=config.get("monitor_id", name),
+        reference_policy=config.get("reference_policy", "observed"),
+    )

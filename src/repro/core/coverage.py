@@ -1,0 +1,101 @@
+"""Analytical error-detection coverage model (Section 2.4).
+
+Given that an error has occurred, the paper defines::
+
+    Pem   = Pr{error location is in a monitored signal}
+    Pen   = Pr{error location is not in a monitored signal} = 1 - Pem
+    Pprop = Pr{error propagates to a monitored signal}
+    Pds   = Pr{error detected | error located in a monitored signal}
+
+and the total detection probability
+
+    Pdetect = (Pen * Pprop + Pem) * Pds.
+
+``Pds`` is a property of the mechanisms + system alone and can be measured
+separately (error set E1 of the evaluation); ``Pdetect`` additionally
+depends on where errors occur (error set E2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "CoverageModel",
+    "total_detection_probability",
+    "required_pds",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def total_detection_probability(pem: float, pprop: float, pds: float) -> float:
+    """``Pdetect = (Pen * Pprop + Pem) * Pds`` with ``Pen = 1 - Pem``."""
+    _check_probability("pem", pem)
+    _check_probability("pprop", pprop)
+    _check_probability("pds", pds)
+    pen = 1.0 - pem
+    return (pen * pprop + pem) * pds
+
+
+def required_pds(pdetect_target: float, pem: float, pprop: float) -> float:
+    """Invert the model: the ``Pds`` needed to reach a ``Pdetect`` target.
+
+    Raises :class:`ValueError` when the target is unreachable (the
+    reach factor ``Pen * Pprop + Pem`` caps ``Pdetect`` even with perfect
+    per-signal detection).
+    """
+    _check_probability("pdetect_target", pdetect_target)
+    _check_probability("pem", pem)
+    _check_probability("pprop", pprop)
+    reach = (1.0 - pem) * pprop + pem
+    if reach == 0.0:
+        if pdetect_target == 0.0:
+            return 0.0
+        raise ValueError("errors never reach a monitored signal; Pdetect is 0")
+    pds = pdetect_target / reach
+    if pds > 1.0:
+        raise ValueError(
+            f"Pdetect target {pdetect_target} unreachable: reach factor is {reach:.4f}"
+        )
+    return pds
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverageModel:
+    """The Section-2.4 model as a value object.
+
+    Attributes mirror the paper's probabilities.  ``pen`` and ``pdetect``
+    are derived.
+    """
+
+    pem: float
+    pprop: float
+    pds: float
+
+    def __post_init__(self) -> None:
+        _check_probability("pem", self.pem)
+        _check_probability("pprop", self.pprop)
+        _check_probability("pds", self.pds)
+
+    @property
+    def pen(self) -> float:
+        """``Pr{error location is not in a monitored signal}``."""
+        return 1.0 - self.pem
+
+    @property
+    def reach(self) -> float:
+        """``Pr{error is, or propagates to, a monitored signal}``."""
+        return self.pen * self.pprop + self.pem
+
+    @property
+    def pdetect(self) -> float:
+        """Total detection probability."""
+        return self.reach * self.pds
+
+    def with_pds(self, pds: float) -> "CoverageModel":
+        """A copy with a different measured ``Pds`` (e.g. from a campaign)."""
+        return CoverageModel(self.pem, self.pprop, pds)

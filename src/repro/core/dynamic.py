@@ -1,0 +1,208 @@
+"""Dynamic (adaptive) constraints — the extension the paper points to.
+
+Section 2.1: *"These parameters are static, but dynamic constraints as in
+[4] and [14] may also be considered."*  This module provides that
+extension: estimators that observe a signal during fault-free operation
+and derive/refresh ``Pcont`` rate limits, plus a monitor wrapper that
+re-instantiates its assertion when the learned envelope changes.
+
+Two estimators are provided:
+
+* :class:`WindowedRateEstimator` — tracks the extreme per-test increase
+  and decrease over a sliding window and pads them with a safety margin
+  (the style of dynamic acceptance tests in Stroph & Clarke [4]).
+* :class:`EwmaRateEstimator` — exponentially-weighted envelope that adapts
+  faster and tolerates drifting dynamics (in the spirit of the model-based
+  bounds of Clegg & Marzullo [14]).
+
+Learned constraints never widen beyond a configured hard envelope, so an
+error burst during the learning phase cannot teach the detector to accept
+arbitrary behaviour.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Optional, Union
+
+from repro.core.assertions import ContinuousAssertion
+from repro.core.parameters import ContinuousParams, ParameterError
+
+__all__ = [
+    "WindowedRateEstimator",
+    "EwmaRateEstimator",
+    "AdaptiveContinuousMonitor",
+]
+
+Number = Union[int, float]
+
+
+class WindowedRateEstimator:
+    """Sliding-window min/max envelope of per-test signal change.
+
+    ``margin`` multiplies the observed extreme rates (e.g. ``1.2`` for a
+    20 % guard band).  Until ``window`` samples are seen the estimator
+    reports ``None`` and the caller should fall back to static limits.
+    """
+
+    def __init__(self, window: int = 64, margin: float = 1.25) -> None:
+        if window < 2:
+            raise ParameterError("window must be at least 2 samples")
+        if margin < 1.0:
+            raise ParameterError("margin must be >= 1.0")
+        self.window = window
+        self.margin = margin
+        self._deltas: Deque[Number] = collections.deque(maxlen=window)
+        self._prev: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        """Feed one (trusted) sample."""
+        if self._prev is not None:
+            self._deltas.append(value - self._prev)
+        self._prev = value
+
+    @property
+    def ready(self) -> bool:
+        return len(self._deltas) >= self.window - 1
+
+    def rate_bounds(self) -> Optional[tuple]:
+        """``(rmax_incr, rmax_decr)`` learned so far, or ``None``."""
+        if not self.ready:
+            return None
+        max_incr = max((d for d in self._deltas if d > 0), default=0)
+        max_decr = max((-d for d in self._deltas if d < 0), default=0)
+        return (max_incr * self.margin, max_decr * self.margin)
+
+
+class EwmaRateEstimator:
+    """Exponentially-weighted envelope of per-test signal change.
+
+    The envelope decays towards the recent magnitude of change with factor
+    ``alpha`` but is bumped immediately when exceeded, so it reacts to
+    growing dynamics within one sample while shrinking slowly.
+    """
+
+    def __init__(self, alpha: float = 0.05, margin: float = 1.25) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError("alpha must be in (0, 1)")
+        if margin < 1.0:
+            raise ParameterError("margin must be >= 1.0")
+        self.alpha = alpha
+        self.margin = margin
+        self._prev: Optional[Number] = None
+        self._incr_env = 0.0
+        self._decr_env = 0.0
+        self._samples = 0
+
+    def observe(self, value: Number) -> None:
+        if self._prev is not None:
+            delta = value - self._prev
+            if delta >= 0:
+                if delta > self._incr_env:
+                    self._incr_env = float(delta)
+                else:
+                    self._incr_env += self.alpha * (delta - self._incr_env)
+            else:
+                mag = -delta
+                if mag > self._decr_env:
+                    self._decr_env = float(mag)
+                else:
+                    self._decr_env += self.alpha * (mag - self._decr_env)
+            self._samples += 1
+        self._prev = value
+
+    @property
+    def ready(self) -> bool:
+        return self._samples >= 8
+
+    def rate_bounds(self) -> Optional[tuple]:
+        if not self.ready:
+            return None
+        return (self._incr_env * self.margin, self._decr_env * self.margin)
+
+
+class AdaptiveContinuousMonitor:
+    """A continuous-random monitor whose rate limits are learned on line.
+
+    ``hard_params`` is the widest acceptable envelope (typically physical
+    limits); learned limits only ever *tighten* it.  During the learning
+    phase the hard envelope alone is enforced.
+
+    This is deliberately a separate class from
+    :class:`repro.core.monitor.SignalMonitor`: adaptive tests trade the
+    formal-verifiability of the static mechanisms (Section 2.2) for
+    tighter envelopes, and the caller should choose explicitly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hard_params: ContinuousParams,
+        estimator: Optional[WindowedRateEstimator] = None,
+        refresh_every: int = 32,
+    ) -> None:
+        if not hard_params.is_random():
+            raise ParameterError(
+                "adaptive monitoring targets random continuous signals; "
+                "monotonic signals already have tight static envelopes"
+            )
+        if refresh_every < 1:
+            raise ParameterError("refresh_every must be >= 1")
+        self.name = name
+        self.hard_params = hard_params
+        self.estimator = estimator if estimator is not None else WindowedRateEstimator()
+        self.refresh_every = refresh_every
+        self._assertion = ContinuousAssertion(hard_params)
+        self._active_params = hard_params
+        self._prev: Optional[Number] = None
+        self._since_refresh = 0
+        self.tests_run = 0
+        self.violations = 0
+
+    @property
+    def active_params(self) -> ContinuousParams:
+        """The parameter set currently enforced (hard or learned)."""
+        return self._active_params
+
+    def _maybe_refresh(self) -> None:
+        self._since_refresh += 1
+        if self._since_refresh < self.refresh_every:
+            return
+        self._since_refresh = 0
+        bounds = self.estimator.rate_bounds()
+        if bounds is None:
+            return
+        rmax_incr, rmax_decr = bounds
+        hard = self.hard_params
+        # Learned limits only tighten the hard envelope and must keep the
+        # Table-1 random template valid (both directions permitted).
+        rmax_incr = max(min(rmax_incr, hard.rmax_incr), 1e-12)
+        rmax_decr = max(min(rmax_decr, hard.rmax_decr), 1e-12)
+        learned = ContinuousParams(
+            hard.smin,
+            hard.smax,
+            rmin_incr=0,
+            rmax_incr=rmax_incr,
+            rmin_decr=0,
+            rmax_decr=rmax_decr,
+            wrap=hard.wrap,
+        )
+        self._active_params = learned
+        self._assertion = ContinuousAssertion(learned)
+
+    def test(self, value: Number) -> bool:
+        """Test one sample; returns ``True`` when the sample is accepted.
+
+        Accepted samples feed the estimator (rejected ones must not, or an
+        attacker error could widen the learned envelope).
+        """
+        self.tests_run += 1
+        ok = self._assertion.holds(value, self._prev)
+        if ok:
+            self.estimator.observe(value)
+            self._prev = value
+            self._maybe_refresh()
+        else:
+            self.violations += 1
+            self._prev = value
+        return ok

@@ -1,0 +1,371 @@
+"""Signal parameter sets ``Pcont`` and ``Pdisc`` (Section 2.1, Table 1).
+
+A continuous signal is characterised by seven parameters::
+
+    smax        maximum value
+    smin        minimum value
+    rmin_incr   minimum increase rate (per test)
+    rmax_incr   maximum increase rate (per test)
+    rmin_decr   minimum decrease rate (per test)
+    rmax_decr   maximum decrease rate (per test)
+    wrap        whether wrap-around at the domain edges is allowed
+
+A discrete signal is characterised by its valid domain ``D`` and, for
+sequential signals, the transition relation ``T(d)`` mapping each value of
+``D`` to the set of values it may change to.
+
+Each signal class of :class:`repro.core.classes.SignalClass` imposes the
+constraints of Table 1 on these parameters; :func:`validate_continuous`
+and the constructors below enforce them.  Signals whose behaviour differs
+between phases of system operation carry one parameter set per *mode*
+(:class:`ModalParameterSet`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Union
+
+from repro.core.classes import SignalClass
+
+__all__ = [
+    "ParameterError",
+    "ContinuousParams",
+    "DiscreteParams",
+    "ModalParameterSet",
+    "classify_continuous",
+    "validate_continuous",
+    "linear_transition_map",
+]
+
+Number = Union[int, float]
+
+
+class ParameterError(ValueError):
+    """Raised when a parameter set violates the constraints of Table 1."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ContinuousParams:
+    """The parameter set ``Pcont`` for a continuous signal.
+
+    Rates are expressed per *test* (per invocation of the assertion), not
+    per unit of wall-clock time: the paper's assertions compare the current
+    sample ``s`` against the previous tested sample ``s'``.
+    """
+
+    smin: Number
+    smax: Number
+    rmin_incr: Number = 0
+    rmax_incr: Number = 0
+    rmin_decr: Number = 0
+    rmax_decr: Number = 0
+    wrap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.smax <= self.smin:
+            raise ParameterError(
+                f"smax ({self.smax}) must be strictly greater than smin ({self.smin})"
+            )
+        for name in ("rmin_incr", "rmax_incr", "rmin_decr", "rmax_decr"):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be non-negative, got {getattr(self, name)}")
+        if self.rmax_incr < self.rmin_incr:
+            raise ParameterError(
+                f"rmax_incr ({self.rmax_incr}) must be >= rmin_incr ({self.rmin_incr})"
+            )
+        if self.rmax_decr < self.rmin_decr:
+            raise ParameterError(
+                f"rmax_decr ({self.rmax_decr}) must be >= rmin_decr ({self.rmin_decr})"
+            )
+
+    # -- class predicates (Table 1) ------------------------------------
+
+    @property
+    def increase_forbidden(self) -> bool:
+        return self.rmin_incr == 0 and self.rmax_incr == 0
+
+    @property
+    def decrease_forbidden(self) -> bool:
+        return self.rmin_decr == 0 and self.rmax_decr == 0
+
+    def is_static_monotonic(self) -> bool:
+        """Table 1: one direction forbidden, the other at a fixed rate > 0."""
+        incr_static = self.decrease_forbidden and self.rmax_incr == self.rmin_incr > 0
+        decr_static = self.increase_forbidden and self.rmax_decr == self.rmin_decr > 0
+        return incr_static or decr_static
+
+    def is_dynamic_monotonic(self) -> bool:
+        """Table 1: one direction forbidden, the other within a proper range."""
+        incr_dynamic = self.decrease_forbidden and self.rmax_incr > self.rmin_incr >= 0
+        decr_dynamic = self.increase_forbidden and self.rmax_decr > self.rmin_decr >= 0
+        return incr_dynamic or decr_dynamic
+
+    def is_random(self) -> bool:
+        """Table 1: both directions permitted (neither fully forbidden)."""
+        return not self.increase_forbidden and not self.decrease_forbidden
+
+    @property
+    def span(self) -> Number:
+        """Width of the valid domain, used for wrap-around arithmetic."""
+        return self.smax - self.smin
+
+    # -- convenience constructors ---------------------------------------
+
+    @classmethod
+    def static_monotonic(
+        cls,
+        smin: Number,
+        smax: Number,
+        rate: Number,
+        increasing: bool = True,
+        wrap: bool = False,
+    ) -> "ContinuousParams":
+        """Build a static-monotonic parameter set with the given fixed rate."""
+        if rate <= 0:
+            raise ParameterError(f"static monotonic rate must be > 0, got {rate}")
+        if increasing:
+            return cls(smin, smax, rmin_incr=rate, rmax_incr=rate, wrap=wrap)
+        return cls(smin, smax, rmin_decr=rate, rmax_decr=rate, wrap=wrap)
+
+    @classmethod
+    def dynamic_monotonic(
+        cls,
+        smin: Number,
+        smax: Number,
+        rmin: Number,
+        rmax: Number,
+        increasing: bool = True,
+        wrap: bool = False,
+    ) -> "ContinuousParams":
+        """Build a dynamic-monotonic parameter set with rate in [rmin, rmax]."""
+        if not rmax > rmin >= 0:
+            raise ParameterError(
+                f"dynamic monotonic rates require rmax > rmin >= 0, got [{rmin}, {rmax}]"
+            )
+        if increasing:
+            return cls(smin, smax, rmin_incr=rmin, rmax_incr=rmax, wrap=wrap)
+        return cls(smin, smax, rmin_decr=rmin, rmax_decr=rmax, wrap=wrap)
+
+    @classmethod
+    def random(
+        cls,
+        smin: Number,
+        smax: Number,
+        rmax_incr: Number,
+        rmax_decr: Number,
+        rmin_incr: Number = 0,
+        rmin_decr: Number = 0,
+        wrap: bool = False,
+    ) -> "ContinuousParams":
+        """Build a random-continuous parameter set (both directions allowed)."""
+        params = cls(
+            smin,
+            smax,
+            rmin_incr=rmin_incr,
+            rmax_incr=rmax_incr,
+            rmin_decr=rmin_decr,
+            rmax_decr=rmax_decr,
+            wrap=wrap,
+        )
+        if not params.is_random():
+            raise ParameterError(
+                "random continuous signals must permit change in both directions"
+            )
+        return params
+
+
+def classify_continuous(params: ContinuousParams) -> Optional[SignalClass]:
+    """Return the continuous leaf class the parameters satisfy, if any.
+
+    The Table-1 templates are mutually exclusive; ``None`` is returned for
+    parameter sets that fit no template (e.g. a frozen signal with all
+    rates zero).
+    """
+    if params.is_static_monotonic():
+        return SignalClass.CONTINUOUS_MONOTONIC_STATIC
+    if params.is_dynamic_monotonic():
+        return SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC
+    if params.is_random():
+        return SignalClass.CONTINUOUS_RANDOM
+    return None
+
+
+def validate_continuous(params: ContinuousParams, signal_class: SignalClass) -> None:
+    """Check *params* against the Table-1 template of *signal_class*.
+
+    Raises :class:`ParameterError` on mismatch.
+    """
+    if not signal_class.is_continuous:
+        raise ParameterError(f"{signal_class} is not a continuous class")
+    actual = classify_continuous(params)
+    if actual is not signal_class:
+        raise ParameterError(
+            f"parameters {params} satisfy {actual}, not the requested {signal_class}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscreteParams:
+    """The parameter set ``Pdisc`` for a discrete signal.
+
+    ``domain`` is the set ``D`` of valid values.  ``transitions`` is the
+    relation ``T(d)``; it is required for sequential signals and must be
+    ``None`` for random discrete signals (which may jump freely inside
+    ``D``).
+    """
+
+    domain: FrozenSet[Hashable]
+    transitions: Optional[Mapping[Hashable, FrozenSet[Hashable]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ParameterError("discrete domain D must be non-empty")
+        object.__setattr__(self, "domain", frozenset(self.domain))
+        if self.transitions is not None:
+            frozen: Dict[Hashable, FrozenSet[Hashable]] = {}
+            for src, dsts in self.transitions.items():
+                if src not in self.domain:
+                    raise ParameterError(f"transition source {src!r} not in domain D")
+                dsts = frozenset(dsts)
+                bad = dsts - self.domain
+                if bad:
+                    raise ParameterError(
+                        f"transition targets {sorted(map(repr, bad))} from {src!r} not in domain D"
+                    )
+                frozen[src] = dsts
+            missing = self.domain - frozen.keys()
+            if missing:
+                raise ParameterError(
+                    f"transition relation T must cover every element of D; "
+                    f"missing {sorted(map(repr, missing))}"
+                )
+            object.__setattr__(self, "transitions", frozen)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.transitions is not None
+
+    def is_linear(self) -> bool:
+        """True when T(d) defines a single fixed (cyclic or terminating) order.
+
+        A linear sequential signal traverses its domain one value after
+        another, so every value has at most one successor and every value is
+        the successor of at most one other value.
+        """
+        if self.transitions is None:
+            return False
+        seen_targets: set = set()
+        for dsts in self.transitions.values():
+            if len(dsts) > 1:
+                return False
+            for dst in dsts:
+                if dst in seen_targets:
+                    return False
+                seen_targets.add(dst)
+        return True
+
+    def classify(self) -> SignalClass:
+        """Return the discrete leaf class these parameters describe."""
+        if self.transitions is None:
+            return SignalClass.DISCRETE_RANDOM
+        if self.is_linear():
+            return SignalClass.DISCRETE_SEQUENTIAL_LINEAR
+        return SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR
+
+    @classmethod
+    def random(cls, domain: Iterable[Hashable]) -> "DiscreteParams":
+        """Build a random discrete parameter set over *domain*."""
+        return cls(frozenset(domain))
+
+    @classmethod
+    def sequential(
+        cls,
+        transitions: Mapping[Hashable, Iterable[Hashable]],
+    ) -> "DiscreteParams":
+        """Build a sequential discrete parameter set from a transition map.
+
+        The domain is taken to be the keys of *transitions*.
+        """
+        domain = frozenset(transitions)
+        frozen = {src: frozenset(dsts) for src, dsts in transitions.items()}
+        return cls(domain, frozen)
+
+
+def linear_transition_map(order: Iterable[Hashable], cyclic: bool = True) -> DiscreteParams:
+    """Build the ``Pdisc`` of a linear sequential signal traversing *order*.
+
+    With ``cyclic=True`` the last value transitions back to the first (the
+    shape of the paper's ``ms_slot_nbr`` scheduler-slot signal).
+    """
+    values = list(order)
+    if len(values) < 2:
+        raise ParameterError("a linear sequence needs at least two values")
+    if len(set(values)) != len(values):
+        raise ParameterError("linear sequence values must be distinct")
+    transitions: Dict[Hashable, FrozenSet[Hashable]] = {}
+    for current, nxt in zip(values, values[1:]):
+        transitions[current] = frozenset({nxt})
+    if cyclic:
+        transitions[values[-1]] = frozenset({values[0]})
+    else:
+        transitions[values[-1]] = frozenset()
+    return DiscreteParams(frozenset(values), transitions)
+
+
+class ModalParameterSet:
+    """Per-mode parameter sets for a signal (Section 2.1, *Signal modes*).
+
+    A signal whose behaviour differs between operational phases carries one
+    ``Pcont``/``Pdisc`` per mode; the active mode selects which set the
+    executable assertion is instantiated with.  Mode variables themselves
+    are discrete signals and can be monitored in their own right.
+    """
+
+    def __init__(
+        self,
+        modes: Mapping[Hashable, Union[ContinuousParams, DiscreteParams]],
+        initial_mode: Hashable,
+    ) -> None:
+        if not modes:
+            raise ParameterError("a modal parameter set needs at least one mode")
+        if initial_mode not in modes:
+            raise ParameterError(f"initial mode {initial_mode!r} is not a defined mode")
+        kinds = {isinstance(p, ContinuousParams) for p in modes.values()}
+        if len(kinds) != 1:
+            raise ParameterError(
+                "all modes of a signal must be of the same kind (Pcont or Pdisc)"
+            )
+        self._modes = dict(modes)
+        self._current = initial_mode
+
+    @property
+    def mode(self) -> Hashable:
+        """The currently active mode."""
+        return self._current
+
+    @mode.setter
+    def mode(self, new_mode: Hashable) -> None:
+        if new_mode not in self._modes:
+            raise ParameterError(f"unknown mode {new_mode!r}")
+        self._current = new_mode
+
+    @property
+    def modes(self) -> FrozenSet[Hashable]:
+        return frozenset(self._modes)
+
+    @property
+    def active(self) -> Union[ContinuousParams, DiscreteParams]:
+        """The parameter set of the active mode."""
+        return self._modes[self._current]
+
+    def params_for(self, mode: Hashable) -> Union[ContinuousParams, DiscreteParams]:
+        """The parameter set of an arbitrary *mode*."""
+        try:
+            return self._modes[mode]
+        except KeyError:
+            raise ParameterError(f"unknown mode {mode!r}") from None
+
+    def mode_signal_params(self) -> DiscreteParams:
+        """``Pdisc`` for the mode variable itself (a random discrete signal)."""
+        return DiscreteParams.random(self._modes)

@@ -1,0 +1,197 @@
+"""Command-line campaign runner: ``python -m repro.experiments``.
+
+Runs the paper's experiments and prints the corresponding tables.
+
+Usage::
+
+    python -m repro.experiments e1 [--cases-all N] [--cases-ea N] [--signal S]
+    python -m repro.experiments e2 [--cases N]
+    python -m repro.experiments reference
+    python -m repro.experiments table6
+
+``e1`` regenerates Tables 7 and 8, ``e2`` Table 9, ``reference`` checks
+the fault-free precondition over the full 25-case grid, and ``table6``
+prints the error-set composition.  ``--signal`` restricts E1 to one
+monitored signal (a quick partial campaign).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.experiments.analysis import (
+    detection_by_bit,
+    detection_threshold_bit,
+    failure_rate_by_signal,
+)
+from repro.experiments.persistence import load_results, save_results
+from repro.experiments.campaign import (
+    CampaignConfig,
+    run_e1_campaign,
+    run_e2_campaign,
+    run_reference_grid,
+)
+from repro.experiments.tables import (
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+)
+from repro.injection.errors import build_e1_error_set
+
+
+def _progress(done: int, total: int) -> None:
+    if done % 25 == 0 or done == total:
+        sys.stderr.write(f"\r{done}/{total} runs")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+
+def _cmd_e1(args: argparse.Namespace) -> int:
+    versions = tuple(args.versions.split(",")) if args.versions else None
+    config = CampaignConfig(
+        cases_all=args.cases_all,
+        cases_per_ea=args.cases_ea,
+        **({"versions": versions} if versions else {}),
+    )
+    error_filter = None
+    if args.signal is not None:
+        if args.signal not in MONITORED_SIGNALS:
+            print(f"unknown signal {args.signal!r}; pick one of {MONITORED_SIGNALS}")
+            return 2
+        error_filter = lambda e: e.signal == args.signal  # noqa: E731
+    if args.load:
+        results = load_results(args.load)
+        print(f"loaded {len(results)} runs from {args.load}\n")
+    else:
+        start = time.time()
+        results = run_e1_campaign(config, progress=_progress, error_filter=error_filter)
+        print(f"\nE1 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
+        if args.save:
+            save_results(results, args.save)
+            print(f"saved run records to {args.save}\n")
+    shown = versions if versions else None
+    print("Table 7. Error detection probabilities (%)")
+    print(render_table7(results, shown) if shown else render_table7(results))
+    print()
+    print("Table 8. Error detection latencies (ms)")
+    print(render_table8(results, shown) if shown else render_table8(results))
+    return 0
+
+
+def _cmd_e2(args: argparse.Namespace) -> int:
+    config = CampaignConfig(cases_e2=args.cases)
+    if args.load:
+        results = load_results(args.load)
+        print(f"loaded {len(results)} runs from {args.load}\n")
+    else:
+        start = time.time()
+        results = run_e2_campaign(config, progress=_progress)
+        print(f"\nE2 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
+        if args.save:
+            save_results(results, args.save)
+            print(f"saved run records to {args.save}\n")
+    print("Table 9. Results for error set E2")
+    print(render_table9(results))
+    return 0
+
+
+def _cmd_reference(_args: argparse.Namespace) -> int:
+    records = run_reference_grid()
+    bad = [r for r in records if r.detected or r.failed]
+    print(f"fault-free grid: {len(records)} runs, {len(bad)} anomalies")
+    for record in bad:
+        case = record.result.test_case
+        print(
+            f"  ANOMALY m={case.mass_kg} v={case.velocity_mps} "
+            f"detected={record.detected} verdict={record.result.verdict}"
+        )
+    return 1 if bad else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = load_results(args.results)
+    print(f"report over {len(results)} saved runs\n")
+    versions = results.versions
+
+    print("Table 7. Error detection probabilities (%)")
+    print(render_table7(results, versions))
+    print()
+    print("Table 8. Error detection latencies (ms)")
+    print(render_table8(results, versions))
+
+    e1_signals = [s for s in results.signals if s is not None]
+    if e1_signals:
+        print()
+        print("Detection threshold bit per signal (lowest bit with total")
+        print("detection upward; '-' = no such threshold):")
+        for signal in e1_signals:
+            threshold = detection_threshold_bit(results, signal, version=versions[-1])
+            per_bit = detection_by_bit(results, signal, version=versions[-1])
+            probed = len(per_bit)
+            shown = threshold if threshold is not None else "-"
+            print(f"  {signal:12s} threshold bit {shown}  ({probed} bit positions probed)")
+        print()
+        print("Failure rate per injected signal:")
+        for signal, rate in failure_rate_by_signal(results, version=versions[-1]).items():
+            print(f"  {signal:12s} {rate.format()} %")
+    else:
+        print()
+        print("Table 9. Results for error set E2")
+        print(render_table9(results))
+    return 0
+
+
+def _cmd_table6(_args: argparse.Namespace) -> int:
+    errors = build_e1_error_set(MasterMemory())
+    print("Table 6. The distribution of errors in the error set E1.")
+    print(render_table6(errors, cases_per_error=25))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Fault-injection campaign runner (Hiller, DSN 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_e1 = sub.add_parser("e1", help="run the E1 experiment (Tables 7 and 8)")
+    p_e1.add_argument("--cases-all", type=int, default=3, metavar="N")
+    p_e1.add_argument("--cases-ea", type=int, default=1, metavar="N")
+    p_e1.add_argument("--signal", default=None, help="restrict to one signal")
+    p_e1.add_argument(
+        "--versions",
+        default=None,
+        help="comma-separated system versions (e.g. 'EA4,All'); default all eight",
+    )
+    p_e1.add_argument("--save", default=None, metavar="CSV", help="write run records to a CSV file")
+    p_e1.add_argument("--load", default=None, metavar="CSV", help="render tables from saved run records instead of running")
+    p_e1.set_defaults(func=_cmd_e1)
+
+    p_e2 = sub.add_parser("e2", help="run the E2 experiment (Table 9)")
+    p_e2.add_argument("--cases", type=int, default=3, metavar="N")
+    p_e2.add_argument("--save", default=None, metavar="CSV", help="write run records to a CSV file")
+    p_e2.add_argument("--load", default=None, metavar="CSV", help="render tables from saved run records instead of running")
+    p_e2.set_defaults(func=_cmd_e2)
+
+    p_ref = sub.add_parser("reference", help="fault-free precondition check")
+    p_ref.set_defaults(func=_cmd_reference)
+
+    p_rep = sub.add_parser("report", help="render tables/analyses from saved run records")
+    p_rep.add_argument("results", help="CSV file written with --save")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_t6 = sub.add_parser("table6", help="print the E1 error-set composition")
+    p_t6.set_defaults(func=_cmd_table6)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Post-hoc analyses over campaign results.
+
+The Section-5.1 discussion explains coverage differences through bit
+position (LSB errors hide inside liberal envelopes) and through the
+failure/no-failure split.  These helpers compute those views from a
+:class:`~repro.experiments.results.ResultSet` so they can be tabulated,
+asserted on, or exported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.results import ResultSet
+from repro.stats.estimators import CoverageEstimate
+
+__all__ = [
+    "detection_by_bit",
+    "detection_threshold_bit",
+    "cross_detection_matrix",
+    "failure_rate_by_signal",
+]
+
+
+def detection_by_bit(
+    results: ResultSet,
+    signal: str,
+    version: str = "All",
+) -> Dict[int, CoverageEstimate]:
+    """P(d) per injected bit position for one signal (Section 5.1's view)."""
+    by_bit: Dict[int, List] = {}
+    for record in results.subset(signal=signal, version=version):
+        if record.signal_bit is None:
+            continue
+        by_bit.setdefault(record.signal_bit, []).append(record)
+    return {
+        bit: CoverageEstimate(
+            sum(1 for r in records if r.detected), len(records)
+        )
+        for bit, records in sorted(by_bit.items())
+    }
+
+
+def detection_threshold_bit(
+    results: ResultSet,
+    signal: str,
+    version: str = "All",
+) -> Optional[int]:
+    """The lowest bit position from which detection is total upward.
+
+    Returns ``None`` when no such threshold exists (e.g. nothing
+    detected).  For a counter signal this is bit 0; for the continuous
+    signals it sits where the flip magnitude first exceeds the envelope.
+    """
+    per_bit = detection_by_bit(results, signal, version)
+    if not per_bit:
+        return None
+    threshold = None
+    for bit in sorted(per_bit, reverse=True):
+        estimate = per_bit[bit]
+        if estimate.defined and estimate.nd == estimate.ne:
+            threshold = bit
+        else:
+            break
+    return threshold
+
+
+def cross_detection_matrix(results: ResultSet) -> Dict[str, Dict[str, CoverageEstimate]]:
+    """P(d) of each single-EA version against each signal's errors.
+
+    The off-diagonal entries are Table 7's propagation structure: a
+    mechanism detecting errors injected into *another* signal.
+    """
+    matrix: Dict[str, Dict[str, CoverageEstimate]] = {}
+    versions = [v for v in results.versions if v != "All"]
+    for signal in results.signals:
+        row = {}
+        for version in versions:
+            triple = results.coverage(signal=signal, version=version)
+            row[version] = triple.p_d
+        matrix[signal] = row
+    return matrix
+
+
+def failure_rate_by_signal(
+    results: ResultSet, version: str = "All"
+) -> Dict[str, CoverageEstimate]:
+    """Fraction of runs that ended in system failure, per injected signal."""
+    rates = {}
+    for signal in results.signals:
+        records = results.subset(signal=signal, version=version)
+        rates[signal] = CoverageEstimate(
+            sum(1 for r in records if r.failed), len(records)
+        )
+    return rates

@@ -1,0 +1,173 @@
+"""Campaign runners: the experimental set-up of Section 3.4.
+
+E1: eight system versions (EA1..EA7 alone, plus all seven together),
+every error of the 112-error set, a set of test cases per error.
+E2: the all-assertions version only, 200 random-location errors.
+
+Scale.  The paper executes 22 400 + 5 000 arrestments on bare hardware;
+a pure-Python reproduction budgets its runs through
+:class:`CampaignConfig` (overridable via ``REPRO_*`` environment
+variables — see ``from_env``).  Scaled campaigns keep *all* errors and
+subsample test cases, because the tables' structure lives in the error
+axis (signal x bit position), not the test-case axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, List, Optional, Tuple
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TestCase
+from repro.experiments.results import ResultSet, flatten_record
+from repro.experiments.testcases import make_test_cases, select_spread
+from repro.injection.errors import build_e1_error_set, build_e2_error_set
+from repro.injection.fic import CampaignController
+
+__all__ = ["CampaignConfig", "E1_VERSIONS", "run_e1_campaign", "run_e2_campaign", "run_reference_grid"]
+
+#: The eight system versions of the E1 experiment.
+E1_VERSIONS: Tuple[str, ...] = ("EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7", "All")
+
+ProgressHook = Callable[[int, int], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign sizing and injection parameters.
+
+    ``cases_all`` test cases are run per error on the All version;
+    ``cases_per_ea`` per error on each single-EA version; ``cases_e2``
+    per error in the E2 campaign.  The paper's full scale is 25 for all
+    three (set ``REPRO_FULL=1``).
+    """
+
+    cases_all: int = 3
+    cases_per_ea: int = 1
+    cases_e2: int = 3
+    versions: Tuple[str, ...] = E1_VERSIONS
+    injection_period_ms: int = 20
+    e2_seed: int = 2000
+    run_config: Optional[RunConfig] = None
+
+    def __post_init__(self) -> None:
+        for name in ("cases_all", "cases_per_ea", "cases_e2"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        unknown = set(self.versions) - set(E1_VERSIONS)
+        if unknown:
+            raise ValueError(f"unknown versions: {sorted(unknown)}")
+
+    @classmethod
+    def from_env(cls) -> "CampaignConfig":
+        """Build a config from ``REPRO_*`` environment variables.
+
+        ``REPRO_FULL=1`` selects the paper's full scale (25 test cases
+        everywhere).  Otherwise ``REPRO_CASES_ALL``, ``REPRO_CASES_EA``
+        and ``REPRO_CASES_E2`` override the scaled defaults individually.
+        """
+        if os.environ.get("REPRO_FULL") == "1":
+            return cls(cases_all=25, cases_per_ea=25, cases_e2=25)
+        def _env_int(name: str, default: int) -> int:
+            raw = os.environ.get(name)
+            return int(raw) if raw else default
+
+        return cls(
+            cases_all=_env_int("REPRO_CASES_ALL", 3),
+            cases_per_ea=_env_int("REPRO_CASES_EA", 1),
+            cases_e2=_env_int("REPRO_CASES_E2", 3),
+        )
+
+
+def _controller(config: CampaignConfig) -> CampaignController:
+    return CampaignController(
+        injection_period_ms=config.injection_period_ms,
+        run_config=config.run_config,
+    )
+
+
+def run_e1_campaign(
+    config: Optional[CampaignConfig] = None,
+    progress: Optional[ProgressHook] = None,
+    error_filter: Optional[Callable] = None,
+) -> ResultSet:
+    """Execute the E1 experiment (Tables 7 and 8).
+
+    Every error of the 112-error set is exercised on every configured
+    system version; the All version uses ``cases_all`` test cases per
+    error and the single-EA versions ``cases_per_ea``.  *error_filter*
+    optionally restricts the error set (it receives each
+    :class:`~repro.injection.errors.ErrorSpec`), e.g. to a single signal
+    for a quick partial campaign.
+    """
+    if config is None:
+        config = CampaignConfig()
+    controller = _controller(config)
+    errors = build_e1_error_set(MasterMemory())
+    if error_filter is not None:
+        errors = [e for e in errors if error_filter(e)]
+    grid = make_test_cases()
+    cases_all = select_spread(grid, config.cases_all)
+    cases_ea = select_spread(grid, config.cases_per_ea)
+
+    total = 0
+    for version in config.versions:
+        cases = cases_all if version == "All" else cases_ea
+        total += len(errors) * len(cases)
+
+    results = ResultSet()
+    done = 0
+    for version in config.versions:
+        cases = cases_all if version == "All" else cases_ea
+        for error in errors:
+            for case in cases:
+                record = controller.run_injection(error, case, version)
+                results.add(flatten_record(record))
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+    return results
+
+
+def run_e2_campaign(
+    config: Optional[CampaignConfig] = None,
+    progress: Optional[ProgressHook] = None,
+    error_filter: Optional[Callable] = None,
+) -> ResultSet:
+    """Execute the E2 experiment (Table 9): All version, random locations."""
+    if config is None:
+        config = CampaignConfig()
+    controller = _controller(config)
+    errors = build_e2_error_set(MasterMemory(), seed=config.e2_seed)
+    if error_filter is not None:
+        errors = [e for e in errors if error_filter(e)]
+    grid = make_test_cases()
+    cases = select_spread(grid, config.cases_e2)
+
+    total = len(errors) * len(cases)
+    results = ResultSet()
+    done = 0
+    for error in errors:
+        for case in cases:
+            record = controller.run_injection(error, case, "All")
+            results.add(flatten_record(record))
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return results
+
+
+def run_reference_grid(versions: Tuple[str, ...] = ("All",)) -> List:
+    """Fault-free runs over the full 25-case grid (Section 3.4 precondition).
+
+    Returns the :class:`repro.injection.fic.ExperimentRecord` list; every
+    record must show no detection and no failure for the experimental
+    set-up to be valid.
+    """
+    controller = CampaignController()
+    records = []
+    for version in versions:
+        for case in make_test_cases():
+            records.append(controller.run_reference(case, version))
+    return records

@@ -1,0 +1,168 @@
+"""Standalone SVG renderings of the reproduction's figures.
+
+Generates self-contained SVG files (no plotting dependencies) for the
+figure-shaped artefacts of the evaluation:
+
+* :func:`svg_line_chart` — time series, used for Figure-2-style signal
+  traces and arrestment trajectories;
+* :func:`svg_bit_detection_chart` — the Section-5.1 view: detection per
+  injected bit position, one column per bit.
+
+The markup is deliberately simple (axes, polyline/rects, labels) so the
+files are small, diffable and render identically everywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.stats.estimators import CoverageEstimate
+
+__all__ = ["svg_line_chart", "svg_bit_detection_chart", "write_svg"]
+
+_WIDTH = 640
+_HEIGHT = 360
+_MARGIN = 48
+
+_STYLE = (
+    "text{font-family:sans-serif;font-size:12px;fill:#333}"
+    ".title{font-size:14px;font-weight:bold}"
+    ".axis{stroke:#333;stroke-width:1}"
+    ".grid{stroke:#ddd;stroke-width:0.5}"
+    ".series{fill:none;stroke-width:1.5}"
+)
+
+_SERIES_COLOURS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b")
+
+
+def _scale(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def svg_line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an SVG line chart."""
+    if not series or all(not points for points in series.values()):
+        raise ValueError("svg_line_chart needs at least one non-empty series")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = _scale(xs)
+    y_lo, y_hi = _scale(ys)
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+
+    def px(x: float) -> float:
+        return _MARGIN + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _HEIGHT - _MARGIN - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f"<style>{_STYLE}</style>",
+        f'<text class="title" x="{_MARGIN}" y="20">{title}</text>',
+        f'<line class="axis" x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" '
+        f'x2="{_WIDTH - _MARGIN}" y2="{_HEIGHT - _MARGIN}"/>',
+        f'<line class="axis" x1="{_MARGIN}" y1="{_MARGIN}" '
+        f'x2="{_MARGIN}" y2="{_HEIGHT - _MARGIN}"/>',
+    ]
+    # Min/max tick labels on both axes.
+    parts.append(
+        f'<text x="{_MARGIN}" y="{_HEIGHT - _MARGIN + 16}">{_fmt(x_lo)}</text>'
+    )
+    parts.append(
+        f'<text x="{_WIDTH - _MARGIN - 24}" y="{_HEIGHT - _MARGIN + 16}">{_fmt(x_hi)}</text>'
+    )
+    parts.append(f'<text x="4" y="{_HEIGHT - _MARGIN}">{_fmt(y_lo)}</text>')
+    parts.append(f'<text x="4" y="{_MARGIN + 4}">{_fmt(y_hi)}</text>')
+    if x_label:
+        parts.append(
+            f'<text x="{_WIDTH // 2}" y="{_HEIGHT - 8}">{x_label}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="8" y="{_MARGIN - 12}">{y_label}</text>'
+        )
+
+    for index, (name, points) in enumerate(series.items()):
+        if not points:
+            continue
+        colour = _SERIES_COLOURS[index % len(_SERIES_COLOURS)]
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in points)
+        parts.append(
+            f'<polyline class="series" stroke="{colour}" points="{coords}"/>'
+        )
+        parts.append(
+            f'<text x="{_WIDTH - _MARGIN + 4}" '
+            f'y="{py(points[-1][1]):.1f}" fill="{colour}">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bit_detection_chart(
+    per_bit: Dict[int, CoverageEstimate],
+    title: str,
+) -> str:
+    """Render per-bit detection probabilities as an SVG column chart.
+
+    The Section-5.1 picture: one column per bit position (LSB left),
+    column height = P(d) for errors injected into that bit.
+    """
+    if not per_bit:
+        raise ValueError("svg_bit_detection_chart needs at least one bit entry")
+    bits = sorted(per_bit)
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    column_w = plot_w / len(bits)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f"<style>{_STYLE}</style>",
+        f'<text class="title" x="{_MARGIN}" y="20">{title}</text>',
+        f'<line class="axis" x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" '
+        f'x2="{_WIDTH - _MARGIN}" y2="{_HEIGHT - _MARGIN}"/>',
+        f'<line class="axis" x1="{_MARGIN}" y1="{_MARGIN}" '
+        f'x2="{_MARGIN}" y2="{_HEIGHT - _MARGIN}"/>',
+        f'<text x="4" y="{_MARGIN + 4}">100%</text>',
+        f'<text x="4" y="{_HEIGHT - _MARGIN}">0%</text>',
+        f'<text x="{_WIDTH // 2 - 40}" y="{_HEIGHT - 8}">injected bit position</text>',
+    ]
+    for index, bit in enumerate(bits):
+        estimate = per_bit[bit]
+        fraction = estimate.fraction if estimate.defined else 0.0
+        height = plot_h * fraction
+        x = _MARGIN + index * column_w + column_w * 0.15
+        y = _HEIGHT - _MARGIN - height
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{column_w * 0.7:.1f}" '
+            f'height="{height:.1f}" fill="#1f77b4"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_HEIGHT - _MARGIN + 16}">{bit}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(markup: str, path: Union[str, Path]) -> Path:
+    """Write SVG markup to *path*; returns the resolved path."""
+    if not markup.lstrip().startswith("<svg"):
+        raise ValueError("write_svg expects SVG markup")
+    path = Path(path)
+    path.write_text(markup, encoding="utf-8")
+    return path

@@ -1,0 +1,67 @@
+"""Test cases: the incoming aircraft of the evaluation (Section 3.4).
+
+*"For each error in the error set, the system was subjected to 25 test
+cases, i.e. incoming aircraft, with velocity ranging uniformly from
+40 m/s to 70 m/s, and mass ranging uniformly from 8000 kg to 20000 kg."*
+
+The reproduction realises this as the 5 x 5 grid spanning the same
+envelope.  Scaled-down campaigns select an evenly spread subset of the
+grid so every mass/velocity regime stays represented.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arrestor.system import TestCase
+
+__all__ = [
+    "VELOCITY_RANGE_MPS",
+    "MASS_RANGE_KG",
+    "make_test_cases",
+    "select_spread",
+]
+
+VELOCITY_RANGE_MPS = (40.0, 70.0)
+MASS_RANGE_KG = (8000.0, 20000.0)
+
+
+def _linspace(lo: float, hi: float, n: int) -> List[float]:
+    if n == 1:
+        return [(lo + hi) / 2.0]
+    step = (hi - lo) / (n - 1)
+    return [lo + step * i for i in range(n)]
+
+
+def make_test_cases(n_masses: int = 5, n_velocities: int = 5) -> List[TestCase]:
+    """The evaluation grid: ``n_masses x n_velocities`` aircraft.
+
+    The default 5 x 5 grid gives the paper's 25 test cases per error.
+    """
+    if n_masses < 1 or n_velocities < 1:
+        raise ValueError("grid dimensions must be at least 1")
+    cases = []
+    for mass in _linspace(*MASS_RANGE_KG, n_masses):
+        for velocity in _linspace(*VELOCITY_RANGE_MPS, n_velocities):
+            cases.append(TestCase(mass_kg=mass, velocity_mps=velocity))
+    return cases
+
+
+def select_spread(cases: List[TestCase], count: int) -> List[TestCase]:
+    """Pick *count* cases evenly spread over the list (deterministic).
+
+    Used by scaled-down campaigns: a stride through the mass-major grid
+    keeps both axes represented.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if count >= len(cases):
+        return list(cases)
+    # Offset by a golden-ratio-ish stride so consecutive counts pick
+    # different (mass, velocity) combinations rather than one corner.
+    picked = []
+    stride = len(cases) / count
+    offset = stride / 2.0
+    for index in range(count):
+        picked.append(cases[int(offset + index * stride) % len(cases)])
+    return picked

@@ -1,0 +1,32 @@
+"""Fault injection: error sets, the SWIFI injector, the campaign controller."""
+
+from repro.injection.errors import (
+    E1_ERRORS_PER_SIGNAL,
+    E2_RAM_ERRORS,
+    E2_STACK_ERRORS,
+    ErrorSpec,
+    build_e1_error_set,
+    build_e2_error_set,
+)
+from repro.injection.fic import CampaignController, ExperimentRecord
+from repro.injection.injector import (
+    INJECTION_PERIOD_MS,
+    StuckAtInjector,
+    TimeTriggeredInjector,
+    TransientInjector,
+)
+
+__all__ = [
+    "E1_ERRORS_PER_SIGNAL",
+    "E2_RAM_ERRORS",
+    "E2_STACK_ERRORS",
+    "ErrorSpec",
+    "build_e1_error_set",
+    "build_e2_error_set",
+    "CampaignController",
+    "ExperimentRecord",
+    "INJECTION_PERIOD_MS",
+    "StuckAtInjector",
+    "TimeTriggeredInjector",
+    "TransientInjector",
+]

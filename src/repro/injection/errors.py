@@ -1,0 +1,123 @@
+"""Error specifications and error sets (Section 3.4, Table 6).
+
+Two error sets drive the evaluation:
+
+* **E1** — one bit-flip error per bit position of each monitored signal:
+  7 signals x 16 bits = 112 errors, numbered S1..S112 in signal order
+  (Table 6).  E1 measures ``Pds``: detection given the error is in a
+  monitored signal.
+* **E2** — 200 bit-flip errors at uniformly random (address, bit)
+  positions, 150 in the application RAM area and 50 in the stack area,
+  sampled **with replacement** as in the paper.  E2 measures
+  ``Pdetect``.
+
+An :class:`ErrorSpec` is the downloadable injection parameter set of the
+FIC3: a byte address and bit position, plus the metadata the result
+tables group by.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional
+
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+
+__all__ = [
+    "ErrorSpec",
+    "build_e1_error_set",
+    "build_e2_error_set",
+    "E1_ERRORS_PER_SIGNAL",
+    "E2_RAM_ERRORS",
+    "E2_STACK_ERRORS",
+]
+
+#: Each signal is 16 bits long, hence 16 errors per signal (Table 6).
+E1_ERRORS_PER_SIGNAL = 16
+
+#: Of the 200 E2 errors, 150 were located in application RAM areas and 50
+#: in the stack area (Section 3.4).
+E2_RAM_ERRORS = 150
+E2_STACK_ERRORS = 50
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorSpec:
+    """One injectable error: flip *bit* of the byte at *address*.
+
+    ``area`` is ``"ram"`` or ``"stack"``; ``signal`` names the monitored
+    signal for E1 errors (``None`` for E2's random locations); ``name``
+    is the S1..S112 (E1) / R1../K1.. (E2) label used in reports.
+    """
+
+    name: str
+    address: int
+    bit: int
+    area: str
+    signal: Optional[str] = None
+    signal_bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit <= 7:
+            raise ValueError(f"bit must be 0..7 within a byte, got {self.bit}")
+        if self.area not in ("ram", "stack"):
+            raise ValueError(f"area must be 'ram' or 'stack', got {self.area!r}")
+
+
+def build_e1_error_set(memory: MasterMemory) -> List[ErrorSpec]:
+    """The 112 errors of E1: every bit position of every monitored signal.
+
+    Error numbering follows Table 6: S1..S16 target SetValue, S17..S32
+    IsValue, S33..S48 i, S49..S64 pulscnt, S65..S80 ms_slot_nbr,
+    S81..S96 mscnt, S97..S112 OutValue.  Within a signal, errors go from
+    bit 0 (LSB) to bit 15 (MSB).
+    """
+    errors: List[ErrorSpec] = []
+    number = 1
+    for signal in MONITORED_SIGNALS:
+        variable = memory.signal_variable(signal)
+        for bit in range(E1_ERRORS_PER_SIGNAL):
+            address = variable.address + (bit >> 3)
+            errors.append(
+                ErrorSpec(
+                    name=f"S{number}",
+                    address=address,
+                    bit=bit & 7,
+                    area="ram",
+                    signal=signal,
+                    signal_bit=bit,
+                )
+            )
+            number += 1
+    return errors
+
+
+def build_e2_error_set(
+    memory: MasterMemory,
+    seed: int = 2000,
+    n_ram: int = E2_RAM_ERRORS,
+    n_stack: int = E2_STACK_ERRORS,
+) -> List[ErrorSpec]:
+    """The 200 errors of E2: uniform random (address, bit), with replacement.
+
+    Locations are drawn uniformly over the whole 417-byte RAM area and the
+    whole 1008-byte stack area respectively; bit positions uniformly over
+    0..7.  Sampling is with replacement, as in the paper, so duplicate
+    errors can (and occasionally do) occur.
+    """
+    if n_ram < 0 or n_stack < 0:
+        raise ValueError("error counts must be non-negative")
+    rng = random.Random(seed)
+    ram = memory.map.regions["ram"]
+    stack = memory.map.regions["stack"]
+    errors: List[ErrorSpec] = []
+    for index in range(n_ram):
+        address = rng.randrange(ram.start, ram.end)
+        bit = rng.randrange(8)
+        errors.append(ErrorSpec(f"R{index + 1}", address, bit, "ram"))
+    for index in range(n_stack):
+        address = rng.randrange(stack.start, stack.end)
+        bit = rng.randrange(8)
+        errors.append(ErrorSpec(f"K{index + 1}", address, bit, "stack"))
+    return errors

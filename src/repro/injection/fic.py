@@ -1,0 +1,107 @@
+"""The fault-injection campaign controller (the paper's FIC3).
+
+The FIC3 *"downloads error parameters to an injection interrupt routine
+in the target system, which is then, during the experiment run, triggered
+... when the actual injection is to be performed"*; it also records and
+time-stamps the detection pin and stores the environment readouts for
+failure analysis.  :class:`CampaignController` plays that role for the
+simulated target: it builds a fresh system per run (the evaluation
+reboots between runs), arms the injector, executes the run and packages
+the readouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.arrestor.system import RunConfig, RunResult, TargetSystem, TestCase
+from repro.injection.errors import ErrorSpec
+from repro.injection.injector import INJECTION_PERIOD_MS, TimeTriggeredInjector
+from repro.plant.failure import FailureClassifier
+
+__all__ = ["ExperimentRecord", "CampaignController"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRecord:
+    """One experiment run: the injected error, the test case, the readouts."""
+
+    error: Optional[ErrorSpec]
+    version: str
+    result: RunResult
+
+    @property
+    def detected(self) -> bool:
+        return self.result.detected
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        return self.result.detection_latency_ms
+
+
+class CampaignController:
+    """Executes experiment runs against freshly booted target systems.
+
+    ``version`` names the system build under test: ``"EA1"``..``"EA7"``
+    for the single-assertion versions, ``"All"`` for the version with all
+    seven mechanisms active — the eight versions of Section 3.4 — or any
+    explicit tuple of EA ids.
+    """
+
+    def __init__(
+        self,
+        classifier: Optional[FailureClassifier] = None,
+        injection_period_ms: int = INJECTION_PERIOD_MS,
+        injection_start_ms: int = 0,
+        run_config: Optional[RunConfig] = None,
+    ) -> None:
+        self.classifier = classifier if classifier is not None else FailureClassifier()
+        self.injection_period_ms = injection_period_ms
+        self.injection_start_ms = injection_start_ms
+        self.run_config = run_config
+        self.runs_executed = 0
+
+    @staticmethod
+    def version_eas(version: str) -> Optional[Tuple[str, ...]]:
+        """EA ids enabled in a named system version (None = all seven)."""
+        if version == "All":
+            return None
+        return (version,)
+
+    def _build_system(self, test_case: TestCase, version: str) -> TargetSystem:
+        enabled = self.version_eas(version)
+        if self.run_config is not None:
+            config = dataclasses.replace(self.run_config, enabled_eas=enabled)
+            return TargetSystem(test_case, config=config, classifier=self.classifier)
+        return TargetSystem(
+            test_case, classifier=self.classifier, enabled_eas=enabled
+        )
+
+    def run_reference(self, test_case: TestCase, version: str = "All") -> ExperimentRecord:
+        """A fault-free reference run (the Section-3.4 precondition check)."""
+        system = self._build_system(test_case, version)
+        result = system.run()
+        self.runs_executed += 1
+        return ExperimentRecord(error=None, version=version, result=result)
+
+    def run_injection(
+        self,
+        error: ErrorSpec,
+        test_case: TestCase,
+        version: str = "All",
+    ) -> ExperimentRecord:
+        """One injected experiment run on a freshly booted system."""
+        system = self._build_system(test_case, version)
+        injector = TimeTriggeredInjector(
+            error,
+            period_ms=self.injection_period_ms,
+            start_ms=self.injection_start_ms,
+        )
+        result = system.run(injector)
+        self.runs_executed += 1
+        return ExperimentRecord(error=error, version=version, result=result)

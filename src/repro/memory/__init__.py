@@ -1,0 +1,24 @@
+"""Emulated target memory: regions, symbols, typed access, stack semantics."""
+
+from repro.memory.layout import (
+    APP_RAM_SIZE,
+    STACK_SIZE,
+    MemoryRegion,
+    RegionAllocator,
+    Symbol,
+)
+from repro.memory.memmap import MemoryMap, Variable
+from repro.memory.stack import ControlWordTable, DispatchOutcome, ScratchArena
+
+__all__ = [
+    "APP_RAM_SIZE",
+    "STACK_SIZE",
+    "MemoryRegion",
+    "RegionAllocator",
+    "Symbol",
+    "MemoryMap",
+    "Variable",
+    "ControlWordTable",
+    "DispatchOutcome",
+    "ScratchArena",
+]

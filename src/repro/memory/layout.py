@@ -1,0 +1,140 @@
+"""Memory regions and symbol tables for the emulated target memory.
+
+The paper's target stores its variables and signal values in an
+application RAM area of 417 bytes and a stack area of 1008 bytes; the
+FIC3 injects bit-flips by (address, bit position).  To reproduce that
+error model faithfully the control software of :mod:`repro.arrestor`
+keeps its state in an emulated byte-addressable memory, laid out through
+the classes in this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "MemoryRegion",
+    "Symbol",
+    "RegionAllocator",
+    "APP_RAM_SIZE",
+    "STACK_SIZE",
+]
+
+#: Sizes of the paper's injected areas (Section 3.4).
+APP_RAM_SIZE = 417
+STACK_SIZE = 1008
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous, named address range ``[start, start + size)``."""
+
+    name: str
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"region start must be non-negative, got {self.start}")
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.start + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end))
+
+
+@dataclasses.dataclass(frozen=True)
+class Symbol:
+    """A named variable at a fixed address.
+
+    ``size`` is in bytes; the target's signals are 16-bit (size 2) and
+    stored little-endian, matching the paper's 16-bit signal model.
+    """
+
+    name: str
+    address: int
+    size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4):
+            raise ValueError(f"symbol size must be 1, 2 or 4 bytes, got {self.size}")
+        if self.address < 0:
+            raise ValueError(f"symbol address must be non-negative, got {self.address}")
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def covers(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+
+class RegionAllocator:
+    """Sequential symbol allocator inside one region.
+
+    Keeps the symbol table of a region; unallocated bytes remain as
+    padding/spare (they are still valid injection targets, mirroring the
+    unused bytes of a real application RAM map).
+    """
+
+    def __init__(self, region: MemoryRegion) -> None:
+        self.region = region
+        self._next = region.start
+        self._symbols: Dict[str, Symbol] = {}
+
+    def allocate(self, name: str, size: int = 2) -> Symbol:
+        """Allocate *size* bytes for symbol *name*; raises when full."""
+        if name in self._symbols:
+            raise ValueError(f"symbol {name!r} already allocated in {self.region.name}")
+        if self._next + size > self.region.end:
+            raise MemoryError(
+                f"region {self.region.name!r} exhausted: cannot allocate "
+                f"{size} bytes for {name!r} (free: {self.region.end - self._next})"
+            )
+        symbol = Symbol(name, self._next, size)
+        self._next += size
+        self._symbols[name] = symbol
+        return symbol
+
+    def allocate_array(self, name: str, count: int, element_size: int = 2) -> List[Symbol]:
+        """Allocate *count* consecutive elements named ``name[k]``."""
+        if count <= 0:
+            raise ValueError(f"array length must be positive, got {count}")
+        return [self.allocate(f"{name}[{k}]", element_size) for k in range(count)]
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._next - self.region.start
+
+    @property
+    def free_bytes(self) -> int:
+        return self.region.end - self._next
+
+    @property
+    def symbols(self) -> List[Symbol]:
+        return list(self._symbols.values())
+
+    def __getitem__(self, name: str) -> Symbol:
+        return self._symbols[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def symbol_at(self, address: int) -> Optional[Symbol]:
+        """The symbol covering *address*, or ``None`` for padding bytes."""
+        for symbol in self._symbols.values():
+            if symbol.covers(address):
+                return symbol
+        return None

@@ -1,0 +1,42 @@
+"""Environment simulator: aircraft, cable/drums, hydraulics, failure rules."""
+
+from repro.plant.aircraft import BRAKE_FORCE_PER_PA, DRAG_COEFF, GRAVITY, Aircraft
+from repro.plant.drum import PULSE_PITCH_M, RotationSensor
+from repro.plant.environment import Environment
+from repro.plant.failure import (
+    RETARDATION_LIMIT_G,
+    RUNWAY_LENGTH_M,
+    ArrestmentSummary,
+    FailureClassifier,
+    FailureVerdict,
+)
+from repro.plant.hydraulics import (
+    PA_PER_COUNT,
+    VALVE_MAX_PA,
+    VALVE_TIME_CONSTANT_S,
+    PressureSensor,
+    PressureValve,
+)
+from repro.plant.milspec import ForceLimitTable, default_force_limits
+
+__all__ = [
+    "BRAKE_FORCE_PER_PA",
+    "DRAG_COEFF",
+    "GRAVITY",
+    "Aircraft",
+    "PULSE_PITCH_M",
+    "RotationSensor",
+    "Environment",
+    "RETARDATION_LIMIT_G",
+    "RUNWAY_LENGTH_M",
+    "ArrestmentSummary",
+    "FailureClassifier",
+    "FailureVerdict",
+    "PA_PER_COUNT",
+    "VALVE_MAX_PA",
+    "VALVE_TIME_CONSTANT_S",
+    "PressureSensor",
+    "PressureValve",
+    "ForceLimitTable",
+    "default_force_limits",
+]

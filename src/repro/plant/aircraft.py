@@ -1,0 +1,85 @@
+"""Aircraft-and-cable dynamics.
+
+The arrested aircraft is modelled as a point mass pulling the cable off
+the tape drums; the drums' brake force (from the hydraulic pressure on
+both drums) plus a small aerodynamic/rolling drag decelerate it.  Drum
+and cable inertia are absorbed into the brake-force constant — the
+standard reduction for runout-style arresting-gear models.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Aircraft", "BRAKE_FORCE_PER_PA", "DRAG_COEFF", "GRAVITY"]
+
+#: Brake force (N) per pascal of hydraulic pressure, per drum.  With the
+#: 10 MPa full-scale valve this yields up to 200 kN per drum, 400 kN for
+#: the pair — enough to violently exceed every structural limit of the
+#: default MIL-substitute table when a data error pins the pressure high.
+BRAKE_FORCE_PER_PA = 0.02
+
+#: Aerodynamic + rolling drag, N per (m/s)^2.
+DRAG_COEFF = 2.0
+
+#: Standard gravity, m/s^2.
+GRAVITY = 9.80665
+
+
+class Aircraft:
+    """Point-mass aircraft on the runway, hooked to the cable at x = 0."""
+
+    __slots__ = (
+        "mass_kg",
+        "velocity_mps",
+        "position_m",
+        "deceleration_mps2",
+        "cable_force_n",
+        "stopped",
+    )
+
+    def __init__(self, mass_kg: float, velocity_mps: float) -> None:
+        if mass_kg <= 0:
+            raise ValueError(f"mass must be positive, got {mass_kg}")
+        if velocity_mps <= 0:
+            raise ValueError(f"engagement velocity must be positive, got {velocity_mps}")
+        self.mass_kg = mass_kg
+        self.velocity_mps = velocity_mps
+        self.position_m = 0.0
+        self.deceleration_mps2 = 0.0
+        self.cable_force_n = 0.0
+        self.stopped = False
+
+    def advance(self, dt: float, master_pressure_pa: float, slave_pressure_pa: float) -> None:
+        """Integrate one step of the arrestment under the given pressures.
+
+        The cable cannot push: once the aircraft has stopped it stays
+        stopped (the drums' friction holds it), so velocity clamps at 0.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if self.stopped:
+            self.deceleration_mps2 = 0.0
+            self.cable_force_n = 0.0
+            return
+        self.cable_force_n = BRAKE_FORCE_PER_PA * (master_pressure_pa + slave_pressure_pa)
+        drag_n = DRAG_COEFF * self.velocity_mps * self.velocity_mps
+        total_n = self.cable_force_n + drag_n
+        self.deceleration_mps2 = total_n / self.mass_kg
+        new_velocity = self.velocity_mps - self.deceleration_mps2 * dt
+        if new_velocity <= 0.0:
+            # Stop inside the step: advance by the exact stopping fraction.
+            fraction = self.velocity_mps / (self.deceleration_mps2 * dt)
+            self.position_m += self.velocity_mps * dt * fraction / 2.0
+            self.velocity_mps = 0.0
+            self.stopped = True
+            return
+        self.position_m += (self.velocity_mps + new_velocity) * dt / 2.0
+        self.velocity_mps = new_velocity
+
+    @property
+    def deceleration_g(self) -> float:
+        """Current retardation in multiples of standard gravity."""
+        return self.deceleration_mps2 / GRAVITY
+
+    @property
+    def kinetic_energy_j(self) -> float:
+        return 0.5 * self.mass_kg * self.velocity_mps * self.velocity_mps

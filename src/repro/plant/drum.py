@@ -1,0 +1,52 @@
+"""Tape drums and the rotation sensor.
+
+The cable is strapped between two tape drums; a rotation sensor on the
+master drum generates pulses from a tooth wheel as cable pays out, and
+DIST_S accumulates them into ``pulscnt``.  We model the sensor as an
+ideal incremental encoder on the cable payout distance: one pulse per
+``pulse_pitch`` metres.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RotationSensor", "PULSE_PITCH_M"]
+
+#: Metres of cable payout per rotation-sensor pulse.  At the evaluation's
+#: maximum engagement speed (70 m/s) this yields 1.4 pulses/ms, so the
+#: 1-ms DIST_S poll sees 0..2 new pulses — the envelope EA4 encodes.
+PULSE_PITCH_M = 0.05
+
+
+class RotationSensor:
+    """Incremental encoder on the master tape drum.
+
+    :meth:`poll` returns the number of *new* pulses since the previous
+    poll, which is what the DIST_S hardware interface delivers.  The total
+    is also kept for test convenience; the target's own total lives in
+    its ``pulscnt`` memory variable.
+    """
+
+    __slots__ = ("pulse_pitch", "_emitted", "total_pulses")
+
+    def __init__(self, pulse_pitch: float = PULSE_PITCH_M) -> None:
+        if pulse_pitch <= 0:
+            raise ValueError(f"pulse pitch must be positive, got {pulse_pitch}")
+        self.pulse_pitch = pulse_pitch
+        self._emitted = 0
+        self.total_pulses = 0
+
+    def update(self, payout_m: float) -> None:
+        """Advance the sensor to the current cable payout distance."""
+        if payout_m < 0:
+            raise ValueError(f"cable payout cannot be negative, got {payout_m}")
+        self.total_pulses = int(payout_m / self.pulse_pitch)
+
+    def poll(self) -> int:
+        """New pulses since the last poll (the DIST_S read operation)."""
+        new = self.total_pulses - self._emitted
+        self._emitted = self.total_pulses
+        return new
+
+    def reset(self) -> None:
+        self._emitted = 0
+        self.total_pulses = 0

@@ -1,0 +1,131 @@
+"""The environment simulator.
+
+Plays the role of the paper's environment simulator (Figure 7): it *"acts
+as the barrier (i.e. cable and tape drums) and as the incoming aircraft.
+This simulator is initialised using test case data (mass and incoming
+velocity) ... feeds the system with sensory data (rotation sensor and
+pressure sensor) and receives actuator data (pressure value)."*
+
+The control nodes interact with it only through the sensor/actuator
+surface (rotation pulses, pressure sensor counts, valve commands); the
+summary of each run is analysed afterwards for system failure, exactly
+as the FIC3 analyses its experiment readouts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.plant.aircraft import Aircraft
+from repro.plant.drum import PULSE_PITCH_M, RotationSensor
+from repro.plant.failure import ArrestmentSummary
+from repro.plant.hydraulics import PressureSensor, PressureValve
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Cable, tape drums, hydraulics and aircraft for one arrestment."""
+
+    def __init__(
+        self,
+        mass_kg: float,
+        velocity_mps: float,
+        pulse_pitch_m: float = PULSE_PITCH_M,
+        sensor_ripple_counts: int = 0,
+        trace_period_s: Optional[float] = None,
+    ) -> None:
+        self.aircraft = Aircraft(mass_kg, velocity_mps)
+        self._engagement_velocity_mps = velocity_mps
+        self.rotation_sensor = RotationSensor(pulse_pitch_m)
+        self.master_valve = PressureValve()
+        self.slave_valve = PressureValve()
+        self.master_pressure_sensor = PressureSensor(
+            self.master_valve, ripple_counts=sensor_ripple_counts
+        )
+        self.slave_pressure_sensor = PressureSensor(
+            self.slave_valve, ripple_counts=sensor_ripple_counts
+        )
+        self.time_s = 0.0
+        self.max_retardation_g = 0.0
+        self.max_cable_force_n = 0.0
+        self._trace_period_s = trace_period_s
+        self._next_trace_s = 0.0
+        #: Optional (time, position, velocity, retardation_g, force_n) trace.
+        self.trace: List[Tuple[float, float, float, float, float]] = []
+
+    def enable_trajectory_trace(self, period_s: float) -> None:
+        """Start recording (t, x, v, g, F) samples every *period_s* seconds.
+
+        May be called after construction (e.g. on the environment inside a
+        :class:`~repro.arrestor.system.TargetSystem`) as long as the run
+        has not started.
+        """
+        if period_s <= 0:
+            raise ValueError(f"trace period must be positive, got {period_s}")
+        self._trace_period_s = period_s
+        self._next_trace_s = self.time_s
+
+    # -- actuator surface (driven by PRES_A of each node) ------------------
+
+    def command_master_valve_counts(self, counts: int) -> None:
+        self.master_valve.command_counts(counts)
+
+    def command_slave_valve_counts(self, counts: int) -> None:
+        self.slave_valve.command_counts(counts)
+
+    # -- sensor surface ------------------------------------------------------
+
+    def poll_rotation_pulses(self) -> int:
+        """New rotation pulses since the last poll (DIST_S's read)."""
+        return self.rotation_sensor.poll()
+
+    def read_master_pressure_counts(self) -> int:
+        return self.master_pressure_sensor.read_counts(self.time_s)
+
+    def read_slave_pressure_counts(self) -> int:
+        return self.slave_pressure_sensor.read_counts(self.time_s)
+
+    # -- simulation ------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Advance the physical world by *dt* seconds."""
+        self.master_valve.advance(dt)
+        self.slave_valve.advance(dt)
+        self.aircraft.advance(
+            dt, self.master_valve.pressure_pa, self.slave_valve.pressure_pa
+        )
+        self.rotation_sensor.update(self.aircraft.position_m)
+        self.time_s += dt
+        if self.aircraft.deceleration_g > self.max_retardation_g:
+            self.max_retardation_g = self.aircraft.deceleration_g
+        if self.aircraft.cable_force_n > self.max_cable_force_n:
+            self.max_cable_force_n = self.aircraft.cable_force_n
+        if self._trace_period_s is not None and self.time_s >= self._next_trace_s:
+            self.trace.append(
+                (
+                    self.time_s,
+                    self.aircraft.position_m,
+                    self.aircraft.velocity_mps,
+                    self.aircraft.deceleration_g,
+                    self.aircraft.cable_force_n,
+                )
+            )
+            self._next_trace_s += self._trace_period_s
+
+    @property
+    def arrestment_complete(self) -> bool:
+        """Whether the aircraft has come to a halt."""
+        return self.aircraft.stopped
+
+    def summary(self) -> ArrestmentSummary:
+        """The readout summary the failure classifier consumes."""
+        return ArrestmentSummary(
+            mass_kg=self.aircraft.mass_kg,
+            engagement_velocity_mps=self._engagement_velocity_mps,
+            max_retardation_g=self.max_retardation_g,
+            max_cable_force_n=self.max_cable_force_n,
+            stop_distance_m=self.aircraft.position_m,
+            stopped=self.aircraft.stopped,
+            duration_s=self.time_s,
+        )

@@ -1,0 +1,95 @@
+"""Failure classification of an arrestment (Section 3.3).
+
+The specification dictates physical constraints the system must honour;
+their violation is *defined* as a failure:
+
+1. **Retardation** ``r < 2.8 g`` — the pilot must not be harmed;
+2. **Retardation force** ``Fret < Fmax(m, v)`` — the airframe's
+   structural limits, interpolated from the force-limit table;
+3. **Stopping distance** ``d < 335 m`` — the runway is finite.
+
+As in the paper this is a pessimistic classification: a 3-g blip would
+rarely hurt in reality, but it counts as failure here.  An aircraft that
+is still rolling when the experiment's observation window closes has, by
+constraint 3's logic, not been arrested — its distance will exceed the
+runway — and is classified as failed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.plant.milspec import ForceLimitTable, default_force_limits
+
+__all__ = [
+    "RETARDATION_LIMIT_G",
+    "RUNWAY_LENGTH_M",
+    "ArrestmentSummary",
+    "FailureVerdict",
+    "FailureClassifier",
+]
+
+#: Constraint 1 of Section 3.3.
+RETARDATION_LIMIT_G = 2.8
+
+#: Constraint 3 of Section 3.3.
+RUNWAY_LENGTH_M = 335.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrestmentSummary:
+    """What the environment simulator's readouts say about one run."""
+
+    mass_kg: float
+    engagement_velocity_mps: float
+    max_retardation_g: float
+    max_cable_force_n: float
+    stop_distance_m: float
+    stopped: bool
+    duration_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureVerdict:
+    """Classification outcome: failed or not, and which constraints broke."""
+
+    failed: bool
+    violated: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.failed
+
+
+class FailureClassifier:
+    """Applies the Section-3.3 constraints to an arrestment summary."""
+
+    def __init__(
+        self,
+        force_limits: Optional[ForceLimitTable] = None,
+        retardation_limit_g: float = RETARDATION_LIMIT_G,
+        runway_length_m: float = RUNWAY_LENGTH_M,
+    ) -> None:
+        if retardation_limit_g <= 0:
+            raise ValueError(f"retardation limit must be positive, got {retardation_limit_g}")
+        if runway_length_m <= 0:
+            raise ValueError(f"runway length must be positive, got {runway_length_m}")
+        self.force_limits = force_limits if force_limits is not None else default_force_limits()
+        self.retardation_limit_g = retardation_limit_g
+        self.runway_length_m = runway_length_m
+
+    def force_limit_for(self, mass_kg: float, velocity_mps: float) -> float:
+        """Fmax for an engagement, via the table's interpolation."""
+        return self.force_limits.limit(mass_kg, velocity_mps)
+
+    def classify(self, summary: ArrestmentSummary) -> FailureVerdict:
+        """Check all three constraints; any violation is a failure."""
+        violated = []
+        if summary.max_retardation_g >= self.retardation_limit_g:
+            violated.append("retardation")
+        fmax = self.force_limit_for(summary.mass_kg, summary.engagement_velocity_mps)
+        if summary.max_cable_force_n >= fmax:
+            violated.append("force")
+        if summary.stop_distance_m >= self.runway_length_m or not summary.stopped:
+            violated.append("distance")
+        return FailureVerdict(bool(violated), tuple(violated))

@@ -1,0 +1,130 @@
+"""Hydraulic pressure valves and pressure sensors.
+
+Each tape drum is braked by a hydraulic pressure valve driven by its
+node's ``OutValue``; a pressure sensor on the valve feeds the actually
+applied pressure back as ``IsValue`` so the software PID can track the
+set point.  The valve is modelled as a first-order lag — the standard
+reduced model for a proportional pressure valve — and the sensor as a
+quantising transducer with optional bounded ripple.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "PressureValve",
+    "PressureSensor",
+    "VALVE_MAX_PA",
+    "VALVE_TIME_CONSTANT_S",
+    "PA_PER_COUNT",
+]
+
+#: Full-scale valve pressure.
+VALVE_MAX_PA = 10.0e6
+
+#: First-order lag time constant of the valve.
+VALVE_TIME_CONSTANT_S = 0.15
+
+#: Scaling between the 16-bit pressure signals (SetValue / IsValue /
+#: OutValue) and physical pressure: one count = 1 kPa, so full scale
+#: 10 MPa = 10000 counts, comfortably inside 16 bits.
+PA_PER_COUNT = 1000.0
+
+
+class PressureValve:
+    """Proportional pressure valve with first-order dynamics.
+
+    ``d P/dt = (command - P) / tau`` with the command clamped to
+    ``[0, max_pa]``.  The exact discrete solution is used so behaviour is
+    independent of the caller's step size.
+    """
+
+    __slots__ = ("max_pa", "tau", "pressure_pa", "_command_pa")
+
+    def __init__(
+        self,
+        max_pa: float = VALVE_MAX_PA,
+        tau: float = VALVE_TIME_CONSTANT_S,
+    ) -> None:
+        if max_pa <= 0:
+            raise ValueError(f"max_pa must be positive, got {max_pa}")
+        if tau <= 0:
+            raise ValueError(f"valve time constant must be positive, got {tau}")
+        self.max_pa = max_pa
+        self.tau = tau
+        self.pressure_pa = 0.0
+        self._command_pa = 0.0
+
+    @property
+    def command_pa(self) -> float:
+        return self._command_pa
+
+    def command(self, pressure_pa: float) -> None:
+        """Set the commanded pressure (clamped to the valve's range)."""
+        self._command_pa = min(max(pressure_pa, 0.0), self.max_pa)
+
+    def command_counts(self, counts: int) -> None:
+        """Command in signal counts (the PRES_A output operation)."""
+        self.command(counts * PA_PER_COUNT)
+
+    def advance(self, dt: float) -> float:
+        """Advance the valve by *dt* seconds; returns the new pressure."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        alpha = 1.0 - math.exp(-dt / self.tau)
+        self.pressure_pa += (self._command_pa - self.pressure_pa) * alpha
+        return self.pressure_pa
+
+    def max_slew_per_interval(self, dt: float) -> float:
+        """Largest possible pressure change over *dt* seconds, in Pa.
+
+        Used when deriving the EA2 rate envelope for ``IsValue``: the
+        first-order lag cannot move faster than a full-scale step decayed
+        over *dt*.
+        """
+        return self.max_pa * (1.0 - math.exp(-dt / self.tau))
+
+    def reset(self) -> None:
+        self.pressure_pa = 0.0
+        self._command_pa = 0.0
+
+
+class PressureSensor:
+    """Quantising pressure transducer.
+
+    Reads the valve pressure in signal counts (kPa).  ``ripple_counts``
+    adds a deterministic bounded ripple (a slow sinusoid) emulating
+    sampling noise; it defaults to zero so the evaluation's "no detection
+    without injection" precondition holds by construction.
+    """
+
+    __slots__ = ("valve", "ripple_counts", "ripple_period_s")
+
+    def __init__(
+        self,
+        valve: PressureValve,
+        ripple_counts: int = 0,
+        ripple_period_s: float = 0.037,
+    ) -> None:
+        if ripple_counts < 0:
+            raise ValueError(f"ripple_counts must be non-negative, got {ripple_counts}")
+        if ripple_period_s <= 0:
+            raise ValueError(f"ripple_period_s must be positive, got {ripple_period_s}")
+        self.valve = valve
+        self.ripple_counts = ripple_counts
+        self.ripple_period_s = ripple_period_s
+
+    def read_counts(self, now_s: float = 0.0) -> int:
+        """Sample the sensor; returns pressure in counts, clamped to 16 bits."""
+        counts = self.valve.pressure_pa / PA_PER_COUNT
+        if self.ripple_counts:
+            counts += self.ripple_counts * math.sin(
+                2.0 * math.pi * now_s / self.ripple_period_s
+            )
+        quantised = int(round(counts))
+        if quantised < 0:
+            return 0
+        if quantised > 0xFFFF:
+            return 0xFFFF
+        return quantised

@@ -1,0 +1,107 @@
+"""Structural force limits Fmax(mass, velocity).
+
+The paper takes the maximum allowed retarding force per aircraft mass and
+engaging velocity from MIL-A-38202C [15] and interpolates/extrapolates
+between the tabulated combinations.  The MIL table itself is not publicly
+distributable, so this module substitutes a physically-plausible grid:
+the limit force scales with the kinetic energy of the engagement (an
+ideal constant-force stop over a nominal distance) times a structural
+margin.  The interpolation/extrapolation machinery is the part the paper
+exercises, and that is reproduced exactly: bilinear inside the grid,
+linear continuation outside.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+__all__ = ["ForceLimitTable", "default_force_limits"]
+
+
+class ForceLimitTable:
+    """Bilinear interpolation / extrapolation over an Fmax(m, v) grid.
+
+    ``masses`` (kg) and ``velocities`` (m/s) must be strictly increasing;
+    ``limits[i][j]`` is the maximum allowed force (N) for ``masses[i]``
+    and ``velocities[j]``.
+    """
+
+    def __init__(
+        self,
+        masses: Sequence[float],
+        velocities: Sequence[float],
+        limits: Sequence[Sequence[float]],
+    ) -> None:
+        if len(masses) < 2 or len(velocities) < 2:
+            raise ValueError("force limit table needs at least a 2x2 grid")
+        if any(b <= a for a, b in zip(masses, masses[1:])):
+            raise ValueError("masses must be strictly increasing")
+        if any(b <= a for a, b in zip(velocities, velocities[1:])):
+            raise ValueError("velocities must be strictly increasing")
+        if len(limits) != len(masses) or any(len(row) != len(velocities) for row in limits):
+            raise ValueError("limits grid shape must be len(masses) x len(velocities)")
+        if any(value <= 0 for row in limits for value in row):
+            raise ValueError("force limits must be positive")
+        self.masses = [float(m) for m in masses]
+        self.velocities = [float(v) for v in velocities]
+        self.limits = [[float(x) for x in row] for row in limits]
+
+    @staticmethod
+    def _bracket(axis: List[float], value: float) -> int:
+        """Index ``i`` such that the segment ``[axis[i], axis[i+1]]`` is used.
+
+        Values outside the axis clamp to the first/last segment, which
+        turns the bilinear formula into linear extrapolation — the
+        behaviour the paper describes for combinations outside [15].
+        """
+        i = bisect.bisect_right(axis, value) - 1
+        return max(0, min(i, len(axis) - 2))
+
+    def limit(self, mass: float, velocity: float) -> float:
+        """Fmax in newtons for an engagement of *mass* kg at *velocity* m/s."""
+        if mass <= 0:
+            raise ValueError(f"mass must be positive, got {mass}")
+        if velocity <= 0:
+            raise ValueError(f"velocity must be positive, got {velocity}")
+        i = self._bracket(self.masses, mass)
+        j = self._bracket(self.velocities, velocity)
+        m0, m1 = self.masses[i], self.masses[i + 1]
+        v0, v1 = self.velocities[j], self.velocities[j + 1]
+        tm = (mass - m0) / (m1 - m0)
+        tv = (velocity - v0) / (v1 - v0)
+        f00 = self.limits[i][j]
+        f01 = self.limits[i][j + 1]
+        f10 = self.limits[i + 1][j]
+        f11 = self.limits[i + 1][j + 1]
+        f0 = f00 + (f01 - f00) * tv
+        f1 = f10 + (f11 - f10) * tv
+        return f0 + (f1 - f0) * tm
+
+
+#: Nominal stop distance (m) behind the default limit grid: the limit is the
+#: force of an ideal constant-force stop over this distance, with margin.
+_NOMINAL_STOP_DISTANCE_M = 260.0
+
+#: Structural margin above the ideal constant-force stop.
+_STRUCTURAL_MARGIN = 1.35
+
+
+def default_force_limits() -> ForceLimitTable:
+    """The substitute Fmax grid used throughout the reproduction.
+
+    ``Fmax(m, v) = margin * m * v^2 / (2 * d_nominal)`` evaluated on a
+    mass x velocity grid that brackets the evaluation's test-case space
+    (m in [8000, 20000] kg, v in [40, 70] m/s) with room for
+    extrapolation queries.
+    """
+    masses = [6000.0, 10000.0, 14000.0, 18000.0, 22000.0, 26000.0]
+    velocities = [30.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+    limits = [
+        [
+            _STRUCTURAL_MARGIN * m * v * v / (2.0 * _NOMINAL_STOP_DISTANCE_M)
+            for v in velocities
+        ]
+        for m in masses
+    ]
+    return ForceLimitTable(masses, velocities, limits)

@@ -1,0 +1,11 @@
+"""Minimal real-time executive: slot scheduler, tasks, output pins."""
+
+from repro.rtos.pins import DigitalPin
+from repro.rtos.scheduler import SlotScheduler
+from repro.rtos.task import Task
+
+__all__ = ["DigitalPin", "SlotScheduler", "Task"]
+
+from repro.rtos.watchdog import WatchdogTimer  # noqa: E402
+
+__all__.append("WatchdogTimer")

@@ -1,0 +1,57 @@
+"""Digital output pins.
+
+The paper's error-detection mechanisms report detection by setting a
+digital output pin high, which the FIC3 time-stamps.  :class:`DigitalPin`
+is that reporting channel: edge times are recorded with the simulation
+clock so campaign code can read first-detection latencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["DigitalPin"]
+
+
+class DigitalPin:
+    """A latching digital output with time-stamped rising edges."""
+
+    __slots__ = ("name", "_high", "rise_times")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._high = False
+        self.rise_times: List[float] = []
+
+    @property
+    def is_high(self) -> bool:
+        return self._high
+
+    @property
+    def first_rise_time(self) -> Optional[float]:
+        """Time of the first rising edge since the last reset, or ``None``."""
+        return self.rise_times[0] if self.rise_times else None
+
+    def raise_high(self, time: float) -> None:
+        """Drive the pin high; records an edge only on a low-to-high change."""
+        if not self._high:
+            self._high = True
+            self.rise_times.append(time)
+
+    def lower(self) -> None:
+        """Drive the pin low (the experiment controller's acknowledge)."""
+        self._high = False
+
+    def pulse(self, time: float) -> None:
+        """A rising edge followed by an immediate lowering.
+
+        The target raises-and-clears per detection so consecutive
+        detections each produce a time-stamped edge.
+        """
+        self.raise_high(time)
+        self.lower()
+
+    def reset(self) -> None:
+        """Clear state and recorded edges (new experiment run)."""
+        self._high = False
+        self.rise_times.clear()

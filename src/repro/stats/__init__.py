@@ -1,0 +1,23 @@
+"""Statistical estimators for fault-injection experiments."""
+
+from repro.stats.estimators import (
+    Z_95,
+    CoverageEstimate,
+    clopper_pearson_interval,
+    estimate_coverage,
+    normal_interval,
+)
+from repro.stats.compare import Agreement, compare_to_published
+from repro.stats.summary import LatencySummary, summarize_latencies
+
+__all__ = [
+    "Z_95",
+    "CoverageEstimate",
+    "clopper_pearson_interval",
+    "estimate_coverage",
+    "normal_interval",
+    "Agreement",
+    "compare_to_published",
+    "LatencySummary",
+    "summarize_latencies",
+]

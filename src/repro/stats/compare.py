@@ -1,0 +1,70 @@
+"""Comparing a measured coverage estimate against a published value.
+
+Used by EXPERIMENTS.md tooling and benchmark assertions: given a coverage
+estimate from a (scaled) campaign and the value a paper reports, decide
+whether the reproduction is consistent — the published point value falls
+inside the measurement's confidence interval (or within a tolerance band
+when the estimate is degenerate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.stats.estimators import CoverageEstimate
+
+__all__ = ["Agreement", "compare_to_published"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Agreement:
+    """Outcome of comparing a measurement with a published value."""
+
+    published_percent: float
+    measured_percent: Optional[float]
+    interval_low: Optional[float]
+    interval_high: Optional[float]
+    consistent: bool
+
+    def format(self) -> str:
+        if self.measured_percent is None:
+            return f"published {self.published_percent:.1f}, no measurement"
+        verdict = "consistent" if self.consistent else "DIFFERS"
+        return (
+            f"published {self.published_percent:.1f} vs measured "
+            f"{self.measured_percent:.1f} "
+            f"[{self.interval_low:.1f}, {self.interval_high:.1f}] -> {verdict}"
+        )
+
+
+def compare_to_published(
+    estimate: CoverageEstimate,
+    published_percent: float,
+    degenerate_tolerance: float = 5.0,
+) -> Agreement:
+    """Check whether *published_percent* is consistent with *estimate*.
+
+    Consistency uses the exact Clopper-Pearson interval of the
+    measurement — valid even for the degenerate 0 %/100 % estimates where
+    the paper's normal-approximation interval collapses.
+    ``degenerate_tolerance`` additionally accepts a published value within
+    that many points of a degenerate measurement (the paper prints 100.0
+    for cells our scaled run may measure as 100.0 with a wide exact
+    interval).
+    """
+    if not 0.0 <= published_percent <= 100.0:
+        raise ValueError(f"published value must be a percentage, got {published_percent}")
+    if not estimate.defined:
+        return Agreement(published_percent, None, None, None, consistent=False)
+    low, high = estimate.exact_interval()
+    consistent = low <= published_percent <= high
+    if not consistent and estimate.nd in (0, estimate.ne):
+        consistent = abs(estimate.percent - published_percent) <= degenerate_tolerance
+    return Agreement(
+        published_percent=published_percent,
+        measured_percent=estimate.percent,
+        interval_low=low,
+        interval_high=high,
+        consistent=consistent,
+    )

@@ -1,0 +1,206 @@
+"""Coverage estimators (Powell, Martins, Arlat & Crouzet [18]).
+
+The evaluation reports, for each error set, the estimate ``p = nd / ne``
+of a detection probability together with a 95 % confidence interval.  The
+paper's tables use the normal-approximation interval and print no interval
+for measured probabilities of exactly 100 % (Table 7 caption); this module
+implements that convention plus the exact Clopper-Pearson interval for
+small samples, where the normal approximation degrades.
+
+All probabilities are returned on the 0-100 scale used by the paper's
+tables; see :class:`CoverageEstimate`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+__all__ = [
+    "CoverageEstimate",
+    "estimate_coverage",
+    "normal_interval",
+    "clopper_pearson_interval",
+    "Z_95",
+]
+
+#: Two-sided 95 % quantile of the standard normal distribution.
+Z_95 = 1.959963984540054
+
+
+def normal_interval(nd: int, ne: int, z: float = Z_95) -> float:
+    """Half-width of the normal-approximation CI for ``p = nd/ne``, in percent.
+
+    This is the estimator used in the paper's tables (``p ± half_width``).
+    """
+    if ne <= 0:
+        raise ValueError(f"ne must be positive, got {ne}")
+    if not 0 <= nd <= ne:
+        raise ValueError(f"nd must be in [0, ne]; got nd={nd}, ne={ne}")
+    p = nd / ne
+    return 100.0 * z * math.sqrt(p * (1.0 - p) / ne)
+
+
+def _beta_ppf(q: float, a: float, b: float) -> float:
+    """Quantile of the Beta(a, b) distribution.
+
+    Uses scipy when importable; otherwise falls back to a bisection on the
+    regularised incomplete beta function computed by continued fractions.
+    """
+    try:
+        from scipy.stats import beta as _beta
+
+        return float(_beta.ppf(q, a, b))
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        lo, hi = 0.0, 1.0
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if _reg_inc_beta(a, b, mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+
+def _reg_inc_beta(a: float, b: float, x: float) -> float:  # pragma: no cover
+    """Regularised incomplete beta I_x(a, b) via Lentz's continued fraction."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - math.exp(
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + b * math.log(1.0 - x)
+        + a * math.log(x)
+    ) * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float) -> float:  # pragma: no cover
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c, d = 1.0, 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def clopper_pearson_interval(nd: int, ne: int, confidence: float = 0.95) -> tuple:
+    """Exact two-sided CI for ``p = nd/ne`` in percent: ``(lower, upper)``."""
+    if ne <= 0:
+        raise ValueError(f"ne must be positive, got {ne}")
+    if not 0 <= nd <= ne:
+        raise ValueError(f"nd must be in [0, ne]; got nd={nd}, ne={ne}")
+    alpha = 1.0 - confidence
+    lower = 0.0 if nd == 0 else _beta_ppf(alpha / 2.0, nd, ne - nd + 1)
+    upper = 1.0 if nd == ne else _beta_ppf(1.0 - alpha / 2.0, nd + 1, ne - nd)
+    return (100.0 * lower, 100.0 * upper)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverageEstimate:
+    """A ``nd / ne`` coverage estimate with its 95 % confidence interval.
+
+    ``percent`` and ``half_width`` are on the paper's 0-100 scale.
+    ``half_width`` is ``None`` when the table convention omits the
+    interval (measured probability exactly 100 %, or the estimate is
+    undefined because ``ne == 0``).
+    """
+
+    nd: int
+    ne: int
+
+    def __post_init__(self) -> None:
+        if self.ne < 0:
+            raise ValueError(f"ne must be non-negative, got {self.ne}")
+        if not 0 <= self.nd <= max(self.ne, 0) and self.ne > 0:
+            raise ValueError(f"nd must be in [0, ne]; got nd={self.nd}, ne={self.ne}")
+        if self.ne == 0 and self.nd != 0:
+            raise ValueError("nd must be 0 when ne is 0")
+
+    @property
+    def defined(self) -> bool:
+        """Whether any runs back this estimate."""
+        return self.ne > 0
+
+    @property
+    def fraction(self) -> Optional[float]:
+        """``nd / ne`` on the 0-1 scale, ``None`` when undefined."""
+        return self.nd / self.ne if self.ne > 0 else None
+
+    @property
+    def percent(self) -> Optional[float]:
+        """``nd / ne`` on the paper's 0-100 scale, ``None`` when undefined."""
+        return 100.0 * self.nd / self.ne if self.ne > 0 else None
+
+    @property
+    def half_width(self) -> Optional[float]:
+        """95 % normal-approximation half width in percent (table convention)."""
+        if self.ne == 0:
+            return None
+        if self.nd in (0, self.ne):
+            # Degenerate estimate: the paper prints no interval for 100.0
+            # (and symmetrically none is meaningful for 0 with this formula).
+            return None
+        return normal_interval(self.nd, self.ne)
+
+    def exact_interval(self, confidence: float = 0.95) -> Optional[tuple]:
+        """Clopper-Pearson ``(lower, upper)`` in percent."""
+        if self.ne == 0:
+            return None
+        return clopper_pearson_interval(self.nd, self.ne, confidence)
+
+    def format(self, digits: int = 1) -> str:
+        """Render in the paper's table style, e.g. ``"55.5±4.1"``.
+
+        Undefined estimates render as ``"-"``; degenerate 100 %/0 % render
+        without an interval, matching the Table 7 caption.
+        """
+        if self.ne == 0:
+            return "-"
+        value = self.percent
+        if self.half_width is None:
+            return f"{value:.{digits}f}"
+        return f"{value:.{digits}f}±{self.half_width:.{digits}f}"
+
+
+def estimate_coverage(nd: int, ne: int) -> CoverageEstimate:
+    """Convenience constructor mirroring the paper's ``P(d) = nd/ne``."""
+    return CoverageEstimate(nd, ne)

@@ -1,0 +1,58 @@
+"""Latency summaries for detection experiments (Tables 8 and 9).
+
+The paper reports detection latency — the time from the first injection
+of an error to the first reported detection — as minimum, average and
+maximum over the detecting runs, in milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+__all__ = ["LatencySummary", "summarize_latencies"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySummary:
+    """Min/average/max of a latency sample, in the sample's unit."""
+
+    count: int
+    minimum: Optional[float]
+    average: Optional[float]
+    maximum: Optional[float]
+
+    @property
+    def defined(self) -> bool:
+        return self.count > 0
+
+    def format(self, digits: int = 0) -> str:
+        """Render as ``min/avg/max`` in the paper's integer-millisecond style."""
+        if not self.defined:
+            return "-"
+        return (
+            f"{self.minimum:.{digits}f}/"
+            f"{self.average:.{digits}f}/"
+            f"{self.maximum:.{digits}f}"
+        )
+
+
+def summarize_latencies(latencies: Iterable[float]) -> LatencySummary:
+    """Summarise a sample of first-detection latencies.
+
+    Negative latencies are rejected: detection cannot precede the first
+    injection in a well-formed experiment record.
+    """
+    values: List[float] = []
+    for value in latencies:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        values.append(value)
+    if not values:
+        return LatencySummary(0, None, None, None)
+    return LatencySummary(
+        count=len(values),
+        minimum=min(values),
+        average=sum(values) / len(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,179 @@
+"""Unit tests for CALC's checkpoint arithmetic, on crafted memory states."""
+
+import pytest
+
+from repro.arrestor import constants as k
+from repro.arrestor.master import MasterNode
+from repro.plant.environment import Environment
+
+
+def _node():
+    env = Environment(14000.0, 55.0)
+    return MasterNode(env, enabled_eas=()), env
+
+
+def _force_checkpoint(node, i, dist_pulses, time_ms, v_prev=None, set_value=None):
+    """Put the node's memory into a just-before-checkpoint state."""
+    mem = node.mem
+    mem.i.set(i)
+    mem.mscnt.set(time_ms)
+    mem.last_cp_mscnt.set(0)
+    mem.pulscnt.set(mem.cp_pulses[i].get())  # at the checkpoint threshold
+    node.calc._dist_acc.set(dist_pulses)
+    node.calc._prev_pulscnt.set(mem.pulscnt.get())
+    if v_prev is not None:
+        mem.v_prev_cmps.set(v_prev)
+    if set_value is not None:
+        mem.set_value.set(set_value)
+        mem.target_set_value.set(set_value)
+
+
+class TestVelocityEstimation:
+    def test_mean_velocity_from_segment(self):
+        node, _ = _node()
+        # 200 pulses (10 m) in 183 ms -> 5464 cm/s mean.
+        _force_checkpoint(node, 0, dist_pulses=200, time_ms=183)
+        node.calc._handle_checkpoint(0)
+        assert node.mem.v0_cmps.get() == 200 * 5 * 1000 // 183
+
+    def test_endpoint_reflection_at_later_checkpoints(self):
+        node, _ = _node()
+        # Segment mean 5000 cm/s after entering at 5400 -> exit 4600.
+        _force_checkpoint(node, 1, dist_pulses=1000, time_ms=1000, v_prev=5400, set_value=1000)
+        node.mem.v0_cmps.set(5400)
+        node.calc._handle_checkpoint(1)
+        assert node.mem.v_prev_cmps.get() == 2 * 5000 - 5400
+
+    def test_zero_time_segment_defers(self):
+        node, _ = _node()
+        _force_checkpoint(node, 0, dist_pulses=100, time_ms=0)
+        i_before = node.mem.i.get()
+        node.calc._handle_checkpoint(0)
+        assert node.mem.i.get() == i_before  # retry next pass
+
+    def test_checkpoint_rolls_segment_state(self):
+        node, _ = _node()
+        _force_checkpoint(node, 0, dist_pulses=200, time_ms=183)
+        node.calc._handle_checkpoint(0)
+        assert node.mem.i.get() == 1
+        assert node.calc._dist_acc.get() == 0
+        assert node.mem.last_cp_mscnt.get() == 183
+
+
+class TestMassEstimation:
+    def test_energy_balance(self):
+        node, _ = _node()
+        mem = node.mem
+        mem.m_est_kg.set(10000)
+        mem.set_value.set(2000)  # 80 kN at 40 N/count
+        # Segment: 1000 pulses = 50 m, v 5400 -> 4600 cm/s.
+        node.calc._v_mean_tmp.set(5000)
+        mem.v_prev_cmps.set(5400)
+        node.calc._refine_mass_estimate(4600, 5000, 1000)
+        brake_n = 2000 * 40
+        drag_n = 2 * 5000 * 5000 // 10000
+        dv2 = (5400 * 5400 - 4600 * 4600) // 10000
+        expected = (10000 + 2 * (brake_n + drag_n) * 5000 // (dv2 * 100)) // 2
+        assert mem.m_est_kg.get() == expected
+
+    def test_no_measured_deceleration_keeps_estimate(self):
+        node, _ = _node()
+        node.mem.m_est_kg.set(12345)
+        node.calc._refine_mass_estimate(5400, 5400, 1000)  # v unchanged
+        assert node.mem.m_est_kg.get() == 12345
+
+    def test_estimate_clamped(self):
+        node, _ = _node()
+        node.mem.m_est_kg.set(k.MASS_ESTIMATE_MAX_KG)
+        node.mem.set_value.set(6000)
+        node.mem.v_prev_cmps.set(5000)
+        # Tiny dv2 -> huge raw estimate -> clamp.
+        node.calc._refine_mass_estimate(4990, 4995, 2000)
+        assert node.mem.m_est_kg.get() <= k.MASS_ESTIMATE_MAX_KG
+
+
+class TestForceCapAndSetpoint:
+    def test_force_cap_formula(self):
+        node, _ = _node()
+        mem = node.mem
+        mem.m_est_kg.set(8000)
+        mem.v0_cmps.set(7000)  # 70 m/s
+        node.calc._update_force_cap()
+        v0_m2 = 7000 * 7000 // 10000
+        f_cap = 9 * 135 * 8000 * v0_m2 // (10 * 100 * 2 * 260)
+        assert mem.p_cap_counts.get() == min(int(f_cap // 40), k.SETVALUE_MAX_COUNTS)
+
+    def test_cap_requires_velocity_estimate(self):
+        node, _ = _node()
+        node.mem.p_cap_counts.set(777)
+        node.mem.v0_cmps.set(0)
+        node.calc._update_force_cap()
+        assert node.mem.p_cap_counts.get() == 777  # unchanged
+
+    def test_setpoint_caps_at_envelope(self):
+        node, _ = _node()
+        mem = node.mem
+        mem.m_est_kg.set(30000)
+        mem.p_cap_counts.set(1500)
+        node.calc._command_pressure(7000, 1)  # demands far more than the cap
+        assert mem.target_set_value.get() == 1500
+
+    def test_setpoint_floor_is_pretension(self):
+        node, _ = _node()
+        node.mem.p_cap_counts.set(6000)
+        node.calc._command_pressure(100, 5)  # nearly stopped: tiny demand
+        assert node.mem.target_set_value.get() == k.PRETENSION_COUNTS
+
+    def test_setpoint_subtracts_drag_share(self):
+        node, _ = _node()
+        mem = node.mem
+        mem.m_est_kg.set(14000)
+        mem.p_cap_counts.set(k.SETVALUE_MAX_COUNTS)
+        v = 5000
+        node.calc._command_pressure(v, 1)
+        d_rem_cm = int(round((k.TARGET_STOP_DISTANCE_M - 60.0) * 100))
+        a_req = v * v // (2 * d_rem_cm)
+        force = 14000 * a_req // 100 - 2 * v * v // 10000
+        assert mem.target_set_value.get() == int(force // 40)
+
+
+class TestSlewing:
+    def test_slew_up_in_steps(self):
+        node, _ = _node()
+        node.mem.set_value.set(1000)
+        node.mem.target_set_value.set(1100)
+        node.calc._slew_set_value()
+        assert node.mem.set_value.get() == 1000 + k.SETVALUE_SLEW_PER_PASS
+
+    def test_slew_final_partial_step(self):
+        node, _ = _node()
+        node.mem.set_value.set(1000)
+        node.mem.target_set_value.set(1010)
+        node.calc._slew_set_value()
+        assert node.mem.set_value.get() == 1010
+
+    def test_slew_down(self):
+        node, _ = _node()
+        node.mem.set_value.set(1000)
+        node.mem.target_set_value.set(0)
+        node.calc._slew_set_value()
+        assert node.mem.set_value.get() == 1000 - k.SETVALUE_SLEW_PER_PASS
+
+    def test_no_slew_at_target(self):
+        node, _ = _node()
+        node.mem.set_value.set(1234)
+        node.mem.target_set_value.set(1234)
+        node.calc._slew_set_value()
+        assert node.mem.set_value.get() == 1234
+
+
+class TestDeltaGuard:
+    def test_backward_pulscnt_delta_swallowed(self):
+        node, env = _node()
+        node.tick(0)
+        node.calc._prev_pulscnt.set(100)
+        node.mem.pulscnt.set(90)  # appears to have moved backwards
+        acc_before = node.calc._dist_acc.get()
+        node.tick(1)
+        # The negative delta contributes nothing to the distance.
+        assert node.calc._dist_acc.get() >= acc_before

@@ -1,0 +1,62 @@
+"""The assertion envelopes are tight, not slack.
+
+The whole detection-coverage story rests on the envelopes sitting close
+to the signals' real dynamics: wide enough that fault-free behaviour
+never trips them (the Section-3.4 precondition), narrow enough that a
+mid-size flip cannot hide.  This test quantifies the second half: shrink
+the continuous rate envelopes to a quarter and the *fault-free* system
+must start tripping its own assertions — i.e. the shipped envelopes are
+within 4x of the true signal dynamics.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.arrestor.instrumentation as instrumentation
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.core.parameters import ContinuousParams
+
+CASE = TestCase(20000.0, 70.0)  # the most dynamic corner of the envelope
+
+
+def _scaled_parameters(factor):
+    original = instrumentation.assertion_parameters()
+
+    def scaled():
+        params = dict(original)
+        for name in ("SetValue", "IsValue", "OutValue"):
+            p = params[name]
+            params[name] = ContinuousParams.random(
+                p.smin,
+                p.smax,
+                rmax_incr=max(1, int(p.rmax_incr * factor)),
+                rmax_decr=max(1, int(p.rmax_decr * factor)),
+            )
+        return params
+
+    return scaled
+
+
+class TestEnvelopeTightness:
+    def test_full_envelopes_are_silent_fault_free(self):
+        result = TargetSystem(CASE).run()
+        assert not result.detected
+
+    def test_quarter_envelopes_trip_on_fault_free_dynamics(self, monkeypatch):
+        monkeypatch.setattr(
+            instrumentation, "assertion_parameters", _scaled_parameters(0.25)
+        )
+        result = TargetSystem(CASE).run()
+        assert result.detected, (
+            "quarter-rate envelopes stayed silent: the shipped envelopes "
+            "would be more than 4x slack against the real signal dynamics"
+        )
+
+    def test_double_envelopes_also_silent(self, monkeypatch):
+        # Widening can never create false alarms.
+        monkeypatch.setattr(
+            instrumentation, "assertion_parameters", _scaled_parameters(2.0)
+        )
+        result = TargetSystem(CASE).run()
+        assert not result.detected

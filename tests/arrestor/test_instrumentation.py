@@ -1,0 +1,146 @@
+"""Tests for the Table-4 instrumentation of the target system."""
+
+import pytest
+
+from repro.arrestor import constants as k
+from repro.arrestor.instrumentation import (
+    EA_BY_SIGNAL,
+    EA_IDS,
+    SIGNAL_BY_EA,
+    assertion_parameters,
+    build_instrumentation_plan,
+    build_monitors,
+    build_signal_inventory,
+    default_fmeca_entries,
+)
+from repro.core.classes import SignalClass
+from repro.core.monitor import DetectionLog
+from repro.core.parameters import ContinuousParams, DiscreteParams
+
+
+class TestTable4Mapping:
+    def test_seven_mechanisms(self):
+        assert EA_IDS == ("EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7")
+
+    def test_signal_mechanism_pairs(self):
+        assert SIGNAL_BY_EA["EA1"] == "SetValue"
+        assert SIGNAL_BY_EA["EA2"] == "IsValue"
+        assert SIGNAL_BY_EA["EA3"] == "i"
+        assert SIGNAL_BY_EA["EA4"] == "pulscnt"
+        assert SIGNAL_BY_EA["EA5"] == "ms_slot_nbr"
+        assert SIGNAL_BY_EA["EA6"] == "mscnt"
+        assert SIGNAL_BY_EA["EA7"] == "OutValue"
+
+    def test_mapping_is_bijective(self):
+        assert {EA_BY_SIGNAL[s] for s in SIGNAL_BY_EA.values()} == set(EA_IDS)
+
+
+class TestAssertionParameters:
+    def setup_method(self):
+        self.params = assertion_parameters()
+
+    def test_classifications_match_table4(self):
+        assert self.params["SetValue"].is_random()
+        assert self.params["IsValue"].is_random()
+        assert self.params["OutValue"].is_random()
+        assert self.params["i"].is_dynamic_monotonic()
+        assert self.params["pulscnt"].is_dynamic_monotonic()
+        assert self.params["mscnt"].is_static_monotonic()
+        assert isinstance(self.params["ms_slot_nbr"], DiscreteParams)
+        assert (
+            self.params["ms_slot_nbr"].classify()
+            is SignalClass.DISCRETE_SEQUENTIAL_LINEAR
+        )
+
+    def test_mscnt_wraps_at_16_bits(self):
+        mscnt = self.params["mscnt"]
+        assert mscnt.wrap
+        assert mscnt.smax == 0xFFFF
+        assert mscnt.rmax_incr == 1
+
+    def test_setvalue_envelope_covers_the_slew_limit(self):
+        """The EA1 rate bound must admit the fastest legitimate slew."""
+        setvalue = self.params["SetValue"]
+        worst_per_test = k.SETVALUE_SLEW_PER_PASS * k.N_SLOTS
+        assert setvalue.rmax_incr >= worst_per_test
+        assert setvalue.rmax_decr >= worst_per_test
+        # ... but stays tight enough to catch mid-bit flips (bit 9 = 512).
+        assert setvalue.rmax_incr < 512
+
+    def test_isvalue_envelope_covers_valve_physics(self):
+        from repro.plant.hydraulics import PressureValve
+
+        isvalue = self.params["IsValue"]
+        bound_counts = PressureValve().max_slew_per_interval(0.007) / 1000.0
+        assert isvalue.rmax_incr >= bound_counts
+        assert isvalue.rmax_incr < 1024  # catches bit 10 upwards by rate
+
+    def test_pulscnt_envelope(self):
+        pulscnt = self.params["pulscnt"]
+        assert pulscnt.rmax_incr == k.MAX_PULSES_PER_MS
+        assert pulscnt.decrease_forbidden
+
+    def test_i_envelope(self):
+        i = self.params["i"]
+        assert i.smax == k.N_CHECKPOINTS
+        assert i.rmax_incr == 1
+
+    def test_slot_domain(self):
+        slot = self.params["ms_slot_nbr"]
+        assert slot.domain == frozenset(range(7))
+
+
+class TestInventoryAndPlan:
+    def test_inventory_has_figure5_signals(self):
+        inv = build_signal_inventory()
+        for name in ("mscnt", "pulscnt", "SetValue", "IsValue", "OutValue"):
+            assert name in inv
+
+    def test_inventory_pathway_sensor_to_valve(self):
+        inv = build_signal_inventory()
+        paths = inv.pathways("pulse_sensor", "valve_command")
+        assert ["pulse_sensor", "pulscnt", "SetValue", "OutValue", "valve_command"] in paths
+
+    def test_fmeca_selects_the_seven_signals(self):
+        inv = build_signal_inventory()
+        ranked = inv.rank_by_fmeca(default_fmeca_entries(), top=7)
+        assert {name for name, _ in ranked} == set(SIGNAL_BY_EA.values())
+
+    def test_plan_locations_match_table4(self):
+        plan = build_instrumentation_plan()
+        assert plan["SetValue"].location == "V_REG"
+        assert plan["IsValue"].location == "V_REG"
+        assert plan["i"].location == "CALC"
+        assert plan["pulscnt"].location == "DIST_S"
+        assert plan["ms_slot_nbr"].location == "CLOCK"
+        assert plan["mscnt"].location == "CLOCK"
+        assert plan["OutValue"].location == "PRES_A"
+
+    def test_plan_builds_bank_of_seven(self):
+        bank = build_instrumentation_plan().build_monitor_bank()
+        assert len(bank) == 7
+
+
+class TestBuildMonitors:
+    def test_all_seven_by_default(self):
+        monitors = build_monitors()
+        assert set(monitors) == set(EA_IDS)
+
+    def test_subset_selection(self):
+        monitors = build_monitors(enabled=["EA4"])
+        assert set(monitors) == {"EA4"}
+        assert monitors["EA4"].name == "pulscnt"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            build_monitors(enabled=["EA9"])
+
+    def test_shared_log(self):
+        log = DetectionLog()
+        monitors = build_monitors(log=log)
+        assert all(m.log is log for m in monitors.values())
+
+    def test_recovery_attachment(self):
+        monitors = build_monitors(with_recovery=True)
+        assert all(m.recovery is not None for m in monitors.values())
+        assert all(m.recovery is None for m in build_monitors().values())

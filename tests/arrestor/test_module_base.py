@@ -1,0 +1,90 @@
+"""Focused tests for the module base: checked() plumbing and enter()."""
+
+import pytest
+
+from repro.arrestor.master import MasterNode
+from repro.arrestor.module_base import ModuleBase
+from repro.core.classes import SignalClass
+from repro.core.monitor import SignalMonitor
+from repro.core.parameters import ContinuousParams
+from repro.core.recovery import HoldLastValid
+from repro.memory.layout import MemoryRegion, RegionAllocator
+from repro.memory.memmap import MemoryMap, Variable
+from repro.plant.environment import Environment
+
+
+def _variable(value=100):
+    region = MemoryRegion("ram", 0, 16)
+    memory = MemoryMap([region])
+    var = Variable(memory, RegionAllocator(region).allocate("x"))
+    var.set(value)
+    return var
+
+
+class TestChecked:
+    def test_without_monitor_reads_through(self):
+        var = _variable(123)
+        assert ModuleBase.checked(None, var, 0) == 123
+
+    def test_passing_value_left_in_memory(self):
+        var = _variable(100)
+        monitor = SignalMonitor(
+            "x", SignalClass.CONTINUOUS_RANDOM, ContinuousParams.random(0, 1000, 5, 5)
+        )
+        monitor.test(98, 0)
+        assert ModuleBase.checked(monitor, var, 1) == 100
+        assert var.get() == 100
+
+    def test_recovery_value_written_back(self):
+        var = _variable(900)
+        monitor = SignalMonitor(
+            "x",
+            SignalClass.CONTINUOUS_RANDOM,
+            ContinuousParams.random(0, 1000, 5, 5),
+            recovery=HoldLastValid(),
+        )
+        monitor.test(100, 0)
+        assert ModuleBase.checked(monitor, var, 1) == 100  # repaired
+        assert var.get() == 100  # and persisted for the next consumer
+
+    def test_detection_without_recovery_keeps_memory(self):
+        var = _variable(900)
+        monitor = SignalMonitor(
+            "x", SignalClass.CONTINUOUS_RANDOM, ContinuousParams.random(0, 1000, 5, 5)
+        )
+        monitor.test(100, 0)
+        assert ModuleBase.checked(monitor, var, 1) == 900
+        assert var.get() == 900
+        assert monitor.violations == 1
+
+
+class TestEnterSemantics:
+    def _node(self):
+        return MasterNode(Environment(14000, 55), enabled_eas=())
+
+    def test_clock_enter_failure_freezes_time_but_returns_a_slot(self):
+        node = self._node()
+        node.tick(0)
+        word = node.mem.return_words.word_variable(0)  # CLOCK's context
+        word.set(word.get() ^ 0x0100)  # skip-class corruption
+        mscnt_before = node.mem.mscnt.get()
+        slot = node.tick(1)
+        assert node.mem.mscnt.get() == mscnt_before  # time-keeping lost
+        assert slot is not None and 0 <= slot < 7  # dispatch continues
+
+    def test_dist_s_enter_failure_stops_pulse_accumulation(self):
+        node = self._node()
+        env = node.env
+        word = node.mem.return_words.word_variable(1)  # DIST_S's context
+        word.set(word.get() ^ 0x0800)
+        for now in range(100):
+            node.tick(now)
+            env.advance(0.001)
+        assert node.mem.pulscnt.get() == 0
+
+    def test_wedge_class_corruption_halts_node_via_enter(self):
+        node = self._node()
+        word = node.mem.return_words.word_variable(0)
+        word.set(word.get() ^ 0x4000)
+        node.tick(0)
+        assert node.wedged

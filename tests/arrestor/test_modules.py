@@ -1,0 +1,236 @@
+"""Unit tests for the target's software modules, driven tick by tick."""
+
+import pytest
+
+from repro.arrestor import constants as k
+from repro.arrestor.master import MasterNode
+from repro.plant.environment import Environment
+
+
+def _node(enabled_eas=None):
+    env = Environment(14000, 55)
+    return MasterNode(env, enabled_eas=enabled_eas), env
+
+
+class TestClock:
+    def test_mscnt_counts_milliseconds(self):
+        node, _ = _node()
+        for now in range(10):
+            node.tick(now)
+        assert node.mem.mscnt.get() == 10
+
+    def test_slot_cycles_through_seven(self):
+        node, _ = _node()
+        slots = [node.tick(now) for now in range(14)]
+        assert slots == [1, 2, 3, 4, 5, 6, 0] * 2
+
+    def test_corrupted_slot_recovers_within_one_tick(self):
+        node, _ = _node(enabled_eas=())
+        node.tick(0)
+        node.mem.ms_slot_nbr.set(30000)
+        node.tick(1)
+        assert node.mem.ms_slot_nbr.get() < 7
+
+    def test_ea5_flags_corrupted_slot(self):
+        node, _ = _node(enabled_eas=("EA5",))
+        node.tick(0)
+        node.mem.ms_slot_nbr.set(5)  # out of sequence
+        node.tick(1)
+        assert node.detection_log.detected
+        assert node.detection_log.events[0].monitor_id == "EA5"
+
+    def test_ea6_flags_corrupted_mscnt(self):
+        node, _ = _node(enabled_eas=("EA6",))
+        node.tick(0)
+        node.tick(1)
+        node.mem.mscnt.add(64)
+        node.tick(2)
+        assert node.detection_log.detected
+        assert node.detection_log.events[0].monitor_id == "EA6"
+
+    def test_clean_clock_never_detects(self):
+        node, _ = _node(enabled_eas=("EA5", "EA6"))
+        for now in range(500):
+            node.tick(now)
+        assert not node.detection_log.detected
+
+
+class TestDistS:
+    def test_pulscnt_accumulates_environment_pulses(self):
+        node, env = _node()
+        for now in range(200):
+            node.tick(now)
+            env.advance(0.001)
+        # ~11 m at 55 m/s -> ~220 pulses at 0.05 m pitch.
+        assert 210 <= node.mem.pulscnt.get() <= 225
+
+    def test_ea4_flags_backward_count(self):
+        node, env = _node(enabled_eas=("EA4",))
+        for now in range(10):
+            node.tick(now)
+            env.advance(0.001)
+        node.mem.pulscnt.set(node.mem.pulscnt.get() - 5)
+        node.tick(10)
+        assert node.detection_log.detected
+
+    def test_ea4_flags_impossible_jump(self):
+        node, env = _node(enabled_eas=("EA4",))
+        for now in range(10):
+            node.tick(now)
+            env.advance(0.001)
+        node.mem.pulscnt.add(100)
+        node.tick(10)
+        assert node.detection_log.detected
+
+
+class TestVRegAndPresA:
+    def _settle(self, node, env, ticks=3000):
+        for now in range(ticks):
+            node.tick(now)
+            env.advance(0.001)
+
+    @staticmethod
+    def _freeze_checkpoints(node):
+        """Park the checkpoint thresholds so CALC never retargets."""
+        for var in node.mem.cp_pulses:
+            var.set(60000)
+
+    def test_pid_tracks_set_point(self):
+        node, env = _node(enabled_eas=())
+        self._freeze_checkpoints(node)
+        node.mem.target_set_value.set(3000)
+        self._settle(node, env)
+        assert env.read_master_pressure_counts() == pytest.approx(3000, abs=30)
+
+    def test_out_value_clamped_to_authority(self):
+        node, env = _node(enabled_eas=())
+        node.mem.set_value.set(60000)  # wildly corrupt set point
+        node.tick(0)
+        node.tick(1)
+        node.tick(2)  # V_REG slot
+        assert 0 <= node.mem.out_value.get() <= k.OUTVALUE_MAX_COUNTS
+
+    def test_ea1_flags_set_value_jump(self):
+        node, env = _node(enabled_eas=("EA1",))
+        self._settle(node, env, 50)
+        node.mem.set_value.set(node.mem.set_value.get() + 2048)
+        self._settle(node, env, 10)
+        assert node.detection_log.detected
+
+    def test_ea2_flags_is_value_jump(self):
+        node, env = _node(enabled_eas=("EA2",))
+        self._settle(node, env, 50)
+        node.mem.is_value.set(node.mem.is_value.get() + 4096)
+        node.tick(51)
+        node.tick(52)  # V_REG tests IsValue in slot 2
+        assert node.detection_log.detected
+
+    def test_ea7_flags_out_value_jump(self):
+        node, env = _node(enabled_eas=("EA7",))
+        now = 0
+        # Advance until V_REG has just produced OutValue (slot 2) so the
+        # corruption survives until PRES_A's test in slot 4.
+        while node.tick(now) != 2 or now < 50:
+            env.advance(0.001)
+            now += 1
+        node.mem.out_value.set(node.mem.out_value.get() ^ 8192)
+        for later in range(now + 1, now + 4):
+            node.tick(later)
+        assert node.detection_log.detected
+
+    def test_pres_a_drives_the_valve(self):
+        node, env = _node(enabled_eas=())
+        for now in range(7):
+            node.tick(now)
+        # Whatever V_REG computed this cycle is what PRES_A commanded.
+        assert env.master_valve.command_pa == pytest.approx(
+            node.mem.out_value.get() * 1000.0
+        )
+
+
+class TestComm:
+    def test_comm_publishes_set_value(self):
+        node, env = _node(enabled_eas=())
+        node.mem.set_value.set(1234)
+        node.mem.target_set_value.set(1234)  # keep CALC from slewing it away
+        for now in range(7):
+            node.tick(now)
+        assert node.mem.comm_tx_set_value.get() == 1234
+        assert node.mem.comm_seq.get() == 1
+
+
+class TestCalc:
+    def test_checkpoint_counter_advances_along_runway(self):
+        node, env = _node(enabled_eas=())
+        for now in range(3000):
+            node.tick(now)
+            env.advance(0.001)
+        # ~150 m covered: checkpoints at 10, 60, 110 m have passed.
+        assert node.mem.i.get() >= 3
+
+    def test_set_value_slew_limited(self):
+        node, env = _node(enabled_eas=())
+        node.mem.target_set_value.set(5000)
+        previous = node.mem.set_value.get()
+        for now in range(50):
+            node.tick(now)
+            delta = abs(node.mem.set_value.get() - previous)
+            assert delta <= k.SETVALUE_SLEW_PER_PASS
+            previous = node.mem.set_value.get()
+
+    def test_ea3_flags_checkpoint_jump(self):
+        node, env = _node(enabled_eas=("EA3",))
+        node.tick(0)
+        node.mem.i.set(5)  # jump from 0 to 5
+        node.tick(1)
+        assert node.detection_log.detected
+
+    def test_telemetry_ring_written(self):
+        node, env = _node(enabled_eas=())
+        for now in range(301):
+            node.tick(now)
+            env.advance(0.001)
+        assert node.mem.telemetry_index.get() >= 3
+
+    def test_mass_estimate_converges(self):
+        # The energy balance assumes both drums brake, so the full system
+        # (master + slave) is needed for the estimate to be meaningful.
+        from repro.arrestor.system import TargetSystem, TestCase
+
+        system = TargetSystem(TestCase(14000, 55))
+        system.run()
+        assert system.master.mem.m_est_kg.get() == pytest.approx(14000, rel=0.08)
+
+
+class TestControlFlowUpsets:
+    def test_corrupt_calc_frame_word_skips_passes(self):
+        node, env = _node(enabled_eas=())
+        word = node.mem.calc_frame.word_variable(0)
+        word.set(word.get() ^ 0x0100)  # single-bit tag corruption: skip
+        start_i = node.mem.i.get()
+        for now in range(2000):
+            node.tick(now)
+            env.advance(0.001)
+        # CALC never ran: no checkpoint handling, SetValue never slewed.
+        assert node.mem.i.get() == start_i
+        assert node.mem.set_value.get() == k.PRETENSION_COUNTS
+
+    def test_wedging_calc_frame_halts_node(self):
+        node, env = _node(enabled_eas=())
+        word = node.mem.calc_frame.word_variable(1)
+        word.set(word.get() ^ 0x1800)
+        node.tick(0)
+        assert node.wedged
+        mscnt = node.mem.mscnt.get()
+        node.tick(1)
+        assert node.mem.mscnt.get() == mscnt  # the clock is dead too
+
+    def test_corrupt_return_word_silences_module(self):
+        node, env = _node(enabled_eas=())
+        # Return slot 3 belongs to V_REG.
+        word = node.mem.return_words.word_variable(3)
+        word.set(word.get() ^ 0x0100)
+        node.mem.set_value.set(4000)
+        for now in range(100):
+            node.tick(now)
+        assert node.mem.out_value.get() == 0  # V_REG never produced output

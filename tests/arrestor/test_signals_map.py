@@ -1,0 +1,95 @@
+"""Tests for the master node's memory layout."""
+
+import pytest
+
+from repro.arrestor.signals_map import (
+    MONITORED_SIGNALS,
+    RAM_REGION,
+    STACK_REGION,
+    MasterMemory,
+)
+
+
+class TestRegions:
+    def test_paper_area_sizes(self):
+        assert RAM_REGION.size == 417
+        assert STACK_REGION.size == 1008
+
+    def test_regions_disjoint(self):
+        assert not RAM_REGION.overlaps(STACK_REGION)
+
+
+class TestSignalPlacement:
+    def test_seven_monitored_signals(self):
+        assert len(MONITORED_SIGNALS) == 7
+        assert MONITORED_SIGNALS == (
+            "SetValue",
+            "IsValue",
+            "i",
+            "pulscnt",
+            "ms_slot_nbr",
+            "mscnt",
+            "OutValue",
+        )
+
+    def test_all_signals_resolve_to_ram_variables(self):
+        mem = MasterMemory()
+        for signal in MONITORED_SIGNALS:
+            var = mem.signal_variable(signal)
+            assert RAM_REGION.contains(var.address)
+            assert var.symbol.size == 2
+
+    def test_signal_addresses_distinct(self):
+        mem = MasterMemory()
+        addresses = {mem.signal_variable(s).address for s in MONITORED_SIGNALS}
+        assert len(addresses) == 7
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(KeyError):
+            MasterMemory().signal_variable("bogus")
+
+
+class TestRamPopulation:
+    def test_application_state_beyond_signals(self):
+        """Random RAM errors must be able to hit unmonitored state."""
+        mem = MasterMemory()
+        allocated = mem.ram.allocated_bytes
+        assert allocated > 7 * 2 + 50  # much more than just the signals
+
+    def test_ram_keeps_cold_spare_bytes(self):
+        """And also padding that stays benign when corrupted."""
+        mem = MasterMemory()
+        assert mem.ram.free_bytes > 50
+
+    def test_checkpoint_table_in_ram(self):
+        mem = MasterMemory()
+        assert len(mem.cp_pulses) == 6
+        for var in mem.cp_pulses:
+            assert RAM_REGION.contains(var.address)
+
+    def test_telemetry_ring_shape(self):
+        mem = MasterMemory()
+        assert len(mem.telemetry_ring) == 48  # 12 records x 4 words
+
+
+class TestStackPopulation:
+    def test_control_tables_in_stack(self):
+        mem = MasterMemory()
+        for table in (mem.dispatch, mem.calc_frame, mem.return_words):
+            for slot in range(len(table)):
+                assert STACK_REGION.contains(table.word_variable(slot).address)
+
+    def test_dispatch_matches_slot_count(self):
+        assert len(MasterMemory().dispatch) == 7
+
+    def test_finish_layout_fills_stack(self):
+        mem = MasterMemory()
+        mem.scratch.slot("calc.dist_acc")
+        mem.finish_layout()
+        assert mem.stack.free_bytes == 0
+
+    def test_two_memories_have_identical_layout(self):
+        """Error sets built against one layout apply to any instance."""
+        a, b = MasterMemory(), MasterMemory()
+        for signal in MONITORED_SIGNALS:
+            assert a.signal_variable(signal).address == b.signal_variable(signal).address

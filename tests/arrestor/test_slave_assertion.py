@@ -1,0 +1,81 @@
+"""Tests for the slave-side reception assertion extension."""
+
+import pytest
+
+from repro.arrestor.instrumentation import assertion_parameters
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.core.classes import SignalClass
+from repro.core.monitor import SignalMonitor
+from repro.core.recovery import HoldLastValid
+from repro.injection.errors import build_e1_error_set
+from repro.injection.injector import TimeTriggeredInjector
+
+CASE = TestCase(14000.0, 55.0)
+
+
+class TestSlaveReceiveMonitor:
+    def _slave_with_monitor(self):
+        from repro.arrestor.slave import SlaveNode
+        from repro.plant.environment import Environment
+
+        env = Environment(14000, 55)
+        monitor = SignalMonitor(
+            "SetValue",
+            SignalClass.CONTINUOUS_RANDOM,
+            assertion_parameters()["SetValue"],
+            recovery=HoldLastValid(),
+            monitor_id="EA1-S",
+        )
+        return SlaveNode(env, receive_monitor=monitor), monitor
+
+    def test_valid_receptions_pass_through(self):
+        slave, monitor = self._slave_with_monitor()
+        slave.receive_set_value(300)
+        slave.receive_set_value(450)
+        assert slave.set_value == 450
+        assert monitor.violations == 0
+
+    def test_corrupt_reception_repaired(self):
+        slave, monitor = self._slave_with_monitor()
+        slave.receive_set_value(300)
+        slave.receive_set_value(300 | 0x4000)  # corrupt MSB-ish bit
+        assert monitor.violations == 1
+        assert slave.set_value == 300  # hold-last-valid repair
+
+    def test_unmonitored_slave_accepts_anything(self):
+        from repro.arrestor.slave import SlaveNode
+        from repro.plant.environment import Environment
+
+        slave = SlaveNode(Environment(14000, 55))
+        slave.receive_set_value(0xFFFF)
+        assert slave.set_value == 0xFFFF
+
+
+class TestEndToEnd:
+    @staticmethod
+    def _run(slave_assertion):
+        errors = [e for e in build_e1_error_set(MasterMemory()) if e.signal == "SetValue"]
+        config = RunConfig(with_recovery=True, slave_assertion=slave_assertion)
+        system = TargetSystem(CASE, config=config)
+        result = system.run(TimeTriggeredInjector(errors[14], start_ms=500))
+        return system, result
+
+    def test_guarded_reception_prevents_the_comm_path_failure(self):
+        _, unguarded = self._run(slave_assertion=False)
+        assert unguarded.failed  # the known gap
+
+        system, guarded = self._run(slave_assertion=True)
+        assert not guarded.failed
+        assert guarded.detected
+        # The slave's monitor contributed detections of its own.
+        slave_events = [
+            e for e in system.master.detection_log.events if e.monitor_id == "EA1-S"
+        ]
+        assert slave_events
+
+    def test_fault_free_run_with_slave_assertion_stays_clean(self):
+        config = RunConfig(slave_assertion=True)
+        result = TargetSystem(CASE, config=config).run()
+        assert not result.detected
+        assert not result.failed

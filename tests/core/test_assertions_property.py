@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the assertion engines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assertions import ContinuousAssertion, DiscreteAssertion
+from repro.core.parameters import ContinuousParams, DiscreteParams
+
+
+@st.composite
+def continuous_params(draw):
+    """Any Table-1-conformant continuous parameter set."""
+    smin = draw(st.integers(-1000, 1000))
+    smax = smin + draw(st.integers(1, 2000))
+    kind = draw(st.sampled_from(["static", "dynamic", "random"]))
+    wrap = draw(st.booleans())
+    if kind == "static":
+        rate = draw(st.integers(1, 50))
+        increasing = draw(st.booleans())
+        return ContinuousParams.static_monotonic(smin, smax, rate, increasing, wrap)
+    if kind == "dynamic":
+        rmin = draw(st.integers(0, 20))
+        rmax = rmin + draw(st.integers(1, 50))
+        increasing = draw(st.booleans())
+        return ContinuousParams.dynamic_monotonic(smin, smax, rmin, rmax, increasing, wrap)
+    rmax_incr = draw(st.integers(1, 50))
+    rmax_decr = draw(st.integers(1, 50))
+    return ContinuousParams.random(smin, smax, rmax_incr, rmax_decr, wrap=wrap)
+
+
+_values = st.integers(-3000, 3000)
+
+
+class TestContinuousProperties:
+    @given(continuous_params(), _values, st.one_of(st.none(), _values))
+    @settings(max_examples=300)
+    def test_holds_agrees_with_check(self, params, value, prev):
+        a = ContinuousAssertion(params)
+        assert a.holds(value, prev) == a.check(value, prev).ok
+
+    @given(continuous_params(), _values, st.one_of(st.none(), _values))
+    @settings(max_examples=200)
+    def test_out_of_domain_never_accepted(self, params, value, prev):
+        a = ContinuousAssertion(params)
+        if value > params.smax or value < params.smin:
+            assert not a.holds(value, prev)
+
+    @given(continuous_params(), _values)
+    @settings(max_examples=200)
+    def test_first_sample_inside_domain_always_accepted(self, params, value):
+        a = ContinuousAssertion(params)
+        if params.smin <= value <= params.smax:
+            assert a.holds(value, None)
+
+    @given(continuous_params(), _values, _values)
+    @settings(max_examples=300)
+    def test_failed_check_names_at_least_one_test(self, params, value, prev):
+        result = ContinuousAssertion(params).check(value, prev)
+        if not result.ok:
+            assert result.failed_tests
+
+    @given(
+        st.integers(0, 500),
+        st.integers(1, 30),
+        st.integers(2, 40),
+    )
+    @settings(max_examples=150)
+    def test_static_monotonic_accepts_exactly_its_trajectory(self, start, rate, steps):
+        smax = start + rate * (steps + 1)
+        params = ContinuousParams.static_monotonic(0, smax, rate)
+        a = ContinuousAssertion(params)
+        prev = start
+        for _ in range(steps):
+            value = prev + rate
+            assert a.holds(value, prev)
+            assert not a.holds(value + 1, prev)
+            assert not a.holds(value - 1, prev)
+            prev = value
+
+    @given(continuous_params())
+    @settings(max_examples=100)
+    def test_wrap_never_enables_detection_of_legal_stillness(self, params):
+        """Wrap-around changes edge behaviour only, never the s = s' verdict."""
+        a_wrap = ContinuousAssertion(
+            ContinuousParams(
+                params.smin,
+                params.smax,
+                params.rmin_incr,
+                params.rmax_incr,
+                params.rmin_decr,
+                params.rmax_decr,
+                wrap=True,
+            )
+        )
+        a_plain = ContinuousAssertion(
+            ContinuousParams(
+                params.smin,
+                params.smax,
+                params.rmin_incr,
+                params.rmax_incr,
+                params.rmin_decr,
+                params.rmax_decr,
+                wrap=False,
+            )
+        )
+        mid = (params.smin + params.smax) // 2
+        assert a_wrap.holds(mid, mid) == a_plain.holds(mid, mid)
+
+    @given(continuous_params(), _values, _values)
+    @settings(max_examples=200)
+    def test_wrap_only_widens_acceptance(self, params, value, prev):
+        """Allowing wrap-around can only accept more, never less."""
+        base = dict(
+            smin=params.smin,
+            smax=params.smax,
+            rmin_incr=params.rmin_incr,
+            rmax_incr=params.rmax_incr,
+            rmin_decr=params.rmin_decr,
+            rmax_decr=params.rmax_decr,
+        )
+        plain = ContinuousAssertion(ContinuousParams(**base, wrap=False))
+        wrapped = ContinuousAssertion(ContinuousParams(**base, wrap=True))
+        if plain.holds(value, prev):
+            assert wrapped.holds(value, prev)
+
+
+@st.composite
+def discrete_params(draw):
+    domain = draw(st.sets(st.integers(0, 30), min_size=1, max_size=8))
+    if draw(st.booleans()):
+        return DiscreteParams.random(domain)
+    transitions = {
+        d: frozenset(draw(st.sets(st.sampled_from(sorted(domain)), max_size=len(domain))))
+        for d in domain
+    }
+    return DiscreteParams(frozenset(domain), transitions)
+
+
+class TestDiscreteProperties:
+    @given(discrete_params(), st.integers(-5, 35), st.one_of(st.none(), st.integers(-5, 35)))
+    @settings(max_examples=300)
+    def test_holds_agrees_with_check(self, params, value, prev):
+        a = DiscreteAssertion(params)
+        assert a.holds(value, prev) == a.check(value, prev).ok
+
+    @given(discrete_params(), st.integers(-5, 35), st.one_of(st.none(), st.integers(-5, 35)))
+    @settings(max_examples=200)
+    def test_membership_is_necessary(self, params, value, prev):
+        a = DiscreteAssertion(params)
+        if value not in params.domain:
+            assert not a.holds(value, prev)
+
+    @given(discrete_params(), st.integers(-5, 35))
+    @settings(max_examples=200)
+    def test_transition_test_implies_membership(self, params, prev):
+        """Table 3's note: s in T(s') implies s in D."""
+        if params.transitions is None or prev not in params.domain:
+            return
+        a = DiscreteAssertion(params)
+        for value in params.transitions[prev]:
+            assert value in params.domain
+            assert a.holds(value, prev)

@@ -1,0 +1,78 @@
+"""Table-2 semantics details: test selection order and reporting.
+
+The table prescribes which tests run for which *signal status* (the
+relation between s and s') and that tests 1/2 preempt everything.  These
+tests pin down the reporting contract of `AssertionResult` so diagnostic
+consumers (logs, tooling) can rely on it.
+"""
+
+import pytest
+
+from repro.core.assertions import ContinuousAssertion, PASS, AssertionResult
+from repro.core.parameters import ContinuousParams
+
+
+def _wrap_random():
+    return ContinuousAssertion(
+        ContinuousParams.random(0, 100, rmax_incr=10, rmax_decr=10, wrap=True)
+    )
+
+
+class TestStatusSelection:
+    def test_increase_branch_reports_3a_4a(self):
+        result = _wrap_random().check(90, 50)  # +40: too fast, wrap too big
+        assert result.failed_tests == ("3a", "4a")
+
+    def test_decrease_branch_reports_3b_4b(self):
+        result = _wrap_random().check(10, 50)
+        assert result.failed_tests == ("3b", "4b")
+
+    def test_without_wrap_the_4_tests_still_reported_failed(self):
+        assertion = ContinuousAssertion(
+            ContinuousParams.random(0, 100, rmax_incr=10, rmax_decr=10)
+        )
+        result = assertion.check(90, 50)
+        assert "4a" in result.failed_tests  # evaluated-as-unavailable
+
+    def test_wrap_pass_reports_the_failed_primary_test(self):
+        # Passing via 4a still tells the consumer 3a did not hold.
+        assertion = _wrap_random()
+        result = assertion.check(98, 3)  # wrapped decrease of 5
+        assert result.ok
+        assert result.passed_test == "4a"
+        assert result.failed_tests == ("3a",)
+
+    def test_unchanged_branch_reports_all_three_alternatives(self):
+        assertion = ContinuousAssertion(
+            ContinuousParams.static_monotonic(0, 100, rate=2)
+        )
+        result = assertion.check(50, 50)
+        assert result.failed_tests == ("3c", "4c", "5c")
+
+
+class TestAssertionResultContract:
+    def test_pass_constant_is_truthy_and_empty(self):
+        assert PASS
+        assert PASS.failed_tests == ()
+        assert PASS.passed_test is None
+
+    def test_result_is_boolean_coercible(self):
+        assert bool(AssertionResult(True))
+        assert not bool(AssertionResult(False, ("1",)))
+
+    def test_result_is_frozen(self):
+        result = AssertionResult(True)
+        with pytest.raises(AttributeError):
+            result.ok = False
+
+
+class TestAtMostFiveAssertions:
+    """Each test runs at most five of the Table-2 assertions."""
+
+    @pytest.mark.parametrize(
+        "value, prev",
+        [(60, 50), (40, 50), (50, 50), (150, 50), (-10, 50), (50, None)],
+    )
+    def test_failure_report_never_exceeds_five_tests(self, value, prev):
+        result = _wrap_random().check(value, prev)
+        assert len(result.failed_tests) <= 5

@@ -1,0 +1,85 @@
+"""Tests for the signal classification scheme (Figure 1)."""
+
+import pytest
+
+from repro.core.classes import (
+    CONTINUOUS_CLASSES,
+    DISCRETE_CLASSES,
+    SignalCategory,
+    SignalClass,
+    parse_class_code,
+)
+
+
+class TestTaxonomyStructure:
+    def test_six_leaf_classes(self):
+        assert len(SignalClass) == 6
+
+    def test_three_continuous_leaves(self):
+        assert len(CONTINUOUS_CLASSES) == 3
+
+    def test_three_discrete_leaves(self):
+        assert len(DISCRETE_CLASSES) == 3
+
+    def test_partition_is_complete(self):
+        assert CONTINUOUS_CLASSES | DISCRETE_CLASSES == frozenset(SignalClass)
+
+    def test_partition_is_disjoint(self):
+        assert not (CONTINUOUS_CLASSES & DISCRETE_CLASSES)
+
+
+class TestCategoryProperties:
+    @pytest.mark.parametrize("cls", sorted(CONTINUOUS_CLASSES, key=lambda c: c.value))
+    def test_continuous_category(self, cls):
+        assert cls.category is SignalCategory.CONTINUOUS
+        assert cls.is_continuous
+        assert not cls.is_discrete
+
+    @pytest.mark.parametrize("cls", sorted(DISCRETE_CLASSES, key=lambda c: c.value))
+    def test_discrete_category(self, cls):
+        assert cls.category is SignalCategory.DISCRETE
+        assert cls.is_discrete
+        assert not cls.is_continuous
+
+    def test_monotonic_flag(self):
+        assert SignalClass.CONTINUOUS_MONOTONIC_STATIC.is_monotonic
+        assert SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC.is_monotonic
+        assert not SignalClass.CONTINUOUS_RANDOM.is_monotonic
+        assert not SignalClass.DISCRETE_RANDOM.is_monotonic
+
+    def test_sequential_flag(self):
+        assert SignalClass.DISCRETE_SEQUENTIAL_LINEAR.is_sequential
+        assert SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR.is_sequential
+        assert not SignalClass.DISCRETE_RANDOM.is_sequential
+        assert not SignalClass.CONTINUOUS_RANDOM.is_sequential
+
+
+class TestClassCodes:
+    """The enum values double as Table 4's abbreviations."""
+
+    @pytest.mark.parametrize(
+        "code, expected",
+        [
+            ("Co/Ra", SignalClass.CONTINUOUS_RANDOM),
+            ("Co/Mo/St", SignalClass.CONTINUOUS_MONOTONIC_STATIC),
+            ("Co/Mo/Dy", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC),
+            ("Di/Se/Li", SignalClass.DISCRETE_SEQUENTIAL_LINEAR),
+            ("Di/Se/Nl", SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR),
+            ("Di/Ra", SignalClass.DISCRETE_RANDOM),
+        ],
+    )
+    def test_parse_valid_codes(self, code, expected):
+        assert parse_class_code(code) is expected
+
+    def test_parse_round_trips_every_class(self):
+        for cls in SignalClass:
+            assert parse_class_code(cls.value) is cls
+
+    @pytest.mark.parametrize("bad", ["", "Co", "Co/Mo", "co/ra", "Di/Se", "X/Y/Z"])
+    def test_parse_rejects_unknown_codes(self, bad):
+        with pytest.raises(ValueError, match="unknown signal class code"):
+            parse_class_code(bad)
+
+    def test_parse_error_lists_valid_codes(self):
+        with pytest.raises(ValueError, match="Co/Mo/Dy"):
+            parse_class_code("nope")

@@ -1,0 +1,187 @@
+"""Tests for parameter-set serialisation and config-driven monitors."""
+
+import json
+
+import pytest
+
+from repro.core.classes import SignalClass
+from repro.core.config import (
+    continuous_from_dict,
+    continuous_to_dict,
+    discrete_from_dict,
+    discrete_to_dict,
+    modal_from_dict,
+    modal_to_dict,
+    monitor_from_config,
+    params_from_dict,
+    params_to_dict,
+)
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    ParameterError,
+    linear_transition_map,
+)
+
+
+class TestContinuousRoundTrip:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            ContinuousParams.static_monotonic(0, 0xFFFF, 1, wrap=True),
+            ContinuousParams.dynamic_monotonic(0, 9000, 0, 2),
+            ContinuousParams.random(0, 6000, 250, 250),
+            ContinuousParams(0, 100, rmin_incr=1, rmax_incr=5, rmin_decr=2, rmax_decr=7),
+        ],
+    )
+    def test_round_trip(self, params):
+        assert continuous_from_dict(continuous_to_dict(params)) == params
+
+    def test_json_compatible(self):
+        encoded = continuous_to_dict(ContinuousParams.random(0, 100, 5, 5))
+        assert continuous_from_dict(json.loads(json.dumps(encoded))) is not None
+
+    def test_missing_key_reported(self):
+        with pytest.raises(ParameterError, match="missing key"):
+            continuous_from_dict({"smin": 0})
+
+    def test_defaults_for_optional_rates(self):
+        params = continuous_from_dict({"smin": 0, "smax": 10, "rmax_incr": 2})
+        assert params.rmax_decr == 0
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ParameterError):
+            continuous_from_dict({"smin": 10, "smax": 5})
+
+
+class TestDiscreteRoundTrip:
+    def test_random_round_trip(self):
+        params = DiscreteParams.random({1, 2, 3})
+        assert discrete_from_dict(discrete_to_dict(params)) == params
+
+    def test_sequential_round_trip(self):
+        params = linear_transition_map(range(7))
+        decoded = discrete_from_dict(discrete_to_dict(params))
+        assert decoded.domain == params.domain
+        assert decoded.transitions == params.transitions
+
+    def test_string_valued_round_trip(self):
+        params = DiscreteParams.sequential({"a": ["b"], "b": ["a", "b"]})
+        decoded = discrete_from_dict(discrete_to_dict(params))
+        assert decoded.transitions == params.transitions
+
+    def test_missing_domain_reported(self):
+        with pytest.raises(ParameterError, match="domain"):
+            discrete_from_dict({})
+
+    def test_unknown_transition_source_reported(self):
+        with pytest.raises(ParameterError, match="not found in domain"):
+            discrete_from_dict({"domain": [1], "transitions": {"9": [1]}})
+
+
+class TestDispatch:
+    def test_params_round_trip_both_kinds(self):
+        for params in (
+            ContinuousParams.random(0, 10, 1, 1),
+            DiscreteParams.random({1}),
+        ):
+            encoded = params_to_dict(params)
+            decoded = params_from_dict(encoded)
+            assert type(decoded) is type(params)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown parameter kind"):
+            params_from_dict({"kind": "quantum"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(ParameterError, match="cannot encode"):
+            params_to_dict(object())
+
+
+class TestModalRoundTrip:
+    def test_round_trip(self):
+        modal = ModalParameterSet(
+            {
+                "idle": ContinuousParams.random(0, 10, 1, 1),
+                "active": ContinuousParams.random(0, 100, 20, 20),
+            },
+            initial_mode="idle",
+        )
+        decoded = modal_from_dict(modal_to_dict(modal))
+        assert decoded.mode == "idle"
+        assert decoded.params_for("active").smax == 100
+
+    def test_missing_keys_reported(self):
+        with pytest.raises(ParameterError, match="missing key"):
+            modal_from_dict({"modes": {}})
+
+
+class TestMonitorFromConfig:
+    def test_static_monotonic_shorthand(self):
+        monitor = monitor_from_config(
+            "mscnt",
+            {"class": "Co/Mo/St", "params": {"smin": 0, "smax": 65535, "rate": 1, "wrap": True}},
+        )
+        assert monitor.signal_class is SignalClass.CONTINUOUS_MONOTONIC_STATIC
+        monitor.test(5, 0)
+        assert monitor.test_detects(9, 1)
+
+    def test_dynamic_monotonic_shorthand(self):
+        monitor = monitor_from_config(
+            "pulscnt",
+            {"class": "Co/Mo/Dy", "params": {"smin": 0, "smax": 9000, "rmax": 2}},
+        )
+        monitor.test(10, 0)
+        assert not monitor.test_detects(12, 1)
+        assert monitor.test_detects(11, 2)  # decrease
+
+    def test_full_continuous_encoding(self):
+        monitor = monitor_from_config(
+            "SetValue",
+            {
+                "class": "Co/Ra",
+                "params": {"smin": 0, "smax": 6000, "rmax_incr": 250, "rmax_decr": 250},
+                "monitor_id": "EA1",
+            },
+        )
+        assert monitor.monitor_id == "EA1"
+
+    def test_discrete_config(self):
+        monitor = monitor_from_config(
+            "slot",
+            {
+                "class": "Di/Se/Li",
+                "params": {
+                    "domain": [0, 1, 2],
+                    "transitions": {"0": [1], "1": [2], "2": [0]},
+                },
+            },
+        )
+        monitor.test(0, 0)
+        assert not monitor.test_detects(1, 1)
+        assert monitor.test_detects(0, 2)
+
+    def test_class_template_still_enforced(self):
+        with pytest.raises(ParameterError):
+            monitor_from_config(
+                "x",
+                {"class": "Co/Mo/St", "params": {"smin": 0, "smax": 10, "rmax_incr": 5, "kind": "continuous"}},
+            )
+
+    def test_missing_sections_reported(self):
+        with pytest.raises(ParameterError, match="missing key"):
+            monitor_from_config("x", {"class": "Co/Ra"})
+
+    def test_reference_policy_passthrough(self):
+        monitor = monitor_from_config(
+            "x",
+            {
+                "class": "Co/Ra",
+                "params": {"smin": 0, "smax": 10, "rmax_incr": 1, "rmax_decr": 1},
+                "reference_policy": "last-valid",
+            },
+        )
+        monitor.test(5, 0)
+        monitor.test(9, 1)  # violation; reference stays 5
+        assert monitor.test_detects(9, 2)

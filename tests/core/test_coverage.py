@@ -1,0 +1,79 @@
+"""Tests for the Section-2.4 coverage model."""
+
+import pytest
+
+from repro.core.coverage import CoverageModel, required_pds, total_detection_probability
+
+
+class TestTotalDetectionProbability:
+    def test_formula(self):
+        # Pdetect = (Pen * Pprop + Pem) * Pds with Pen = 1 - Pem.
+        assert total_detection_probability(0.3, 0.5, 0.8) == pytest.approx(
+            (0.7 * 0.5 + 0.3) * 0.8
+        )
+
+    def test_all_errors_in_monitored_signals(self):
+        # Pem = 1: Pdetect collapses to Pds.
+        assert total_detection_probability(1.0, 0.0, 0.74) == pytest.approx(0.74)
+
+    def test_no_reach_no_detection(self):
+        assert total_detection_probability(0.0, 0.0, 1.0) == 0.0
+
+    def test_full_propagation(self):
+        # Every error reaches a monitored signal: Pdetect = Pds.
+        assert total_detection_probability(0.2, 1.0, 0.6) == pytest.approx(0.6)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_probabilities_validated(self, bad):
+        with pytest.raises(ValueError):
+            total_detection_probability(bad, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            total_detection_probability(0.5, bad, 0.5)
+        with pytest.raises(ValueError):
+            total_detection_probability(0.5, 0.5, bad)
+
+
+class TestRequiredPds:
+    def test_inverts_the_model(self):
+        pds = required_pds(0.5, pem=0.3, pprop=0.5)
+        assert total_detection_probability(0.3, 0.5, pds) == pytest.approx(0.5)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            required_pds(0.9, pem=0.1, pprop=0.1)
+
+    def test_zero_reach_zero_target_ok(self):
+        assert required_pds(0.0, pem=0.0, pprop=0.0) == 0.0
+
+    def test_zero_reach_positive_target_rejected(self):
+        with pytest.raises(ValueError, match="never reach"):
+            required_pds(0.1, pem=0.0, pprop=0.0)
+
+
+class TestCoverageModel:
+    def test_derived_quantities(self):
+        model = CoverageModel(pem=0.3, pprop=0.5, pds=0.74)
+        assert model.pen == pytest.approx(0.7)
+        assert model.reach == pytest.approx(0.7 * 0.5 + 0.3)
+        assert model.pdetect == pytest.approx(model.reach * 0.74)
+
+    def test_paper_scenario_uniform_distribution(self):
+        """Section 5.2: Pem=1 means Pdetect equals the measured 74 %."""
+        model = CoverageModel(pem=1.0, pprop=0.0, pds=0.74)
+        assert model.pdetect == pytest.approx(0.74)
+
+    def test_with_pds_replaces_only_pds(self):
+        model = CoverageModel(pem=0.3, pprop=0.5, pds=0.5)
+        updated = model.with_pds(0.9)
+        assert updated.pds == 0.9
+        assert updated.pem == model.pem
+        assert updated.pprop == model.pprop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageModel(pem=1.2, pprop=0.5, pds=0.5)
+
+    def test_frozen(self):
+        model = CoverageModel(0.1, 0.2, 0.3)
+        with pytest.raises(AttributeError):
+            model.pds = 0.9

@@ -1,0 +1,137 @@
+"""Tests for the dynamic (adaptive) constraint extension."""
+
+import pytest
+
+from repro.core.dynamic import (
+    AdaptiveContinuousMonitor,
+    EwmaRateEstimator,
+    WindowedRateEstimator,
+)
+from repro.core.parameters import ContinuousParams, ParameterError
+
+
+class TestWindowedRateEstimator:
+    def test_not_ready_before_window_fills(self):
+        est = WindowedRateEstimator(window=8)
+        for value in range(5):
+            est.observe(value)
+        assert not est.ready
+        assert est.rate_bounds() is None
+
+    def test_learns_envelope_with_margin(self):
+        est = WindowedRateEstimator(window=8, margin=1.5)
+        for value in [0, 2, 4, 3, 5, 7, 6, 8]:
+            est.observe(value)
+        assert est.ready
+        rmax_incr, rmax_decr = est.rate_bounds()
+        assert rmax_incr == pytest.approx(2 * 1.5)
+        assert rmax_decr == pytest.approx(1 * 1.5)
+
+    def test_window_slides(self):
+        est = WindowedRateEstimator(window=4, margin=1.0)
+        for value in [0, 10, 10, 10, 10, 10, 10]:
+            est.observe(value)
+        rmax_incr, _ = est.rate_bounds()
+        assert rmax_incr == 0  # the big early jump has left the window
+
+    def test_monotonic_input_yields_zero_decrease_bound(self):
+        est = WindowedRateEstimator(window=4, margin=1.0)
+        for value in [0, 1, 2, 3, 4]:
+            est.observe(value)
+        _, rmax_decr = est.rate_bounds()
+        assert rmax_decr == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WindowedRateEstimator(window=1)
+        with pytest.raises(ParameterError):
+            WindowedRateEstimator(margin=0.5)
+
+
+class TestEwmaRateEstimator:
+    def test_envelope_bumps_immediately_on_exceedance(self):
+        est = EwmaRateEstimator(alpha=0.1, margin=1.0)
+        for value in range(12):
+            est.observe(value)
+        rmax_incr, _ = est.rate_bounds()
+        assert rmax_incr >= 1.0
+
+    def test_envelope_decays_when_quiet(self):
+        est = EwmaRateEstimator(alpha=0.5, margin=1.0)
+        est.observe(0)
+        est.observe(10)  # envelope jumps to 10
+        for _ in range(10):
+            est.observe(10)  # zero change decays the envelope
+        rmax_incr, _ = est.rate_bounds()
+        assert rmax_incr < 1.0
+
+    def test_not_ready_immediately(self):
+        est = EwmaRateEstimator()
+        est.observe(1)
+        est.observe(2)
+        assert not est.ready
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            EwmaRateEstimator(alpha=0.0)
+        with pytest.raises(ParameterError):
+            EwmaRateEstimator(margin=0.9)
+
+
+class TestAdaptiveContinuousMonitor:
+    _HARD = ContinuousParams.random(0, 1000, rmax_incr=500, rmax_decr=500)
+
+    def test_requires_random_class(self):
+        with pytest.raises(ParameterError, match="random continuous"):
+            AdaptiveContinuousMonitor(
+                "x", ContinuousParams.static_monotonic(0, 10, 1)
+            )
+
+    def test_hard_envelope_enforced_during_learning(self):
+        mon = AdaptiveContinuousMonitor("x", self._HARD)
+        assert mon.test(0)
+        assert not mon.test(600)  # violates the hard rate limit
+        assert mon.violations == 1
+
+    def test_learned_envelope_tightens(self):
+        mon = AdaptiveContinuousMonitor(
+            "x",
+            self._HARD,
+            estimator=WindowedRateEstimator(window=16, margin=1.25),
+            refresh_every=8,
+        )
+        value = 100
+        for step in range(80):
+            value += (1 if step % 2 else -1) * 4  # gentle dither
+            assert mon.test(value)
+        assert mon.active_params.rmax_incr < 50
+        # A change legal under the hard envelope is now rejected.
+        assert not mon.test(value + 200)
+
+    def test_rejected_samples_do_not_feed_estimator(self):
+        mon = AdaptiveContinuousMonitor(
+            "x",
+            self._HARD,
+            estimator=WindowedRateEstimator(window=4, margin=1.0),
+            refresh_every=2,
+        )
+        mon.test(0)
+        mon.test(900)  # rejected: jump of 900 over hard limit 500
+        assert len(mon.estimator._deltas) == 0
+
+    def test_learned_limits_never_exceed_hard_envelope(self):
+        mon = AdaptiveContinuousMonitor(
+            "x",
+            self._HARD,
+            estimator=WindowedRateEstimator(window=4, margin=100.0),
+            refresh_every=2,
+        )
+        value = 0
+        for _ in range(20):
+            value += 5
+            mon.test(value)
+        assert mon.active_params.rmax_incr <= self._HARD.rmax_incr
+
+    def test_refresh_every_validation(self):
+        with pytest.raises(ParameterError):
+            AdaptiveContinuousMonitor("x", self._HARD, refresh_every=0)

@@ -1,0 +1,263 @@
+"""Tests for signal monitors, the detection log and the monitor bank."""
+
+import pytest
+
+from repro.core.classes import SignalClass
+from repro.core.monitor import DetectionEvent, DetectionLog, MonitorBank, SignalMonitor
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    ParameterError,
+    linear_transition_map,
+)
+from repro.core.recovery import ExtrapolateRate, HoldLastValid
+
+
+def _counter_monitor(**kw):
+    return SignalMonitor(
+        "counter",
+        SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+        ContinuousParams.static_monotonic(0, 1000, rate=1),
+        **kw,
+    )
+
+
+def _random_monitor(**kw):
+    return SignalMonitor(
+        "pressure",
+        SignalClass.CONTINUOUS_RANDOM,
+        ContinuousParams.random(0, 100, rmax_incr=5, rmax_decr=5),
+        **kw,
+    )
+
+
+class TestDetectionLog:
+    def _event(self, time=1.0):
+        from repro.core.assertions import AssertionResult
+
+        return DetectionEvent("s", time, 1, 0, AssertionResult(False, ("1",)))
+
+    def test_starts_empty(self):
+        log = DetectionLog()
+        assert not log.detected
+        assert log.first_detection_time is None
+        assert len(log) == 0
+
+    def test_records_first_detection_time(self):
+        log = DetectionLog()
+        log.record(self._event(5.0))
+        log.record(self._event(9.0))
+        assert log.detected
+        assert log.first_detection_time == 5.0
+        assert len(log) == 2
+
+    def test_clear_resets(self):
+        log = DetectionLog()
+        log.record(self._event())
+        log.clear()
+        assert not log.detected
+        assert len(log) == 0
+
+    def test_first_detection_by_monitor(self):
+        from repro.core.assertions import AssertionResult
+
+        log = DetectionLog()
+        log.record(DetectionEvent("a", 3.0, 1, 0, AssertionResult(False), monitor_id="EA1"))
+        log.record(DetectionEvent("b", 7.0, 1, 0, AssertionResult(False), monitor_id="EA2"))
+        assert log.first_detection_by("EA2") == 7.0
+        assert log.first_detection_by("EA3") is None
+
+    def test_iteration_yields_events(self):
+        log = DetectionLog()
+        log.record(self._event(1.0))
+        assert [e.time for e in log] == [1.0]
+
+
+class TestSignalMonitorBasics:
+    def test_first_sample_establishes_reference(self):
+        mon = _counter_monitor()
+        assert mon.previous is None
+        mon.test(10, 0)
+        assert mon.previous == 10
+
+    def test_valid_trajectory_no_detections(self):
+        mon = _counter_monitor()
+        for t, value in enumerate(range(5, 50)):
+            mon.test(value, t)
+        assert mon.violations == 0
+        assert not mon.log.detected
+        assert mon.tests_run == 45
+
+    def test_violation_recorded_with_time(self):
+        mon = _counter_monitor()
+        mon.test(10, 0)
+        mon.test(13, 7)  # jump of 3 on a rate-1 static counter
+        assert mon.violations == 1
+        assert mon.log.first_detection_time == 7
+        event = mon.log.events[0]
+        assert event.signal == "counter"
+        assert event.value == 13
+        assert event.previous == 10
+
+    def test_test_detects_helper(self):
+        mon = _counter_monitor()
+        mon.test(10, 0)
+        assert mon.test_detects(12, 1)
+        assert not mon.test_detects(13, 2)  # observed policy: 13 follows 12
+
+    def test_monitor_id_defaults_to_name(self):
+        assert _counter_monitor().monitor_id == "counter"
+
+    def test_monitor_id_override(self):
+        mon = _counter_monitor(monitor_id="EA6")
+        mon.test(1, 0)
+        mon.test(5, 1)
+        assert mon.log.events[0].monitor_id == "EA6"
+
+    def test_reset_forgets_reference(self):
+        mon = _counter_monitor()
+        mon.test(10, 0)
+        mon.reset()
+        assert mon.previous is None
+        assert not mon.test_detects(500, 1)  # first sample again
+
+    def test_invalid_reference_policy_rejected(self):
+        with pytest.raises(ParameterError, match="reference_policy"):
+            _counter_monitor(reference_policy="bogus")
+
+
+class TestReferencePolicies:
+    def test_observed_policy_adopts_erroneous_sample(self):
+        mon = _random_monitor(reference_policy="observed")
+        mon.test(50, 0)
+        mon.test(90, 1)  # jump of 40: violation
+        assert mon.violations == 1
+        # Reference is now 90: a sample near it passes.
+        assert not mon.test_detects(88, 2)
+
+    def test_last_valid_policy_keeps_old_reference(self):
+        mon = _random_monitor(reference_policy="last-valid")
+        mon.test(50, 0)
+        mon.test(90, 1)
+        assert mon.violations == 1
+        # Reference is still 50: 88 is again a violation, 53 is fine.
+        assert mon.test_detects(88, 2)
+        assert not mon.test_detects(53, 3)
+
+
+class TestRecovery:
+    def test_recovery_value_returned_and_becomes_reference(self):
+        mon = _counter_monitor(recovery=ExtrapolateRate())
+        mon.test(10, 0)
+        recovered = mon.test(999, 1)
+        assert recovered == 11  # trajectory continued at the static rate
+        assert mon.previous == 11
+
+    def test_hold_last_valid_recovery(self):
+        mon = _random_monitor(recovery=HoldLastValid())
+        mon.test(50, 0)
+        assert mon.test(90, 1) == 50
+
+    def test_recovered_stream_stays_consistent(self):
+        mon = _counter_monitor(recovery=ExtrapolateRate())
+        mon.test(10, 0)
+        mon.test(500, 1)   # recovered to 11
+        assert not mon.test_detects(12, 2)
+
+    def test_valid_samples_pass_through_recovery_unchanged(self):
+        mon = _counter_monitor(recovery=ExtrapolateRate())
+        mon.test(10, 0)
+        assert mon.test(11, 1) == 11
+
+
+class TestModalMonitor:
+    def _modal_monitor(self):
+        modal = ModalParameterSet(
+            {
+                "idle": ContinuousParams.random(0, 10, rmax_incr=1, rmax_decr=1),
+                "active": ContinuousParams.random(0, 100, rmax_incr=20, rmax_decr=20),
+            },
+            initial_mode="idle",
+        )
+        return SignalMonitor("modal", SignalClass.CONTINUOUS_RANDOM, modal)
+
+    def test_initial_mode_constraints_apply(self):
+        mon = self._modal_monitor()
+        mon.test(5, 0)
+        assert mon.test_detects(9, 1)  # +4 violates idle's rate 1
+
+    def test_mode_switch_applies_new_constraints(self):
+        mon = self._modal_monitor()
+        mon.test(5, 0)
+        mon.set_mode("active")
+        assert not mon.test_detects(20, 1)  # +15 fine in active mode
+        assert mon.mode == "active"
+
+    def test_reference_survives_mode_switch(self):
+        mon = self._modal_monitor()
+        mon.test(5, 0)
+        mon.set_mode("active")
+        assert mon.previous == 5
+
+    def test_non_modal_monitor_rejects_set_mode(self):
+        with pytest.raises(ParameterError, match="no modes"):
+            _counter_monitor().set_mode("x")
+
+    def test_mode_property_none_for_static_monitor(self):
+        assert _counter_monitor().mode is None
+
+
+class TestMonitorBank:
+    def _bank(self):
+        bank = MonitorBank()
+        bank.add(
+            "slot",
+            SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+            linear_transition_map(range(7)),
+            monitor_id="EA5",
+        )
+        bank.add(
+            "mscnt",
+            SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+            ContinuousParams.static_monotonic(0, 0xFFFF, 1, wrap=True),
+            monitor_id="EA6",
+        )
+        return bank
+
+    def test_monitors_share_one_log(self):
+        bank = self._bank()
+        bank.test("slot", 0, 0)
+        bank.test("slot", 5, 1)  # invalid transition
+        bank.test("mscnt", 0, 2)
+        bank.test("mscnt", 9, 3)  # wrong rate
+        assert len(bank.log) == 2
+        assert {e.monitor_id for e in bank.log} == {"EA5", "EA6"}
+
+    def test_duplicate_names_rejected(self):
+        bank = self._bank()
+        with pytest.raises(ParameterError, match="already exists"):
+            bank.add(
+                "slot",
+                SignalClass.DISCRETE_RANDOM,
+                DiscreteParams.random({1}),
+            )
+
+    def test_lookup_and_membership(self):
+        bank = self._bank()
+        assert "slot" in bank
+        assert "other" not in bank
+        assert bank["mscnt"].monitor_id == "EA6"
+        assert len(bank) == 2
+        assert set(bank.names) == {"slot", "mscnt"}
+
+    def test_reset_clears_state_and_log(self):
+        bank = self._bank()
+        bank.test("slot", 0, 0)
+        bank.test("slot", 3, 1)
+        bank.reset()
+        assert not bank.log.detected
+        assert bank["slot"].previous is None
+
+    def test_iteration(self):
+        assert {m.name for m in self._bank()} == {"slot", "mscnt"}

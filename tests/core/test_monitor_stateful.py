@@ -1,0 +1,103 @@
+"""Stateful property-based tests (hypothesis) for signal monitors.
+
+Two machines:
+
+* a monitor fed a *legal* trajectory must never flag anything, whatever
+  interleaving of steps/holds/mode handling occurs;
+* a static-monotonic monitor must flag *every* step that deviates from
+  its one legal continuation, and recovery must keep the reference on the
+  legal trajectory.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.classes import SignalClass
+from repro.core.monitor import SignalMonitor
+from repro.core.parameters import ContinuousParams
+from repro.core.recovery import ExtrapolateRate
+
+
+class LegalRandomWalkMachine(RuleBasedStateMachine):
+    """A random-continuous monitor on legal moves only: zero violations."""
+
+    def __init__(self):
+        super().__init__()
+        self.params = ContinuousParams.random(0, 10_000, rmax_incr=10, rmax_decr=10)
+        self.monitor = SignalMonitor("walk", SignalClass.CONTINUOUS_RANDOM, self.params)
+        self.value = 5000
+        self.time = 0
+        self.monitor.test(self.value, self.time)
+
+    @rule(delta=st.integers(-10, 10))
+    def legal_step(self, delta):
+        candidate = self.value + delta
+        if not self.params.smin <= candidate <= self.params.smax:
+            return
+        self.value = candidate
+        self.time += 1
+        self.monitor.test(self.value, self.time)
+
+    @rule()
+    def hold(self):
+        self.time += 1
+        self.monitor.test(self.value, self.time)
+
+    @invariant()
+    def never_flags_legal_behaviour(self):
+        assert self.monitor.violations == 0
+
+    @invariant()
+    def reference_tracks_last_sample(self):
+        assert self.monitor.previous == self.value
+
+
+class CorruptedCounterMachine(RuleBasedStateMachine):
+    """A static counter with recovery: every deviation flagged + repaired."""
+
+    def __init__(self):
+        super().__init__()
+        params = ContinuousParams.static_monotonic(0, 1_000_000, rate=1)
+        self.monitor = SignalMonitor(
+            "counter",
+            SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+            params,
+            recovery=ExtrapolateRate(),
+        )
+        self.true_value = 100
+        self.time = 0
+        self.monitor.test(self.true_value, self.time)
+        self.expected_violations = 0
+
+    @rule()
+    def clean_tick(self):
+        self.true_value += 1
+        self.time += 1
+        result = self.monitor.test(self.true_value, self.time)
+        assert result == self.true_value
+
+    @rule(bit=st.integers(0, 12))
+    def corrupted_tick(self, bit):
+        self.true_value += 1
+        corrupted = self.true_value ^ (1 << bit)
+        self.time += 1
+        result = self.monitor.test(corrupted, self.time)
+        self.expected_violations += 1
+        # Recovery extrapolates the legal trajectory, repairing the sample.
+        assert result == self.true_value
+
+    @invariant()
+    def violation_count_is_exact(self):
+        assert self.monitor.violations == self.expected_violations
+
+    @invariant()
+    def reference_stays_on_the_true_trajectory(self):
+        assert self.monitor.previous == self.true_value
+
+
+TestLegalRandomWalk = LegalRandomWalkMachine.TestCase
+TestLegalRandomWalk.settings = settings(max_examples=30, stateful_step_count=40)
+
+TestCorruptedCounter = CorruptedCounterMachine.TestCase
+TestCorruptedCounter.settings = settings(max_examples=30, stateful_step_count=40)

@@ -1,0 +1,300 @@
+"""Tests for the parameter sets Pcont / Pdisc and the Table-1 templates."""
+
+import pytest
+
+from repro.core.classes import SignalClass
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    ParameterError,
+    classify_continuous,
+    linear_transition_map,
+    validate_continuous,
+)
+
+
+class TestContinuousParamsValidation:
+    def test_smax_must_exceed_smin(self):
+        with pytest.raises(ParameterError, match="smax"):
+            ContinuousParams(smin=10, smax=10)
+
+    def test_smax_below_smin_rejected(self):
+        with pytest.raises(ParameterError, match="smax"):
+            ContinuousParams(smin=10, smax=5)
+
+    @pytest.mark.parametrize("field", ["rmin_incr", "rmax_incr", "rmin_decr", "rmax_decr"])
+    def test_negative_rates_rejected(self, field):
+        with pytest.raises(ParameterError, match=field):
+            ContinuousParams(0, 100, **{field: -1})
+
+    def test_incr_range_must_be_ordered(self):
+        with pytest.raises(ParameterError, match="rmax_incr"):
+            ContinuousParams(0, 100, rmin_incr=5, rmax_incr=2)
+
+    def test_decr_range_must_be_ordered(self):
+        with pytest.raises(ParameterError, match="rmax_decr"):
+            ContinuousParams(0, 100, rmin_decr=5, rmax_decr=2)
+
+    def test_span(self):
+        assert ContinuousParams(-10, 30).span == 40
+
+    def test_frozen(self):
+        params = ContinuousParams(0, 100)
+        with pytest.raises(AttributeError):
+            params.smax = 50
+
+
+class TestTable1Templates:
+    """Table 1: constraints each signal class imposes on the parameters."""
+
+    def test_static_monotonic_increasing(self):
+        p = ContinuousParams(0, 100, rmin_incr=2, rmax_incr=2)
+        assert p.is_static_monotonic()
+        assert not p.is_dynamic_monotonic()
+        assert not p.is_random()
+
+    def test_static_monotonic_decreasing(self):
+        p = ContinuousParams(0, 100, rmin_decr=3, rmax_decr=3)
+        assert p.is_static_monotonic()
+
+    def test_static_monotonic_requires_positive_rate(self):
+        # All rates zero fits no Table-1 template.
+        p = ContinuousParams(0, 100)
+        assert not p.is_static_monotonic()
+        assert classify_continuous(p) is None
+
+    def test_dynamic_monotonic_increasing(self):
+        p = ContinuousParams(0, 100, rmin_incr=0, rmax_incr=5)
+        assert p.is_dynamic_monotonic()
+        assert not p.is_static_monotonic()
+        assert not p.is_random()
+
+    def test_dynamic_monotonic_decreasing(self):
+        p = ContinuousParams(0, 100, rmin_decr=1, rmax_decr=5)
+        assert p.is_dynamic_monotonic()
+
+    def test_random_requires_both_directions(self):
+        p = ContinuousParams(0, 100, rmax_incr=5, rmax_decr=5)
+        assert p.is_random()
+        assert not p.is_static_monotonic()
+        assert not p.is_dynamic_monotonic()
+
+    def test_templates_mutually_exclusive(self):
+        candidates = [
+            ContinuousParams(0, 100, rmin_incr=2, rmax_incr=2),
+            ContinuousParams(0, 100, rmax_incr=5),
+            ContinuousParams(0, 100, rmax_incr=5, rmax_decr=3),
+        ]
+        for p in candidates:
+            matches = [p.is_static_monotonic(), p.is_dynamic_monotonic(), p.is_random()]
+            assert sum(matches) == 1
+
+    def test_classify_continuous(self):
+        assert (
+            classify_continuous(ContinuousParams(0, 10, rmin_incr=1, rmax_incr=1))
+            is SignalClass.CONTINUOUS_MONOTONIC_STATIC
+        )
+        assert (
+            classify_continuous(ContinuousParams(0, 10, rmax_decr=2))
+            is SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC
+        )
+        assert (
+            classify_continuous(ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1))
+            is SignalClass.CONTINUOUS_RANDOM
+        )
+
+    def test_validate_continuous_accepts_match(self):
+        validate_continuous(
+            ContinuousParams(0, 10, rmax_incr=2, rmax_decr=2),
+            SignalClass.CONTINUOUS_RANDOM,
+        )
+
+    def test_validate_continuous_rejects_mismatch(self):
+        with pytest.raises(ParameterError, match="satisfy"):
+            validate_continuous(
+                ContinuousParams(0, 10, rmax_incr=2, rmax_decr=2),
+                SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+            )
+
+    def test_validate_continuous_rejects_discrete_class(self):
+        with pytest.raises(ParameterError, match="not a continuous class"):
+            validate_continuous(ContinuousParams(0, 10), SignalClass.DISCRETE_RANDOM)
+
+
+class TestContinuousConstructors:
+    def test_static_monotonic_constructor(self):
+        p = ContinuousParams.static_monotonic(0, 100, rate=4)
+        assert p.rmin_incr == p.rmax_incr == 4
+        assert p.decrease_forbidden
+        assert p.is_static_monotonic()
+
+    def test_static_monotonic_decreasing_constructor(self):
+        p = ContinuousParams.static_monotonic(0, 100, rate=4, increasing=False)
+        assert p.rmin_decr == p.rmax_decr == 4
+        assert p.increase_forbidden
+
+    def test_static_monotonic_rejects_zero_rate(self):
+        with pytest.raises(ParameterError, match="rate"):
+            ContinuousParams.static_monotonic(0, 100, rate=0)
+
+    def test_dynamic_monotonic_constructor(self):
+        p = ContinuousParams.dynamic_monotonic(0, 100, rmin=1, rmax=5)
+        assert p.is_dynamic_monotonic()
+
+    def test_dynamic_monotonic_rejects_degenerate_range(self):
+        with pytest.raises(ParameterError, match="rmax > rmin"):
+            ContinuousParams.dynamic_monotonic(0, 100, rmin=5, rmax=5)
+
+    def test_random_constructor(self):
+        p = ContinuousParams.random(0, 100, rmax_incr=5, rmax_decr=3)
+        assert p.is_random()
+
+    def test_random_rejects_one_sided(self):
+        with pytest.raises(ParameterError, match="both directions"):
+            ContinuousParams.random(0, 100, rmax_incr=5, rmax_decr=0)
+
+    def test_wrap_flag_propagates(self):
+        assert ContinuousParams.static_monotonic(0, 10, 1, wrap=True).wrap
+        assert not ContinuousParams.static_monotonic(0, 10, 1).wrap
+
+
+class TestDiscreteParams:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            DiscreteParams(frozenset())
+
+    def test_random_classification(self):
+        p = DiscreteParams.random({1, 2, 3})
+        assert p.classify() is SignalClass.DISCRETE_RANDOM
+        assert not p.is_sequential
+
+    def test_sequential_constructor_derives_domain(self):
+        p = DiscreteParams.sequential({1: [2], 2: [1]})
+        assert p.domain == frozenset({1, 2})
+        assert p.is_sequential
+
+    def test_transition_source_outside_domain_rejected(self):
+        with pytest.raises(ParameterError, match="source"):
+            DiscreteParams(frozenset({1, 2}), {1: frozenset({2}), 3: frozenset({1}), 2: frozenset()})
+
+    def test_transition_target_outside_domain_rejected(self):
+        with pytest.raises(ParameterError, match="targets"):
+            DiscreteParams(frozenset({1, 2}), {1: frozenset({9}), 2: frozenset()})
+
+    def test_transition_map_must_cover_domain(self):
+        with pytest.raises(ParameterError, match="cover every element"):
+            DiscreteParams(frozenset({1, 2, 3}), {1: frozenset({2}), 2: frozenset({3})})
+
+    def test_linear_detection_cycle(self):
+        p = DiscreteParams.sequential({0: [1], 1: [2], 2: [0]})
+        assert p.is_linear()
+        assert p.classify() is SignalClass.DISCRETE_SEQUENTIAL_LINEAR
+
+    def test_linear_detection_terminating_chain(self):
+        p = DiscreteParams.sequential({0: [1], 1: [2], 2: []})
+        assert p.is_linear()
+
+    def test_branching_is_nonlinear(self):
+        p = DiscreteParams.sequential({0: [1, 2], 1: [0], 2: [0]})
+        assert not p.is_linear()
+        assert p.classify() is SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR
+
+    def test_merging_is_nonlinear(self):
+        # Two sources transitioning into the same target is not a line.
+        p = DiscreteParams.sequential({0: [2], 1: [2], 2: [0]})
+        assert not p.is_linear()
+
+    def test_figure3_state_diagram_is_nonlinear(self):
+        """The five-state example of Figure 3."""
+        p = DiscreteParams.sequential(
+            {
+                "v1": ["v2", "v4"],
+                "v2": ["v3", "v4"],
+                "v3": ["v4"],
+                "v4": ["v5"],
+                "v5": ["v1"],
+            }
+        )
+        assert p.classify() is SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR
+        assert p.transitions["v4"] == frozenset({"v5"})
+
+
+class TestLinearTransitionMap:
+    def test_cyclic_sequence(self):
+        p = linear_transition_map([0, 1, 2], cyclic=True)
+        assert p.transitions[2] == frozenset({0})
+        assert p.classify() is SignalClass.DISCRETE_SEQUENTIAL_LINEAR
+
+    def test_non_cyclic_sequence_has_terminal(self):
+        p = linear_transition_map([0, 1, 2], cyclic=False)
+        assert p.transitions[2] == frozenset()
+
+    def test_seven_slot_scheduler_shape(self):
+        """The paper's ms_slot_nbr signal: 0..6 cyclic."""
+        p = linear_transition_map(range(7))
+        assert p.domain == frozenset(range(7))
+        for slot in range(7):
+            assert p.transitions[slot] == frozenset({(slot + 1) % 7})
+
+    def test_rejects_short_sequences(self):
+        with pytest.raises(ParameterError, match="at least two"):
+            linear_transition_map([0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ParameterError, match="distinct"):
+            linear_transition_map([0, 1, 0])
+
+
+class TestModalParameterSet:
+    def _modal(self):
+        return ModalParameterSet(
+            {
+                "taxi": ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1),
+                "arrest": ContinuousParams(0, 100, rmax_incr=20, rmax_decr=20),
+            },
+            initial_mode="taxi",
+        )
+
+    def test_initial_mode_active(self):
+        modal = self._modal()
+        assert modal.mode == "taxi"
+        assert modal.active.smax == 10
+
+    def test_mode_switch_changes_active_params(self):
+        modal = self._modal()
+        modal.mode = "arrest"
+        assert modal.active.smax == 100
+
+    def test_unknown_mode_rejected(self):
+        modal = self._modal()
+        with pytest.raises(ParameterError, match="unknown mode"):
+            modal.mode = "flight"
+
+    def test_unknown_initial_mode_rejected(self):
+        with pytest.raises(ParameterError, match="initial mode"):
+            ModalParameterSet({"a": ContinuousParams(0, 1)}, initial_mode="b")
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            ModalParameterSet({}, initial_mode="a")
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ParameterError, match="same kind"):
+            ModalParameterSet(
+                {"a": ContinuousParams(0, 1), "b": DiscreteParams.random({1})},
+                initial_mode="a",
+            )
+
+    def test_params_for_arbitrary_mode(self):
+        modal = self._modal()
+        assert modal.params_for("arrest").smax == 100
+        with pytest.raises(ParameterError):
+            modal.params_for("flight")
+
+    def test_mode_variable_is_discrete_random_signal(self):
+        """Section 2.1: mode variables can themselves be monitored."""
+        modal = self._modal()
+        mode_params = modal.mode_signal_params()
+        assert mode_params.classify() is SignalClass.DISCRETE_RANDOM
+        assert mode_params.domain == frozenset({"taxi", "arrest"})

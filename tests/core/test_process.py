@@ -1,0 +1,187 @@
+"""Tests for the Section-2.3 incorporation process support."""
+
+import pytest
+
+from repro.core.classes import SignalClass
+from repro.core.parameters import ContinuousParams, linear_transition_map
+from repro.core.process import (
+    FmecaEntry,
+    InstrumentationPlan,
+    SignalDeclaration,
+    SignalInventory,
+)
+
+
+def _small_inventory():
+    """A miniature of the Figure-5 dataflow."""
+    inv = SignalInventory()
+    inv.declare("sensor", "input", "HW", ["DIST_S"])
+    inv.declare("pulscnt", "internal", "DIST_S", ["CALC"])
+    inv.declare("SetValue", "internal", "CALC", ["V_REG"])
+    inv.declare("OutValue", "internal", "V_REG", ["PRES_A"])
+    inv.declare("valve", "output", "PRES_A", ["HW_OUT"])
+    return inv
+
+
+class TestSignalDeclaration:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError, match="input/output/internal"):
+            SignalDeclaration("s", "weird", "M", ())
+
+    def test_consumers_normalised_to_tuple(self):
+        decl = SignalDeclaration("s", "input", "M", ["A", "B"])
+        assert decl.consumers == ("A", "B")
+
+
+class TestSignalInventory:
+    def test_declares_and_counts(self):
+        inv = _small_inventory()
+        assert len(inv) == 5
+        assert "pulscnt" in inv
+        assert "bogus" not in inv
+
+    def test_duplicate_declaration_rejected(self):
+        inv = _small_inventory()
+        with pytest.raises(ValueError, match="already declared"):
+            inv.declare("pulscnt", "internal", "X", [])
+
+    def test_kind_views(self):
+        inv = _small_inventory()
+        assert inv.inputs == ["sensor"]
+        assert inv.outputs == ["valve"]
+        assert set(inv.internals) == {"pulscnt", "SetValue", "OutValue"}
+
+    def test_modules_derived_from_declarations(self):
+        inv = _small_inventory()
+        assert "CALC" in inv.modules
+        assert "HW_OUT" in inv.modules
+
+    def test_pathways_input_to_output(self):
+        inv = _small_inventory()
+        paths = inv.pathways("sensor", "valve")
+        assert paths == [["sensor", "pulscnt", "SetValue", "OutValue", "valve"]]
+
+    def test_pathways_unknown_signal_rejected(self):
+        inv = _small_inventory()
+        with pytest.raises(KeyError):
+            inv.pathways("nope", "valve")
+
+    def test_downstream_signals(self):
+        inv = _small_inventory()
+        assert inv.downstream_signals("pulscnt") == {"SetValue", "OutValue", "valve"}
+        assert inv.downstream_signals("valve") == set()
+
+    def test_upstream_signals(self):
+        inv = _small_inventory()
+        assert inv.upstream_signals("OutValue") == {"sensor", "pulscnt", "SetValue"}
+
+    def test_influence_on_outputs(self):
+        inv = _small_inventory()
+        assert inv.influence_on_outputs("pulscnt") == {"valve"}
+        assert inv.influence_on_outputs("valve") == {"valve"}
+
+
+class TestFmeca:
+    def test_rpn(self):
+        entry = FmecaEntry("s", "mode", severity=9, occurrence=4, detectability=5)
+        assert entry.rpn == 180
+
+    def test_scales_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            FmecaEntry("s", "m", severity=0, occurrence=5)
+        with pytest.raises(ValueError, match="occurrence"):
+            FmecaEntry("s", "m", severity=5, occurrence=11)
+
+    def test_ranking_uses_worst_mode(self):
+        inv = _small_inventory()
+        ranked = inv.rank_by_fmeca(
+            [
+                FmecaEntry("pulscnt", "a", 3, 3),
+                FmecaEntry("pulscnt", "b", 9, 9),
+                FmecaEntry("SetValue", "c", 8, 8),
+            ]
+        )
+        assert ranked[0] == ("pulscnt", 810)
+        assert ranked[1] == ("SetValue", 640)
+
+    def test_ranking_top_limit(self):
+        inv = _small_inventory()
+        ranked = inv.rank_by_fmeca(
+            [FmecaEntry("pulscnt", "a", 5, 5), FmecaEntry("SetValue", "b", 4, 4)],
+            top=1,
+        )
+        assert len(ranked) == 1
+
+    def test_unknown_signal_rejected(self):
+        inv = _small_inventory()
+        with pytest.raises(KeyError, match="unknown signal"):
+            inv.rank_by_fmeca([FmecaEntry("ghost", "a", 5, 5)])
+
+
+class TestInstrumentationPlan:
+    def _plan(self):
+        return InstrumentationPlan(_small_inventory())
+
+    _PARAMS = ContinuousParams.dynamic_monotonic(0, 9000, 0, 2)
+
+    def test_plan_at_producer_or_consumer_accepted(self):
+        plan = self._plan()
+        plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "DIST_S")
+        assert plan["pulscnt"].location == "DIST_S"
+
+    def test_plan_elsewhere_rejected(self):
+        plan = self._plan()
+        with pytest.raises(ValueError, match="neither produces nor consumes"):
+            plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "PRES_A")
+
+    def test_undeclared_signal_rejected(self):
+        plan = self._plan()
+        with pytest.raises(KeyError):
+            plan.plan("ghost", SignalClass.CONTINUOUS_RANDOM, self._PARAMS, "CALC")
+
+    def test_duplicate_plan_rejected(self):
+        plan = self._plan()
+        plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "CALC")
+        with pytest.raises(ValueError, match="already planned"):
+            plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "DIST_S")
+
+    def test_assertions_at_location(self):
+        plan = self._plan()
+        plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "CALC")
+        plan.plan(
+            "SetValue",
+            SignalClass.CONTINUOUS_RANDOM,
+            ContinuousParams.random(0, 6000, rmax_incr=250, rmax_decr=250),
+            "V_REG",
+        )
+        assert [p.signal for p in plan.assertions_at("CALC")] == ["pulscnt"]
+        assert len(plan) == 2
+
+    def test_build_monitor_bank_all(self):
+        plan = self._plan()
+        plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "CALC", monitor_id="EA4")
+        bank = plan.build_monitor_bank()
+        assert "pulscnt" in bank
+        assert bank["pulscnt"].monitor_id == "EA4"
+
+    def test_build_monitor_bank_subset(self):
+        plan = self._plan()
+        plan.plan("pulscnt", SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC, self._PARAMS, "CALC", monitor_id="EA4")
+        plan.plan(
+            "SetValue",
+            SignalClass.CONTINUOUS_RANDOM,
+            ContinuousParams.random(0, 6000, rmax_incr=250, rmax_decr=250),
+            "V_REG",
+            monitor_id="EA1",
+        )
+        bank = plan.build_monitor_bank(enabled=["EA1"])
+        assert "SetValue" in bank
+        assert "pulscnt" not in bank
+
+    def test_plan_accepts_discrete_signals(self):
+        inv = _small_inventory()
+        inv.declare("slot", "internal", "CLOCK", ["CLOCK"])
+        plan = InstrumentationPlan(inv)
+        plan.plan("slot", SignalClass.DISCRETE_SEQUENTIAL_LINEAR, linear_transition_map(range(7)), "CLOCK")
+        bank = plan.build_monitor_bank()
+        assert "slot" in bank

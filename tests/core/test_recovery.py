@@ -1,0 +1,101 @@
+"""Tests for the recovery strategies."""
+
+import pytest
+
+from repro.core.parameters import ContinuousParams, DiscreteParams, ParameterError
+from repro.core.recovery import (
+    ClampToDomain,
+    ExtrapolateRate,
+    HoldLastValid,
+    ResetToValue,
+    default_recovery_for,
+)
+
+_RANDOM = ContinuousParams.random(0, 100, rmax_incr=5, rmax_decr=5)
+_STATIC_UP = ContinuousParams.static_monotonic(0, 100, rate=2)
+_STATIC_DOWN = ContinuousParams.static_monotonic(0, 100, rate=2, increasing=False)
+_DISCRETE = DiscreteParams.random({"a", "b", "c"})
+
+
+class TestHoldLastValid:
+    def test_returns_previous_value(self):
+        assert HoldLastValid().recover(999, 42, _RANDOM) == 42
+
+    def test_falls_back_to_smin_without_reference(self):
+        assert HoldLastValid().recover(999, None, _RANDOM) == 0
+
+    def test_discrete_fallback_is_deterministic_domain_member(self):
+        value = HoldLastValid().recover("x", None, _DISCRETE)
+        assert value in _DISCRETE.domain
+        assert value == HoldLastValid().recover("y", None, _DISCRETE)
+
+
+class TestClampToDomain:
+    def test_clamps_above(self):
+        assert ClampToDomain().recover(150, 50, _RANDOM) == 100
+
+    def test_clamps_below(self):
+        assert ClampToDomain().recover(-3, 50, _RANDOM) == 0
+
+    def test_leaves_in_domain_values(self):
+        assert ClampToDomain().recover(70, 50, _RANDOM) == 70
+
+    def test_rejects_discrete_params(self):
+        with pytest.raises(ParameterError, match="continuous"):
+            ClampToDomain().recover("a", "b", _DISCRETE)
+
+
+class TestExtrapolateRate:
+    def test_static_increasing_advances_by_rate(self):
+        assert ExtrapolateRate().recover(999, 10, _STATIC_UP) == 12
+
+    def test_static_decreasing_steps_down(self):
+        assert ExtrapolateRate().recover(999, 10, _STATIC_DOWN) == 8
+
+    def test_dynamic_uses_rate_midpoint(self):
+        params = ContinuousParams.dynamic_monotonic(0, 100, 0, 4)
+        assert ExtrapolateRate().recover(999, 10, params) == 12
+
+    def test_random_degenerates_to_hold(self):
+        assert ExtrapolateRate().recover(999, 42, _RANDOM) == 42
+
+    def test_without_reference_returns_smin(self):
+        assert ExtrapolateRate().recover(999, None, _STATIC_UP) == 0
+
+    def test_clamps_at_domain_edge_without_wrap(self):
+        assert ExtrapolateRate().recover(999, 99, _STATIC_UP) == 100
+
+    def test_wraps_at_domain_edge_with_wrap(self):
+        params = ContinuousParams.static_monotonic(0, 100, rate=2, wrap=True)
+        assert ExtrapolateRate().recover(999, 99, params) == 1
+
+    def test_rejects_discrete_params(self):
+        with pytest.raises(ParameterError, match="continuous"):
+            ExtrapolateRate().recover("a", "b", _DISCRETE)
+
+
+class TestResetToValue:
+    def test_returns_safe_value(self):
+        assert ResetToValue("a").recover("x", "b", _DISCRETE) == "a"
+
+    def test_safe_value_must_be_in_discrete_domain(self):
+        with pytest.raises(ParameterError, match="outside"):
+            ResetToValue("z").recover("x", "b", _DISCRETE)
+
+    def test_safe_value_must_be_in_continuous_domain(self):
+        with pytest.raises(ParameterError, match="outside"):
+            ResetToValue(500).recover(70, 50, _RANDOM)
+
+    def test_continuous_safe_value_accepted(self):
+        assert ResetToValue(25).recover(999, 50, _RANDOM) == 25
+
+
+class TestDefaultRecoveryFor:
+    def test_monotonic_gets_extrapolation(self):
+        assert isinstance(default_recovery_for(_STATIC_UP), ExtrapolateRate)
+
+    def test_random_continuous_gets_hold(self):
+        assert isinstance(default_recovery_for(_RANDOM), HoldLastValid)
+
+    def test_discrete_gets_hold(self):
+        assert isinstance(default_recovery_for(_DISCRETE), HoldLastValid)

@@ -1,0 +1,65 @@
+"""Property-based tests: recovery outputs re-satisfy the assertions.
+
+A recovery strategy is only useful if its replacement value passes the
+very assertion that rejected the original sample — otherwise the next
+test flags the "repaired" signal again.  These properties pin that
+closure down for the strategy/class combinations that guarantee it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assertions import ContinuousAssertion
+from repro.core.parameters import ContinuousParams
+from repro.core.recovery import ClampToDomain, ExtrapolateRate, HoldLastValid
+
+
+@st.composite
+def monotonic_params(draw):
+    smin = draw(st.integers(0, 100))
+    smax = smin + draw(st.integers(100, 5000))
+    if draw(st.booleans()):
+        rate = draw(st.integers(1, 20))
+        return ContinuousParams.static_monotonic(smin, smax, rate)
+    rmax = draw(st.integers(1, 20))
+    return ContinuousParams.dynamic_monotonic(smin, smax, 0, rmax)
+
+
+class TestExtrapolateClosure:
+    @given(monotonic_params(), st.integers(0, 4000), st.integers(0, 15))
+    @settings(max_examples=200)
+    def test_recovered_value_passes_the_assertion(self, params, offset, bit):
+        assertion = ContinuousAssertion(params)
+        prev = params.smin + min(offset, params.span - 25)
+        corrupted = (prev + 1) ^ (1 << bit)
+        if assertion.holds(corrupted, prev):
+            return  # nothing to recover from
+        recovered = ExtrapolateRate().recover(corrupted, prev, params)
+        assert assertion.holds(recovered, prev), (
+            f"recovery produced {recovered} which fails against prev={prev} "
+            f"under {params}"
+        )
+
+
+class TestHoldClosure:
+    @given(st.integers(0, 1000), st.integers(1, 20), st.integers(0, 15))
+    @settings(max_examples=200)
+    def test_hold_passes_for_random_signals_with_zero_min_rate(self, prev, rmax, bit):
+        params = ContinuousParams.random(0, 2000, rmax_incr=rmax, rmax_decr=rmax)
+        assertion = ContinuousAssertion(params)
+        corrupted = prev ^ (1 << bit)
+        if assertion.holds(corrupted, prev):
+            return
+        recovered = HoldLastValid().recover(corrupted, prev, params)
+        # Holding is a zero change, which a zero-min-rate random signal
+        # always permits (Table 2 test 5c).
+        assert assertion.holds(recovered, prev)
+
+
+class TestClampClosure:
+    @given(st.integers(-5000, 5000), st.integers(1, 50))
+    @settings(max_examples=200)
+    def test_clamped_value_is_in_domain(self, sample, rmax):
+        params = ContinuousParams.random(0, 1000, rmax_incr=rmax, rmax_decr=rmax)
+        recovered = ClampToDomain().recover(sample, 500, params)
+        assert params.smin <= recovered <= params.smax

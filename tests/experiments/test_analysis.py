@@ -1,0 +1,109 @@
+"""Tests for the post-hoc result analyses."""
+
+from repro.experiments.analysis import (
+    cross_detection_matrix,
+    detection_by_bit,
+    detection_threshold_bit,
+    failure_rate_by_signal,
+)
+from repro.experiments.results import ResultSet, RunRecord
+
+
+def _record(signal="SetValue", bit=0, version="All", detected=False, failed=False):
+    return RunRecord(
+        error_name=f"S{bit}",
+        signal=signal,
+        signal_bit=bit,
+        area="ram",
+        version=version,
+        mass_kg=14000,
+        velocity_mps=55,
+        detected=detected,
+        failed=failed,
+        latency_ms=10.0 if detected else None,
+        wedged=False,
+        duration_ms=9000,
+    )
+
+
+def _continuous_shape():
+    """SetValue-like: bits 0-8 escape, bits 9-15 detected."""
+    results = ResultSet()
+    for bit in range(16):
+        results.add(_record(bit=bit, detected=bit >= 9, failed=bit >= 13))
+    return results
+
+
+class TestDetectionByBit:
+    def test_per_bit_estimates(self):
+        per_bit = detection_by_bit(_continuous_shape(), "SetValue")
+        assert per_bit[0].percent == 0.0
+        assert per_bit[15].percent == 100.0
+        assert len(per_bit) == 16
+
+    def test_multiple_runs_per_bit_aggregate(self):
+        results = ResultSet(
+            [_record(bit=5, detected=True), _record(bit=5, detected=False)]
+        )
+        per_bit = detection_by_bit(results, "SetValue")
+        assert per_bit[5].percent == 50.0
+
+    def test_filters_by_signal_and_version(self):
+        results = ResultSet(
+            [
+                _record(signal="mscnt", bit=3, detected=True),
+                _record(signal="SetValue", bit=3, version="EA1", detected=True),
+            ]
+        )
+        assert detection_by_bit(results, "SetValue") == {}
+        assert 3 in detection_by_bit(results, "SetValue", version="EA1")
+
+
+class TestDetectionThreshold:
+    def test_continuous_threshold(self):
+        assert detection_threshold_bit(_continuous_shape(), "SetValue") == 9
+
+    def test_counter_threshold_is_zero(self):
+        results = ResultSet([_record(signal="mscnt", bit=b, detected=True) for b in range(16)])
+        assert detection_threshold_bit(results, "mscnt") == 0
+
+    def test_no_detection_no_threshold(self):
+        results = ResultSet([_record(bit=b, detected=False) for b in range(4)])
+        assert detection_threshold_bit(results, "SetValue") is None
+
+    def test_empty_results(self):
+        assert detection_threshold_bit(ResultSet(), "SetValue") is None
+
+
+class TestCrossDetectionMatrix:
+    def test_off_diagonal_entries(self):
+        results = ResultSet(
+            [
+                _record(signal="SetValue", version="EA1", detected=True),
+                _record(signal="SetValue", version="EA7", detected=True),
+                _record(signal="OutValue", version="EA1", detected=False),
+                _record(signal="OutValue", version="EA7", detected=True),
+            ]
+        )
+        matrix = cross_detection_matrix(results)
+        assert matrix["SetValue"]["EA7"].percent == 100.0  # cross detection
+        assert matrix["OutValue"]["EA1"].percent == 0.0
+
+    def test_all_version_excluded_from_columns(self):
+        results = ResultSet([_record(version="All", detected=True)])
+        matrix = cross_detection_matrix(results)
+        assert matrix["SetValue"] == {}
+
+
+class TestFailureRates:
+    def test_rates_per_signal(self):
+        results = ResultSet(
+            [
+                _record(signal="mscnt", failed=True),
+                _record(signal="mscnt", failed=False),
+                _record(signal="i", failed=False),
+            ]
+        )
+        rates = failure_rate_by_signal(results)
+        assert rates["mscnt"].percent == 50.0
+        assert rates["i"].percent == 0.0

@@ -1,0 +1,74 @@
+"""Tests for campaign configuration and (small) campaign execution."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    E1_VERSIONS,
+    CampaignConfig,
+    run_e1_campaign,
+    run_e2_campaign,
+)
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.versions == E1_VERSIONS
+        assert config.injection_period_ms == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(cases_all=0)
+        with pytest.raises(ValueError, match="unknown versions"):
+            CampaignConfig(versions=("EA9",))
+
+    def test_from_env_defaults(self, monkeypatch):
+        for var in ("REPRO_FULL", "REPRO_CASES_ALL", "REPRO_CASES_EA", "REPRO_CASES_E2"):
+            monkeypatch.delenv(var, raising=False)
+        config = CampaignConfig.from_env()
+        assert config.cases_all == 3
+        assert config.cases_per_ea == 1
+
+    def test_from_env_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        config = CampaignConfig.from_env()
+        assert config.cases_all == config.cases_per_ea == config.cases_e2 == 25
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_CASES_ALL", "7")
+        monkeypatch.setenv("REPRO_CASES_E2", "4")
+        config = CampaignConfig.from_env()
+        assert config.cases_all == 7
+        assert config.cases_e2 == 4
+        assert config.cases_per_ea == 1
+
+
+class TestSmallCampaigns:
+    """Execute miniature campaigns end to end (filtered error sets)."""
+
+    def test_e1_partial_campaign_mscnt_only(self):
+        config = CampaignConfig(cases_all=1, versions=("All",))
+        results = run_e1_campaign(config, error_filter=lambda e: e.signal == "mscnt")
+        assert len(results) == 16
+        triple = results.coverage(signal="mscnt", version="All")
+        assert triple.p_d.percent == 100.0  # the paper's mscnt row
+
+    def test_e1_progress_hook_called(self):
+        config = CampaignConfig(cases_all=1, versions=("All",))
+        seen = []
+        run_e1_campaign(
+            config,
+            progress=lambda done, total: seen.append((done, total)),
+            error_filter=lambda e: e.signal == "i" and e.signal_bit < 2,
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_e2_partial_campaign(self):
+        config = CampaignConfig(cases_e2=1)
+        # Pick a handful of RAM errors only.
+        results = run_e2_campaign(
+            config, error_filter=lambda e: e.name in ("R1", "R2", "R3")
+        )
+        assert len(results) == 3
+        assert all(r.area == "ram" for r in results.records)

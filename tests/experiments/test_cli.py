@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestTable6Command:
+    def test_prints_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "S1-S16" in out
+        assert "112" in out
+
+
+class TestE1Command:
+    def test_partial_campaign_single_signal_single_version(self, capsys):
+        code = main(
+            ["e1", "--signal", "mscnt", "--versions", "All", "--cases-all", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out
+        assert "Table 8" in out
+        assert "100.0" in out  # the mscnt row
+
+    def test_unknown_signal_rejected(self, capsys):
+        assert main(["e1", "--signal", "bogus"]) == 2
+        assert "unknown signal" in capsys.readouterr().out
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unknown versions"):
+            main(["e1", "--signal", "mscnt", "--versions", "EA9"])
+
+
+class TestArgumentParsing:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportCommand:
+    def test_report_from_saved_results(self, tmp_path, capsys):
+        from repro.experiments.persistence import save_results
+        from repro.experiments.results import ResultSet, RunRecord
+
+        records = [
+            RunRecord(
+                error_name=f"S{bit}",
+                signal="mscnt",
+                signal_bit=bit,
+                area="ram",
+                version="All",
+                mass_kg=14000,
+                velocity_mps=55,
+                detected=True,
+                failed=False,
+                latency_ms=20.0,
+                wedged=False,
+                duration_ms=9000,
+            )
+            for bit in range(16)
+        ]
+        path = save_results(ResultSet(records), tmp_path / "r.csv")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out
+        assert "threshold bit 0" in out
+
+    def test_report_e2_results_render_table9(self, tmp_path, capsys):
+        from repro.experiments.persistence import save_results
+        from repro.experiments.results import ResultSet, RunRecord
+
+        records = [
+            RunRecord(
+                error_name="R1",
+                signal=None,
+                signal_bit=None,
+                area="ram",
+                version="All",
+                mass_kg=14000,
+                velocity_mps=55,
+                detected=False,
+                failed=False,
+                latency_ms=None,
+                wedged=False,
+                duration_ms=9000,
+            )
+        ]
+        path = save_results(ResultSet(records), tmp_path / "e2.csv")
+        assert main(["report", str(path)]) == 0
+        assert "Table 9" in capsys.readouterr().out
+
+    def test_save_then_load_round_trip_through_cli(self, tmp_path, capsys):
+        saved = tmp_path / "mini.csv"
+        assert (
+            main(
+                [
+                    "e1",
+                    "--signal",
+                    "i",
+                    "--versions",
+                    "All",
+                    "--cases-all",
+                    "1",
+                    "--save",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        assert saved.exists()
+        capsys.readouterr()
+        assert main(["e1", "--load", str(saved), "--versions", "All"]) == 0
+        assert "loaded 16 runs" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for result-set CSV persistence."""
+
+import pytest
+
+from repro.experiments.persistence import (
+    CSV_COLUMNS,
+    load_results,
+    results_from_csv,
+    results_to_csv,
+    save_results,
+)
+from repro.experiments.results import ResultSet, RunRecord
+
+
+def _record(**kw):
+    defaults = dict(
+        error_name="S1",
+        signal="SetValue",
+        signal_bit=3,
+        area="ram",
+        version="All",
+        mass_kg=14000.0,
+        velocity_mps=55.0,
+        detected=True,
+        failed=False,
+        latency_ms=120.5,
+        wedged=False,
+        duration_ms=9000,
+    )
+    defaults.update(kw)
+    return RunRecord(**defaults)
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        results = ResultSet(
+            [
+                _record(),
+                _record(error_name="K7", signal=None, signal_bit=None, area="stack",
+                        detected=False, latency_ms=None, wedged=True),
+            ]
+        )
+        decoded = results_from_csv(results_to_csv(results))
+        assert decoded.records == results.records
+
+    def test_empty_result_set(self):
+        decoded = results_from_csv(results_to_csv(ResultSet()))
+        assert len(decoded) == 0
+
+    def test_aggregation_survives_round_trip(self):
+        results = ResultSet([_record(detected=i % 2 == 0, failed=i % 3 == 0) for i in range(30)])
+        decoded = results_from_csv(results_to_csv(results))
+        assert (
+            decoded.coverage(version="All").p_d.percent
+            == results.coverage(version="All").p_d.percent
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        results = ResultSet([_record()])
+        path = save_results(results, tmp_path / "campaign.csv")
+        assert path.exists()
+        assert load_results(path).records == results.records
+
+
+class TestErrorHandling:
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            results_from_csv("")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ValueError, match="unexpected results header"):
+            results_from_csv("a,b,c\n1,2,3\n")
+
+    def test_short_row_rejected(self):
+        header = ",".join(CSV_COLUMNS)
+        with pytest.raises(ValueError, match="malformed results row"):
+            results_from_csv(f"{header}\nS1,SetValue\n")
+
+    def test_malformed_boolean_rejected(self):
+        text = results_to_csv(ResultSet([_record()]))
+        with pytest.raises(ValueError, match="malformed boolean"):
+            results_from_csv(text.replace("True", "yes"))

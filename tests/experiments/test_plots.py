@@ -1,0 +1,116 @@
+"""Tests for the SVG figure renderings."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.plots import (
+    svg_bit_detection_chart,
+    svg_line_chart,
+    write_svg,
+)
+from repro.stats.estimators import CoverageEstimate
+
+
+def _parse(markup):
+    # Valid XML is the baseline contract for a standalone SVG.
+    return ET.fromstring(markup)
+
+
+class TestLineChart:
+    def _series(self):
+        return {
+            "velocity": [(0.0, 55.0), (5.0, 30.0), (10.0, 0.0)],
+            "force": [(0.0, 0.0), (5.0, 120.0), (10.0, 10.0)],
+        }
+
+    def test_produces_valid_svg(self):
+        root = _parse(svg_line_chart(self._series(), "arrestment"))
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        markup = svg_line_chart(self._series(), "arrestment")
+        assert markup.count("<polyline") == 2
+
+    def test_title_and_labels_present(self):
+        markup = svg_line_chart(
+            self._series(), "arrestment", x_label="time (s)", y_label="value"
+        )
+        assert "arrestment" in markup
+        assert "time (s)" in markup
+        assert "value" in markup
+
+    def test_series_names_labelled(self):
+        markup = svg_line_chart(self._series(), "t")
+        assert "velocity" in markup and "force" in markup
+
+    def test_degenerate_flat_series_accepted(self):
+        markup = svg_line_chart({"flat": [(0, 5.0), (1, 5.0)]}, "flat")
+        _parse(markup)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({}, "t")
+        with pytest.raises(ValueError):
+            svg_line_chart({"a": []}, "t")
+
+    def test_axis_extremes_labelled(self):
+        markup = svg_line_chart({"a": [(0.0, 1.0), (10.0, 3.0)]}, "t")
+        assert ">0<" in markup and ">10<" in markup
+
+
+class TestBitDetectionChart:
+    def _per_bit(self):
+        return {bit: CoverageEstimate(1 if bit >= 9 else 0, 1) for bit in range(16)}
+
+    def test_produces_valid_svg(self):
+        root = _parse(svg_bit_detection_chart(self._per_bit(), "SetValue"))
+        assert root.tag.endswith("svg")
+
+    def test_one_column_per_bit(self):
+        markup = svg_bit_detection_chart(self._per_bit(), "SetValue")
+        assert markup.count("<rect") == 16
+
+    def test_detected_columns_taller_than_escaped(self):
+        markup = svg_bit_detection_chart(
+            {0: CoverageEstimate(0, 1), 15: CoverageEstimate(1, 1)}, "t"
+        )
+        heights = [
+            float(part.split('height="')[1].split('"')[0])
+            for part in markup.split("<rect")[1:]
+        ]
+        assert heights[1] > heights[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bit_detection_chart({}, "t")
+
+
+class TestWriteSvg:
+    def test_writes_file(self, tmp_path):
+        markup = svg_line_chart({"a": [(0, 1.0), (1, 2.0)]}, "t")
+        path = write_svg(markup, tmp_path / "chart.svg")
+        assert path.read_text().startswith("<svg")
+
+    def test_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_svg("hello", tmp_path / "x.svg")
+
+
+class TestEndToEndFigure:
+    def test_arrestment_trajectory_figure(self, tmp_path):
+        """A real trajectory renders to a valid standalone figure."""
+        from repro.arrestor.system import TargetSystem, TestCase
+
+        system = TargetSystem(TestCase(14000.0, 55.0))
+        system.env.enable_trajectory_trace(0.1)
+        system.run()
+        velocity = [(t, v) for t, _, v, _, _ in system.env.trace]
+        force = [(t, f / 1e3) for t, _, _, _, f in system.env.trace]
+        markup = svg_line_chart(
+            {"velocity (m/s)": velocity, "force (kN)": force},
+            "Fault-free arrestment",
+            x_label="time (s)",
+        )
+        path = write_svg(markup, tmp_path / "arrestment.svg")
+        _parse(path.read_text())

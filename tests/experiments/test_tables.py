@@ -1,0 +1,117 @@
+"""Tests for the table renderers."""
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.experiments.results import ResultSet, RunRecord
+from repro.experiments.tables import (
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+)
+from repro.injection.errors import build_e1_error_set, build_e2_error_set
+
+
+def _record(**kw):
+    defaults = dict(
+        error_name="S1",
+        signal="SetValue",
+        signal_bit=0,
+        area="ram",
+        version="All",
+        mass_kg=14000,
+        velocity_mps=55,
+        detected=True,
+        failed=False,
+        latency_ms=120.0,
+        wedged=False,
+        duration_ms=9000,
+    )
+    defaults.update(kw)
+    return RunRecord(**defaults)
+
+
+class TestTable6:
+    def test_lists_each_signal_with_16_errors(self):
+        errors = build_e1_error_set(MasterMemory())
+        table = render_table6(errors, cases_per_error=25)
+        assert "SetValue" in table
+        assert "EA1" in table
+        assert "S1-S16" in table
+        assert "S97-S112" in table
+        # 16 errors x 25 injections per signal; 112 x 25 total.
+        assert "400" in table
+        assert "2800" in table
+
+    def test_total_row(self):
+        errors = build_e1_error_set(MasterMemory())
+        assert "112" in render_table6(errors, cases_per_error=25)
+
+
+class TestTable7:
+    def test_shape_and_conventions(self):
+        results = ResultSet(
+            [
+                _record(detected=True, failed=True),
+                _record(detected=True, failed=False),
+                _record(signal="mscnt", detected=True),
+                _record(signal="OutValue", detected=False),
+            ]
+        )
+        table = render_table7(results, versions=("All",))
+        assert "P(d|fail)" in table
+        assert "P(d|no fail)" in table
+        # mscnt cell: 1/1 detected -> 100.0 with no interval.
+        assert "100.0" in table
+        assert "100.0±" not in table
+        # Signals with no runs at all render as '-'.
+        assert "-" in table
+
+    def test_zero_detection_cell_is_empty(self):
+        results = ResultSet([_record(detected=False)])
+        table = render_table7(results, versions=("All",))
+        lines = [line for line in table.splitlines() if line.lstrip().startswith("SetValue")]
+        assert lines, table
+        # P(d) cell for SetValue must not contain a number.
+        assert "0.0" not in lines[0]
+
+
+class TestTable8:
+    def test_latency_rows(self):
+        results = ResultSet(
+            [
+                _record(latency_ms=10.0),
+                _record(latency_ms=30.0),
+            ]
+        )
+        table = render_table8(results, versions=("All",))
+        assert "Min" in table and "Average" in table and "Max" in table
+        assert "10" in table and "30" in table and "20" in table
+
+    def test_undetected_runs_leave_cells_empty(self):
+        results = ResultSet([_record(detected=False, latency_ms=None)])
+        table = render_table8(results, versions=("All",))
+        assert "Min" in table
+
+
+class TestTable9:
+    def test_areas_and_measures(self):
+        memory = MasterMemory()
+        errors = build_e2_error_set(memory)
+        records = []
+        for index, error in enumerate(errors[:40]):
+            records.append(
+                _record(
+                    error_name=error.name,
+                    signal=None,
+                    signal_bit=None,
+                    area=error.area,
+                    detected=index % 3 == 0,
+                    failed=index % 5 == 0,
+                    latency_ms=50.0 * (index + 1) if index % 3 == 0 else None,
+                )
+            )
+        table = render_table9(ResultSet(records))
+        assert "RAM" in table
+        assert "Stack" in table
+        assert "Total" in table
+        assert "P(d|fail)" in table

@@ -1,0 +1,147 @@
+"""Tests for test-case generation and result aggregation."""
+
+import pytest
+
+from repro.arrestor.system import TestCase
+from repro.experiments.results import CoverageTriple, ResultSet, RunRecord
+from repro.experiments.testcases import (
+    MASS_RANGE_KG,
+    VELOCITY_RANGE_MPS,
+    make_test_cases,
+    select_spread,
+)
+
+
+class TestMakeTestCases:
+    def test_default_grid_is_25_cases(self):
+        assert len(make_test_cases()) == 25
+
+    def test_envelope_matches_paper(self):
+        cases = make_test_cases()
+        velocities = {c.velocity_mps for c in cases}
+        masses = {c.mass_kg for c in cases}
+        assert min(velocities) == VELOCITY_RANGE_MPS[0] == 40.0
+        assert max(velocities) == VELOCITY_RANGE_MPS[1] == 70.0
+        assert min(masses) == MASS_RANGE_KG[0] == 8000.0
+        assert max(masses) == MASS_RANGE_KG[1] == 20000.0
+
+    def test_grid_is_cartesian(self):
+        cases = make_test_cases(3, 4)
+        assert len(cases) == 12
+        assert len({(c.mass_kg, c.velocity_mps) for c in cases}) == 12
+
+    def test_single_point_grid_uses_midpoints(self):
+        (case,) = make_test_cases(1, 1)
+        assert case.mass_kg == 14000.0
+        assert case.velocity_mps == 55.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_test_cases(0, 5)
+
+
+class TestSelectSpread:
+    def test_full_selection_returns_all(self):
+        cases = make_test_cases()
+        assert select_spread(cases, 25) == cases
+        assert select_spread(cases, 99) == cases
+
+    def test_subset_is_deterministic(self):
+        cases = make_test_cases()
+        assert select_spread(cases, 3) == select_spread(cases, 3)
+
+    def test_subset_spreads_over_masses(self):
+        cases = make_test_cases()
+        picked = select_spread(cases, 5)
+        assert len({c.mass_kg for c in picked}) >= 3
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            select_spread(make_test_cases(), 0)
+
+
+def _record(signal="SetValue", version="All", detected=False, failed=False, latency=None, area="ram"):
+    return RunRecord(
+        error_name="S1",
+        signal=signal,
+        signal_bit=0,
+        area=area,
+        version=version,
+        mass_kg=14000,
+        velocity_mps=55,
+        detected=detected,
+        failed=failed,
+        latency_ms=latency,
+        wedged=False,
+        duration_ms=10000,
+    )
+
+
+class TestCoverageTriple:
+    def test_counts(self):
+        triple = CoverageTriple.from_records(
+            [
+                _record(detected=True, failed=True),
+                _record(detected=True, failed=False),
+                _record(detected=False, failed=True),
+                _record(detected=False, failed=False),
+            ]
+        )
+        assert triple.p_d.nd == 2 and triple.p_d.ne == 4
+        assert triple.p_d_fail.nd == 1 and triple.p_d_fail.ne == 2
+        assert triple.p_d_no_fail.nd == 1 and triple.p_d_no_fail.ne == 2
+
+    def test_relation_n_equals_nfail_plus_nnofail(self):
+        """The identity stated under Table 7."""
+        records = [
+            _record(detected=i % 2 == 0, failed=i % 3 == 0) for i in range(20)
+        ]
+        triple = CoverageTriple.from_records(records)
+        assert triple.p_d.ne == triple.p_d_fail.ne + triple.p_d_no_fail.ne
+        assert triple.p_d.nd == triple.p_d_fail.nd + triple.p_d_no_fail.nd
+
+
+class TestResultSet:
+    def _populated(self):
+        results = ResultSet()
+        results.add(_record(signal="SetValue", version="All", detected=True, latency=100.0))
+        results.add(_record(signal="SetValue", version="EA1", detected=False))
+        results.add(_record(signal="mscnt", version="All", detected=True, failed=True, latency=20.0))
+        return results
+
+    def test_filters(self):
+        results = self._populated()
+        assert len(results.subset(signal="SetValue")) == 2
+        assert len(results.subset(version="All")) == 2
+        assert len(results.subset(signal="SetValue", version="All")) == 1
+
+    def test_coverage_totals(self):
+        results = self._populated()
+        triple = results.coverage(version="All")
+        assert triple.p_d.percent == 100.0
+
+    def test_latency_summary_only_detected_runs(self):
+        results = self._populated()
+        summary = results.latency(version="All")
+        assert summary.count == 2
+        assert summary.minimum == 20.0
+
+    def test_latency_failures_only(self):
+        results = self._populated()
+        summary = results.latency(version="All", failures_only=True)
+        assert summary.count == 1
+        assert summary.maximum == 20.0
+
+    def test_counts(self):
+        runs, detected, failed = self._populated().counts()
+        assert (runs, detected, failed) == (3, 2, 1)
+
+    def test_version_and_signal_views(self):
+        results = self._populated()
+        assert set(results.versions) == {"All", "EA1"}
+        assert set(results.signals) == {"SetValue", "mscnt"}
+
+    def test_area_filter(self):
+        results = ResultSet([_record(area="stack", detected=True)])
+        assert results.coverage(area="stack").p_d.percent == 100.0
+        assert not results.coverage(area="ram").p_d.defined

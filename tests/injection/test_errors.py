@@ -1,0 +1,115 @@
+"""Tests for the error sets E1 and E2 (Section 3.4, Table 6)."""
+
+import pytest
+
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.injection.errors import (
+    ErrorSpec,
+    build_e1_error_set,
+    build_e2_error_set,
+)
+
+
+class TestErrorSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorSpec("x", 0, 8, "ram")
+        with pytest.raises(ValueError):
+            ErrorSpec("x", 0, 0, "rom")
+
+
+class TestE1ErrorSet:
+    def setup_method(self):
+        self.memory = MasterMemory()
+        self.errors = build_e1_error_set(self.memory)
+
+    def test_112_errors(self):
+        """Table 6: 7 signals x 16 bits."""
+        assert len(self.errors) == 112
+
+    def test_16_errors_per_signal(self):
+        for signal in MONITORED_SIGNALS:
+            assert sum(1 for e in self.errors if e.signal == signal) == 16
+
+    def test_numbering_follows_table6(self):
+        assert self.errors[0].name == "S1"
+        assert self.errors[-1].name == "S112"
+        # S1-S16 SetValue ... S97-S112 OutValue, in table order.
+        assert self.errors[0].signal == "SetValue"
+        assert self.errors[16].signal == "IsValue"
+        assert self.errors[96].signal == "OutValue"
+
+    def test_bits_cover_all_16_positions(self):
+        setvalue = [e for e in self.errors if e.signal == "SetValue"]
+        assert [e.signal_bit for e in setvalue] == list(range(16))
+
+    def test_addresses_resolve_to_signal_bytes(self):
+        for error in self.errors:
+            var = self.memory.signal_variable(error.signal)
+            assert var.address <= error.address < var.address + 2
+            # High-byte bits land on the second byte.
+            expected_offset = error.signal_bit >> 3
+            assert error.address == var.address + expected_offset
+            assert error.bit == error.signal_bit & 7
+
+    def test_all_in_ram_area(self):
+        assert all(e.area == "ram" for e in self.errors)
+
+    def test_flipping_via_spec_equals_signal_bit(self):
+        for error in self.errors[:32]:
+            memory = MasterMemory()
+            var = memory.signal_variable(error.signal)
+            var.set(0)
+            memory.map.data[error.address] ^= 1 << error.bit
+            assert var.get() == 1 << error.signal_bit
+
+
+class TestE2ErrorSet:
+    def setup_method(self):
+        self.memory = MasterMemory()
+
+    def test_default_composition(self):
+        """Section 3.4: 150 RAM + 50 stack errors."""
+        errors = build_e2_error_set(self.memory)
+        assert len(errors) == 200
+        assert sum(1 for e in errors if e.area == "ram") == 150
+        assert sum(1 for e in errors if e.area == "stack") == 50
+
+    def test_addresses_within_declared_areas(self):
+        ram = self.memory.map.regions["ram"]
+        stack = self.memory.map.regions["stack"]
+        for error in build_e2_error_set(self.memory):
+            region = ram if error.area == "ram" else stack
+            assert region.contains(error.address)
+
+    def test_deterministic_for_a_seed(self):
+        a = build_e2_error_set(self.memory, seed=7)
+        b = build_e2_error_set(self.memory, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = build_e2_error_set(self.memory, seed=7)
+        b = build_e2_error_set(self.memory, seed=8)
+        assert a != b
+
+    def test_sampling_with_replacement_allows_duplicates(self):
+        # With 200 draws over ~11 000 (address, bit) pairs duplicates are
+        # not guaranteed; just check the constructor does not de-duplicate
+        # by drawing a large set over a tiny region.
+        errors = build_e2_error_set(self.memory, seed=1, n_ram=2000, n_stack=0)
+        pairs = [(e.address, e.bit) for e in errors]
+        assert len(set(pairs)) < len(pairs)
+
+    def test_spread_over_both_bytes_and_bits(self):
+        errors = build_e2_error_set(self.memory)
+        assert len({e.bit for e in errors}) == 8
+        assert len({e.address for e in errors}) > 100
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            build_e2_error_set(self.memory, n_ram=-1)
+
+    def test_naming(self):
+        errors = build_e2_error_set(self.memory)
+        assert errors[0].name == "R1"
+        assert errors[150].name == "K1"

@@ -1,0 +1,70 @@
+"""Integration: the simulation is fully deterministic.
+
+Determinism is what makes scaled campaigns comparable and resumable:
+identical configurations must produce identical readouts, detections and
+memory images, with no hidden global state leaking between runs.
+"""
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.injection.errors import build_e1_error_set, build_e2_error_set
+from repro.injection.injector import TimeTriggeredInjector
+
+CASE = TestCase(12600.0, 61.0)
+
+
+def _run_once(error=None):
+    system = TargetSystem(CASE)
+    injector = TimeTriggeredInjector(error) if error is not None else None
+    result = system.run(injector)
+    return result, system.master.mem.map.snapshot()
+
+
+class TestDeterminism:
+    def test_fault_free_runs_identical(self):
+        first, mem_first = _run_once()
+        second, mem_second = _run_once()
+        assert first == second
+        assert mem_first == mem_second
+
+    def test_injected_runs_identical(self):
+        error = [e for e in build_e1_error_set(MasterMemory()) if e.signal == "pulscnt"][6]
+        first, mem_first = _run_once(error)
+        second, mem_second = _run_once(error)
+        assert first == second
+        assert mem_first == mem_second
+
+    def test_runs_do_not_contaminate_each_other(self):
+        """A heavy injected run leaves no trace in a following clean run."""
+        error = [e for e in build_e1_error_set(MasterMemory()) if e.signal == "SetValue"][15]
+        clean_before, _ = _run_once()
+        _run_once(error)
+        clean_after, _ = _run_once()
+        assert clean_before == clean_after
+
+    def test_e2_error_set_is_reproducible(self):
+        first = build_e2_error_set(MasterMemory())
+        second = build_e2_error_set(MasterMemory())
+        assert first == second
+
+    def test_detection_events_identical(self):
+        error = [e for e in build_e1_error_set(MasterMemory()) if e.signal == "mscnt"][9]
+
+        def events():
+            system = TargetSystem(CASE)
+            system.run(TimeTriggeredInjector(error))
+            return [
+                (e.signal, e.time, e.value, e.previous, e.monitor_id)
+                for e in system.master.detection_log.events
+            ]
+
+        assert events() == events()
+
+    def test_signal_trace_identical(self):
+        config = RunConfig(signal_trace_period_ms=50)
+        traces = []
+        for _ in range(2):
+            system = TargetSystem(CASE, config=config)
+            system.run()
+            traces.append(system.signal_trace)
+        assert traces[0] == traces[1]

@@ -1,0 +1,108 @@
+"""Integration: qualitative E1 properties the paper establishes.
+
+Counters are detected (at or near 100 %) with short latencies; continuous
+environment-valued signals let least-significant-bit errors escape while
+most-significant-bit errors are caught (and tend to cause failure);
+errors propagate across signals so non-primary mechanisms detect too.
+"""
+
+import pytest
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import TestCase
+from repro.injection.errors import build_e1_error_set
+from repro.injection.fic import CampaignController
+
+CASE = TestCase(14000.0, 55.0)
+
+
+@pytest.fixture(scope="module")
+def errors_by_signal():
+    errors = build_e1_error_set(MasterMemory())
+    return {
+        signal: [e for e in errors if e.signal == signal]
+        for signal in {e.signal for e in errors}
+    }
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return CampaignController()
+
+
+class TestCounterSignals:
+    """mscnt / ms_slot_nbr / i / pulscnt: tight envelopes catch everything."""
+
+    @pytest.mark.parametrize("signal", ["mscnt", "ms_slot_nbr", "i"])
+    @pytest.mark.parametrize("bit", [0, 7, 13])
+    def test_every_probed_bit_detected(self, errors_by_signal, controller, signal, bit):
+        record = controller.run_injection(errors_by_signal[signal][bit], CASE, "All")
+        assert record.detected
+
+    @pytest.mark.parametrize("bit", [3, 9, 15])
+    def test_pulscnt_bits_detected(self, errors_by_signal, controller, bit):
+        record = controller.run_injection(errors_by_signal["pulscnt"][bit], CASE, "All")
+        assert record.detected
+
+    def test_counter_latency_is_tens_of_milliseconds(self, errors_by_signal, controller):
+        record = controller.run_injection(errors_by_signal["mscnt"][5], CASE, "All")
+        assert record.latency_ms is not None
+        assert record.latency_ms <= 60
+
+
+class TestContinuousSignals:
+    """SetValue / IsValue / OutValue: liberal envelopes let LSBs escape."""
+
+    @pytest.mark.parametrize("signal", ["SetValue", "IsValue", "OutValue"])
+    def test_lsb_errors_escape(self, errors_by_signal, controller, signal):
+        record = controller.run_injection(errors_by_signal[signal][0], CASE, "All")
+        assert not record.detected
+        assert not record.failed  # an LSB of pressure is noise-level
+
+    @pytest.mark.parametrize("signal", ["SetValue", "IsValue", "OutValue"])
+    def test_msb_errors_detected(self, errors_by_signal, controller, signal):
+        record = controller.run_injection(errors_by_signal[signal][15], CASE, "All")
+        assert record.detected
+
+    def test_msb_set_value_error_causes_failure(self, errors_by_signal, controller):
+        record = controller.run_injection(errors_by_signal["SetValue"][14], CASE, "All")
+        assert record.failed
+        assert record.detected  # P(d|fail) ~ 100 % in the paper
+
+    def test_detection_threshold_follows_rate_envelope(self, errors_by_signal, controller):
+        """Bits below the EA1 rate bound escape; bits above are caught."""
+        below = controller.run_injection(errors_by_signal["SetValue"][6], CASE, "EA1")
+        above = controller.run_injection(errors_by_signal["SetValue"][10], CASE, "EA1")
+        assert not below.detected
+        assert above.detected
+
+
+class TestCrossDetection:
+    """Off-diagonal mass in Table 7: propagation reaches other monitors."""
+
+    def test_ea7_detects_big_set_value_errors(self, errors_by_signal, controller):
+        # V_REG amplifies a SetValue jump into OutValue, where EA7 (the
+        # only active mechanism in this version) sees the rate violation.
+        record = controller.run_injection(errors_by_signal["SetValue"][13], CASE, "EA7")
+        assert record.detected
+
+    def test_ea1_alone_cannot_see_pure_out_value_errors(self, errors_by_signal, controller):
+        # OutValue is downstream of SetValue: no propagation path back.
+        record = controller.run_injection(errors_by_signal["OutValue"][13], CASE, "EA1")
+        assert not record.detected
+
+
+class TestVersionMonotonicity:
+    def test_all_version_detects_what_single_version_detects(
+        self, errors_by_signal, controller
+    ):
+        """In a deterministic target, All supersets any single mechanism."""
+        for signal, bit, version in [
+            ("SetValue", 12, "EA1"),
+            ("pulscnt", 9, "EA4"),
+            ("mscnt", 4, "EA6"),
+        ]:
+            single = controller.run_injection(errors_by_signal[signal][bit], CASE, version)
+            combined = controller.run_injection(errors_by_signal[signal][bit], CASE, "All")
+            if single.detected:
+                assert combined.detected

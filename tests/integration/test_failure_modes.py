@@ -1,0 +1,114 @@
+"""Integration: injected corruptions map onto the Section-3.3 failure modes.
+
+Each of the three specification constraints has a characteristic cause:
+too much braking violates force (heavy aircraft) or retardation (light
+aircraft, same force over less mass), too little braking violates the
+stopping distance.  These tests pin the mapping down with targeted
+corruptions.
+"""
+
+from repro.arrestor import constants as k
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.injection.errors import build_e1_error_set
+from repro.injection.injector import StuckAtInjector
+
+
+def _out_value_stuck_high(case):
+    """OutValue bit 13 stuck at 1: the valve is commanded ~8200+ counts."""
+    errors = [e for e in build_e1_error_set(MasterMemory()) if e.signal == "OutValue"]
+    system = TargetSystem(case)
+    result = system.run(StuckAtInjector(errors[13], stuck_value=1, start_ms=1000))
+    return result
+
+
+class TestOverBraking:
+    def test_light_aircraft_violates_force_and_nears_the_g_limit(self):
+        # With the energy-based Fmax substitute, the structural limit of a
+        # light aircraft (~102 kN at 8 t / 70 m/s) binds long before 2.8 g,
+        # but the retardation climbs towards the limit as well.
+        result = _out_value_stuck_high(TestCase(8000.0, 70.0))
+        assert result.failed
+        assert "retardation" in result.verdict.violated or "force" in result.verdict.violated
+        assert result.summary.max_retardation_g > 2.0
+
+    def test_heavy_aircraft_violates_force(self):
+        result = _out_value_stuck_high(TestCase(20000.0, 40.0))
+        assert result.failed
+        assert "force" in result.verdict.violated
+
+    def test_retardation_binds_when_the_airframe_is_strong(self):
+        """With a generous structural table, the 2.8-g constraint is the
+        one that catches the over-braking (exercising constraint 1)."""
+        from repro.arrestor.system import RunConfig
+        from repro.plant.failure import FailureClassifier
+        from repro.plant.milspec import ForceLimitTable
+
+        generous = ForceLimitTable(
+            masses=[6000.0, 26000.0],
+            velocities=[30.0, 80.0],
+            limits=[[900e3, 900e3], [900e3, 900e3]],
+        )
+        errors = [
+            e for e in build_e1_error_set(MasterMemory()) if e.signal == "OutValue"
+        ]
+        case = TestCase(8000.0, 70.0)
+        system = TargetSystem(case, classifier=FailureClassifier(force_limits=generous))
+        # Pin both high bits of OutValue: full valve authority on the
+        # master drum regardless of the regulator's output.
+        injector = StuckAtInjector(errors[13], stuck_value=1, start_ms=1000)
+        result = system.run(injector)
+        if result.failed:
+            assert result.verdict.violated == ("retardation",)
+        else:
+            # The adaptive slave compensation kept it under 2.8 g: the
+            # retardation still dominates every other constraint here.
+            assert result.summary.max_retardation_g > 2.0
+
+    def test_over_braking_is_detected(self):
+        # EA7 sees the stuck command violate OutValue's rate envelope.
+        result = _out_value_stuck_high(TestCase(14000.0, 55.0))
+        assert result.detected
+
+
+class TestUnderBraking:
+    @staticmethod
+    def _silence(system, slot):
+        word = system.master.mem.dispatch.word_variable(slot)
+        word.set(word.get() ^ 0x0100)  # skip-class corruption
+
+    def test_losing_one_regulator_is_tolerated(self):
+        """Losing the master's V_REG alone does NOT fail the arrestment:
+        the slave drum still brakes and CALC's mass estimation raises the
+        set point to compensate — redundancy the architecture provides."""
+        system = TargetSystem(TestCase(14000.0, 55.0))
+        self._silence(system, k.SLOT_V_REG)
+        result = system.run()
+        assert not result.failed
+        assert result.summary.stopped
+        assert result.summary.stop_distance_m < 335.0
+        # The compensation is visible: the commanded set point exceeds
+        # the two-drum value for this case (~2100 counts).
+        assert system.master.mem.set_value.get() > 2500
+
+    def test_losing_both_braking_paths_violates_distance(self):
+        system = TargetSystem(TestCase(14000.0, 55.0))
+        self._silence(system, k.SLOT_V_REG)   # master valve never driven
+        self._silence(system, k.SLOT_COMM)    # slave never gets a set point
+        result = system.run()
+        assert result.failed
+        assert "distance" in result.verdict.violated
+        assert not result.summary.stopped
+
+    def test_under_braking_ends_at_the_overrun_boundary(self):
+        system = TargetSystem(TestCase(14000.0, 55.0))
+        self._silence(system, k.SLOT_V_REG)
+        self._silence(system, k.SLOT_COMM)
+        result = system.run()
+        assert result.summary.stop_distance_m >= system.config.overrun_distance_m
+
+
+class TestFailureModeExclusivity:
+    def test_fault_free_run_violates_nothing(self):
+        result = TargetSystem(TestCase(14000.0, 55.0)).run()
+        assert result.verdict.violated == ()

@@ -1,0 +1,66 @@
+"""Integration: the Section-3.4 experimental precondition.
+
+*"All test cases are such that if they are run on the target system
+without error injection, none of the error detection mechanisms report
+detection."*  — and, implicitly, none of them fails.
+"""
+
+import pytest
+
+from repro.arrestor.system import TargetSystem, TestCase
+from repro.experiments.testcases import make_test_cases
+
+
+@pytest.fixture(scope="module")
+def grid_results():
+    results = []
+    for case in make_test_cases():
+        system = TargetSystem(case)
+        results.append((case, system, system.run()))
+    return results
+
+
+class TestFaultFreeGrid:
+    def test_no_detections_anywhere(self, grid_results):
+        offenders = [
+            (case.mass_kg, case.velocity_mps)
+            for case, _, result in grid_results
+            if result.detected
+        ]
+        assert offenders == []
+
+    def test_no_failures_anywhere(self, grid_results):
+        offenders = [
+            (case.mass_kg, case.velocity_mps, result.verdict.violated)
+            for case, _, result in grid_results
+            if result.failed
+        ]
+        assert offenders == []
+
+    def test_every_aircraft_stops_with_margin(self, grid_results):
+        for case, _, result in grid_results:
+            assert result.summary.stopped
+            assert 250.0 < result.summary.stop_distance_m < 330.0
+
+    def test_retardation_comfortably_under_limit(self, grid_results):
+        for _, _, result in grid_results:
+            assert result.summary.max_retardation_g < 1.5
+
+    def test_force_margin_under_structural_limit(self, grid_results):
+        for case, system, result in grid_results:
+            limit = system.classifier.force_limit_for(case.mass_kg, case.velocity_mps)
+            assert result.summary.max_cable_force_n < 0.9 * limit
+
+    def test_duration_in_papers_range(self, grid_results):
+        """Typical failure-free arrestments run ~5 s (low energy) to ~15 s."""
+        for _, _, result in grid_results:
+            assert 3.0 < result.summary.duration_s < 20.0
+
+    def test_mass_estimates_converge(self, grid_results):
+        for case, system, _ in grid_results:
+            estimate = system.master.mem.m_est_kg.get()
+            assert estimate == pytest.approx(case.mass_kg, rel=0.10)
+
+    def test_all_checkpoints_visited(self, grid_results):
+        for _, system, _ in grid_results:
+            assert system.master.mem.i.get() == 6

@@ -1,0 +1,60 @@
+"""Integration: detection + recovery keeps the system in service.
+
+The paper's mechanisms include a recovery half ("the signal can be
+returned to a valid state"); the evaluation measures detection only.
+This test establishes the recovery ablation's premise: a
+failure-causing error becomes survivable when recovery is enabled.
+"""
+
+import pytest
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.injection.errors import build_e1_error_set
+from repro.injection.injector import TimeTriggeredInjector
+
+CASE = TestCase(14000.0, 55.0)
+
+
+def _mscnt_error():
+    errors = build_e1_error_set(MasterMemory())
+    return [e for e in errors if e.signal == "mscnt"][10]
+
+
+def _run(with_recovery):
+    config = RunConfig(with_recovery=with_recovery)
+    system = TargetSystem(CASE, config=config)
+    return system.run(TimeTriggeredInjector(_mscnt_error(), start_ms=500))
+
+
+class TestRecoveryAblation:
+    def test_without_recovery_the_error_kills_the_run(self):
+        result = _run(with_recovery=False)
+        assert result.detected
+        assert result.failed
+
+    def test_with_recovery_the_run_survives(self):
+        # EA6 repairs the clock within one tick (rate extrapolation), so
+        # CALC's velocity estimates stay sound and the arrestment succeeds.
+        result = _run(with_recovery=True)
+        assert result.detected  # detection still reported
+        assert not result.failed  # but the signal was repaired in time
+        assert result.summary.stopped
+
+    def test_recovery_does_not_disturb_fault_free_runs(self):
+        config = RunConfig(with_recovery=True)
+        result = TargetSystem(CASE, config=config).run()
+        assert not result.detected
+        assert not result.failed
+
+    def test_recovery_cannot_protect_unchecked_consumers(self):
+        """The Table-4 placement limits recovery's reach: COMM transmits
+        SetValue without passing V_REG's assertion, so a flip landing
+        between the V_REG and COMM slots reaches the slave drum anyway."""
+        errors = build_e1_error_set(MasterMemory())
+        set_value_msb = [e for e in errors if e.signal == "SetValue"][14]
+        config = RunConfig(with_recovery=True)
+        system = TargetSystem(CASE, config=config)
+        result = system.run(TimeTriggeredInjector(set_value_msb, start_ms=500))
+        assert result.detected
+        assert result.failed  # the slave's drum still sees corrupt set points

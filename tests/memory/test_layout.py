@@ -1,0 +1,104 @@
+"""Tests for memory regions, symbols and the region allocator."""
+
+import pytest
+
+from repro.memory.layout import (
+    APP_RAM_SIZE,
+    STACK_SIZE,
+    MemoryRegion,
+    RegionAllocator,
+    Symbol,
+)
+
+
+class TestPaperAreaSizes:
+    def test_application_ram_is_417_bytes(self):
+        assert APP_RAM_SIZE == 417
+
+    def test_stack_is_1008_bytes(self):
+        assert STACK_SIZE == 1008
+
+
+class TestMemoryRegion:
+    def test_geometry(self):
+        region = MemoryRegion("ram", 0x100, 16)
+        assert region.end == 0x110
+        assert region.contains(0x100)
+        assert region.contains(0x10F)
+        assert not region.contains(0x110)
+        assert not region.contains(0xFF)
+
+    def test_overlap_detection(self):
+        a = MemoryRegion("a", 0, 10)
+        assert a.overlaps(MemoryRegion("b", 5, 10))
+        assert not a.overlaps(MemoryRegion("c", 10, 10))
+
+    def test_iteration_covers_addresses(self):
+        assert list(MemoryRegion("r", 3, 4)) == [3, 4, 5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("r", -1, 4)
+        with pytest.raises(ValueError):
+            MemoryRegion("r", 0, 0)
+
+
+class TestSymbol:
+    def test_covers(self):
+        symbol = Symbol("x", 0x10, 2)
+        assert symbol.covers(0x10)
+        assert symbol.covers(0x11)
+        assert not symbol.covers(0x12)
+        assert symbol.end == 0x12
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            Symbol("x", 0, 3)
+
+
+class TestRegionAllocator:
+    def test_sequential_allocation(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0x20, 16))
+        a = alloc.allocate("a")
+        b = alloc.allocate("b")
+        assert a.address == 0x20
+        assert b.address == 0x22
+        assert alloc.allocated_bytes == 4
+        assert alloc.free_bytes == 12
+
+    def test_duplicate_names_rejected(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 16))
+        alloc.allocate("a")
+        with pytest.raises(ValueError, match="already allocated"):
+            alloc.allocate("a")
+
+    def test_exhaustion(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 4))
+        alloc.allocate("a")
+        alloc.allocate("b")
+        with pytest.raises(MemoryError, match="exhausted"):
+            alloc.allocate("c")
+
+    def test_array_allocation(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 16))
+        symbols = alloc.allocate_array("cp", 3)
+        assert [s.name for s in symbols] == ["cp[0]", "cp[1]", "cp[2]"]
+        assert symbols[2].address == 4
+
+    def test_array_length_validated(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 16))
+        with pytest.raises(ValueError):
+            alloc.allocate_array("cp", 0)
+
+    def test_symbol_lookup(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 16))
+        alloc.allocate("a")
+        assert "a" in alloc
+        assert alloc["a"].name == "a"
+        assert len(alloc.symbols) == 1
+
+    def test_symbol_at_address(self):
+        alloc = RegionAllocator(MemoryRegion("r", 0, 16))
+        a = alloc.allocate("a")
+        assert alloc.symbol_at(a.address + 1) is a
+        assert alloc.symbol_at(10) is None  # padding byte

@@ -1,0 +1,85 @@
+"""Tests for the environment simulator facade."""
+
+import pytest
+
+from repro.plant.environment import Environment
+
+
+class TestSensorActuatorSurface:
+    def test_rotation_pulses_track_motion(self):
+        env = Environment(10000, 50)
+        total = 0
+        for _ in range(100):
+            env.advance(0.001)
+            total += env.poll_rotation_pulses()
+        # ~5 m of coasting at 0.05 m per pulse.
+        assert 95 <= total <= 101
+
+    def test_pressure_sensors_follow_their_valves(self):
+        env = Environment(10000, 50)
+        env.command_master_valve_counts(4000)
+        for _ in range(2000):
+            env.advance(0.001)
+        assert env.read_master_pressure_counts() == pytest.approx(4000, abs=2)
+        assert env.read_slave_pressure_counts() == 0
+
+    def test_valves_independent(self):
+        env = Environment(10000, 50)
+        env.command_master_valve_counts(1000)
+        env.command_slave_valve_counts(3000)
+        for _ in range(2000):
+            env.advance(0.001)
+        assert env.read_slave_pressure_counts() > env.read_master_pressure_counts()
+
+
+class TestRunSummary:
+    def test_summary_fields(self):
+        env = Environment(12000, 45)
+        env.command_master_valve_counts(3000)
+        env.command_slave_valve_counts(3000)
+        while not env.arrestment_complete and env.time_s < 40.0:
+            env.advance(0.001)
+        summary = env.summary()
+        assert summary.mass_kg == 12000
+        assert summary.engagement_velocity_mps == 45
+        assert summary.stopped
+        assert 0 < summary.stop_distance_m < 335
+        assert summary.max_retardation_g > 0
+        assert summary.max_cable_force_n > 0
+        assert summary.duration_s == pytest.approx(env.time_s)
+
+    def test_maxima_are_monotone_during_run(self):
+        env = Environment(12000, 45)
+        env.command_master_valve_counts(2000)
+        last_g = 0.0
+        for _ in range(3000):
+            env.advance(0.001)
+            assert env.max_retardation_g >= last_g
+            last_g = env.max_retardation_g
+
+    def test_trace_recording(self):
+        env = Environment(12000, 45, trace_period_s=0.1)
+        for _ in range(1000):
+            env.advance(0.001)
+        assert 9 <= len(env.trace) <= 11
+        times = [t for t, *_ in env.trace]
+        assert times == sorted(times)
+
+    def test_no_trace_by_default(self):
+        env = Environment(12000, 45)
+        for _ in range(100):
+            env.advance(0.001)
+        assert env.trace == []
+
+
+class TestEnableTrajectoryTrace:
+    def test_enables_recording_after_construction(self):
+        env = Environment(12000, 45)
+        env.enable_trajectory_trace(0.05)
+        for _ in range(500):
+            env.advance(0.001)
+        assert len(env.trace) >= 9
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            Environment(12000, 45).enable_trajectory_trace(0)

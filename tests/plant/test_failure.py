@@ -1,0 +1,88 @@
+"""Tests for the Section-3.3 failure classification."""
+
+import pytest
+
+from repro.plant.failure import (
+    RETARDATION_LIMIT_G,
+    RUNWAY_LENGTH_M,
+    ArrestmentSummary,
+    FailureClassifier,
+    FailureVerdict,
+)
+
+
+def _summary(**kw):
+    defaults = dict(
+        mass_kg=14000,
+        engagement_velocity_mps=55,
+        max_retardation_g=1.0,
+        max_cable_force_n=80e3,
+        stop_distance_m=320.0,
+        stopped=True,
+        duration_s=10.0,
+    )
+    defaults.update(kw)
+    return ArrestmentSummary(**defaults)
+
+
+class TestConstraints:
+    def test_paper_constants(self):
+        assert RETARDATION_LIMIT_G == 2.8
+        assert RUNWAY_LENGTH_M == 335.0
+
+    def test_clean_arrestment_passes(self):
+        verdict = FailureClassifier().classify(_summary())
+        assert not verdict.failed
+        assert verdict.violated == ()
+        assert not verdict
+
+    def test_retardation_violation(self):
+        verdict = FailureClassifier().classify(_summary(max_retardation_g=3.0))
+        assert verdict.failed
+        assert "retardation" in verdict.violated
+
+    def test_retardation_limit_is_exclusive(self):
+        # Constraint: r < 2.8 g, so exactly 2.8 violates.
+        verdict = FailureClassifier().classify(_summary(max_retardation_g=2.8))
+        assert verdict.failed
+
+    def test_force_violation_uses_interpolated_limit(self):
+        classifier = FailureClassifier()
+        fmax = classifier.force_limit_for(14000, 55)
+        assert FailureClassifier().classify(_summary(max_cable_force_n=fmax + 1)).failed
+        assert not FailureClassifier().classify(_summary(max_cable_force_n=fmax - 1)).failed
+
+    def test_distance_violation(self):
+        verdict = FailureClassifier().classify(_summary(stop_distance_m=336.0))
+        assert verdict.failed
+        assert "distance" in verdict.violated
+
+    def test_never_stopping_is_a_distance_failure(self):
+        verdict = FailureClassifier().classify(
+            _summary(stop_distance_m=200.0, stopped=False)
+        )
+        assert verdict.failed
+        assert "distance" in verdict.violated
+
+    def test_multiple_violations_all_reported(self):
+        verdict = FailureClassifier().classify(
+            _summary(max_retardation_g=5.0, stop_distance_m=400.0, max_cable_force_n=500e3)
+        )
+        assert set(verdict.violated) == {"retardation", "force", "distance"}
+
+    def test_verdict_truthiness(self):
+        assert bool(FailureVerdict(True, ("force",)))
+        assert not bool(FailureVerdict(False))
+
+
+class TestConfiguration:
+    def test_custom_limits(self):
+        lenient = FailureClassifier(retardation_limit_g=10.0, runway_length_m=1000.0)
+        verdict = lenient.classify(_summary(max_retardation_g=5.0, stop_distance_m=500.0))
+        assert not verdict.failed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureClassifier(retardation_limit_g=0)
+        with pytest.raises(ValueError):
+            FailureClassifier(runway_length_m=0)

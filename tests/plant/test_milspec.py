@@ -1,0 +1,99 @@
+"""Tests for the force-limit table (MIL-A-38202C substitute)."""
+
+import pytest
+
+from repro.plant.milspec import ForceLimitTable, default_force_limits
+
+
+def _table():
+    return ForceLimitTable(
+        masses=[1000.0, 2000.0],
+        velocities=[10.0, 20.0],
+        limits=[[100.0, 200.0], [300.0, 400.0]],
+    )
+
+
+class TestInterpolation:
+    def test_grid_points_exact(self):
+        table = _table()
+        assert table.limit(1000, 10) == 100.0
+        assert table.limit(2000, 20) == 400.0
+
+    def test_bilinear_midpoint(self):
+        assert _table().limit(1500, 15) == pytest.approx(250.0)
+
+    def test_linear_along_mass(self):
+        assert _table().limit(1500, 10) == pytest.approx(200.0)
+
+    def test_linear_along_velocity(self):
+        assert _table().limit(1000, 15) == pytest.approx(150.0)
+
+
+class TestExtrapolation:
+    """The paper: combinations outside [15] use extrapolation."""
+
+    def test_extrapolates_above_grid(self):
+        # Continuing the mass slope: 100 + (300-100) * 1.5 = 400.
+        assert _table().limit(2500, 10) == pytest.approx(400.0)
+
+    def test_extrapolates_below_grid(self):
+        assert _table().limit(500, 10) == pytest.approx(0.0)
+
+    def test_extrapolation_is_continuous_at_edges(self):
+        table = _table()
+        assert table.limit(2000.0, 10) == pytest.approx(
+            table.limit(2000.0001, 10), rel=1e-3
+        )
+
+
+class TestValidation:
+    def test_grid_must_be_2x2(self):
+        with pytest.raises(ValueError, match="2x2"):
+            ForceLimitTable([1.0], [1.0, 2.0], [[1.0, 2.0]])
+
+    def test_axes_strictly_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            ForceLimitTable([2.0, 1.0], [1.0, 2.0], [[1.0, 1.0], [1.0, 1.0]])
+
+    def test_limit_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            ForceLimitTable([1.0, 2.0], [1.0, 2.0], [[1.0, 1.0]])
+
+    def test_positive_limits_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            ForceLimitTable([1.0, 2.0], [1.0, 2.0], [[1.0, 0.0], [1.0, 1.0]])
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            _table().limit(0, 10)
+        with pytest.raises(ValueError):
+            _table().limit(1000, 0)
+
+
+class TestDefaultLimits:
+    def test_covers_evaluation_envelope(self):
+        table = default_force_limits()
+        for mass in (8000, 14000, 20000):
+            for velocity in (40, 55, 70):
+                assert table.limit(mass, velocity) > 0
+
+    def test_monotone_in_energy(self):
+        table = default_force_limits()
+        assert table.limit(20000, 70) > table.limit(8000, 70)
+        assert table.limit(8000, 70) > table.limit(8000, 40)
+
+    def test_limit_exceeds_nominal_stop_force(self):
+        """The margin: a controlled stop must fit under the limit."""
+        table = default_force_limits()
+        for mass in (8000, 14000, 20000):
+            for velocity in (40, 55, 70):
+                ideal = mass * velocity**2 / (2 * 320.0)
+                assert table.limit(mass, velocity) > ideal
+
+    def test_full_valve_authority_exceeds_all_limits(self):
+        """An error pinning both valves must be able to break the limit."""
+        table = default_force_limits()
+        full_authority = 400e3  # 2 drums x 0.02 N/Pa x 10 MPa
+        for mass in (8000, 14000, 20000):
+            for velocity in (40, 55, 70):
+                assert full_authority > table.limit(mass, velocity)

@@ -1,0 +1,198 @@
+"""Tests for aircraft, drum/rotation sensor and hydraulics models."""
+
+import math
+
+import pytest
+
+from repro.plant.aircraft import BRAKE_FORCE_PER_PA, GRAVITY, Aircraft
+from repro.plant.drum import PULSE_PITCH_M, RotationSensor
+from repro.plant.hydraulics import (
+    PA_PER_COUNT,
+    VALVE_MAX_PA,
+    PressureSensor,
+    PressureValve,
+)
+
+
+class TestAircraft:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Aircraft(0, 50)
+        with pytest.raises(ValueError):
+            Aircraft(10000, 0)
+
+    def test_coasting_decelerates_only_by_drag(self):
+        aircraft = Aircraft(10000, 50)
+        aircraft.advance(0.001, 0.0, 0.0)
+        assert aircraft.cable_force_n == 0.0
+        assert 0 < aircraft.deceleration_mps2 < 1.0
+
+    def test_braking_force_proportional_to_pressure(self):
+        aircraft = Aircraft(10000, 50)
+        aircraft.advance(0.001, 1e6, 2e6)
+        assert aircraft.cable_force_n == pytest.approx(BRAKE_FORCE_PER_PA * 3e6)
+
+    def test_constant_force_stop_matches_kinematics(self):
+        """v0^2 / (2a) stopping distance within integration error."""
+        aircraft = Aircraft(10000, 50)
+        pressure = 2.5e6  # per drum -> 100 kN total
+        while not aircraft.stopped:
+            aircraft.advance(0.001, pressure, pressure)
+        force = BRAKE_FORCE_PER_PA * 2 * pressure
+        # Drag shortens the distance slightly; allow a few percent.
+        ideal = 50**2 / (2 * force / 10000)
+        assert aircraft.position_m < ideal
+        assert aircraft.position_m > 0.9 * ideal
+
+    def test_stop_is_latched(self):
+        aircraft = Aircraft(1000, 1)
+        while not aircraft.stopped:
+            aircraft.advance(0.01, 5e6, 5e6)
+        position = aircraft.position_m
+        aircraft.advance(0.01, 5e6, 5e6)
+        assert aircraft.stopped
+        assert aircraft.position_m == position
+        assert aircraft.cable_force_n == 0.0
+
+    def test_deceleration_g(self):
+        aircraft = Aircraft(10000, 50)
+        aircraft.advance(0.001, 2.5e6, 2.5e6)
+        expected = (BRAKE_FORCE_PER_PA * 5e6 + 2.0 * 50**2) / 10000 / GRAVITY
+        assert aircraft.deceleration_g == pytest.approx(expected, rel=1e-3)
+
+    def test_kinetic_energy(self):
+        assert Aircraft(10000, 50).kinetic_energy_j == pytest.approx(0.5 * 10000 * 2500)
+
+    def test_dt_validated(self):
+        with pytest.raises(ValueError):
+            Aircraft(1000, 10).advance(0, 0, 0)
+
+
+class TestRotationSensor:
+    def test_pulses_follow_payout(self):
+        sensor = RotationSensor()
+        sensor.update(1.0)
+        assert sensor.total_pulses == int(1.0 / PULSE_PITCH_M)
+
+    def test_poll_returns_increments(self):
+        sensor = RotationSensor()
+        sensor.update(0.5)
+        assert sensor.poll() == 10
+        sensor.update(0.8)
+        assert sensor.poll() == 6
+        assert sensor.poll() == 0
+
+    def test_negative_payout_rejected(self):
+        with pytest.raises(ValueError):
+            RotationSensor().update(-0.1)
+
+    def test_reset(self):
+        sensor = RotationSensor()
+        sensor.update(1.0)
+        sensor.poll()
+        sensor.reset()
+        assert sensor.total_pulses == 0
+        assert sensor.poll() == 0
+
+    def test_pitch_validation(self):
+        with pytest.raises(ValueError):
+            RotationSensor(0)
+
+    def test_max_speed_pulse_rate_fits_ea4_envelope(self):
+        """At 70 m/s the 1-ms poll sees at most 2 new pulses."""
+        sensor = RotationSensor()
+        payout = 0.0
+        max_pulses = 0
+        for _ in range(1000):
+            payout += 70.0 * 0.001
+            sensor.update(payout)
+            max_pulses = max(max_pulses, sensor.poll())
+        assert max_pulses <= 2
+
+
+class TestPressureValve:
+    def test_first_order_step_response(self):
+        valve = PressureValve()
+        valve.command(1e6)
+        valve.advance(valve.tau)  # one time constant
+        assert valve.pressure_pa == pytest.approx(1e6 * (1 - math.exp(-1)), rel=1e-6)
+
+    def test_exact_discretisation_is_step_size_independent(self):
+        v1, v2 = PressureValve(), PressureValve()
+        v1.command(5e6)
+        v2.command(5e6)
+        v1.advance(0.1)
+        for _ in range(100):
+            v2.advance(0.001)
+        assert v1.pressure_pa == pytest.approx(v2.pressure_pa, rel=1e-9)
+
+    def test_command_clamped_to_range(self):
+        valve = PressureValve()
+        valve.command(99e6)
+        assert valve.command_pa == VALVE_MAX_PA
+        valve.command(-1)
+        assert valve.command_pa == 0.0
+
+    def test_command_counts_scaling(self):
+        valve = PressureValve()
+        valve.command_counts(3000)
+        assert valve.command_pa == pytest.approx(3000 * PA_PER_COUNT)
+
+    def test_max_slew_bound_is_respected(self):
+        """The basis of EA2's envelope: no 7-ms change can exceed it."""
+        valve = PressureValve()
+        bound = valve.max_slew_per_interval(0.007)
+        valve.command(VALVE_MAX_PA)
+        previous = valve.pressure_pa
+        for _ in range(300):
+            valve.advance(0.007)
+            assert abs(valve.pressure_pa - previous) <= bound + 1e-9
+            previous = valve.pressure_pa
+
+    def test_reset(self):
+        valve = PressureValve()
+        valve.command(1e6)
+        valve.advance(1.0)
+        valve.reset()
+        assert valve.pressure_pa == 0.0
+        assert valve.command_pa == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PressureValve(max_pa=0)
+        with pytest.raises(ValueError):
+            PressureValve(tau=0)
+        with pytest.raises(ValueError):
+            PressureValve().advance(-1)
+
+
+class TestPressureSensor:
+    def test_quantises_to_counts(self):
+        valve = PressureValve()
+        valve.command(2.5e6)
+        valve.advance(10.0)  # settled
+        sensor = PressureSensor(valve)
+        assert sensor.read_counts() == 2500
+
+    def test_clamps_to_16_bits(self):
+        valve = PressureValve(max_pa=70e6)
+        valve.command(70e6)
+        valve.advance(100.0)
+        sensor = PressureSensor(valve)
+        assert sensor.read_counts() == 0xFFFF
+
+    def test_ripple_bounded(self):
+        valve = PressureValve()
+        valve.command(2.5e6)
+        valve.advance(10.0)
+        sensor = PressureSensor(valve, ripple_counts=3)
+        readings = {sensor.read_counts(t * 0.001) for t in range(100)}
+        assert all(2497 <= r <= 2503 for r in readings)
+        assert len(readings) > 1  # the ripple actually moves
+
+    def test_validation(self):
+        valve = PressureValve()
+        with pytest.raises(ValueError):
+            PressureSensor(valve, ripple_counts=-1)
+        with pytest.raises(ValueError):
+            PressureSensor(valve, ripple_period_s=0)

@@ -1,0 +1,99 @@
+"""Property-based tests for the plant physics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plant.aircraft import Aircraft
+from repro.plant.environment import Environment
+from repro.plant.hydraulics import PressureValve
+from repro.plant.milspec import default_force_limits
+
+_mass = st.floats(6000.0, 26000.0)
+_velocity = st.floats(30.0, 80.0)
+_pressure = st.floats(0.5e6, 10.0e6)
+
+
+class TestAircraftProperties:
+    @given(_mass, _velocity, _pressure)
+    @settings(max_examples=50, deadline=None)
+    def test_always_stops_under_constant_pressure(self, mass, velocity, pressure):
+        aircraft = Aircraft(mass, velocity)
+        steps = 0
+        while not aircraft.stopped and steps < 200_000:
+            aircraft.advance(0.001, pressure, pressure)
+            steps += 1
+        assert aircraft.stopped
+        assert aircraft.position_m > 0
+
+    @given(_mass, _velocity)
+    @settings(max_examples=30, deadline=None)
+    def test_more_force_stops_shorter(self, mass, velocity):
+        distances = []
+        for pressure in (1.0e6, 3.0e6):
+            aircraft = Aircraft(mass, velocity)
+            while not aircraft.stopped:
+                aircraft.advance(0.001, pressure, pressure)
+            distances.append(aircraft.position_m)
+        assert distances[1] < distances[0]
+
+    @given(_mass, _velocity, _pressure, st.floats(0.0005, 0.004))
+    @settings(max_examples=50, deadline=None)
+    def test_position_and_velocity_monotone(self, mass, velocity, pressure, dt):
+        aircraft = Aircraft(mass, velocity)
+        last_x, last_v = aircraft.position_m, aircraft.velocity_mps
+        for _ in range(200):
+            aircraft.advance(dt, pressure, pressure)
+            assert aircraft.position_m >= last_x
+            assert aircraft.velocity_mps <= last_v
+            last_x, last_v = aircraft.position_m, aircraft.velocity_mps
+
+
+class TestValveProperties:
+    @given(_pressure, st.floats(0.001, 0.1))
+    @settings(max_examples=50, deadline=None)
+    def test_response_is_monotone_and_bounded(self, command, dt):
+        valve = PressureValve()
+        valve.command(command)
+        last = valve.pressure_pa
+        for _ in range(100):
+            valve.advance(dt)
+            assert last <= valve.pressure_pa <= command + 1e-6
+            last = valve.pressure_pa
+
+    @given(_pressure)
+    @settings(max_examples=30, deadline=None)
+    def test_settles_to_command(self, command):
+        valve = PressureValve()
+        valve.command(command)
+        valve.advance(10.0)  # many time constants
+        assert abs(valve.pressure_pa - command) < 1e-3 * command
+
+
+class TestForceLimitProperties:
+    @given(_mass, _velocity)
+    @settings(max_examples=100, deadline=None)
+    def test_limits_monotone_in_mass_and_velocity(self, mass, velocity):
+        table = default_force_limits()
+        base = table.limit(mass, velocity)
+        assert table.limit(mass + 500, velocity) >= base
+        assert table.limit(mass, velocity + 2) >= base
+
+    @given(_mass, _velocity)
+    @settings(max_examples=100, deadline=None)
+    def test_limits_positive_everywhere(self, mass, velocity):
+        assert default_force_limits().limit(mass, velocity) > 0
+
+
+class TestEnvironmentProperties:
+    @given(st.floats(8000, 20000), st.floats(40, 70))
+    @settings(max_examples=10, deadline=None)
+    def test_pulses_track_distance(self, mass, velocity):
+        env = Environment(mass, velocity)
+        env.command_master_valve_counts(2500)
+        env.command_slave_valve_counts(2500)
+        total = 0
+        for _ in range(4000):
+            env.advance(0.001)
+            total += env.poll_rotation_pulses()
+        expected = int(env.aircraft.position_m / env.rotation_sensor.pulse_pitch)
+        assert abs(total - expected) <= 1

@@ -1,0 +1,76 @@
+"""Tests for the watchdog timer extension."""
+
+import pytest
+
+from repro.rtos.watchdog import WatchdogTimer
+
+
+class TestWatchdogTimer:
+    def test_does_not_fire_while_kicked(self):
+        watchdog = WatchdogTimer(timeout_ms=50)
+        for now in range(200):
+            watchdog.kick(now)
+            assert not watchdog.poll(now)
+        assert not watchdog.fired
+
+    def test_fires_after_timeout_without_kicks(self):
+        watchdog = WatchdogTimer(timeout_ms=50)
+        watchdog.kick(10)
+        fired_edge = None
+        for now in range(11, 100):
+            if watchdog.poll(now):
+                fired_edge = now
+                break
+        assert fired_edge == 61  # first tick with now - 10 > 50
+        assert watchdog.fired_at_ms == 61
+
+    def test_fires_once_and_latches(self):
+        watchdog = WatchdogTimer(timeout_ms=10)
+        edges = sum(watchdog.poll(now) for now in range(100))
+        assert edges == 1
+        assert watchdog.fired
+
+    def test_late_kick_does_not_unfire(self):
+        watchdog = WatchdogTimer(timeout_ms=10)
+        for now in range(30):
+            watchdog.poll(now)
+        watchdog.kick(31)
+        assert watchdog.fired
+
+    def test_reset(self):
+        watchdog = WatchdogTimer(timeout_ms=10)
+        for now in range(30):
+            watchdog.poll(now)
+        watchdog.reset()
+        assert not watchdog.fired
+        watchdog.kick(0)
+        assert not watchdog.poll(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogTimer(timeout_ms=0)
+
+
+class TestWatchdogOnTargetSystem:
+    def test_wedge_is_caught_by_watchdog_not_assertions(self):
+        from repro.arrestor import constants as k
+        from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+
+        config = RunConfig(watchdog_timeout_ms=50)
+        system = TargetSystem(TestCase(14000, 55), config=config)
+        word = system.master.mem.dispatch.word_variable(k.SLOT_V_REG)
+        word.set(word.get() ^ 0x4000)
+        result = system.run()
+        assert result.wedged
+        assert not result.detected
+        assert result.watchdog_fired_ms is not None
+        assert result.watchdog_fired_ms <= 60
+        assert result.detected_with_watchdog
+
+    def test_fault_free_run_never_trips_the_watchdog(self):
+        from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+
+        config = RunConfig(watchdog_timeout_ms=20)
+        result = TargetSystem(TestCase(14000, 55), config=config).run()
+        assert result.watchdog_fired_ms is None
+        assert not result.detected_with_watchdog

@@ -1,0 +1,49 @@
+"""Tests for published-vs-measured comparison."""
+
+import pytest
+
+from repro.stats.compare import compare_to_published
+from repro.stats.estimators import CoverageEstimate
+
+
+class TestCompareToPublished:
+    def test_value_inside_interval_is_consistent(self):
+        agreement = compare_to_published(CoverageEstimate(37, 48), 74.0)
+        assert agreement.consistent
+        assert "consistent" in agreement.format()
+
+    def test_value_outside_interval_differs(self):
+        agreement = compare_to_published(CoverageEstimate(5, 100), 74.0)
+        assert not agreement.consistent
+        assert "DIFFERS" in agreement.format()
+
+    def test_degenerate_hundred_percent_tolerance(self):
+        # 48/48 measured, paper says 99.6: inside the exact interval.
+        agreement = compare_to_published(CoverageEstimate(48, 48), 99.6)
+        assert agreement.consistent
+
+    def test_degenerate_zero_with_nearby_published(self):
+        agreement = compare_to_published(
+            CoverageEstimate(0, 3), 4.2, degenerate_tolerance=5.0
+        )
+        assert agreement.consistent
+
+    def test_undefined_measurement(self):
+        agreement = compare_to_published(CoverageEstimate(0, 0), 50.0)
+        assert not agreement.consistent
+        assert agreement.measured_percent is None
+        assert "no measurement" in agreement.format()
+
+    def test_interval_bounds_exposed(self):
+        agreement = compare_to_published(CoverageEstimate(30, 100), 25.0)
+        assert agreement.interval_low < 30.0 < agreement.interval_high
+
+    def test_published_value_validated(self):
+        with pytest.raises(ValueError):
+            compare_to_published(CoverageEstimate(1, 2), 140.0)
+
+    def test_paper_headline_consistency(self):
+        """Our measured All-version totals vs the paper's 74.0."""
+        # 76.8% of 336 runs.
+        agreement = compare_to_published(CoverageEstimate(258, 336), 74.0)
+        assert agreement.consistent

@@ -1,0 +1,81 @@
+"""Property-based tests for the coverage estimators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.estimators import (
+    CoverageEstimate,
+    clopper_pearson_interval,
+    normal_interval,
+)
+
+
+@st.composite
+def nd_ne(draw):
+    ne = draw(st.integers(1, 5000))
+    nd = draw(st.integers(0, ne))
+    return nd, ne
+
+
+class TestNormalIntervalProperties:
+    @given(nd_ne())
+    @settings(max_examples=200)
+    def test_half_width_non_negative_and_bounded(self, pair):
+        nd, ne = pair
+        width = normal_interval(nd, ne)
+        assert 0.0 <= width <= 100.0
+
+    @given(nd_ne(), st.integers(2, 10))
+    @settings(max_examples=200)
+    def test_shrinks_with_sample_size(self, pair, factor):
+        nd, ne = pair
+        assert normal_interval(nd * factor, ne * factor) <= normal_interval(nd, ne) + 1e-9
+
+    @given(nd_ne())
+    @settings(max_examples=200)
+    def test_symmetric_in_p_and_one_minus_p(self, pair):
+        nd, ne = pair
+        assert abs(normal_interval(nd, ne) - normal_interval(ne - nd, ne)) < 1e-9
+
+
+class TestClopperPearsonProperties:
+    @given(nd_ne())
+    @settings(max_examples=150)
+    def test_interval_contains_point_estimate(self, pair):
+        nd, ne = pair
+        lower, upper = clopper_pearson_interval(nd, ne)
+        point = 100.0 * nd / ne
+        assert lower - 1e-6 <= point <= upper + 1e-6
+
+    @given(nd_ne())
+    @settings(max_examples=150)
+    def test_interval_ordered_and_in_range(self, pair):
+        nd, ne = pair
+        lower, upper = clopper_pearson_interval(nd, ne)
+        assert 0.0 <= lower <= upper <= 100.0
+
+    @given(nd_ne())
+    @settings(max_examples=100)
+    def test_wider_than_or_comparable_to_normal(self, pair):
+        """The exact interval never collapses where the normal one does."""
+        nd, ne = pair
+        lower, upper = clopper_pearson_interval(nd, ne)
+        if nd in (0, ne):
+            assert upper - lower > 0.0
+
+
+class TestEstimateProperties:
+    @given(nd_ne())
+    @settings(max_examples=200)
+    def test_format_always_parses_back(self, pair):
+        nd, ne = pair
+        text = CoverageEstimate(nd, ne).format()
+        value = float(text.split("±")[0])
+        assert abs(value - 100.0 * nd / ne) < 0.05  # one rounding digit
+
+    @given(nd_ne())
+    @settings(max_examples=200)
+    def test_percent_consistent_with_fraction(self, pair):
+        nd, ne = pair
+        estimate = CoverageEstimate(nd, ne)
+        assert abs(estimate.percent - 100.0 * estimate.fraction) < 1e-9

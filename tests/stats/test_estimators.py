@@ -1,0 +1,114 @@
+"""Tests for the coverage estimators (Powell et al. [18])."""
+
+import math
+
+import pytest
+
+from repro.stats.estimators import (
+    Z_95,
+    CoverageEstimate,
+    clopper_pearson_interval,
+    estimate_coverage,
+    normal_interval,
+)
+
+
+class TestNormalInterval:
+    def test_known_value(self):
+        # p = 0.5, n = 400: half width = 1.96 * sqrt(0.25/400) = 4.9 %.
+        assert normal_interval(200, 400) == pytest.approx(
+            100 * Z_95 * math.sqrt(0.25 / 400), rel=1e-12
+        )
+
+    def test_narrows_with_sample_size(self):
+        assert normal_interval(50, 100) > normal_interval(500, 1000)
+
+    def test_widest_at_half(self):
+        assert normal_interval(200, 400) > normal_interval(40, 400)
+        assert normal_interval(200, 400) > normal_interval(360, 400)
+
+    def test_degenerate_extremes_are_zero(self):
+        assert normal_interval(0, 400) == 0.0
+        assert normal_interval(400, 400) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normal_interval(1, 0)
+        with pytest.raises(ValueError):
+            normal_interval(5, 4)
+        with pytest.raises(ValueError):
+            normal_interval(-1, 4)
+
+
+class TestClopperPearson:
+    def test_contains_point_estimate(self):
+        lower, upper = clopper_pearson_interval(30, 100)
+        assert lower < 30.0 < upper
+
+    def test_zero_detections_lower_bound_is_zero(self):
+        lower, upper = clopper_pearson_interval(0, 50)
+        assert lower == 0.0
+        assert 0 < upper < 15
+
+    def test_full_detections_upper_bound_is_hundred(self):
+        lower, upper = clopper_pearson_interval(50, 50)
+        assert upper == 100.0
+        assert 85 < lower < 100
+
+    def test_against_known_value(self):
+        # Classic reference: 8/10 -> approximately (44.39, 97.48) at 95 %.
+        lower, upper = clopper_pearson_interval(8, 10)
+        assert lower == pytest.approx(44.39, abs=0.05)
+        assert upper == pytest.approx(97.48, abs=0.05)
+
+    def test_narrower_at_higher_n(self):
+        l1, u1 = clopper_pearson_interval(30, 100)
+        l2, u2 = clopper_pearson_interval(300, 1000)
+        assert (u2 - l2) < (u1 - l1)
+
+
+class TestCoverageEstimate:
+    def test_basic_measures(self):
+        est = CoverageEstimate(nd=222, ne=400)
+        assert est.fraction == pytest.approx(0.555)
+        assert est.percent == pytest.approx(55.5)
+        assert est.defined
+
+    def test_undefined_when_no_runs(self):
+        est = CoverageEstimate(0, 0)
+        assert not est.defined
+        assert est.percent is None
+        assert est.half_width is None
+        assert est.format() == "-"
+        assert est.exact_interval() is None
+
+    def test_paper_table_format(self):
+        est = CoverageEstimate(nd=222, ne=400)
+        text = est.format()
+        assert text.startswith("55.5±")
+
+    def test_hundred_percent_formats_without_interval(self):
+        """Table 7's caption: no interval for measured 100.0 %."""
+        assert CoverageEstimate(400, 400).format() == "100.0"
+
+    def test_zero_percent_formats_without_interval(self):
+        assert CoverageEstimate(0, 400).format() == "0.0"
+
+    def test_format_digits(self):
+        assert CoverageEstimate(1, 3).format(digits=2) == "33.33±53.34"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageEstimate(5, 4)
+        with pytest.raises(ValueError):
+            CoverageEstimate(1, 0)
+        with pytest.raises(ValueError):
+            CoverageEstimate(-1, 4)
+
+    def test_exact_interval_brackets_normal_estimate(self):
+        est = CoverageEstimate(30, 100)
+        lower, upper = est.exact_interval()
+        assert lower < est.percent < upper
+
+    def test_estimate_coverage_helper(self):
+        assert estimate_coverage(1, 2).percent == pytest.approx(50.0)

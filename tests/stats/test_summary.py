@@ -1,0 +1,48 @@
+"""Tests for latency summaries (Tables 8/9 measures)."""
+
+import pytest
+
+from repro.stats.summary import LatencySummary, summarize_latencies
+
+
+class TestSummarizeLatencies:
+    def test_min_avg_max(self):
+        summary = summarize_latencies([10.0, 20.0, 60.0])
+        assert summary.count == 3
+        assert summary.minimum == 10.0
+        assert summary.average == pytest.approx(30.0)
+        assert summary.maximum == 60.0
+
+    def test_single_sample(self):
+        summary = summarize_latencies([42.0])
+        assert summary.minimum == summary.average == summary.maximum == 42.0
+
+    def test_empty_is_undefined(self):
+        summary = summarize_latencies([])
+        assert not summary.defined
+        assert summary.minimum is None
+        assert summary.format() == "-"
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            summarize_latencies([5.0, -1.0])
+
+    def test_accepts_any_iterable(self):
+        assert summarize_latencies(iter([1.0, 2.0])).count == 2
+
+    def test_zero_latency_allowed(self):
+        # Detection in the same millisecond as the first injection.
+        assert summarize_latencies([0.0]).minimum == 0.0
+
+
+class TestFormat:
+    def test_paper_style_integer_milliseconds(self):
+        assert summarize_latencies([10.4, 20.6]).format() == "10/16/21"
+
+    def test_digits_parameter(self):
+        assert summarize_latencies([1.25]).format(digits=2) == "1.25/1.25/1.25"
+
+    def test_direct_construction(self):
+        summary = LatencySummary(2, 1.0, 1.5, 2.0)
+        assert summary.defined
+        assert summary.format() == "1/2/2"

@@ -1,0 +1,67 @@
+"""Smoke tests: the example scripts must run clean end to end.
+
+The long-running campaign examples (`fault_injection_campaign.py`,
+`coverage_model.py`) are exercised by the benchmark suite's campaigns
+instead; here we run the fast ones as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "arrestment_demo.py",
+    "instrumentation_process.py",
+    "signal_modes.py",
+    "adaptive_monitoring.py",
+    "cruise_control.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_arrestment_demo_accepts_arguments():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "arrestment_demo.py"), "9000", "45"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "9000 kg" in completed.stdout
+
+
+def test_render_figures_writes_svgs(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "render_figures.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert completed.returncode == 0, completed.stderr
+    written = list((tmp_path / "figures").glob("*.svg"))
+    assert len(written) == 3
+
+
+def test_every_example_is_listed_in_the_readme():
+    readme = (EXAMPLES_DIR / "README.md").read_text()
+    for script in EXAMPLES_DIR.glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from examples/README.md"

@@ -1,0 +1,89 @@
+"""Public-API integrity: every ``__all__`` name resolves, in every package."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.stats",
+    "repro.memory",
+    "repro.rtos",
+    "repro.plant",
+    "repro.arrestor",
+    "repro.injection",
+    "repro.experiments",
+]
+
+MODULES = [
+    "repro.core.classes",
+    "repro.core.parameters",
+    "repro.core.assertions",
+    "repro.core.monitor",
+    "repro.core.recovery",
+    "repro.core.dynamic",
+    "repro.core.coverage",
+    "repro.core.process",
+    "repro.core.config",
+    "repro.stats.estimators",
+    "repro.stats.summary",
+    "repro.stats.compare",
+    "repro.memory.layout",
+    "repro.memory.memmap",
+    "repro.memory.stack",
+    "repro.rtos.scheduler",
+    "repro.rtos.task",
+    "repro.rtos.pins",
+    "repro.rtos.watchdog",
+    "repro.plant.aircraft",
+    "repro.plant.drum",
+    "repro.plant.hydraulics",
+    "repro.plant.milspec",
+    "repro.plant.failure",
+    "repro.plant.environment",
+    "repro.arrestor.constants",
+    "repro.arrestor.signals_map",
+    "repro.arrestor.instrumentation",
+    "repro.arrestor.master",
+    "repro.arrestor.slave",
+    "repro.arrestor.system",
+    "repro.injection.errors",
+    "repro.injection.injector",
+    "repro.injection.fic",
+    "repro.experiments.testcases",
+    "repro.experiments.results",
+    "repro.experiments.campaign",
+    "repro.experiments.tables",
+    "repro.experiments.propagation",
+    "repro.experiments.persistence",
+    "repro.experiments.analysis",
+    "repro.experiments.plots",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ exports missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_modules_have_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
