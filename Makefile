@@ -2,13 +2,28 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full e1 e2 reference examples clean
+.PHONY: install test lint bench bench-full e1 e2 reference examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static checks: ruff + mypy when installed (pip install -e .[lint]),
+# always followed by the repo's own assertion linter on the arrestor plan.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src/repro/; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

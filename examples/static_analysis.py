@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Static analysis: linting an instrumentation plan before deployment.
+
+Sections 2.3 and 2.4 make the instrumentation a sequence of *decisions*
+(classify, parameterise, place), and decisions can be wrong long before
+the first fault is injected.  This example builds a small braking
+controller whose plan contains two classic mistakes:
+
+* a rate envelope as wide as the signal's whole domain, so the rate test
+  can never fire (rule EA101, and the coverage model's Pds collapses —
+  EA301), and
+* an FMECA-critical output nobody monitors (rule EA201, an error).
+
+``repro.analysis`` catches both without executing anything, and the
+fixed plan comes back clean.
+
+Run:  python examples/static_analysis.py
+      python -m repro.analysis --list-rules   # the full rule catalogue
+"""
+
+from repro.analysis import analyze_plan
+from repro.core.classes import SignalClass
+from repro.core.parameters import ContinuousParams
+from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+
+
+def build_inventory():
+    inventory = SignalInventory()
+    inventory.declare("wheel_speed", "input", "SpeedSensor", ["BrakeCtrl"])
+    inventory.declare("brake_setpoint", "internal", "BrakeCtrl", ["Actuator"])
+    inventory.declare("brake_force", "output", "Actuator", ["Brakes"])
+    return inventory
+
+
+def build_fmeca():
+    return [
+        FmecaEntry("wheel_speed", "sensor corruption", severity=6, occurrence=4),
+        FmecaEntry("brake_force", "force stuck at zero", severity=9, occurrence=4),
+    ]
+
+
+def broken_plan(inventory):
+    """Two deliberate mistakes: a vacuous envelope, a coverage hole."""
+    plan = InstrumentationPlan(inventory)
+    # Mistake 1: rmax covers the whole 0..2000 span, so *any* jump
+    # between consecutive samples passes the rate test.
+    plan.plan(
+        "wheel_speed",
+        SignalClass.CONTINUOUS_RANDOM,
+        ContinuousParams.random(0, 2000, rmax_incr=2500, rmax_decr=2500),
+        location="SpeedSensor",
+    )
+    # Mistake 2: brake_force (RPN 360, the worst in the FMECA) is not
+    # planned at all.
+    return plan
+
+
+def fixed_plan(inventory):
+    plan = InstrumentationPlan(inventory)
+    plan.plan(
+        "wheel_speed",
+        SignalClass.CONTINUOUS_RANDOM,
+        ContinuousParams.random(0, 2000, rmax_incr=60, rmax_decr=120),
+        location="SpeedSensor",
+    )
+    plan.plan(
+        "brake_force",
+        SignalClass.CONTINUOUS_RANDOM,
+        ContinuousParams.random(0, 1200, rmax_incr=80, rmax_decr=80),
+        location="Actuator",
+    )
+    return plan
+
+
+def main():
+    inventory = build_inventory()
+    fmeca = build_fmeca()
+
+    print("=== linting the broken plan ===")
+    report = analyze_plan(broken_plan(inventory), fmeca)
+    print(report.format_text())
+    assert not report.ok, "the broken plan should produce errors"
+    assert {"EA101", "EA201"} <= set(report.rule_ids())
+
+    print()
+    print("=== linting the fixed plan ===")
+    report = analyze_plan(fixed_plan(inventory), fmeca)
+    print(report.format_text() if not report.clean else "no findings — plan is clean")
+    assert report.clean, report.format_text()
+
+    print()
+    print("The same checks run from the command line:")
+    print("  python -m repro.analysis --target mymodule:build_plan")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,9 @@ The package splits into:
   :mod:`repro.arrestor` — the target system: emulated memory, the slot
   scheduler, the environment simulator and the arresting-system software;
 * :mod:`repro.injection`, :mod:`repro.experiments` — the fault-injection
-  machinery and the campaign harness regenerating the paper's tables.
+  machinery and the campaign harness regenerating the paper's tables;
+* :mod:`repro.analysis` — a static linter for assertion configurations,
+  instrumentation plans and coverage holes (``python -m repro.analysis``).
 """
 
 from repro.core import (

@@ -1,0 +1,161 @@
+"""Coverage rule pack (EA3xx) — the Section-2.4 model, applied statically.
+
+The paper decomposes total detection probability as::
+
+    Pdetect = (Pen * Pprop + Pem) * Pds
+
+``Pds`` (detection given the error sits in a monitored signal) and
+``Pem`` (the chance an error lands in a monitored signal at all) can both
+be *bounded before running anything*: ``Pds`` from the fraction of the
+word's value space an assertion accepts, ``Pem`` from the share of FMECA
+criticality the plan covers.  These rules flag placements whose static
+bound is already too low — the configurations Section 5.1 predicts will
+let errors escape.
+
+========  ========  ==============================================================
+rule id   severity  finding
+========  ========  ==============================================================
+EA301     warning   per-assertion static ``Pds`` estimate below ``pds_floor``
+EA302     warning   RPN-weighted monitored share of criticality (the static
+                    ``Pem`` surrogate) below ``pem_floor``
+EA303     warning   system output with no monitored signal anywhere on its
+                    input pathways (an unguarded pathway caps ``Pdetect``)
+========  ========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+from repro.core.parameters import ContinuousParams, DiscreteParams, ModalParameterSet
+from repro.core.process import InstrumentationPlan
+
+from repro.analysis.diagnostics import Finding, Severity
+from repro.analysis.registry import RuleContext, RuleRegistry
+
+__all__ = ["PACK", "estimate_pds", "register"]
+
+PACK = "coverage"
+
+Params = Union[ContinuousParams, DiscreteParams, ModalParameterSet]
+
+
+def estimate_pds(params: Params, word_values: int = 1 << 16) -> float:
+    """Static ``Pds`` surrogate: detected fraction of uniform value corruption.
+
+    Models the paper's SWIFI error as replacing the signal's stored word
+    with a value uniform over its *word_values* representable values (the
+    Section-5.1 view: high-order bit flips leave the domain and are
+    caught, low-order flips stay inside the acceptance window and
+    escape).  The assertion accepts a corrupted sample only if it passes
+    both the domain test and, given a reference value, the tightest
+    change test, so the accepted window is bounded by::
+
+        continuous:  min(span + 1, rmax_incr + rmax_decr + 1)   (x2 if wrap)
+        discrete:    |T(d)| averaged over d  (|D| for random signals)
+
+    and ``Pds ~ 1 - accepted / word_values``.  For a
+    :class:`~repro.core.parameters.ModalParameterSet` the *weakest* mode
+    is reported, since an error can strike in any mode.
+    """
+    if isinstance(params, ModalParameterSet):
+        return min(
+            estimate_pds(params.params_for(mode), word_values)
+            for mode in params.modes
+        )
+    if isinstance(params, ContinuousParams):
+        in_domain = params.span + 1
+        window = params.rmax_incr + params.rmax_decr + 1
+        if params.wrap:
+            window *= 2
+        accepted = min(in_domain, window)
+    elif isinstance(params, DiscreteParams):
+        if params.transitions is not None:
+            sizes = [len(targets) for targets in params.transitions.values()]
+            accepted = max(sum(sizes) / len(sizes), 1.0)
+        else:
+            accepted = len(params.domain)
+    else:
+        raise TypeError(f"cannot estimate Pds for {type(params).__name__}")
+    return max(0.0, 1.0 - accepted / word_values)
+
+
+def _plan(ctx: RuleContext) -> InstrumentationPlan:
+    assert ctx.plan is not None
+    return ctx.plan
+
+
+def check_low_pds_placement(ctx: RuleContext) -> Iterable[Finding]:
+    """Assertions whose acceptance window is too wide to detect much."""
+    plan = _plan(ctx)
+    floor = ctx.options.pds_floor
+    for planned in plan:
+        try:
+            pds = estimate_pds(planned.params, ctx.options.word_values)
+        except TypeError:
+            continue  # EA205 reports unsupported parameter objects
+        if pds < floor:
+            yield Finding(
+                planned.signal,
+                f"static Pds estimate {pds:.3f} is below the floor "
+                f"{floor:.3f}: the assertion accepts so much of the value "
+                f"space that most corruptions pass unnoticed "
+                f"(Pdetect = (Pen*Pprop + Pem) * Pds caps accordingly)",
+                hint="tighten the domain bounds or rate envelope, or lower "
+                "pds_floor if the wide envelope is physically required",
+            )
+
+
+def check_low_plan_reach(ctx: RuleContext) -> Iterable[Finding]:
+    """The plan should cover most of the FMECA-established criticality."""
+    plan = _plan(ctx)
+    if not ctx.fmeca:
+        return
+    worst: Dict[str, int] = {}
+    for entry in ctx.fmeca:
+        worst[entry.signal] = max(worst.get(entry.signal, 0), entry.rpn)
+    total = sum(worst.values())
+    if total == 0:
+        return
+    covered = sum(rpn for signal, rpn in worst.items() if signal in plan)
+    pem_hat = covered / total
+    if pem_hat < ctx.options.pem_floor:
+        missing = sorted(signal for signal in worst if signal not in plan)
+        yield Finding(
+            "plan",
+            f"the plan covers {pem_hat:.2f} of the RPN-weighted criticality "
+            f"(floor {ctx.options.pem_floor:.2f}); in the Section-2.4 model "
+            f"this caps Pem and hence Pdetect regardless of how good the "
+            f"individual assertions are (unmonitored: {', '.join(missing)})",
+            hint="plan assertions for the highest-RPN unmonitored signals",
+        )
+
+
+def check_unguarded_pathways(ctx: RuleContext) -> Iterable[Finding]:
+    """Every output's input cone should contain at least one monitor."""
+    plan = _plan(ctx)
+    inventory = plan.inventory
+    monitored = {planned.signal for planned in plan}
+    for output in inventory.outputs:
+        cone = inventory.upstream_signals(output) | {output}
+        if not cone & monitored:
+            yield Finding(
+                output,
+                "no signal on any pathway into this output is monitored; "
+                "errors anywhere on those pathways can only be detected by "
+                "propagating out of them (Pem = 0 for the whole cone)",
+                hint="monitor the output itself or a signal on its pathways",
+            )
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the coverage pack into *registry*."""
+    from repro.analysis.registry import Rule
+
+    add = registry.add
+    add(Rule("EA301", "low static Pds placement", Severity.WARNING, "plan",
+             check_low_pds_placement, pack=PACK))
+    add(Rule("EA302", "plan covers too little criticality", Severity.WARNING,
+             "plan", check_low_plan_reach, pack=PACK))
+    add(Rule("EA303", "unguarded output pathway", Severity.WARNING, "plan",
+             check_unguarded_pathways, pack=PACK))

@@ -1,0 +1,240 @@
+"""Parameter-vacuity rule pack (EA1xx).
+
+A mis-parameterised assertion is worse than a missing one: it runs, costs
+cycles, and silently detects nothing.  These rules inspect a single
+``Pcont``/``Pdisc``/:class:`~repro.core.parameters.ModalParameterSet` and
+flag configurations whose Table-2/Table-3 tests are vacuous, unbuildable
+or degenerate.
+
+========  ========  ==============================================================
+rule id   severity  finding
+========  ========  ==============================================================
+EA101     warning   rate envelope at least as wide as the domain span (rate
+                    tests 3a/3b can never fire on in-domain samples)
+EA102     error     parameters fit no Table-1 template (assertion unbuildable)
+EA103     warning   wrap-around enabled on a random signal (Table 1 reserves
+                    wrap for the monotonic classes; on a random signal it only
+                    widens the acceptance region)
+EA104     warning   transition states unreachable from every other state
+EA105     warning   absorbing transition states (empty or self-only successors)
+EA106     warning   modal set with modes sharing identical parameters
+EA107     info      modal set with a single mode
+EA108     warning   random signal that cannot legally hold its value
+EA109     warning   transition relation allowing every state from every state
+                    (sequential test equivalent to the random-discrete test)
+========  ========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    classify_continuous,
+)
+
+from repro.analysis.diagnostics import Finding, Severity
+from repro.analysis.registry import RuleContext, RuleRegistry
+
+__all__ = ["PACK", "register"]
+
+PACK = "parameter-vacuity"
+
+
+def _continuous(ctx: RuleContext) -> ContinuousParams:
+    assert isinstance(ctx.params, ContinuousParams)
+    return ctx.params
+
+
+def _discrete(ctx: RuleContext) -> DiscreteParams:
+    assert isinstance(ctx.params, DiscreteParams)
+    return ctx.params
+
+
+def _modal(ctx: RuleContext) -> ModalParameterSet:
+    assert isinstance(ctx.params, ModalParameterSet)
+    return ctx.params
+
+
+# -- continuous rules -----------------------------------------------------
+
+
+def check_vacuous_rate_envelope(ctx: RuleContext) -> Iterable[Finding]:
+    """Rate bounds wider than the domain span make the rate tests unfireable."""
+    p = _continuous(ctx)
+    span = p.span
+    for direction, rmin, rmax in (
+        ("increase", p.rmin_incr, p.rmax_incr),
+        ("decrease", p.rmin_decr, p.rmax_decr),
+    ):
+        if rmax == 0:
+            continue  # direction forbidden; nothing vacuous about that
+        if rmin == 0 and rmax >= span:
+            yield Finding(
+                ctx.subject,
+                f"{direction} envelope [0, {rmax}] covers the whole domain span "
+                f"({span}): any in-domain {direction} passes, so the Table-2 "
+                f"rate test can never fire",
+                hint=f"tighten rmax_{direction[:4]} below the domain span, or "
+                f"drop the rate test and monitor bounds only",
+            )
+
+
+def check_no_template(ctx: RuleContext) -> Iterable[Finding]:
+    """Parameters fitting no Table-1 template cannot instantiate an assertion."""
+    p = _continuous(ctx)
+    if classify_continuous(p) is None:
+        yield Finding(
+            ctx.subject,
+            "parameters fit no Table-1 template (both directions forbidden: "
+            "a frozen signal); build_assertion() will reject them",
+            hint="allow change in at least one direction, or model the signal "
+            "as discrete with a one-value domain",
+        )
+
+
+def check_wrap_on_random(ctx: RuleContext) -> Iterable[Finding]:
+    """Wrap-around on a random signal only widens the acceptance region."""
+    p = _continuous(ctx)
+    if p.wrap and p.is_random():
+        yield Finding(
+            ctx.subject,
+            "wrap-around is enabled on a random signal; Table 1 reserves wrap "
+            "for monotonic counters — on a random signal every rejected change "
+            "gets a second chance through the domain edge, weakening detection",
+            hint="disable wrap, or reclassify the signal as a monotonic counter",
+        )
+
+
+def check_restless_random(ctx: RuleContext) -> Iterable[Finding]:
+    """A random signal with both minimum rates positive can never hold still."""
+    p = _continuous(ctx)
+    if p.is_random() and p.rmin_incr > 0 and p.rmin_decr > 0:
+        yield Finding(
+            ctx.subject,
+            f"both minimum rates are positive (rmin_incr={p.rmin_incr}, "
+            f"rmin_decr={p.rmin_decr}): a sample equal to the reference fails "
+            f"tests 3c/4c/5c, so any held value is flagged as an error",
+            hint="set at least one minimum rate to 0 unless the signal is "
+            "guaranteed to change between consecutive tests",
+        )
+
+
+# -- discrete rules -------------------------------------------------------
+
+
+def check_unreachable_states(ctx: RuleContext) -> Iterable[Finding]:
+    """States no transition leads to are dead weight in T(d)."""
+    p = _discrete(ctx)
+    if p.transitions is None:
+        return
+    reachable = set()
+    for targets in p.transitions.values():
+        reachable.update(targets)
+    unreachable = sorted(map(repr, p.domain - reachable))
+    if unreachable:
+        yield Finding(
+            ctx.subject,
+            f"state(s) {', '.join(unreachable)} are the target of no "
+            f"transition: they can only ever appear as initial values, and "
+            f"their outgoing transitions are exercised at most once",
+            hint="remove the states from D, or add the missing transitions",
+        )
+
+
+def check_absorbing_states(ctx: RuleContext) -> Iterable[Finding]:
+    """Absorbing states trap the monitored signal: every exit is flagged."""
+    p = _discrete(ctx)
+    if p.transitions is None or len(p.domain) < 2:
+        return
+    absorbing: List[str] = []
+    for state, targets in p.transitions.items():
+        if not targets - {state}:
+            absorbing.append(repr(state))
+    if absorbing:
+        yield Finding(
+            ctx.subject,
+            f"state(s) {', '.join(sorted(absorbing))} have no successor other "
+            f"than themselves: once entered, every subsequent change of the "
+            f"signal is reported as an error",
+            hint="add outgoing transitions, or confirm the state is a genuine "
+            "terminal state of the signal",
+        )
+
+
+def check_vacuous_transitions(ctx: RuleContext) -> Iterable[Finding]:
+    """T(d) = D everywhere degenerates the sequential test to s in D."""
+    p = _discrete(ctx)
+    if p.transitions is None or len(p.domain) < 2:
+        return
+    if all(targets == p.domain for targets in p.transitions.values()):
+        yield Finding(
+            ctx.subject,
+            "every state may transition to every state: the Table-3 "
+            "sequential test s in T(s') is equivalent to the domain test "
+            "s in D, so the transition relation detects nothing extra",
+            hint="declare the signal Di/Ra (random discrete) instead, or "
+            "restrict the transition relation",
+        )
+
+
+# -- modal rules ----------------------------------------------------------
+
+
+def check_identical_modes(ctx: RuleContext) -> Iterable[Finding]:
+    """Modes with identical parameter sets make the mode split vacuous."""
+    modal = _modal(ctx)
+    modes = sorted(modal.modes, key=repr)
+    duplicates = []
+    for i, mode in enumerate(modes):
+        for other in modes[i + 1 :]:
+            if modal.params_for(mode) == modal.params_for(other):
+                duplicates.append(f"{mode!r} = {other!r}")
+    if duplicates:
+        yield Finding(
+            ctx.subject,
+            f"modes with identical parameter sets: {', '.join(duplicates)}; "
+            f"switching between them changes nothing about the assertion",
+            hint="merge the duplicate modes, or differentiate their parameters",
+        )
+
+
+def check_single_mode(ctx: RuleContext) -> Iterable[Finding]:
+    """A one-mode modal set is a plain parameter set with extra machinery."""
+    modal = _modal(ctx)
+    if len(modal.modes) == 1:
+        (only,) = modal.modes
+        yield Finding(
+            ctx.subject,
+            f"modal parameter set has the single mode {only!r}; the per-mode "
+            f"indirection adds state without adding constraints",
+            hint="use the mode's Pcont/Pdisc directly",
+        )
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the parameter-vacuity pack into *registry*."""
+    add = registry.add
+    from repro.analysis.registry import Rule
+
+    add(Rule("EA101", "vacuous rate envelope", Severity.WARNING, "continuous",
+             check_vacuous_rate_envelope, pack=PACK))
+    add(Rule("EA102", "parameters fit no Table-1 template", Severity.ERROR,
+             "continuous", check_no_template, pack=PACK))
+    add(Rule("EA103", "wrap-around on a random signal", Severity.WARNING,
+             "continuous", check_wrap_on_random, pack=PACK))
+    add(Rule("EA104", "unreachable transition states", Severity.WARNING,
+             "discrete", check_unreachable_states, pack=PACK))
+    add(Rule("EA105", "absorbing transition states", Severity.WARNING,
+             "discrete", check_absorbing_states, pack=PACK))
+    add(Rule("EA106", "modes with identical parameters", Severity.WARNING,
+             "modal", check_identical_modes, pack=PACK))
+    add(Rule("EA107", "single-mode modal set", Severity.INFO, "modal",
+             check_single_mode, pack=PACK))
+    add(Rule("EA108", "random signal cannot hold its value", Severity.WARNING,
+             "continuous", check_restless_random, pack=PACK))
+    add(Rule("EA109", "vacuous transition relation", Severity.WARNING,
+             "discrete", check_vacuous_transitions, pack=PACK))

@@ -1,0 +1,206 @@
+"""Plan-completeness rule pack (EA2xx).
+
+The Section-2.3 process is only as good as its outcome: an
+:class:`~repro.core.process.InstrumentationPlan` that skips a critical
+signal, wires two mechanisms to one id, or pairs a signal class with the
+wrong kind of parameters caps ``Pdetect`` before the system ever runs.
+These rules cross-check the plan against its signal inventory and the
+FMECA table.
+
+========  ========  ==============================================================
+rule id   severity  finding
+========  ========  ==============================================================
+EA201     error     FMECA-critical signal (RPN >= ``critical_rpn``) with no
+                    planned assertion
+EA202     warning   signal on no pathway to any system output (dead end in the
+                    dataflow graph)
+EA203     warning   signal produced but consumed by no module
+EA204     error     two planned assertions sharing one monitor id
+EA205     error     planned class contradicts the declared parameter type or
+                    the Table-1 template the parameters actually satisfy
+EA206     info      monitored signal absent from the FMECA table
+========  ========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.classes import SignalClass
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    classify_continuous,
+)
+from repro.core.process import InstrumentationPlan
+
+from repro.analysis.diagnostics import Finding, Severity
+from repro.analysis.registry import RuleContext, RuleRegistry
+
+__all__ = ["PACK", "register"]
+
+PACK = "plan-completeness"
+
+
+def _plan(ctx: RuleContext) -> InstrumentationPlan:
+    assert ctx.plan is not None
+    return ctx.plan
+
+
+def check_unmonitored_critical(ctx: RuleContext) -> Iterable[Finding]:
+    """Every FMECA-critical signal needs a planned assertion."""
+    plan = _plan(ctx)
+    worst: Dict[str, int] = {}
+    for entry in ctx.fmeca:
+        worst[entry.signal] = max(worst.get(entry.signal, 0), entry.rpn)
+    for signal, rpn in sorted(worst.items()):
+        if rpn >= ctx.options.critical_rpn and signal not in plan:
+            yield Finding(
+                signal,
+                f"FMECA ranks this signal critical (RPN {rpn} >= "
+                f"{ctx.options.critical_rpn}) but the plan monitors it "
+                f"nowhere; errors there contribute nothing to Pdetect",
+                hint="plan an assertion for the signal, or justify and record "
+                "why its criticality is acceptable unmonitored",
+            )
+
+
+def check_dead_end_signals(ctx: RuleContext) -> Iterable[Finding]:
+    """A signal that can influence no output is dead configuration."""
+    plan = _plan(ctx)
+    inventory = plan.inventory
+    if not inventory.outputs:
+        return
+    for decl in inventory.signals:
+        if decl.kind == "output":
+            continue
+        if not inventory.influence_on_outputs(decl.name):
+            yield Finding(
+                decl.name,
+                "no pathway leads from this signal to any system output; "
+                "either the dataflow declaration is incomplete or the signal "
+                "is dead weight in the inventory",
+                hint="declare the missing consumers, or remove the signal "
+                "from the inventory",
+            )
+
+
+def check_unconsumed_signals(ctx: RuleContext) -> Iterable[Finding]:
+    """A produced-but-never-consumed signal cannot matter downstream."""
+    plan = _plan(ctx)
+    for decl in plan.inventory.signals:
+        if not decl.consumers:
+            yield Finding(
+                decl.name,
+                f"module {decl.producer!r} produces this signal but no module "
+                f"consumes it",
+                hint="declare the consumers, or drop the signal",
+            )
+
+
+def check_duplicate_monitor_ids(ctx: RuleContext) -> Iterable[Finding]:
+    """Monitor ids must be unique or detections become unattributable."""
+    plan = _plan(ctx)
+    by_id: Dict[str, List[str]] = {}
+    for planned in plan:
+        by_id.setdefault(planned.monitor_id, []).append(planned.signal)
+    for monitor_id, signals in sorted(by_id.items()):
+        if len(signals) > 1:
+            yield Finding(
+                monitor_id,
+                f"monitor id {monitor_id!r} is assigned to "
+                f"{len(signals)} signals ({', '.join(sorted(signals))}); "
+                f"detection events and per-mechanism selection become "
+                f"ambiguous",
+                hint="give each planned assertion a unique monitor id",
+            )
+
+
+def _mismatch(declared: SignalClass, params, mode: str = "") -> str:
+    where = f" (mode {mode})" if mode else ""
+    if isinstance(params, ContinuousParams):
+        actual = classify_continuous(params)
+        if declared.is_continuous and actual is declared:
+            return ""
+        if not declared.is_continuous:
+            return (
+                f"declared {declared.value} (discrete) but the parameters"
+                f"{where} are a Pcont"
+            )
+        actual_name = actual.value if actual is not None else "no template"
+        return (
+            f"declared {declared.value} but the Pcont{where} satisfies "
+            f"{actual_name}"
+        )
+    if isinstance(params, DiscreteParams):
+        if not declared.is_discrete:
+            return (
+                f"declared {declared.value} (continuous) but the parameters"
+                f"{where} are a Pdisc"
+            )
+        actual = params.classify()
+        if actual is declared:
+            return ""
+        return (
+            f"declared {declared.value} but the Pdisc{where} describes "
+            f"{actual.value}"
+        )
+    return f"unsupported parameter object{where}: {type(params).__name__}"
+
+
+def check_class_params_mismatch(ctx: RuleContext) -> Iterable[Finding]:
+    """The declared class must match what the parameters actually satisfy."""
+    plan = _plan(ctx)
+    for planned in plan:
+        params = planned.params
+        if isinstance(params, ModalParameterSet):
+            problems = [
+                _mismatch(planned.signal_class, params.params_for(mode), repr(mode))
+                for mode in sorted(params.modes, key=repr)
+            ]
+        else:
+            problems = [_mismatch(planned.signal_class, params)]
+        for problem in filter(None, problems):
+            yield Finding(
+                planned.signal,
+                f"{problem}; step 8 (build_monitor_bank) will reject the plan",
+                hint="fix the classification or the parameters so the Table-1 "
+                "template matches",
+            )
+
+
+def check_unranked_monitored(ctx: RuleContext) -> Iterable[Finding]:
+    """Monitoring a signal the FMECA never ranked deserves a second look."""
+    plan = _plan(ctx)
+    if not ctx.fmeca:
+        return
+    ranked = {entry.signal for entry in ctx.fmeca}
+    for planned in plan:
+        if planned.signal not in ranked:
+            yield Finding(
+                planned.signal,
+                "the plan monitors this signal but the FMECA table never "
+                "ranked it; the step-4 criticality argument is missing",
+                hint="add an FMECA entry for the signal, or record why it is "
+                "monitored without one",
+            )
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the plan-completeness pack into *registry*."""
+    from repro.analysis.registry import Rule
+
+    add = registry.add
+    add(Rule("EA201", "critical signal unmonitored", Severity.ERROR, "plan",
+             check_unmonitored_critical, pack=PACK))
+    add(Rule("EA202", "signal influences no output", Severity.WARNING, "plan",
+             check_dead_end_signals, pack=PACK))
+    add(Rule("EA203", "signal never consumed", Severity.WARNING, "plan",
+             check_unconsumed_signals, pack=PACK))
+    add(Rule("EA204", "duplicate monitor id", Severity.ERROR, "plan",
+             check_duplicate_monitor_ids, pack=PACK))
+    add(Rule("EA205", "class/parameter mismatch", Severity.ERROR, "plan",
+             check_class_params_mismatch, pack=PACK))
+    add(Rule("EA206", "monitored signal not in FMECA", Severity.INFO, "plan",
+             check_unranked_monitored, pack=PACK))

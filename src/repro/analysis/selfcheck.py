@@ -1,0 +1,41 @@
+"""Self-check: lint the arresting system's own instrumentation.
+
+The repository ships a full Section-2.3 outcome for the target system —
+:func:`repro.arrestor.instrumentation.build_instrumentation_plan` plus
+its FMECA table.  Linting it is both a regression guard for the arrestor
+configuration and the reference example of a plan the analyser considers
+clean; ``python -m repro.analysis`` runs it by default and ``make lint``
+wires it into CI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.process import FmecaEntry, InstrumentationPlan
+
+from repro.analysis.diagnostics import AnalysisOptions, AnalysisReport
+from repro.analysis.engine import analyze_plan
+from repro.analysis.registry import RuleRegistry
+
+__all__ = ["build_default_target", "self_check"]
+
+
+def build_default_target() -> Tuple[InstrumentationPlan, Tuple[FmecaEntry, ...]]:
+    """The arrestor's own plan + FMECA table (the CLI's default target)."""
+    from repro.arrestor.instrumentation import (
+        build_instrumentation_plan,
+        default_fmeca_entries,
+    )
+
+    return build_instrumentation_plan(), default_fmeca_entries()
+
+
+def self_check(
+    *,
+    registry: Optional[RuleRegistry] = None,
+    options: Optional[AnalysisOptions] = None,
+) -> AnalysisReport:
+    """Analyse the arrestor's Table-4 instrumentation; expected clean."""
+    plan, fmeca = build_default_target()
+    return analyze_plan(plan, fmeca, registry=registry, options=options)

@@ -268,8 +268,16 @@ class InstrumentationPlan:
     def __iter__(self):
         return iter(self._planned.values())
 
+    def __contains__(self, signal: str) -> bool:
+        return signal in self._planned
+
     def __getitem__(self, signal: str) -> PlannedAssertion:
         return self._planned[signal]
+
+    @property
+    def signals(self) -> List[str]:
+        """The monitored signals, in planning order."""
+        return list(self._planned)
 
     def assertions_at(self, location: str) -> List[PlannedAssertion]:
         """The assertions placed in module *location* (step 7 review)."""

@@ -1,0 +1,143 @@
+"""The ``python -m repro.analysis`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BROKEN_TARGET = textwrap.dedent(
+    """\
+    from repro.core.classes import SignalClass
+    from repro.core.parameters import ContinuousParams
+    from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+
+
+    def build_plan():
+        inventory = SignalInventory()
+        inventory.declare("speed", "input", "Sensor", ["CTRL"])
+        inventory.declare("force", "output", "CTRL", ["Brake"])
+        plan = InstrumentationPlan(inventory)
+        # Vacuous rate envelope: the bound covers the whole span (EA101).
+        plan.plan(
+            "speed",
+            SignalClass.CONTINUOUS_RANDOM,
+            ContinuousParams(0, 100, rmax_incr=200, rmax_decr=200),
+            location="Sensor",
+        )
+        # Critical but unmonitored output (EA201).
+        fmeca = [FmecaEntry("force", "stuck", severity=9, occurrence=8)]
+        return plan, fmeca
+    """
+)
+
+
+@pytest.fixture()
+def broken_target(tmp_path, monkeypatch):
+    (tmp_path / "broken_mod.py").write_text(BROKEN_TARGET)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    yield "broken_mod:build_plan"
+    sys.modules.pop("broken_mod", None)
+
+
+class TestDefaultTarget:
+    def test_self_check_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+        assert "no findings" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_module_invocation_exits_zero(self):
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK:" in result.stdout
+
+
+class TestBrokenTarget:
+    def test_findings_exit_one(self, broken_target, capsys):
+        assert main(["--target", broken_target]) == 1
+        out = capsys.readouterr().out
+        assert "EA101" in out and "EA201" in out
+
+    def test_json_reports_not_ok(self, broken_target, capsys):
+        assert main(["--target", broken_target, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert {"EA101", "EA201"} <= rules
+
+    def test_select_narrows_the_rule_set(self, broken_target, capsys):
+        assert main(["--target", broken_target, "--select", "EA201"]) == 1
+        out = capsys.readouterr().out
+        assert "EA201" in out and "EA101" not in out
+
+    def test_ignore_can_silence_the_errors(self, broken_target, capsys):
+        # EA201 is the only error; with it ignored the remaining findings
+        # are warnings/notes and the default (non-strict) exit is 0.
+        code = main(["--target", broken_target, "--ignore", "EA201"])
+        assert code == 0
+        assert "EA101" in capsys.readouterr().out
+
+
+class TestStrictMode:
+    def test_warnings_fail_under_strict(self, broken_target, capsys):
+        argv = ["--target", broken_target, "--ignore", "EA201,EA302,EA303"]
+        assert main(argv) == 0  # EA101 is only a warning
+        assert main(argv + ["--strict"]) == 1
+
+
+class TestListRules:
+    def test_prints_the_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("EA101", "EA109", "EA201", "EA206", "EA301", "EA303"):
+            assert rule_id in out
+        assert "error" in out and "warning" in out and "info" in out
+
+    def test_respects_select(self, capsys):
+        assert main(["--list-rules", "--select", "EA101"]) == 0
+        out = capsys.readouterr().out
+        assert "EA101" in out and "EA201" not in out
+
+
+class TestUsageErrors:
+    def test_malformed_target_spec(self, capsys):
+        assert main(["--target", "no-colon"]) == 2
+        assert "module:callable" in capsys.readouterr().err
+
+    def test_unimportable_module(self, capsys):
+        assert main(["--target", "definitely_missing_mod:f"]) == 2
+        assert "cannot import" in capsys.readouterr().err
+
+    def test_missing_attribute(self, capsys):
+        assert main(["--target", "json:not_there"]) == 2
+        assert "no attribute" in capsys.readouterr().err
+
+    def test_unknown_rule_id(self, capsys):
+        assert main(["--select", "EA999"]) == 2
+        assert "EA999" in capsys.readouterr().err
+
+    def test_bad_option_value(self, capsys):
+        assert main(["--pds-floor", "2.0"]) == 2
+        assert "error:" in capsys.readouterr().err

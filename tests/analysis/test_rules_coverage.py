@@ -1,0 +1,136 @@
+"""Coverage pack (EA301-EA303) and the static Pds surrogate."""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze_plan, estimate_pds
+from repro.core.classes import SignalClass
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+)
+from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+
+
+def build_inventory():
+    inventory = SignalInventory()
+    inventory.declare("sensor", "input", "Sensor", ["CTRL"])
+    inventory.declare("setpoint", "internal", "CTRL", ["ACT"])
+    inventory.declare("command", "output", "ACT", ["Valve"])
+    return inventory
+
+
+def build_plan(params=None):
+    plan = InstrumentationPlan(build_inventory())
+    plan.plan(
+        "setpoint",
+        SignalClass.CONTINUOUS_RANDOM,
+        params or ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50),
+        location="CTRL",
+    )
+    return plan
+
+
+def fired(report):
+    return set(report.rule_ids())
+
+
+class TestEstimatePds:
+    def test_continuous_window_dominates(self):
+        params = ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50)
+        assert estimate_pds(params) == pytest.approx(1.0 - 101 / 65536)
+
+    def test_continuous_span_dominates(self):
+        params = ContinuousParams(0, 9, rmax_incr=50, rmax_decr=50)
+        assert estimate_pds(params) == pytest.approx(1.0 - 10 / 65536)
+
+    def test_wrap_doubles_the_window(self):
+        tight = ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50)
+        wrapped = ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50, wrap=True)
+        assert estimate_pds(wrapped) < estimate_pds(tight)
+
+    def test_discrete_random_counts_the_domain(self):
+        assert estimate_pds(DiscreteParams.random({1, 2, 3})) == pytest.approx(
+            1.0 - 3 / 65536
+        )
+
+    def test_discrete_sequential_averages_successor_sets(self):
+        params = DiscreteParams.sequential({"a": {"b"}, "b": {"a"}})
+        assert estimate_pds(params) == pytest.approx(1.0 - 1 / 65536)
+
+    def test_modal_reports_the_weakest_mode(self):
+        tight = ContinuousParams(0, 1000, rmax_incr=5, rmax_decr=5)
+        loose = ContinuousParams(0, 60000, rmax_incr=60000, rmax_decr=60000)
+        modal = ModalParameterSet({"a": tight, "b": loose}, initial_mode="a")
+        assert estimate_pds(modal) == pytest.approx(estimate_pds(loose))
+
+    def test_never_negative(self):
+        params = ContinuousParams(0, 65535, rmax_incr=65535, rmax_decr=65535)
+        assert estimate_pds(params) == 0.0
+
+    def test_smaller_word_size_lowers_the_estimate(self):
+        params = ContinuousParams(0, 100, rmax_incr=5, rmax_decr=5)
+        assert estimate_pds(params, word_values=256) < estimate_pds(params)
+
+    def test_rejects_unknown_parameter_type(self):
+        with pytest.raises(TypeError, match="cannot estimate"):
+            estimate_pds(object())  # type: ignore[arg-type]
+
+
+class TestEA301LowPdsPlacement:
+    def test_fires_on_wide_acceptance_window(self):
+        plan = build_plan(
+            ContinuousParams(0, 65535, rmax_incr=60000, rmax_decr=60000)
+        )
+        report = analyze_plan(plan)
+        (diag,) = [d for d in report if d.rule_id == "EA301"]
+        assert diag.subject == "setpoint"
+        assert "Pds" in diag.message
+
+    def test_silent_on_tight_assertion(self):
+        assert "EA301" not in fired(analyze_plan(build_plan()))
+
+    def test_respects_custom_floor(self):
+        options = AnalysisOptions(pds_floor=0.9999)
+        report = analyze_plan(build_plan(), options=options)
+        assert "EA301" in fired(report)
+
+
+class TestEA302LowPlanReach:
+    def test_fires_when_critical_mass_is_unmonitored(self):
+        fmeca = [
+            FmecaEntry("setpoint", "corrupt", severity=5, occurrence=2),
+            FmecaEntry("command", "stuck", severity=9, occurrence=10),
+        ]
+        report = analyze_plan(build_plan(), fmeca)
+        (diag,) = [d for d in report if d.rule_id == "EA302"]
+        assert diag.subject == "plan"
+        assert "command" in diag.message
+
+    def test_silent_when_plan_covers_the_criticality(self):
+        fmeca = [FmecaEntry("setpoint", "corrupt", severity=9, occurrence=10)]
+        assert "EA302" not in fired(analyze_plan(build_plan(), fmeca))
+
+    def test_silent_without_fmeca(self):
+        assert "EA302" not in fired(analyze_plan(build_plan()))
+
+
+class TestEA303UnguardedPathways:
+    def test_fires_when_no_monitor_guards_an_output(self):
+        plan = InstrumentationPlan(build_inventory())  # nothing planned
+        report = analyze_plan(plan)
+        (diag,) = [d for d in report if d.rule_id == "EA303"]
+        assert diag.subject == "command"
+
+    def test_silent_when_an_upstream_signal_is_monitored(self):
+        assert "EA303" not in fired(analyze_plan(build_plan()))
+
+    def test_silent_when_the_output_itself_is_monitored(self):
+        plan = InstrumentationPlan(build_inventory())
+        plan.plan(
+            "command",
+            SignalClass.CONTINUOUS_RANDOM,
+            ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50),
+            location="ACT",
+        )
+        assert "EA303" not in fired(analyze_plan(plan))

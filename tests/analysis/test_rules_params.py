@@ -1,0 +1,194 @@
+"""Parameter-vacuity pack (EA101-EA109): each rule fires and stays silent."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import Severity, analyze_params
+from repro.core.parameters import (
+    ContinuousParams,
+    DiscreteParams,
+    ModalParameterSet,
+    linear_transition_map,
+)
+
+
+def rules_fired(report):
+    return set(report.rule_ids())
+
+
+def sane_continuous(**overrides):
+    """A parameter set no EA1xx rule should object to."""
+    base = ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50)
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestEA101VacuousRateEnvelope:
+    def test_fires_when_envelope_covers_span(self):
+        params = ContinuousParams(0, 100, rmax_incr=100, rmax_decr=5)
+        report = analyze_params(params, "sig")
+        assert "EA101" in rules_fired(report)
+        (diag,) = [d for d in report if d.rule_id == "EA101"]
+        assert diag.severity is Severity.WARNING
+        assert "increase" in diag.message
+
+    def test_fires_per_direction(self):
+        params = ContinuousParams(0, 100, rmax_incr=150, rmax_decr=200)
+        report = analyze_params(params, "sig")
+        assert len([d for d in report if d.rule_id == "EA101"]) == 2
+
+    def test_silent_on_tight_envelope(self):
+        assert "EA101" not in rules_fired(analyze_params(sane_continuous()))
+
+    def test_silent_when_rmin_positive(self):
+        # A positive minimum rate keeps the rate test falsifiable even
+        # with a full-span maximum (changes below rmin are flagged).
+        params = ContinuousParams.dynamic_monotonic(0, 100, rmin=1, rmax=100)
+        assert "EA101" not in rules_fired(analyze_params(params))
+
+    def test_silent_on_forbidden_direction(self):
+        params = ContinuousParams.static_monotonic(0, 10, rate=1)
+        assert "EA101" not in rules_fired(analyze_params(params))
+
+
+class TestEA102NoTemplate:
+    def test_fires_on_frozen_signal(self):
+        report = analyze_params(ContinuousParams(0, 10), "frozen")
+        (diag,) = [d for d in report if d.rule_id == "EA102"]
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == "frozen"
+
+    def test_silent_on_classifiable_params(self):
+        assert "EA102" not in rules_fired(analyze_params(sane_continuous()))
+
+
+class TestEA103WrapOnRandom:
+    def test_fires_on_random_with_wrap(self):
+        params = ContinuousParams(0, 100, rmax_incr=5, rmax_decr=5, wrap=True)
+        assert "EA103" in rules_fired(analyze_params(params))
+
+    def test_silent_on_monotonic_counter_with_wrap(self):
+        params = ContinuousParams.static_monotonic(0, 0xFFFF, rate=1, wrap=True)
+        assert "EA103" not in rules_fired(analyze_params(params))
+
+    def test_silent_on_random_without_wrap(self):
+        assert "EA103" not in rules_fired(analyze_params(sane_continuous()))
+
+
+class TestEA104UnreachableStates:
+    def test_fires_on_state_with_no_in_edges(self):
+        params = DiscreteParams.sequential(
+            {"boot": {"run"}, "run": {"halt", "run"}, "halt": {"run"}}
+        )
+        report = analyze_params(params, "mode")
+        (diag,) = [d for d in report if d.rule_id == "EA104"]
+        assert "'boot'" in diag.message
+
+    def test_silent_on_cyclic_relation(self):
+        params = linear_transition_map(range(4), cyclic=True)
+        assert "EA104" not in rules_fired(analyze_params(params))
+
+    def test_silent_on_random_discrete(self):
+        params = DiscreteParams.random({1, 2, 3})
+        assert "EA104" not in rules_fired(analyze_params(params))
+
+
+class TestEA105AbsorbingStates:
+    def test_fires_on_empty_successors(self):
+        params = linear_transition_map(["a", "b", "c"], cyclic=False)
+        report = analyze_params(params)
+        (diag,) = [d for d in report if d.rule_id == "EA105"]
+        assert "'c'" in diag.message
+
+    def test_fires_on_self_loop_only(self):
+        params = DiscreteParams.sequential({"on": {"off"}, "off": {"off"}})
+        assert "EA105" in rules_fired(analyze_params(params))
+
+    def test_silent_on_cyclic_relation(self):
+        params = linear_transition_map(range(4), cyclic=True)
+        assert "EA105" not in rules_fired(analyze_params(params))
+
+
+class TestEA106IdenticalModes:
+    def test_fires_on_duplicate_mode_params(self):
+        same = ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1)
+        modal = ModalParameterSet({"a": same, "b": same}, initial_mode="a")
+        report = analyze_params(modal, "sig")
+        (diag,) = [d for d in report if d.rule_id == "EA106"]
+        assert "'a'" in diag.message and "'b'" in diag.message
+
+    def test_silent_on_distinct_modes(self):
+        modal = ModalParameterSet(
+            {
+                "idle": ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1),
+                "run": ContinuousParams(0, 10, rmax_incr=5, rmax_decr=5),
+            },
+            initial_mode="idle",
+        )
+        assert "EA106" not in rules_fired(analyze_params(modal))
+
+
+class TestEA107SingleMode:
+    def test_fires_on_single_mode(self):
+        modal = ModalParameterSet({"only": sane_continuous()}, initial_mode="only")
+        report = analyze_params(modal, "sig")
+        (diag,) = [d for d in report if d.rule_id == "EA107"]
+        assert diag.severity is Severity.INFO
+
+    def test_silent_on_two_modes(self):
+        modal = ModalParameterSet(
+            {"a": sane_continuous(), "b": sane_continuous(rmax_incr=7)},
+            initial_mode="a",
+        )
+        assert "EA107" not in rules_fired(analyze_params(modal))
+
+
+class TestEA108RestlessRandom:
+    def test_fires_when_no_zero_change_allowed(self):
+        params = ContinuousParams(
+            0, 100, rmin_incr=1, rmax_incr=5, rmin_decr=1, rmax_decr=5
+        )
+        assert "EA108" in rules_fired(analyze_params(params))
+
+    def test_silent_when_one_direction_may_hold(self):
+        params = ContinuousParams(
+            0, 100, rmin_incr=0, rmax_incr=5, rmin_decr=1, rmax_decr=5
+        )
+        assert "EA108" not in rules_fired(analyze_params(params))
+
+    def test_silent_on_monotonic(self):
+        params = ContinuousParams.static_monotonic(0, 100, rate=1)
+        assert "EA108" not in rules_fired(analyze_params(params))
+
+
+class TestEA109VacuousTransitions:
+    def test_fires_when_every_state_reaches_every_state(self):
+        domain = {"a", "b", "c"}
+        params = DiscreteParams.sequential({d: domain for d in domain})
+        assert "EA109" in rules_fired(analyze_params(params))
+
+    def test_silent_on_restricted_relation(self):
+        params = linear_transition_map(range(3), cyclic=True)
+        assert "EA109" not in rules_fired(analyze_params(params))
+
+    def test_silent_on_random_discrete(self):
+        params = DiscreteParams.random({"a", "b"})
+        assert "EA109" not in rules_fired(analyze_params(params))
+
+
+class TestModalRecursion:
+    def test_mode_params_analysed_under_mode_subject(self):
+        modal = ModalParameterSet(
+            {
+                "bad": ContinuousParams(0, 10),  # frozen: EA102
+                "good": sane_continuous(),
+            },
+            initial_mode="good",
+        )
+        report = analyze_params(modal, "sig")
+        (diag,) = [d for d in report if d.rule_id == "EA102"]
+        assert diag.subject == "sig[mode='bad']"
+
+    def test_rejects_unknown_parameter_type(self):
+        with pytest.raises(TypeError, match="cannot analyse"):
+            analyze_params(object())  # type: ignore[arg-type]

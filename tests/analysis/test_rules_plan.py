@@ -1,0 +1,164 @@
+"""Plan-completeness pack (EA201-EA206): each rule fires and stays silent."""
+
+from repro.analysis import Severity, analyze_plan
+from repro.core.classes import SignalClass
+from repro.core.parameters import ContinuousParams, DiscreteParams
+from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+
+
+def build_inventory():
+    """A minimal two-module pipeline: sensor -> CTRL -> ACT -> actuator."""
+    inventory = SignalInventory()
+    inventory.declare("sensor", "input", "Sensor", ["CTRL"])
+    inventory.declare("setpoint", "internal", "CTRL", ["ACT"])
+    inventory.declare("command", "output", "ACT", ["Valve"])
+    return inventory
+
+
+def sane_params():
+    return ContinuousParams(0, 1000, rmax_incr=50, rmax_decr=50)
+
+
+def build_plan(inventory=None):
+    plan = InstrumentationPlan(inventory or build_inventory())
+    plan.plan(
+        "setpoint", SignalClass.CONTINUOUS_RANDOM, sane_params(), location="CTRL"
+    )
+    return plan
+
+
+def fired(report):
+    return set(report.rule_ids())
+
+
+class TestEA201UnmonitoredCritical:
+    def test_fires_on_critical_unmonitored_signal(self):
+        plan = build_plan()
+        fmeca = [FmecaEntry("command", "stuck", severity=9, occurrence=5)]
+        report = analyze_plan(plan, fmeca)
+        (diag,) = [d for d in report if d.rule_id == "EA201"]
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == "command"
+        assert not report.ok
+
+    def test_silent_when_critical_signal_planned(self):
+        plan = build_plan()
+        fmeca = [FmecaEntry("setpoint", "corrupt", severity=9, occurrence=5)]
+        assert "EA201" not in fired(analyze_plan(plan, fmeca))
+
+    def test_silent_below_rpn_threshold(self):
+        plan = build_plan()
+        fmeca = [FmecaEntry("command", "stuck", severity=3, occurrence=3, detectability=1)]
+        assert "EA201" not in fired(analyze_plan(plan, fmeca))
+
+    def test_silent_without_fmeca(self):
+        assert "EA201" not in fired(analyze_plan(build_plan()))
+
+
+class TestEA202DeadEndSignal:
+    def test_fires_on_signal_influencing_no_output(self):
+        inventory = build_inventory()
+        inventory.declare("debug_trace", "internal", "CTRL", ["LOGGER"])
+        report = analyze_plan(build_plan(inventory))
+        (diag,) = [d for d in report if d.rule_id == "EA202"]
+        assert diag.subject == "debug_trace"
+
+    def test_silent_when_all_signals_reach_outputs(self):
+        assert "EA202" not in fired(analyze_plan(build_plan()))
+
+
+class TestEA203UnconsumedSignal:
+    def test_fires_on_consumerless_signal(self):
+        inventory = build_inventory()
+        inventory.declare("orphan", "internal", "CTRL", [])
+        report = analyze_plan(build_plan(inventory))
+        subjects = {d.subject for d in report if d.rule_id == "EA203"}
+        assert subjects == {"orphan"}
+
+    def test_silent_when_every_signal_is_consumed(self):
+        assert "EA203" not in fired(analyze_plan(build_plan()))
+
+
+class TestEA204DuplicateMonitorId:
+    def test_fires_on_shared_monitor_id(self):
+        plan = build_plan()
+        plan.plan(
+            "sensor",
+            SignalClass.CONTINUOUS_RANDOM,
+            sane_params(),
+            location="Sensor",
+            monitor_id="setpoint",  # collides with the default id of 'setpoint'
+        )
+        report = analyze_plan(plan)
+        (diag,) = [d for d in report if d.rule_id == "EA204"]
+        assert diag.severity is Severity.ERROR
+        assert "sensor" in diag.message and "setpoint" in diag.message
+
+    def test_silent_on_unique_ids(self):
+        plan = build_plan()
+        plan.plan(
+            "sensor",
+            SignalClass.CONTINUOUS_RANDOM,
+            sane_params(),
+            location="Sensor",
+            monitor_id="EA-sensor",
+        )
+        assert "EA204" not in fired(analyze_plan(plan))
+
+
+class TestEA205ClassParamsMismatch:
+    def test_fires_on_wrong_parameter_kind(self):
+        plan = InstrumentationPlan(build_inventory())
+        plan.plan(
+            "setpoint",
+            SignalClass.DISCRETE_RANDOM,
+            sane_params(),  # Pcont against a discrete class
+            location="CTRL",
+        )
+        report = analyze_plan(plan)
+        (diag,) = [d for d in report if d.rule_id == "EA205"]
+        assert diag.severity is Severity.ERROR
+        assert "Pcont" in diag.message
+
+    def test_fires_on_wrong_template(self):
+        plan = InstrumentationPlan(build_inventory())
+        plan.plan(
+            "setpoint",
+            SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+            sane_params(),  # random template, not static monotonic
+            location="CTRL",
+        )
+        report = analyze_plan(plan)
+        (diag,) = [d for d in report if d.rule_id == "EA205"]
+        assert "Co/Ra" in diag.message
+
+    def test_fires_on_wrong_discrete_template(self):
+        plan = InstrumentationPlan(build_inventory())
+        plan.plan(
+            "setpoint",
+            SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+            DiscreteParams.random({1, 2, 3}),
+            location="CTRL",
+        )
+        assert "EA205" in fired(analyze_plan(plan))
+
+    def test_silent_on_matching_class(self):
+        assert "EA205" not in fired(analyze_plan(build_plan()))
+
+
+class TestEA206MonitoredButUnranked:
+    def test_fires_when_fmeca_never_ranked_the_signal(self):
+        plan = build_plan()
+        fmeca = [FmecaEntry("sensor", "noise", severity=2, occurrence=2)]
+        report = analyze_plan(plan, fmeca)
+        (diag,) = [d for d in report if d.rule_id == "EA206"]
+        assert diag.severity is Severity.INFO
+        assert diag.subject == "setpoint"
+
+    def test_silent_when_ranked(self):
+        plan = build_plan()
+        fmeca = [FmecaEntry("setpoint", "corrupt", severity=5, occurrence=5)]
+        assert "EA206" not in fired(analyze_plan(plan, fmeca))
+
+    def test_silent_without_fmeca(self):
+        assert "EA206" not in fired(analyze_plan(build_plan()))

@@ -1,0 +1,34 @@
+"""The analyser applied to the repository's own arrestor instrumentation.
+
+The Table-4 plan is the reference configuration of the reproduction; the
+linter finding anything there would mean either the arrestor wiring or a
+rule is wrong.  This is the acceptance gate the CLI default target runs.
+"""
+
+from repro.analysis import AnalysisOptions, self_check
+from repro.analysis.selfcheck import build_default_target
+
+
+class TestBuildDefaultTarget:
+    def test_returns_plan_and_fmeca(self):
+        plan, fmeca = build_default_target()
+        assert len(plan) >= 7  # EA1-EA7 of Table 4
+        assert fmeca
+
+    def test_plan_covers_the_paper_signals(self):
+        plan, _ = build_default_target()
+        for signal in ("SetValue", "IsValue", "pulscnt", "ms_slot_nbr", "mscnt"):
+            assert signal in plan
+
+
+class TestSelfCheck:
+    def test_arrestor_instrumentation_is_clean(self):
+        report = self_check()
+        assert report.clean, report.format_text()
+
+    def test_stricter_options_do_find_things(self):
+        # Sanity that the clean verdict is not vacuous: an absurd Pds
+        # floor must surface EA301 findings on the same plan.
+        report = self_check(options=AnalysisOptions(pds_floor=1.0))
+        assert not report.clean
+        assert "EA301" in report.rule_ids()

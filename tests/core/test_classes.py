@@ -83,3 +83,18 @@ class TestClassCodes:
     def test_parse_error_lists_valid_codes(self):
         with pytest.raises(ValueError, match="Co/Mo/Dy"):
             parse_class_code("nope")
+
+    @pytest.mark.parametrize("padded", [" Co/Ra", "Co/Ra ", "Co / Ra", "Co/Ra\n"])
+    def test_parse_is_whitespace_strict(self, padded):
+        """Codes are exact Table-4 abbreviations; no normalisation."""
+        with pytest.raises(ValueError, match="unknown signal class code"):
+            parse_class_code(padded)
+
+    @pytest.mark.parametrize("cased", ["CO/RA", "di/ra", "Co/mo/st", "cO/Ra"])
+    def test_parse_is_case_strict(self, cased):
+        with pytest.raises(ValueError, match="unknown signal class code"):
+            parse_class_code(cased)
+
+    def test_parse_error_names_the_offending_code(self):
+        with pytest.raises(ValueError, match="'Co/Ra '"):
+            parse_class_code("Co/Ra ")

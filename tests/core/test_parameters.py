@@ -298,3 +298,51 @@ class TestModalParameterSet:
         mode_params = modal.mode_signal_params()
         assert mode_params.classify() is SignalClass.DISCRETE_RANDOM
         assert mode_params.domain == frozenset({"taxi", "arrest"})
+
+
+class TestModalParameterSetEdgeCases:
+    def test_single_mode_set(self):
+        only = ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1)
+        modal = ModalParameterSet({"only": only}, initial_mode="only")
+        assert modal.modes == frozenset({"only"})
+        assert modal.active is only
+        assert modal.mode_signal_params().domain == frozenset({"only"})
+
+    def test_switch_to_current_mode_is_a_no_op(self):
+        modal = ModalParameterSet(
+            {"a": ContinuousParams(0, 1)}, initial_mode="a"
+        )
+        modal.mode = "a"
+        assert modal.mode == "a"
+
+    def test_all_discrete_modal_set(self):
+        modal = ModalParameterSet(
+            {
+                "day": DiscreteParams.random({1, 2, 3}),
+                "night": DiscreteParams.sequential({"x": {"x", "y"}, "y": {"x"}}),
+            },
+            initial_mode="day",
+        )
+        assert modal.active.classify() is SignalClass.DISCRETE_RANDOM
+        modal.mode = "night"
+        assert modal.active.classify() is SignalClass.DISCRETE_SEQUENTIAL_NONLINEAR
+
+    def test_mixed_kinds_rejected_in_either_order(self):
+        discrete_first = {
+            "a": DiscreteParams.random({1}),
+            "b": ContinuousParams(0, 1),
+        }
+        with pytest.raises(ParameterError, match="same kind"):
+            ModalParameterSet(discrete_first, initial_mode="a")
+
+    def test_non_string_mode_keys(self):
+        modal = ModalParameterSet(
+            {
+                0: ContinuousParams(0, 10, rmax_incr=1, rmax_decr=1),
+                1: ContinuousParams(0, 20, rmax_incr=2, rmax_decr=2),
+            },
+            initial_mode=0,
+        )
+        modal.mode = 1
+        assert modal.active.smax == 20
+        assert modal.mode_signal_params().domain == frozenset({0, 1})

@@ -39,8 +39,11 @@ class TestNormalIntervalProperties:
 
 
 class TestClopperPearsonProperties:
+    # deadline=None: the first interval evaluation pays the one-off scipy
+    # import (hundreds of ms), which hypothesis would otherwise flag as an
+    # unreliable timing failure.
     @given(nd_ne())
-    @settings(max_examples=150)
+    @settings(max_examples=150, deadline=None)
     def test_interval_contains_point_estimate(self, pair):
         nd, ne = pair
         lower, upper = clopper_pearson_interval(nd, ne)
@@ -48,14 +51,14 @@ class TestClopperPearsonProperties:
         assert lower - 1e-6 <= point <= upper + 1e-6
 
     @given(nd_ne())
-    @settings(max_examples=150)
+    @settings(max_examples=150, deadline=None)
     def test_interval_ordered_and_in_range(self, pair):
         nd, ne = pair
         lower, upper = clopper_pearson_interval(nd, ne)
         assert 0.0 <= lower <= upper <= 100.0
 
     @given(nd_ne())
-    @settings(max_examples=100)
+    @settings(max_examples=100, deadline=None)
     def test_wider_than_or_comparable_to_normal(self, pair):
         """The exact interval never collapses where the normal one does."""
         nd, ne = pair
@@ -71,7 +74,9 @@ class TestEstimateProperties:
         nd, ne = pair
         text = CoverageEstimate(nd, ne).format()
         value = float(text.split("±")[0])
-        assert abs(value - 100.0 * nd / ne) < 0.05  # one rounding digit
+        # One rounding digit bounds the error by *half* a digit inclusive:
+        # e.g. nd/ne = 1/2000 renders as "0.1", exactly 0.05 away.
+        assert abs(value - 100.0 * nd / ne) <= 0.05 + 1e-9
 
     @given(nd_ne())
     @settings(max_examples=200)

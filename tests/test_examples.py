@@ -5,13 +5,31 @@ The long-running campaign examples (`fault_injection_campaign.py`,
 instead; here we run the fast ones as a user would.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def _example_env():
+    """Subprocess environment with an *absolute* src/ on PYTHONPATH.
+
+    The test session itself may run with a relative ``PYTHONPATH=src``,
+    which stops resolving as soon as a subprocess uses a different
+    working directory (as the render_figures test does), so build the
+    path explicitly.
+    """
+    env = os.environ.copy()
+    parts = [str(REPO_ROOT / "src")]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -20,6 +38,7 @@ FAST_EXAMPLES = [
     "signal_modes.py",
     "adaptive_monitoring.py",
     "cruise_control.py",
+    "static_analysis.py",
 ]
 
 
@@ -32,6 +51,7 @@ def test_example_runs_clean(script):
         capture_output=True,
         text=True,
         timeout=180,
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), f"{script} produced no output"
@@ -43,6 +63,7 @@ def test_arrestment_demo_accepts_arguments():
         capture_output=True,
         text=True,
         timeout=180,
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert "9000 kg" in completed.stdout
@@ -55,6 +76,7 @@ def test_render_figures_writes_svgs(tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr
     written = list((tmp_path / "figures").glob("*.svg"))

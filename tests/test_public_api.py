@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.arrestor",
     "repro.injection",
     "repro.experiments",
+    "repro.analysis",
 ]
 
 MODULES = [
@@ -59,6 +60,13 @@ MODULES = [
     "repro.experiments.persistence",
     "repro.experiments.analysis",
     "repro.experiments.plots",
+    "repro.analysis.diagnostics",
+    "repro.analysis.registry",
+    "repro.analysis.engine",
+    "repro.analysis.rules_params",
+    "repro.analysis.rules_plan",
+    "repro.analysis.rules_coverage",
+    "repro.analysis.selfcheck",
 ]
 
 
