@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-full e1 e2 reference examples clean
+.PHONY: install test lint bench bench-tables bench-full e1 e2 reference examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,7 +25,14 @@ lint:
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
+# Campaign-engine throughput (tiny scale) + schema check of the emitted
+# BENCH_campaign.json.  Scale up via e.g. BENCH_ARGS="--signals mscnt,i --cases 3".
 bench:
+	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json $(BENCH_ARGS)
+	$(PYTHON) benchmarks/bench_campaign.py --check BENCH_campaign.json
+
+# The table/figure regeneration benchmarks (pytest-benchmark suite).
+bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # The paper's full 25-case scale (hours of wall clock).
@@ -45,5 +52,5 @@ examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info BENCH_campaign.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,175 @@
+"""Campaign-engine throughput: serial vs parallel runs/sec.
+
+Runs the same (small, deterministic) E1 slice through the serial path
+(``workers=1``) and the process-pool path, checks the result sets are
+record-for-record identical, and writes ``BENCH_campaign.json``::
+
+    {
+      "benchmark": "campaign",
+      "schema_version": 1,
+      "scale": {"versions": [...], "errors": N, "cases": N, "runs": N},
+      "serial":   {"runs": N, "seconds": S, "runs_per_sec": R},
+      "parallel": {"workers": W, "runs": N, "seconds": S, "runs_per_sec": R},
+      "speedup": X,
+      "equivalent": true
+    }
+
+Usage::
+
+    python benchmarks/bench_campaign.py [--signals S1,S2] [--cases N]
+                                        [--workers N] [--out FILE]
+    python benchmarks/bench_campaign.py --check FILE    # validate schema
+
+``make bench`` runs the tiny default scale and then validates the
+emitted file.  Scale up (more signals / ``--cases``) for a meaningful
+speedup measurement on a multi-core machine; on a single core the
+parallel figure mostly measures pool overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+_THROUGHPUT_KEYS = {"runs": int, "seconds": float, "runs_per_sec": float}
+
+
+def validate_bench_json(data: dict) -> None:
+    """Raise ``ValueError`` unless *data* matches the BENCH_campaign schema."""
+
+    def _section(name: str, extra: dict) -> None:
+        section = data.get(name)
+        if not isinstance(section, dict):
+            raise ValueError(f"missing or non-object section {name!r}")
+        for key, kind in {**_THROUGHPUT_KEYS, **extra}.items():
+            if key not in section:
+                raise ValueError(f"{name}.{key} missing")
+            accepted = (int, float) if kind is float else kind
+            if isinstance(section[key], bool) or not isinstance(section[key], accepted):
+                raise ValueError(
+                    f"{name}.{key} should be {kind.__name__}, "
+                    f"got {type(section[key]).__name__}"
+                )
+
+    if data.get("benchmark") != "campaign":
+        raise ValueError("benchmark field must be 'campaign'")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"schema_version must be {SCHEMA_VERSION}")
+    scale = data.get("scale")
+    if not isinstance(scale, dict) or not isinstance(scale.get("versions"), list):
+        raise ValueError("scale must be an object with a versions list")
+    for key in ("errors", "cases", "runs"):
+        if not isinstance(scale.get(key), int):
+            raise ValueError(f"scale.{key} must be an integer")
+    _section("serial", {})
+    _section("parallel", {"workers": int})
+    if not isinstance(data.get("speedup"), (int, float)):
+        raise ValueError("speedup must be a number")
+    if data.get("equivalent") is not True:
+        raise ValueError("equivalent must be true (parallel != serial results)")
+
+
+def _timed(config: CampaignConfig, error_filter):
+    start = time.perf_counter()
+    results = run_e1_campaign(config, error_filter=error_filter)
+    seconds = time.perf_counter() - start
+    return results, seconds
+
+
+def run_benchmark(signals, cases: int, workers: int) -> dict:
+    versions = ("All",)
+    error_filter = lambda e: e.signal in signals  # noqa: E731
+    serial_cfg = CampaignConfig(cases_all=cases, versions=versions, workers=1)
+    parallel_cfg = CampaignConfig(cases_all=cases, versions=versions, workers=workers)
+
+    serial_results, serial_s = _timed(serial_cfg, error_filter)
+    parallel_results, parallel_s = _timed(parallel_cfg, error_filter)
+
+    runs = len(serial_results)
+    return {
+        "benchmark": "campaign",
+        "schema_version": SCHEMA_VERSION,
+        "scale": {
+            "versions": list(versions),
+            "errors": runs // cases if cases else 0,
+            "cases": cases,
+            "runs": runs,
+        },
+        "serial": {
+            "runs": runs,
+            "seconds": round(serial_s, 3),
+            "runs_per_sec": round(runs / serial_s, 3) if serial_s else 0.0,
+        },
+        "parallel": {
+            "workers": workers,
+            "runs": len(parallel_results),
+            "seconds": round(parallel_s, 3),
+            "runs_per_sec": round(runs / parallel_s, 3) if parallel_s else 0.0,
+        },
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "equivalent": serial_results.records == parallel_results.records,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--signals",
+        default="mscnt",
+        help="comma-separated monitored signals to inject (16 errors each)",
+    )
+    parser.add_argument("--cases", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        # At least 2 so the pool path is exercised even on one core
+        # (where the figure measures dispatch overhead, not speedup).
+        default=max(2, min(4, os.cpu_count() or 1)),
+        metavar="N",
+    )
+    parser.add_argument("--out", default="BENCH_campaign.json", metavar="FILE")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="validate an emitted BENCH_campaign.json instead of benchmarking",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        try:
+            validate_bench_json(data)
+        except ValueError as exc:
+            print(f"{args.check}: INVALID: {exc}")
+            return 1
+        print(f"{args.check}: schema OK (speedup {data['speedup']}x)")
+        return 0
+
+    data = run_benchmark(
+        signals=tuple(args.signals.split(",")), cases=args.cases, workers=args.workers
+    )
+    validate_bench_json(data)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{data['scale']['runs']} runs: serial {data['serial']['runs_per_sec']}/s, "
+        f"parallel[{data['parallel']['workers']}] {data['parallel']['runs_per_sec']}/s "
+        f"(speedup {data['speedup']}x, equivalent={data['equivalent']}) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,16 @@ from repro.experiments.analysis import (
     detection_threshold_bit,
     failure_rate_by_signal,
 )
+from repro.experiments.parallel import (
+    CampaignExecutionError,
+    RunSpec,
+    enumerate_e1_specs,
+    enumerate_e2_specs,
+    execute_specs,
+)
 from repro.experiments.persistence import (
+    append_records,
+    load_checkpoint,
     load_results,
     results_from_csv,
     results_to_csv,
@@ -31,7 +40,13 @@ from repro.experiments.propagation import (
     measure_propagation,
     run_propagation_study,
 )
-from repro.experiments.results import CoverageTriple, ResultSet, RunRecord, flatten_record
+from repro.experiments.results import (
+    CoverageTriple,
+    ResultSet,
+    RunRecord,
+    canonical_key,
+    flatten_record,
+)
 from repro.experiments.tables import (
     render_table6,
     render_table7,
@@ -54,7 +69,15 @@ __all__ = [
     "CoverageTriple",
     "ResultSet",
     "RunRecord",
+    "canonical_key",
     "flatten_record",
+    "CampaignExecutionError",
+    "RunSpec",
+    "enumerate_e1_specs",
+    "enumerate_e2_specs",
+    "execute_specs",
+    "append_records",
+    "load_checkpoint",
     "render_table6",
     "render_table7",
     "render_table8",

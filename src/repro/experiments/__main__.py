@@ -5,19 +5,26 @@ Runs the paper's experiments and prints the corresponding tables.
 Usage::
 
     python -m repro.experiments e1 [--cases-all N] [--cases-ea N] [--signal S]
-    python -m repro.experiments e2 [--cases N]
+                                   [--workers N] [--checkpoint CSV] [--resume]
+    python -m repro.experiments e2 [--cases N] [--workers N]
+                                   [--checkpoint CSV] [--resume]
     python -m repro.experiments reference
     python -m repro.experiments table6
 
 ``e1`` regenerates Tables 7 and 8, ``e2`` Table 9, ``reference`` checks
 the fault-free precondition over the full 25-case grid, and ``table6``
 prints the error-set composition.  ``--signal`` restricts E1 to one
-monitored signal (a quick partial campaign).
+monitored signal (a quick partial campaign); with ``--load`` it filters
+the loaded records the same way.  ``--workers`` fans the campaign out
+over a process pool, and ``--checkpoint``/``--resume`` stream completed
+runs to an append-only CSV so an interrupted campaign picks up where it
+left off.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -34,6 +41,7 @@ from repro.experiments.campaign import (
     run_e2_campaign,
     run_reference_grid,
 )
+from repro.experiments.results import ResultSet
 from repro.experiments.tables import (
     render_table6,
     render_table7,
@@ -41,6 +49,35 @@ from repro.experiments.tables import (
     render_table9,
 )
 from repro.injection.errors import build_e1_error_set
+
+
+def _default_workers() -> int:
+    raw = os.environ.get("REPRO_WORKERS")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=_default_workers(),
+        metavar="N",
+        help="worker processes (default: $REPRO_WORKERS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="CSV",
+        help="stream completed runs to this append-only CSV as they finish",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already recorded in the --checkpoint file",
+    )
 
 
 def _progress(done: int, total: int) -> None:
@@ -56,6 +93,7 @@ def _cmd_e1(args: argparse.Namespace) -> int:
     config = CampaignConfig(
         cases_all=args.cases_all,
         cases_per_ea=args.cases_ea,
+        workers=args.workers,
         **({"versions": versions} if versions else {}),
     )
     error_filter = None
@@ -67,9 +105,18 @@ def _cmd_e1(args: argparse.Namespace) -> int:
     if args.load:
         results = load_results(args.load)
         print(f"loaded {len(results)} runs from {args.load}\n")
+        if args.signal is not None:
+            results = ResultSet(results.subset(signal=args.signal))
+            print(f"filtered to {len(results)} runs on signal {args.signal}\n")
     else:
         start = time.time()
-        results = run_e1_campaign(config, progress=_progress, error_filter=error_filter)
+        results = run_e1_campaign(
+            config,
+            progress=_progress,
+            error_filter=error_filter,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         print(f"\nE1 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
         if args.save:
             save_results(results, args.save)
@@ -84,13 +131,18 @@ def _cmd_e1(args: argparse.Namespace) -> int:
 
 
 def _cmd_e2(args: argparse.Namespace) -> int:
-    config = CampaignConfig(cases_e2=args.cases)
+    config = CampaignConfig(cases_e2=args.cases, workers=args.workers)
     if args.load:
         results = load_results(args.load)
         print(f"loaded {len(results)} runs from {args.load}\n")
     else:
         start = time.time()
-        results = run_e2_campaign(config, progress=_progress)
+        results = run_e2_campaign(
+            config,
+            progress=_progress,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         print(f"\nE2 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
         if args.save:
             save_results(results, args.save)
@@ -171,12 +223,14 @@ def main(argv=None) -> int:
     )
     p_e1.add_argument("--save", default=None, metavar="CSV", help="write run records to a CSV file")
     p_e1.add_argument("--load", default=None, metavar="CSV", help="render tables from saved run records instead of running")
+    _add_campaign_options(p_e1)
     p_e1.set_defaults(func=_cmd_e1)
 
     p_e2 = sub.add_parser("e2", help="run the E2 experiment (Table 9)")
     p_e2.add_argument("--cases", type=int, default=3, metavar="N")
     p_e2.add_argument("--save", default=None, metavar="CSV", help="write run records to a CSV file")
     p_e2.add_argument("--load", default=None, metavar="CSV", help="render tables from saved run records instead of running")
+    _add_campaign_options(p_e2)
     p_e2.set_defaults(func=_cmd_e2)
 
     p_ref = sub.add_parser("reference", help="fault-free precondition check")

@@ -16,13 +16,17 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Callable, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
 
-from repro.arrestor.signals_map import MasterMemory
-from repro.arrestor.system import RunConfig, TestCase
-from repro.experiments.results import ResultSet, flatten_record
-from repro.experiments.testcases import make_test_cases, select_spread
-from repro.injection.errors import build_e1_error_set, build_e2_error_set
+from repro.arrestor.system import RunConfig
+from repro.experiments.parallel import (
+    enumerate_e1_specs,
+    enumerate_e2_specs,
+    execute_specs,
+)
+from repro.experiments.results import ResultSet
+from repro.experiments.testcases import make_test_cases
 from repro.injection.fic import CampaignController
 
 __all__ = ["CampaignConfig", "E1_VERSIONS", "run_e1_campaign", "run_e2_campaign", "run_reference_grid"]
@@ -50,6 +54,11 @@ class CampaignConfig:
     injection_period_ms: int = 20
     e2_seed: int = 2000
     run_config: Optional[RunConfig] = None
+    #: Worker processes for campaign execution; 1 = in-process serial.
+    workers: int = 1
+    #: Wall-clock limit per run (seconds); a run exceeding it is
+    #: classified as wedged instead of hanging its worker.  None = no limit.
+    run_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in ("cases_all", "cases_per_ea", "cases_e2"):
@@ -58,39 +67,59 @@ class CampaignConfig:
         unknown = set(self.versions) - set(E1_VERSIONS)
         if unknown:
             raise ValueError(f"unknown versions: {sorted(unknown)}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError("run_timeout_s must be positive when set")
 
     @classmethod
     def from_env(cls) -> "CampaignConfig":
         """Build a config from ``REPRO_*`` environment variables.
 
         ``REPRO_FULL=1`` selects the paper's full scale (25 test cases
-        everywhere).  Otherwise ``REPRO_CASES_ALL``, ``REPRO_CASES_EA``
-        and ``REPRO_CASES_E2`` override the scaled defaults individually.
+        everywhere) as the baseline; ``REPRO_CASES_ALL``,
+        ``REPRO_CASES_EA`` and ``REPRO_CASES_E2`` override individual
+        sizes on top of whichever baseline applies.  ``REPRO_WORKERS``
+        sets the process-pool width and ``REPRO_RUN_TIMEOUT`` the
+        per-run wall-clock limit in seconds.
         """
-        if os.environ.get("REPRO_FULL") == "1":
-            return cls(cases_all=25, cases_per_ea=25, cases_e2=25)
+        full = os.environ.get("REPRO_FULL") == "1"
+
         def _env_int(name: str, default: int) -> int:
             raw = os.environ.get(name)
-            return int(raw) if raw else default
+            if not raw:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{name} must be an integer, got {raw!r}"
+                ) from None
+
+        def _env_float(name: str) -> Optional[float]:
+            raw = os.environ.get(name)
+            if not raw:
+                return None
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValueError(f"{name} must be a number, got {raw!r}") from None
 
         return cls(
-            cases_all=_env_int("REPRO_CASES_ALL", 3),
-            cases_per_ea=_env_int("REPRO_CASES_EA", 1),
-            cases_e2=_env_int("REPRO_CASES_E2", 3),
+            cases_all=_env_int("REPRO_CASES_ALL", 25 if full else 3),
+            cases_per_ea=_env_int("REPRO_CASES_EA", 25 if full else 1),
+            cases_e2=_env_int("REPRO_CASES_E2", 25 if full else 3),
+            workers=_env_int("REPRO_WORKERS", 1),
+            run_timeout_s=_env_float("REPRO_RUN_TIMEOUT"),
         )
-
-
-def _controller(config: CampaignConfig) -> CampaignController:
-    return CampaignController(
-        injection_period_ms=config.injection_period_ms,
-        run_config=config.run_config,
-    )
 
 
 def run_e1_campaign(
     config: Optional[CampaignConfig] = None,
     progress: Optional[ProgressHook] = None,
     error_filter: Optional[Callable] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ResultSet:
     """Execute the E1 experiment (Tables 7 and 8).
 
@@ -100,72 +129,70 @@ def run_e1_campaign(
     optionally restricts the error set (it receives each
     :class:`~repro.injection.errors.ErrorSpec`), e.g. to a single signal
     for a quick partial campaign.
+
+    Execution is delegated to :mod:`repro.experiments.parallel`:
+    ``config.workers`` processes (1 = the serial in-process path),
+    optionally streaming completed runs to *checkpoint* and — with
+    *resume* — skipping the runs already recorded there.  The result is
+    record-for-record identical whatever the worker count.
     """
     if config is None:
         config = CampaignConfig()
-    controller = _controller(config)
-    errors = build_e1_error_set(MasterMemory())
-    if error_filter is not None:
-        errors = [e for e in errors if error_filter(e)]
-    grid = make_test_cases()
-    cases_all = select_spread(grid, config.cases_all)
-    cases_ea = select_spread(grid, config.cases_per_ea)
-
-    total = 0
-    for version in config.versions:
-        cases = cases_all if version == "All" else cases_ea
-        total += len(errors) * len(cases)
-
-    results = ResultSet()
-    done = 0
-    for version in config.versions:
-        cases = cases_all if version == "All" else cases_ea
-        for error in errors:
-            for case in cases:
-                record = controller.run_injection(error, case, version)
-                results.add(flatten_record(record))
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-    return results
+    return execute_specs(
+        enumerate_e1_specs(config, error_filter),
+        run_config=config.run_config,
+        workers=config.workers,
+        checkpoint=checkpoint,
+        resume=resume,
+        progress=progress,
+        timeout_s=config.run_timeout_s,
+    )
 
 
 def run_e2_campaign(
     config: Optional[CampaignConfig] = None,
     progress: Optional[ProgressHook] = None,
     error_filter: Optional[Callable] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ResultSet:
-    """Execute the E2 experiment (Table 9): All version, random locations."""
+    """Execute the E2 experiment (Table 9): All version, random locations.
+
+    Same execution engine, checkpointing and resume semantics as
+    :func:`run_e1_campaign`.
+    """
     if config is None:
         config = CampaignConfig()
-    controller = _controller(config)
-    errors = build_e2_error_set(MasterMemory(), seed=config.e2_seed)
-    if error_filter is not None:
-        errors = [e for e in errors if error_filter(e)]
-    grid = make_test_cases()
-    cases = select_spread(grid, config.cases_e2)
-
-    total = len(errors) * len(cases)
-    results = ResultSet()
-    done = 0
-    for error in errors:
-        for case in cases:
-            record = controller.run_injection(error, case, "All")
-            results.add(flatten_record(record))
-            done += 1
-            if progress is not None:
-                progress(done, total)
-    return results
+    return execute_specs(
+        enumerate_e2_specs(config, error_filter),
+        run_config=config.run_config,
+        workers=config.workers,
+        checkpoint=checkpoint,
+        resume=resume,
+        progress=progress,
+        timeout_s=config.run_timeout_s,
+    )
 
 
-def run_reference_grid(versions: Tuple[str, ...] = ("All",)) -> List:
+def run_reference_grid(
+    versions: Tuple[str, ...] = ("All",),
+    config: Optional[CampaignConfig] = None,
+) -> List:
     """Fault-free runs over the full 25-case grid (Section 3.4 precondition).
 
     Returns the :class:`repro.injection.fic.ExperimentRecord` list; every
     record must show no detection and no failure for the experimental
-    set-up to be valid.
+    set-up to be valid.  When *config* is given, its ``run_config`` and
+    injection period are honoured so the precondition is checked on the
+    *same* system configuration the injected runs will use.
     """
-    controller = CampaignController()
+    if config is not None:
+        controller = CampaignController(
+            injection_period_ms=config.injection_period_ms,
+            run_config=config.run_config,
+        )
+    else:
+        controller = CampaignController()
     records = []
     for version in versions:
         for case in make_test_cases():

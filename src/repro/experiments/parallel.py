@@ -1,0 +1,408 @@
+"""Parallel campaign engine: the run grid as data, executed by a pool.
+
+The paper's evaluation is 22 400 (E1) + 5 000 (E2) arrestments.  Run
+serially in one Python process, the full-scale campaign takes hours and
+a crash loses everything.  This module turns a campaign into
+
+1. a deterministic enumeration of **run specs** — self-describing
+   (version, error, test-case) triples carrying everything a worker
+   needs to execute one run;
+2. an **execution engine** that dispatches specs in chunks to a process
+   pool (each run still boots a fresh :class:`TargetSystem`, preserving
+   the evaluation's reboot-between-runs semantics), retries failed
+   chunks a bounded number of times, gives every run a wall-clock
+   timeout that classifies a wedged simulation instead of hanging the
+   pool, and streams completed records to an append-only CSV
+   **checkpoint** so an interrupted campaign resumes by skipping the
+   specs already on disk.
+
+Equivalence guarantee.  The final :class:`ResultSet` is assembled in
+spec-enumeration order from a key-indexed map, so a parallel campaign —
+and a resumed one — yields record-for-record the same result set as the
+serial loop, regardless of completion order.  With ``workers=1`` (or
+when multiprocessing is unavailable) the engine degrades to an in-process
+serial loop over the same specs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import signal
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arrestor.signals_map import MasterMemory
+from repro.arrestor.system import RunConfig, TestCase
+from repro.experiments.persistence import append_records, load_checkpoint
+from repro.experiments.results import ResultSet, RunRecord, canonical_key, flatten_record
+from repro.experiments.testcases import make_test_cases, select_spread
+from repro.injection.errors import ErrorSpec, build_e1_error_set, build_e2_error_set
+from repro.injection.fic import CampaignController
+
+__all__ = [
+    "RunSpec",
+    "SpecKey",
+    "CampaignExecutionError",
+    "enumerate_e1_specs",
+    "enumerate_e2_specs",
+    "execute_specs",
+]
+
+#: The identity of one run: (version, error name, mass, velocity).
+SpecKey = Tuple[str, str, float, float]
+
+ProgressHook = Callable[[int, int], None]
+
+#: Chunks that fail (worker crash, pickling error, broken pool) are
+#: retried at most this many times before the campaign aborts.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class CampaignExecutionError(RuntimeError):
+    """A chunk of runs kept failing after the bounded retries."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One run of the grid, self-describing and cheap to pickle.
+
+    A spec carries the flattened :class:`ErrorSpec` fields, the test
+    case and the injection period, so a worker process can rebuild the
+    exact experiment without sharing any state with the dispatcher.
+    """
+
+    experiment: str  # "e1" | "e2"
+    version: str
+    error_name: str
+    address: int
+    bit: int
+    area: str
+    signal: Optional[str]
+    signal_bit: Optional[int]
+    mass_kg: float
+    velocity_mps: float
+    injection_period_ms: int
+
+    @property
+    def key(self) -> SpecKey:
+        """Resume/equivalence key; matches :func:`canonical_key` of the record."""
+        return (self.version, self.error_name, self.mass_kg, self.velocity_mps)
+
+    def error_spec(self) -> ErrorSpec:
+        return ErrorSpec(
+            name=self.error_name,
+            address=self.address,
+            bit=self.bit,
+            area=self.area,
+            signal=self.signal,
+            signal_bit=self.signal_bit,
+        )
+
+    def test_case(self) -> TestCase:
+        return TestCase(mass_kg=self.mass_kg, velocity_mps=self.velocity_mps)
+
+    @classmethod
+    def build(
+        cls,
+        experiment: str,
+        version: str,
+        error: ErrorSpec,
+        case: TestCase,
+        injection_period_ms: int,
+    ) -> "RunSpec":
+        return cls(
+            experiment=experiment,
+            version=version,
+            error_name=error.name,
+            address=error.address,
+            bit=error.bit,
+            area=error.area,
+            signal=error.signal,
+            signal_bit=error.signal_bit,
+            mass_kg=case.mass_kg,
+            velocity_mps=case.velocity_mps,
+            injection_period_ms=injection_period_ms,
+        )
+
+
+# -- grid enumeration -------------------------------------------------------
+#
+# The config argument is duck-typed (any object with the CampaignConfig
+# fields) to keep this module import-free of repro.experiments.campaign,
+# which imports the engine.
+
+
+def enumerate_e1_specs(config, error_filter: Optional[Callable] = None) -> List[RunSpec]:
+    """The E1 grid in serial order: version -> error -> test case."""
+    errors = build_e1_error_set(MasterMemory())
+    if error_filter is not None:
+        errors = [e for e in errors if error_filter(e)]
+    grid = make_test_cases()
+    cases_all = select_spread(grid, config.cases_all)
+    cases_ea = select_spread(grid, config.cases_per_ea)
+    specs: List[RunSpec] = []
+    for version in config.versions:
+        cases = cases_all if version == "All" else cases_ea
+        for error in errors:
+            for case in cases:
+                specs.append(
+                    RunSpec.build("e1", version, error, case, config.injection_period_ms)
+                )
+    return specs
+
+
+def enumerate_e2_specs(config, error_filter: Optional[Callable] = None) -> List[RunSpec]:
+    """The E2 grid in serial order: error -> test case (All version only)."""
+    errors = build_e2_error_set(MasterMemory(), seed=config.e2_seed)
+    if error_filter is not None:
+        errors = [e for e in errors if error_filter(e)]
+    cases = select_spread(make_test_cases(), config.cases_e2)
+    return [
+        RunSpec.build("e2", "All", error, case, config.injection_period_ms)
+        for error in errors
+        for case in cases
+    ]
+
+
+# -- single-run execution (shared by the serial path and the workers) -------
+
+
+class _RunTimeout(Exception):
+    pass
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Raise :class:`_RunTimeout` if the body runs longer than *seconds*.
+
+    Uses ``SIGALRM``, which only works in a process's main thread on
+    POSIX; elsewhere the limit is silently a no-op (the simulation's own
+    ``observe_ms_max`` truncation still bounds well-behaved runs).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _RunTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_one(
+    spec: RunSpec,
+    run_config: Optional[RunConfig],
+    timeout_s: Optional[float],
+) -> RunRecord:
+    """Execute one spec on a freshly booted system (reboot-per-run)."""
+    controller = CampaignController(
+        injection_period_ms=spec.injection_period_ms, run_config=run_config
+    )
+    error = spec.error_spec()
+    case = spec.test_case()
+    try:
+        with _wall_clock_limit(timeout_s):
+            record = controller.run_injection(error, case, spec.version)
+    except _RunTimeout:
+        record = controller.timeout_record(
+            error, case, spec.version, timeout_ms=int(timeout_s * 1000)
+        )
+    return flatten_record(record)
+
+
+def _run_chunk(payload) -> List[RunRecord]:
+    """Worker entry point: execute a chunk of specs, return their records."""
+    specs, run_config, timeout_s = payload
+    return [_execute_one(spec, run_config, timeout_s) for spec in specs]
+
+
+# -- the engine -------------------------------------------------------------
+
+
+def _multiprocessing_usable() -> bool:
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context()
+    except (ImportError, OSError, NotImplementedError):
+        return False
+    return True
+
+
+def _new_executor(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return concurrent.futures.ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def _chunked(specs: Sequence[RunSpec], size: int) -> List[Tuple[RunSpec, ...]]:
+    return [tuple(specs[i : i + size]) for i in range(0, len(specs), size)]
+
+
+def _default_chunk_size(pending: int, workers: int) -> int:
+    # Small enough that the checkpoint advances steadily and stragglers
+    # don't serialise the tail; large enough to amortise dispatch.
+    return max(1, min(16, -(-pending // (workers * 4))))
+
+
+def _restore(
+    checkpoint: Union[str, Path],
+    resume: bool,
+    spec_keys: Dict[SpecKey, int],
+) -> Dict[SpecKey, RunRecord]:
+    path = Path(checkpoint)
+    if not path.exists() or path.stat().st_size == 0:
+        return {}
+    if not resume:
+        raise ValueError(
+            f"checkpoint {path} already exists; pass resume=True to continue "
+            "it (or remove the file to start over)"
+        )
+    restored: Dict[SpecKey, RunRecord] = {}
+    for record in load_checkpoint(path).records:
+        key = canonical_key(record)
+        if key in spec_keys:  # records from other configs/filters are ignored
+            restored[key] = record
+    return restored
+
+
+def execute_specs(
+    specs: Sequence[RunSpec],
+    run_config: Optional[RunConfig] = None,
+    workers: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressHook] = None,
+    timeout_s: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> ResultSet:
+    """Execute *specs*, serially or on a process pool; return the results.
+
+    The returned :class:`ResultSet` is in spec-enumeration order whatever
+    the execution order, so ``workers=N`` is record-for-record equivalent
+    to ``workers=1``.  With *checkpoint* set, completed records are
+    appended to that CSV as they arrive; with *resume* additionally set,
+    specs whose records are already in the file are not re-run.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+    specs = list(specs)
+    keys = {spec.key: index for index, spec in enumerate(specs)}
+    if len(keys) != len(specs):
+        raise ValueError("duplicate run specs: (version, error, case) must be unique")
+
+    by_key: Dict[SpecKey, RunRecord] = {}
+    if checkpoint is not None:
+        by_key.update(_restore(checkpoint, resume, keys))
+    pending = [spec for spec in specs if spec.key not in by_key]
+
+    total = len(specs)
+    done = total - len(pending)
+    if progress is not None and done:
+        progress(done, total)
+
+    def _complete(chunk_records: Sequence[RunRecord]) -> None:
+        nonlocal done
+        if checkpoint is not None:
+            append_records(checkpoint, chunk_records)
+        for record in chunk_records:
+            by_key[canonical_key(record)] = record
+        done += len(chunk_records)
+        if progress is not None:
+            progress(done, total)
+
+    if workers == 1 or not pending or not _multiprocessing_usable():
+        for spec in pending:
+            _complete([_execute_one(spec, run_config, timeout_s)])
+    else:
+        _run_pool(
+            pending,
+            run_config,
+            min(workers, len(pending)),
+            timeout_s,
+            chunk_size,
+            max_attempts,
+            _complete,
+        )
+
+    return ResultSet(by_key[spec.key] for spec in specs)
+
+
+def _run_pool(
+    pending: Sequence[RunSpec],
+    run_config: Optional[RunConfig],
+    workers: int,
+    timeout_s: Optional[float],
+    chunk_size: Optional[int],
+    max_attempts: int,
+    complete: Callable[[Sequence[RunRecord]], None],
+) -> None:
+    chunks = _chunked(pending, chunk_size or _default_chunk_size(len(pending), workers))
+    attempts = {index: 0 for index in range(len(chunks))}
+
+    def _payload(index: int):
+        return (chunks[index], run_config, timeout_s)
+
+    executor = _new_executor(workers)
+    try:
+        futures = {
+            executor.submit(_run_chunk, _payload(index)): index
+            for index in range(len(chunks))
+        }
+        while futures:
+            finished, _ = concurrent.futures.wait(
+                futures, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in finished:
+                index = futures.pop(future)
+                try:
+                    records = future.result()
+                except concurrent.futures.BrokenExecutor as exc:
+                    # The pool itself died (a worker was killed): every
+                    # outstanding future is void.  Rebuild the pool and
+                    # resubmit, charging an attempt to the chunk at hand.
+                    attempts[index] += 1
+                    if attempts[index] >= max_attempts:
+                        raise CampaignExecutionError(
+                            f"chunk {index} ({len(chunks[index])} runs) failed "
+                            f"{attempts[index]} times; giving up: {exc!r}"
+                        ) from exc
+                    outstanding = [index] + list(futures.values())
+                    executor.shutdown(wait=False)
+                    executor = _new_executor(workers)
+                    futures = {
+                        executor.submit(_run_chunk, _payload(j)): j
+                        for j in outstanding
+                    }
+                    break
+                except Exception as exc:
+                    attempts[index] += 1
+                    if attempts[index] >= max_attempts:
+                        raise CampaignExecutionError(
+                            f"chunk {index} ({len(chunks[index])} runs) failed "
+                            f"{attempts[index]} times; giving up: {exc!r}"
+                        ) from exc
+                    futures[executor.submit(_run_chunk, _payload(index))] = index
+                else:
+                    complete(records)
+    finally:
+        executor.shutdown(wait=False)

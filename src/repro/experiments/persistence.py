@@ -11,12 +11,24 @@ from __future__ import annotations
 
 import csv
 import io
+import os
+import tempfile
 from pathlib import Path
-from typing import List, Union
+from typing import Iterable, List, Union
 
 from repro.experiments.results import ResultSet, RunRecord
 
-__all__ = ["CSV_COLUMNS", "save_results", "load_results", "results_to_csv", "results_from_csv"]
+__all__ = [
+    "CSV_COLUMNS",
+    "save_results",
+    "load_results",
+    "results_to_csv",
+    "results_from_csv",
+    "encode_record",
+    "decode_row",
+    "append_records",
+    "load_checkpoint",
+]
 
 #: Column order of the CSV representation (one column per record field).
 CSV_COLUMNS = (
@@ -37,12 +49,17 @@ CSV_COLUMNS = (
 _NONE = ""
 
 
-def _encode(record: RunRecord) -> List[str]:
+def encode_record(record: RunRecord) -> List[str]:
+    """One CSV row (list of cells) for *record*, in :data:`CSV_COLUMNS` order."""
     row = []
     for column in CSV_COLUMNS:
         value = getattr(record, column)
         row.append(_NONE if value is None else str(value))
     return row
+
+
+# Backwards-compatible private alias (pre-checkpoint API).
+_encode = encode_record
 
 
 def _parse_optional_int(text: str):
@@ -61,7 +78,8 @@ def _parse_bool(text: str) -> bool:
     raise ValueError(f"malformed boolean field {text!r}")
 
 
-def _decode(row: List[str]) -> RunRecord:
+def decode_row(row: List[str]) -> RunRecord:
+    """Parse one CSV row back into a :class:`RunRecord` (raises on malformed)."""
     if len(row) != len(CSV_COLUMNS):
         raise ValueError(
             f"malformed results row: expected {len(CSV_COLUMNS)} fields, got {len(row)}"
@@ -81,6 +99,10 @@ def _decode(row: List[str]) -> RunRecord:
         wedged=_parse_bool(data["wedged"]),
         duration_ms=int(data["duration_ms"]),
     )
+
+
+# Backwards-compatible private alias (pre-checkpoint API).
+_decode = decode_row
 
 
 def results_to_csv(results: ResultSet) -> str:
@@ -105,16 +127,104 @@ def results_from_csv(text: str) -> ResultSet:
             f"unexpected results header {header!r}; this file was not written "
             "by results_to_csv (or by an incompatible version)"
         )
-    return ResultSet(_decode(row) for row in reader if row)
+    return ResultSet(decode_row(row) for row in reader if row)
 
 
 def save_results(results: ResultSet, path: Union[str, Path]) -> Path:
-    """Write a result set to *path*; returns the resolved path."""
+    """Write a result set to *path* atomically; returns the resolved path.
+
+    The CSV is written to a temporary file in the same directory and
+    renamed into place, so a crash mid-write can never leave a truncated
+    file where an hours-long campaign's only artifact used to be.
+    """
     path = Path(path)
-    path.write_text(results_to_csv(results), encoding="utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as handle:
+            handle.write(results_to_csv(results))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
 def load_results(path: Union[str, Path]) -> ResultSet:
     """Read a result set written by :func:`save_results`."""
     return results_from_csv(Path(path).read_text(encoding="utf-8"))
+
+
+# -- checkpoint files -------------------------------------------------------
+#
+# A checkpoint is the same CSV format written incrementally: the header
+# plus one appended row per completed run.  Appends are flushed per
+# batch, so after a crash the file holds every finished run (plus at
+# most one torn final line, which the tolerant loader drops).
+
+
+def append_records(path: Union[str, Path], records: Iterable[RunRecord]) -> Path:
+    """Append *records* to the checkpoint at *path*, creating it if needed.
+
+    A new (or empty) file gets the :data:`CSV_COLUMNS` header first; an
+    existing one must carry that exact header.  The batch is flushed and
+    fsynced before returning so completed runs survive a crash.
+    """
+    path = Path(path)
+    fresh = not path.exists() or path.stat().st_size == 0
+    if not fresh:
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            header = next(csv.reader(handle), None)
+        if header is None or tuple(header) != CSV_COLUMNS:
+            raise ValueError(
+                f"unexpected results header {header!r} in checkpoint {path}; "
+                "refusing to append"
+            )
+    with path.open("a", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        if fresh:
+            writer.writerow(CSV_COLUMNS)
+        for record in records:
+            writer.writerow(encode_record(record))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> ResultSet:
+    """Read a (possibly torn) checkpoint written by :func:`append_records`.
+
+    Unlike :func:`load_results` this tolerates an interrupted final
+    write: a trailing row that does not parse is dropped rather than
+    rejected, because resuming will simply re-run that spec.  A missing
+    file yields an empty result set; a malformed row *before* the end
+    still raises (the file is not a checkpoint of ours).
+    """
+    path = Path(path)
+    if not path.exists():
+        return ResultSet()
+    reader = csv.reader(io.StringIO(path.read_text(encoding="utf-8")))
+    header = next(reader, None)
+    if header is None:
+        return ResultSet()
+    if tuple(header) != CSV_COLUMNS:
+        raise ValueError(
+            f"unexpected results header {header!r}; {path} was not written "
+            "by this campaign engine"
+        )
+    rows = [row for row in reader if row]
+    records = []
+    for index, row in enumerate(rows):
+        try:
+            records.append(decode_row(row))
+        except ValueError:
+            if index == len(rows) - 1:
+                break  # torn final line from an interrupted append
+            raise
+    return ResultSet(records)

@@ -26,6 +26,7 @@ __all__ = [
     "CoverageTriple",
     "ResultSet",
     "flatten_record",
+    "canonical_key",
 ]
 
 
@@ -45,6 +46,18 @@ class RunRecord:
     latency_ms: Optional[float]
     wedged: bool
     duration_ms: int
+
+
+def canonical_key(record: RunRecord) -> Tuple[str, str, float, float]:
+    """The identity of a run within a campaign, as a sortable tuple.
+
+    ``(version, error_name, mass, velocity)`` uniquely names one run of
+    the E1/E2 grids (error names are unique per set, test cases are
+    distinct grid points), so it keys checkpoint resume and defines the
+    canonical order campaigns are compared in regardless of execution
+    order (serial, parallel, or resumed).
+    """
+    return (record.version, record.error_name, record.mass_kg, record.velocity_mps)
 
 
 def flatten_record(record: ExperimentRecord) -> RunRecord:
@@ -107,6 +120,15 @@ class ResultSet:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.records == other.records
+
+    def sorted(self) -> "ResultSet":
+        """A copy in canonical order (see :func:`canonical_key`)."""
+        return ResultSet(sorted(self.records, key=canonical_key))
 
     # -- filters ---------------------------------------------------------
 

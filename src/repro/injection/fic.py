@@ -18,9 +18,12 @@ from typing import Optional, Tuple
 from repro.arrestor.system import RunConfig, RunResult, TargetSystem, TestCase
 from repro.injection.errors import ErrorSpec
 from repro.injection.injector import INJECTION_PERIOD_MS, TimeTriggeredInjector
-from repro.plant.failure import FailureClassifier
+from repro.plant.failure import ArrestmentSummary, FailureClassifier, FailureVerdict
 
-__all__ = ["ExperimentRecord", "CampaignController"]
+__all__ = ["ExperimentRecord", "CampaignController", "TIMEOUT_VIOLATION"]
+
+#: Constraint name recorded in the verdict of a timed-out run.
+TIMEOUT_VIOLATION = "worker-timeout"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,5 +106,44 @@ class CampaignController:
             start_ms=self.injection_start_ms,
         )
         result = system.run(injector)
+        self.runs_executed += 1
+        return ExperimentRecord(error=error, version=version, result=result)
+
+    def timeout_record(
+        self,
+        error: Optional[ErrorSpec],
+        test_case: TestCase,
+        version: str,
+        timeout_ms: int,
+    ) -> ExperimentRecord:
+        """A synthetic record for a run whose wall-clock budget expired.
+
+        The campaign engine gives each run a wall-clock timeout so a
+        wedged simulation cannot hang a worker (the FIC3 equivalently
+        aborts runs whose target stops responding).  Such a run counts as
+        wedged and failed — the aircraft was never confirmed stopped —
+        with no detection and no latency.
+        """
+        summary = ArrestmentSummary(
+            mass_kg=test_case.mass_kg,
+            engagement_velocity_mps=test_case.velocity_mps,
+            max_retardation_g=0.0,
+            max_cable_force_n=0.0,
+            stop_distance_m=0.0,
+            stopped=False,
+            duration_s=timeout_ms / 1000.0,
+        )
+        result = RunResult(
+            test_case=test_case,
+            summary=summary,
+            verdict=FailureVerdict(failed=True, violated=(TIMEOUT_VIOLATION,)),
+            detected=False,
+            first_detection_ms=None,
+            detection_count=0,
+            first_injection_ms=None,
+            injection_count=0,
+            wedged=True,
+            duration_ms=timeout_ms,
+        )
         self.runs_executed += 1
         return ExperimentRecord(error=error, version=version, result=result)

@@ -1,0 +1,76 @@
+"""Tests for the campaign benchmark's JSON schema (benchmarks/bench_campaign.py)."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_campaign.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_campaign", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+VALID = {
+    "benchmark": "campaign",
+    "schema_version": 1,
+    "scale": {"versions": ["All"], "errors": 16, "cases": 1, "runs": 16},
+    "serial": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
+    "parallel": {"workers": 2, "runs": 16, "seconds": 1.0, "runs_per_sec": 16.0},
+    "speedup": 2.0,
+    "equivalent": True,
+}
+
+
+class TestSchemaValidation:
+    def test_valid_document_passes(self):
+        _load_bench_module().validate_bench_json(VALID)
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"benchmark": "other"}, "benchmark"),
+            ({"schema_version": 2}, "schema_version"),
+            ({"scale": {"versions": "All"}}, "versions"),
+            ({"serial": {}}, "serial"),
+            ({"parallel": {"runs": 16, "seconds": 1.0, "runs_per_sec": 16.0}}, "workers"),
+            ({"speedup": "fast"}, "speedup"),
+            ({"equivalent": False}, "equivalent"),
+        ],
+    )
+    def test_broken_documents_rejected(self, mutation, match):
+        module = _load_bench_module()
+        data = {**VALID, **mutation}
+        with pytest.raises(ValueError, match=match):
+            module.validate_bench_json(data)
+
+
+class TestCheckMode:
+    def test_check_accepts_valid_file(self, tmp_path):
+        path = tmp_path / "BENCH_campaign.json"
+        path.write_text(json.dumps(VALID))
+        result = subprocess.run(
+            [sys.executable, str(BENCH), "--check", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "schema OK" in result.stdout
+
+    def test_check_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "BENCH_campaign.json"
+        path.write_text(json.dumps({**VALID, "equivalent": False}))
+        result = subprocess.run(
+            [sys.executable, str(BENCH), "--check", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "INVALID" in result.stdout

@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro.arrestor.system import RunConfig
 from repro.experiments.campaign import (
     E1_VERSIONS,
     CampaignConfig,
     run_e1_campaign,
     run_e2_campaign,
+    run_reference_grid,
 )
 
 
@@ -43,6 +45,37 @@ class TestCampaignConfig:
         assert config.cases_e2 == 4
         assert config.cases_per_ea == 1
 
+    def test_from_env_full_scale_honours_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_CASES_EA", "5")
+        config = CampaignConfig.from_env()
+        assert config.cases_per_ea == 5  # explicit override wins
+        assert config.cases_all == 25  # full-scale baseline elsewhere
+        assert config.cases_e2 == 25
+
+    def test_from_env_malformed_value_names_variable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_CASES_ALL", "ten")
+        with pytest.raises(ValueError, match="REPRO_CASES_ALL"):
+            CampaignConfig.from_env()
+
+    def test_from_env_workers_and_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "2.5")
+        config = CampaignConfig.from_env()
+        assert config.workers == 3
+        assert config.run_timeout_s == 2.5
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            CampaignConfig.from_env()
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            CampaignConfig(workers=0)
+        with pytest.raises(ValueError, match="run_timeout_s"):
+            CampaignConfig(run_timeout_s=0)
+
 
 class TestSmallCampaigns:
     """Execute miniature campaigns end to end (filtered error sets)."""
@@ -72,3 +105,15 @@ class TestSmallCampaigns:
         )
         assert len(results) == 3
         assert all(r.area == "ram" for r in results.records)
+
+
+class TestReferenceGrid:
+    def test_config_run_config_is_honoured(self):
+        # A truncated observation window proves the config reached the
+        # controller: the run ends at the window, long before the ~10 s
+        # an arrestment takes.
+        config = CampaignConfig(run_config=RunConfig(observe_ms_max=50))
+        records = run_reference_grid(config=config)
+        assert len(records) == 25
+        assert all(r.result.duration_ms <= 51 for r in records)
+        assert all(r.error is None for r in records)

@@ -96,6 +96,33 @@ class TestReportCommand:
         assert main(["report", str(path)]) == 0
         assert "Table 9" in capsys.readouterr().out
 
+    def test_load_applies_signal_filter(self, tmp_path, capsys):
+        from repro.experiments.persistence import save_results
+        from repro.experiments.results import ResultSet, RunRecord
+
+        def _rec(name, signal):
+            return RunRecord(
+                error_name=name,
+                signal=signal,
+                signal_bit=0,
+                area="ram",
+                version="All",
+                mass_kg=14000,
+                velocity_mps=55,
+                detected=True,
+                failed=False,
+                latency_ms=20.0,
+                wedged=False,
+                duration_ms=9000,
+            )
+
+        path = save_results(
+            ResultSet([_rec("S33", "i"), _rec("S81", "mscnt")]), tmp_path / "two.csv"
+        )
+        assert main(["e1", "--load", str(path), "--signal", "mscnt"]) == 0
+        out = capsys.readouterr().out
+        assert "filtered to 1 runs on signal mscnt" in out
+
     def test_save_then_load_round_trip_through_cli(self, tmp_path, capsys):
         saved = tmp_path / "mini.csv"
         assert (
@@ -118,3 +145,45 @@ class TestReportCommand:
         capsys.readouterr()
         assert main(["e1", "--load", str(saved), "--versions", "All"]) == 0
         assert "loaded 16 runs" in capsys.readouterr().out
+
+
+class TestCheckpointOptions:
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.csv"
+        argv = [
+            "e1",
+            "--signal",
+            "mscnt",
+            "--versions",
+            "All",
+            "--cases-all",
+            "1",
+            "--checkpoint",
+            str(checkpoint),
+        ]
+        assert main(argv) == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+        # A second invocation with --resume replays from the checkpoint
+        # (all 16 specs are already recorded, so it finishes immediately).
+        assert main(argv + ["--resume"]) == 0
+        assert "16 runs" in capsys.readouterr().out
+
+    def test_workers_option_parses(self, capsys):
+        assert (
+            main(
+                [
+                    "e1",
+                    "--signal",
+                    "mscnt",
+                    "--versions",
+                    "All",
+                    "--cases-all",
+                    "1",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "Table 7" in capsys.readouterr().out

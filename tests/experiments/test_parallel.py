@@ -1,0 +1,194 @@
+"""Tests for the parallel campaign engine (specs, pool, checkpoint/resume)."""
+
+import time
+
+import pytest
+
+import repro.experiments.parallel as parallel
+from repro.experiments.campaign import CampaignConfig, run_e1_campaign
+from repro.experiments.parallel import (
+    CampaignExecutionError,
+    RunSpec,
+    _execute_one,
+    enumerate_e1_specs,
+    enumerate_e2_specs,
+    execute_specs,
+)
+from repro.experiments.persistence import load_checkpoint
+from repro.experiments.results import canonical_key
+from repro.injection.fic import CampaignController
+
+# A 2-run slice (signal i, bits 0-1, All version) keeps sim time small.
+TINY = CampaignConfig(cases_all=1, versions=("All",))
+
+
+def _tiny_filter(error):
+    return error.signal == "i" and error.signal_bit < 2
+
+
+def _tiny_specs():
+    return enumerate_e1_specs(TINY, _tiny_filter)
+
+
+class TestSpecEnumeration:
+    def test_e1_grid_shape_and_order(self):
+        config = CampaignConfig(cases_all=2, cases_per_ea=1, versions=("EA4", "All"))
+        specs = enumerate_e1_specs(config)
+        # EA4: 112 errors x 1 case, All: 112 errors x 2 cases.
+        assert len(specs) == 112 * 1 + 112 * 2
+        assert [s.version for s in specs[:112]] == ["EA4"] * 112
+        assert specs == enumerate_e1_specs(config)  # deterministic
+
+    def test_e2_grid(self):
+        specs = enumerate_e2_specs(CampaignConfig(cases_e2=2))
+        assert len(specs) == 200 * 2
+        assert all(s.experiment == "e2" and s.version == "All" for s in specs)
+
+    def test_specs_are_self_describing(self):
+        spec = _tiny_specs()[0]
+        error = spec.error_spec()
+        assert (error.name, error.signal, error.signal_bit) == ("S33", "i", 0)
+        case = spec.test_case()
+        assert (case.mass_kg, case.velocity_mps) == (spec.mass_kg, spec.velocity_mps)
+
+    def test_spec_key_matches_record_key(self):
+        spec = _tiny_specs()[0]
+        record = _execute_one(spec, None, None)
+        assert canonical_key(record) == spec.key
+
+    def test_error_filter_applies(self):
+        assert len(_tiny_specs()) == 2
+
+    def test_duplicate_specs_rejected(self):
+        spec = _tiny_specs()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            execute_specs([spec, spec])
+
+
+class TestEquivalence:
+    def test_parallel_equals_serial(self):
+        serial = run_e1_campaign(TINY, error_filter=_tiny_filter)
+        par_config = CampaignConfig(cases_all=1, versions=("All",), workers=2)
+        parallel_results = run_e1_campaign(par_config, error_filter=_tiny_filter)
+        assert parallel_results.records == serial.records
+        assert parallel_results.sorted().records == serial.sorted().records
+
+    def test_result_order_is_enumeration_order(self):
+        specs = _tiny_specs()
+        results = execute_specs(specs, workers=2, chunk_size=1)
+        assert [canonical_key(r) for r in results.records] == [s.key for s in specs]
+
+
+class TestTimeoutClassification:
+    def test_timed_out_run_is_classified_wedged(self, monkeypatch):
+        original = CampaignController.run_injection
+
+        def crawling(self, *args, **kwargs):
+            time.sleep(5.0)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(CampaignController, "run_injection", crawling)
+        record = _execute_one(_tiny_specs()[0], None, 0.05)
+        assert record.wedged and record.failed and not record.detected
+        assert record.latency_ms is None
+        assert record.duration_ms == 50
+
+    def test_without_timeout_runs_complete(self):
+        record = _execute_one(_tiny_specs()[0], None, None)
+        assert not record.wedged
+
+
+class TestCheckpointResume:
+    def test_checkpoint_streams_all_records(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        results = execute_specs(_tiny_specs(), checkpoint=path)
+        assert load_checkpoint(path).records == results.records
+
+    def test_existing_checkpoint_requires_resume(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        execute_specs(_tiny_specs(), checkpoint=path)
+        with pytest.raises(ValueError, match="resume"):
+            execute_specs(_tiny_specs(), checkpoint=path)
+
+    def test_kill_and_resume_skips_finished_specs(self, tmp_path, monkeypatch):
+        specs = _tiny_specs()
+        full = execute_specs(specs)
+        path = tmp_path / "ck.csv"
+        execute_specs(specs, checkpoint=path)
+
+        # Simulate a crash: keep the header + first record, then a torn
+        # partial line from an interrupted append.
+        lines = path.read_text().splitlines(True)
+        path.write_text("".join(lines[:2]) + lines[2][:17])
+
+        executed = []
+        real = parallel._execute_one
+
+        def counting(spec, run_config, timeout_s):
+            executed.append(spec.key)
+            return real(spec, run_config, timeout_s)
+
+        monkeypatch.setattr(parallel, "_execute_one", counting)
+        resumed = execute_specs(specs, checkpoint=path, resume=True)
+        assert executed == [specs[1].key]  # only the lost run re-ran
+        assert resumed.records == full.records
+
+    def test_resume_of_complete_checkpoint_runs_nothing(self, tmp_path, monkeypatch):
+        specs = _tiny_specs()
+        path = tmp_path / "ck.csv"
+        expected = execute_specs(specs, checkpoint=path)
+
+        def exploding(spec, run_config, timeout_s):
+            raise AssertionError(f"spec {spec.key} should not re-run")
+
+        monkeypatch.setattr(parallel, "_execute_one", exploding)
+        resumed = execute_specs(specs, checkpoint=path, resume=True)
+        assert resumed.records == expected.records
+
+    def test_resume_works_with_workers(self, tmp_path):
+        specs = _tiny_specs()
+        path = tmp_path / "ck.csv"
+        serial = execute_specs(specs[:1], checkpoint=path)
+        resumed = execute_specs(specs, workers=2, checkpoint=path, resume=True)
+        assert resumed.records[:1] == serial.records
+        assert len(resumed) == len(specs)
+
+    def test_progress_counts_restored_runs(self, tmp_path):
+        specs = _tiny_specs()
+        path = tmp_path / "ck.csv"
+        execute_specs(specs[:1], checkpoint=path)
+        seen = []
+        execute_specs(
+            specs,
+            checkpoint=path,
+            resume=True,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestRetry:
+    def test_poison_chunk_aborts_after_bounded_attempts(self):
+        # signal_bit 99 makes ErrorSpec construction fail inside the
+        # worker, so this chunk can never succeed.
+        poison = RunSpec(
+            experiment="e1",
+            version="All",
+            error_name="SX",
+            address=0,
+            bit=99,
+            area="ram",
+            signal="i",
+            signal_bit=99,
+            mass_kg=14000.0,
+            velocity_mps=55.0,
+            injection_period_ms=20,
+        )
+        with pytest.raises(CampaignExecutionError, match="failed 2 times"):
+            execute_specs([poison] * 1, workers=2, max_attempts=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            execute_specs([], workers=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            execute_specs([], max_attempts=0)

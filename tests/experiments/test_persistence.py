@@ -4,6 +4,8 @@ import pytest
 
 from repro.experiments.persistence import (
     CSV_COLUMNS,
+    append_records,
+    load_checkpoint,
     load_results,
     results_from_csv,
     results_to_csv,
@@ -80,3 +82,76 @@ class TestErrorHandling:
         text = results_to_csv(ResultSet([_record()]))
         with pytest.raises(ValueError, match="malformed boolean"):
             results_from_csv(text.replace("True", "yes"))
+
+    def test_malformed_numeric_fields_rejected(self):
+        text = results_to_csv(ResultSet([_record()]))
+        with pytest.raises(ValueError):
+            results_from_csv(text.replace("9000", "lots"))
+        with pytest.raises(ValueError):
+            results_from_csv(text.replace("120.5", "fast"))
+
+
+class TestAtomicSave:
+    def test_overwrite_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "campaign.csv"
+        save_results(ResultSet([_record()]), path)
+        save_results(ResultSet([_record(), _record(error_name="S2")]), path)
+        assert len(load_results(path)) == 2
+        assert [p.name for p in tmp_path.iterdir()] == ["campaign.csv"]
+
+    def test_failed_write_preserves_previous_artifact(self, tmp_path, monkeypatch):
+        path = tmp_path / "campaign.csv"
+        save_results(ResultSet([_record()]), path)
+
+        import repro.experiments.persistence as persistence
+
+        def exploding(results):
+            raise RuntimeError("simulated crash mid-serialise")
+
+        monkeypatch.setattr(persistence, "results_to_csv", exploding)
+        with pytest.raises(RuntimeError):
+            save_results(ResultSet([_record(), _record(error_name="S2")]), path)
+        # The old file is intact and no temp file litters the directory.
+        assert len(load_results(path)) == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["campaign.csv"]
+
+
+class TestCheckpoint:
+    def test_append_creates_header_once(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        append_records(path, [_record()])
+        append_records(path, [_record(error_name="S2")])
+        text = path.read_text()
+        assert text.count("error_name") == 1
+        assert len(load_checkpoint(path)) == 2
+
+    def test_append_refuses_foreign_file(self, tmp_path):
+        path = tmp_path / "notours.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="refusing to append"):
+            append_records(path, [_record()])
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert len(load_checkpoint(tmp_path / "absent.csv")) == 0
+
+    def test_load_tolerates_torn_final_row(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        append_records(path, [_record(), _record(error_name="S2")])
+        content = path.read_text()
+        path.write_text(content[: content.rindex("S2") + 8])  # torn final line
+        restored = load_checkpoint(path)
+        assert [r.error_name for r in restored.records] == ["S1"]
+
+    def test_load_rejects_malformed_interior_row(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        append_records(path, [_record(), _record(error_name="S2")])
+        lines = path.read_text().splitlines(True)
+        path.write_text(lines[0] + "garbage,row\n" + lines[1] + lines[2])
+        with pytest.raises(ValueError, match="malformed results row"):
+            load_checkpoint(path)
+
+    def test_load_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "ck.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ValueError, match="unexpected results header"):
+            load_checkpoint(path)

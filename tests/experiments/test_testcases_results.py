@@ -59,6 +59,21 @@ class TestSelectSpread:
         with pytest.raises(ValueError):
             select_spread(make_test_cases(), 0)
 
+    def test_picks_are_pairwise_distinct(self):
+        cases = make_test_cases()
+        for count in range(1, len(cases) + 1):
+            picked = select_spread(cases, count)
+            assert len(picked) == count
+            assert len({(c.mass_kg, c.velocity_mps) for c in picked}) == count
+
+    def test_every_count_is_reproducible(self):
+        # The subsampled campaigns depend on the selection being a pure
+        # function of (grid, count) — rebuild the grid and re-select.
+        for count in (1, 2, 5, 7, 13):
+            assert select_spread(make_test_cases(), count) == select_spread(
+                make_test_cases(), count
+            )
+
 
 def _record(signal="SetValue", version="All", detected=False, failed=False, latency=None, area="ram"):
     return RunRecord(
@@ -145,3 +160,22 @@ class TestResultSet:
         results = ResultSet([_record(area="stack", detected=True)])
         assert results.coverage(area="stack").p_d.percent == 100.0
         assert not results.coverage(area="ram").p_d.defined
+
+    def test_canonical_sort_is_execution_order_independent(self):
+        import dataclasses
+
+        from repro.experiments.results import canonical_key
+
+        results = ResultSet(
+            dataclasses.replace(record, error_name=f"S{index}")
+            for index, record in enumerate(self._populated().records)
+        )
+        shuffled = ResultSet(list(reversed(results.records)))
+        assert shuffled.sorted() == results.sorted()
+        assert [canonical_key(r) for r in results.sorted().records] == sorted(
+            canonical_key(r) for r in results.records
+        )
+
+    def test_equality_compares_records(self):
+        assert self._populated() == self._populated()
+        assert ResultSet() != self._populated()

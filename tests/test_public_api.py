@@ -55,6 +55,7 @@ MODULES = [
     "repro.experiments.testcases",
     "repro.experiments.results",
     "repro.experiments.campaign",
+    "repro.experiments.parallel",
     "repro.experiments.tables",
     "repro.experiments.propagation",
     "repro.experiments.persistence",
