@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-tables bench-full e1 e2 reference examples clean
+.PHONY: install test lint coverage regen-golden bench bench-tables bench-full e1 e2 reference examples clean
+
+# Coverage floor for the instrumented packages (ratchet: raise as
+# coverage improves, never lower).
+COV_FLOOR ?= 85
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +28,25 @@ lint:
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.analysis
+	@$(MAKE) --no-print-directory coverage
+
+# Ratcheted coverage gate over the assertion engines and the
+# observability layer; skipped when pytest-cov is not installed
+# (pip install -e .[test]).
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest -q tests/core tests/obs \
+			--cov=repro.core --cov=repro.obs \
+			--cov-report=term-missing:skip-covered \
+			--cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "pytest-cov not installed; skipping coverage gate (pip install -e .[test])"; \
+	fi
+
+# Regenerate the committed golden arrestment trace.  The file is a
+# regression oracle: review the diff like any behavioural change.
+regen-golden:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.golden tests/data/golden_arrestment.jsonl
 
 # Campaign-engine throughput (tiny scale) + schema check of the emitted
 # BENCH_campaign.json.  Scale up via e.g. BENCH_ARGS="--signals mscnt,i --cases 3".

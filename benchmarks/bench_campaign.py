@@ -6,13 +6,27 @@ record-for-record identical, and writes ``BENCH_campaign.json``::
 
     {
       "benchmark": "campaign",
-      "schema_version": 1,
+      "schema_version": 2,
       "scale": {"versions": [...], "errors": N, "cases": N, "runs": N},
       "serial":   {"runs": N, "seconds": S, "runs_per_sec": R},
       "parallel": {"workers": W, "runs": N, "seconds": S, "runs_per_sec": R},
       "speedup": X,
-      "equivalent": true
+      "equivalent": true,
+      "tracing": {
+        "off":       {"runs": N, "seconds": S, "runs_per_sec": R},
+        "null_sink": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "overhead_pct": X,
+        "null_sink_overhead_pct": Y
+      }
     }
+
+The tracing section guards the observability layer's hot-path budget:
+``off`` repeats the serial slice with tracing disabled (publishers hold
+``tracer=None``, so the entire cost is one predicate check), and
+``overhead_pct`` compares it against the earlier ``serial`` measurement
+of the *same* configuration — the disabled-tracing overhead, which must
+stay within noise (< 2%).  ``null_sink`` runs the slice with an enabled
+bus discarding every event, pricing event construction itself.
 
 Usage::
 
@@ -38,7 +52,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _THROUGHPUT_KEYS = {"runs": int, "seconds": float, "runs_per_sec": float}
 
@@ -76,6 +90,22 @@ def validate_bench_json(data: dict) -> None:
         raise ValueError("speedup must be a number")
     if data.get("equivalent") is not True:
         raise ValueError("equivalent must be true (parallel != serial results)")
+    tracing = data.get("tracing")
+    if not isinstance(tracing, dict):
+        raise ValueError("missing or non-object section 'tracing'")
+    for name in ("off", "null_sink"):
+        sub = tracing.get(name)
+        if not isinstance(sub, dict):
+            raise ValueError(f"missing or non-object section tracing.{name}")
+        for key, kind in _THROUGHPUT_KEYS.items():
+            accepted = (int, float) if kind is float else kind
+            if isinstance(sub.get(key), bool) or not isinstance(sub.get(key), accepted):
+                raise ValueError(f"tracing.{name}.{key} should be {kind.__name__}")
+    for key in ("overhead_pct", "null_sink_overhead_pct"):
+        if isinstance(tracing.get(key), bool) or not isinstance(
+            tracing.get(key), (int, float)
+        ):
+            raise ValueError(f"tracing.{key} must be a number")
 
 
 def _timed(config: CampaignConfig, error_filter):
@@ -85,7 +115,26 @@ def _timed(config: CampaignConfig, error_filter):
     return results, seconds
 
 
+def _timed_traced(config: CampaignConfig, error_filter, tracer, metrics):
+    from repro.experiments.parallel import enumerate_e1_specs, execute_specs
+
+    specs = enumerate_e1_specs(config, error_filter)
+    start = time.perf_counter()
+    results = execute_specs(specs, trace=tracer, metrics=metrics)
+    return results, time.perf_counter() - start
+
+
+def _throughput(runs: int, seconds: float) -> dict:
+    return {
+        "runs": runs,
+        "seconds": round(seconds, 3),
+        "runs_per_sec": round(runs / seconds, 3) if seconds else 0.0,
+    }
+
+
 def run_benchmark(signals, cases: int, workers: int) -> dict:
+    from repro.obs import MetricsRegistry, NullSink, TraceBus
+
     versions = ("All",)
     error_filter = lambda e: e.signal in signals  # noqa: E731
     serial_cfg = CampaignConfig(cases_all=cases, versions=versions, workers=1)
@@ -94,7 +143,24 @@ def run_benchmark(signals, cases: int, workers: int) -> dict:
     serial_results, serial_s = _timed(serial_cfg, error_filter)
     parallel_results, parallel_s = _timed(parallel_cfg, error_filter)
 
+    # Disabled-tracing overhead: re-run the serial slice (still no
+    # tracer), then with an enabled bus discarding into a NullSink.
+    # Best-of-2 per configuration keeps the comparison under the run-to-
+    # run noise of a seconds-scale workload.
+    off_s = null_s = float("inf")
+    for _ in range(2):
+        off_results, seconds = _timed_traced(serial_cfg, error_filter, None, None)
+        off_s = min(off_s, seconds)
+        null_results, seconds = _timed_traced(
+            serial_cfg, error_filter, TraceBus([NullSink()]), MetricsRegistry()
+        )
+        null_s = min(null_s, seconds)
+    assert off_results.records == serial_results.records == null_results.records
+
     runs = len(serial_results)
+    serial_rps = runs / serial_s if serial_s else 0.0
+    off_rps = runs / off_s if off_s else 0.0
+    null_rps = runs / null_s if null_s else 0.0
     return {
         "benchmark": "campaign",
         "schema_version": SCHEMA_VERSION,
@@ -117,6 +183,18 @@ def run_benchmark(signals, cases: int, workers: int) -> dict:
         },
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
         "equivalent": serial_results.records == parallel_results.records,
+        "tracing": {
+            "off": _throughput(runs, off_s),
+            "null_sink": _throughput(runs, null_s),
+            "overhead_pct": (
+                round((serial_rps - off_rps) / serial_rps * 100.0, 2)
+                if serial_rps
+                else 0.0
+            ),
+            "null_sink_overhead_pct": (
+                round((off_rps - null_rps) / off_rps * 100.0, 2) if off_rps else 0.0
+            ),
+        },
     }
 
 
@@ -163,10 +241,17 @@ def main(argv=None) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")
+    tracing = data["tracing"]
     print(
         f"{data['scale']['runs']} runs: serial {data['serial']['runs_per_sec']}/s, "
         f"parallel[{data['parallel']['workers']}] {data['parallel']['runs_per_sec']}/s "
         f"(speedup {data['speedup']}x, equivalent={data['equivalent']}) -> {args.out}"
+    )
+    print(
+        f"tracing: disabled overhead {tracing['overhead_pct']}% "
+        f"(off {tracing['off']['runs_per_sec']}/s), "
+        f"null-sink overhead {tracing['null_sink_overhead_pct']}% "
+        f"({tracing['null_sink']['runs_per_sec']}/s)"
     )
     return 0
 

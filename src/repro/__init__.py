@@ -13,7 +13,9 @@ The package splits into:
 * :mod:`repro.injection`, :mod:`repro.experiments` — the fault-injection
   machinery and the campaign harness regenerating the paper's tables;
 * :mod:`repro.analysis` — a static linter for assertion configurations,
-  instrumentation plans and coverage holes (``python -m repro.analysis``).
+  instrumentation plans and coverage holes (``python -m repro.analysis``);
+* :mod:`repro.obs` — observability: structured trace events, metrics,
+  sinks, trace/CSV reconciliation and the golden-trace recorder.
 """
 
 from repro.core import (

@@ -60,18 +60,37 @@ class DetectionLog:
     The log keeps every event plus O(1) access to the statistics the
     evaluation needs: whether anything was detected and the time of the
     first detection.
+
+    ``tracer`` optionally names a :class:`repro.obs.TraceBus`; every
+    recorded detection is then also published as a structured
+    ``monitor/detection`` trace event.  The attribute is ``None`` by
+    default, so tracing disabled costs one predicate check per
+    *violation* (the pass path never reaches the log).
     """
 
-    __slots__ = ("events", "_first_time")
+    __slots__ = ("events", "_first_time", "tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.events: List[DetectionEvent] = []
         self._first_time: Optional[float] = None
+        self.tracer = tracer
 
     def record(self, event: DetectionEvent) -> None:
         if self._first_time is None:
             self._first_time = event.time
         self.events.append(event)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "monitor",
+                "detection",
+                time_ms=event.time,
+                signal=event.signal,
+                monitor=event.monitor_id,
+                value=event.value,
+                previous=event.previous,
+                failed_tests=list(event.result.failed_tests),
+            )
 
     @property
     def detected(self) -> bool:
@@ -245,6 +264,18 @@ class SignalMonitor:
         )
         if self.recovery is not None:
             recovered = self.recovery.recover(value, self._prev, assertion.params)
+            tracer = self.log.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "recovery",
+                    "recovery",
+                    time_ms=time,
+                    signal=self.name,
+                    monitor=self.monitor_id,
+                    strategy=type(self.recovery).__name__,
+                    rejected=value,
+                    replacement=recovered,
+                )
             self._prev = recovered
             return recovered
         if self._reference_observed:

@@ -6,8 +6,10 @@ Usage::
 
     python -m repro.experiments e1 [--cases-all N] [--cases-ea N] [--signal S]
                                    [--workers N] [--checkpoint CSV] [--resume]
+                                   [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments e2 [--cases N] [--workers N]
                                    [--checkpoint CSV] [--resume]
+                                   [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments reference
     python -m repro.experiments table6
 
@@ -18,15 +20,21 @@ monitored signal (a quick partial campaign); with ``--load`` it filters
 the loaded records the same way.  ``--workers`` fans the campaign out
 over a process pool, and ``--checkpoint``/``--resume`` stream completed
 runs to an append-only CSV so an interrupted campaign picks up where it
-left off.
+left off.  ``--trace`` streams the structured event trace (detections,
+injections, run lifecycle) to a JSONL file; a campaign always ends with
+a metrics summary, and ``--metrics-out`` additionally writes the full
+metrics snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+
+from repro.obs.metrics import MetricsRegistry
 
 from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
 from repro.experiments.analysis import (
@@ -78,6 +86,31 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip runs already recorded in the --checkpoint file",
     )
+    parser.add_argument(
+        "--trace",
+        default=os.environ.get("REPRO_TRACE") or None,
+        metavar="JSONL",
+        help="stream structured trace events to this JSONL file "
+        "(default: $REPRO_TRACE or off)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="JSON",
+        help="write the campaign metrics snapshot to this JSON file",
+    )
+
+
+def _print_metrics(registry: MetricsRegistry, out_path) -> None:
+    """The campaign-end metrics summary (and optional JSON snapshot)."""
+    print("\nCampaign metrics:")
+    for line in registry.render().splitlines():
+        print(f"  {line}")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, default=repr)
+            handle.write("\n")
+        print(f"metrics snapshot written to {out_path}")
 
 
 def _progress(done: int, total: int) -> None:
@@ -90,10 +123,13 @@ def _progress(done: int, total: int) -> None:
 
 def _cmd_e1(args: argparse.Namespace) -> int:
     versions = tuple(args.versions.split(",")) if args.versions else None
+    metrics = MetricsRegistry()
     config = CampaignConfig(
         cases_all=args.cases_all,
         cases_per_ea=args.cases_ea,
         workers=args.workers,
+        trace_path=args.trace,
+        metrics=metrics,
         **({"versions": versions} if versions else {}),
     )
     error_filter = None
@@ -121,6 +157,9 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         if args.save:
             save_results(results, args.save)
             print(f"saved run records to {args.save}\n")
+        if args.trace:
+            print(f"trace events written to {args.trace}\n")
+        _print_metrics(metrics, args.metrics_out)
     shown = versions if versions else None
     print("Table 7. Error detection probabilities (%)")
     print(render_table7(results, shown) if shown else render_table7(results))
@@ -131,7 +170,13 @@ def _cmd_e1(args: argparse.Namespace) -> int:
 
 
 def _cmd_e2(args: argparse.Namespace) -> int:
-    config = CampaignConfig(cases_e2=args.cases, workers=args.workers)
+    metrics = MetricsRegistry()
+    config = CampaignConfig(
+        cases_e2=args.cases,
+        workers=args.workers,
+        trace_path=args.trace,
+        metrics=metrics,
+    )
     if args.load:
         results = load_results(args.load)
         print(f"loaded {len(results)} runs from {args.load}\n")
@@ -147,6 +192,9 @@ def _cmd_e2(args: argparse.Namespace) -> int:
         if args.save:
             save_results(results, args.save)
             print(f"saved run records to {args.save}\n")
+        if args.trace:
+            print(f"trace events written to {args.trace}\n")
+        _print_metrics(metrics, args.metrics_out)
     print("Table 9. Results for error set E2")
     print(render_table9(results))
     return 0

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.arrestor.system import RunConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.experiments.parallel import (
     enumerate_e1_specs,
     enumerate_e2_specs,
@@ -59,6 +60,12 @@ class CampaignConfig:
     #: Wall-clock limit per run (seconds); a run exceeding it is
     #: classified as wedged instead of hanging its worker.  None = no limit.
     run_timeout_s: Optional[float] = None
+    #: Structured-trace destination (JSONL, one event per line); None =
+    #: tracing disabled.  Also settable via ``REPRO_TRACE``.
+    trace_path: Optional[Union[str, Path]] = None
+    #: Metrics registry the campaign updates in place (counters, latency
+    #: histograms, runs/sec); None = no metrics.
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         for name in ("cases_all", "cases_per_ea", "cases_e2"):
@@ -80,8 +87,9 @@ class CampaignConfig:
         everywhere) as the baseline; ``REPRO_CASES_ALL``,
         ``REPRO_CASES_EA`` and ``REPRO_CASES_E2`` override individual
         sizes on top of whichever baseline applies.  ``REPRO_WORKERS``
-        sets the process-pool width and ``REPRO_RUN_TIMEOUT`` the
-        per-run wall-clock limit in seconds.
+        sets the process-pool width, ``REPRO_RUN_TIMEOUT`` the per-run
+        wall-clock limit in seconds, and ``REPRO_TRACE`` a JSONL file
+        the structured trace streams to.
         """
         full = os.environ.get("REPRO_FULL") == "1"
 
@@ -111,6 +119,7 @@ class CampaignConfig:
             cases_e2=_env_int("REPRO_CASES_E2", 25 if full else 3),
             workers=_env_int("REPRO_WORKERS", 1),
             run_timeout_s=_env_float("REPRO_RUN_TIMEOUT"),
+            trace_path=os.environ.get("REPRO_TRACE") or None,
         )
 
 
@@ -146,6 +155,8 @@ def run_e1_campaign(
         resume=resume,
         progress=progress,
         timeout_s=config.run_timeout_s,
+        trace=config.trace_path,
+        metrics=config.metrics,
     )
 
 
@@ -171,6 +182,8 @@ def run_e2_campaign(
         resume=resume,
         progress=progress,
         timeout_s=config.run_timeout_s,
+        trace=config.trace_path,
+        metrics=config.metrics,
     )
 
 
@@ -184,17 +197,32 @@ def run_reference_grid(
     record must show no detection and no failure for the experimental
     set-up to be valid.  When *config* is given, its ``run_config`` and
     injection period are honoured so the precondition is checked on the
-    *same* system configuration the injected runs will use.
+    *same* system configuration the injected runs will use — and its
+    ``trace_path``/``metrics`` stream the reference runs' events too.
     """
+    tracer = None
+    sink = None
     if config is not None:
+        if config.trace_path is not None:
+            from repro.obs.bus import TraceBus
+            from repro.obs.sinks import JSONLSink
+
+            sink = JSONLSink(config.trace_path, mode="w")
+            tracer = TraceBus([sink])
         controller = CampaignController(
             injection_period_ms=config.injection_period_ms,
             run_config=config.run_config,
+            tracer=tracer,
+            metrics=config.metrics,
         )
     else:
         controller = CampaignController()
     records = []
-    for version in versions:
-        for case in make_test_cases():
-            records.append(controller.run_reference(case, version))
+    try:
+        for version in versions:
+            for case in make_test_cases():
+                records.append(controller.run_reference(case, version))
+    finally:
+        if sink is not None:
+            sink.close()
     return records

@@ -16,6 +16,13 @@ a crash loses everything.  This module turns a campaign into
    **checkpoint** so an interrupted campaign resumes by skipping the
    specs already on disk.
 
+Observability.  With a trace destination and/or a metrics registry
+(``execute_specs(trace=..., metrics=...)``), the engine publishes run
+lifecycle events and campaign metrics through :mod:`repro.obs`.  Workers
+write per-chunk trace part files the dispatcher merges at checkpoint
+time and return additive metrics snapshots, so both artifacts survive
+the process pool — and chunk retries — without duplication.
+
 Equivalence guarantee.  The final :class:`ResultSet` is assembled in
 spec-enumeration order from a key-indexed map, so a parallel campaign —
 and a resumed one — yields record-for-record the same result set as the
@@ -30,6 +37,7 @@ import concurrent.futures
 import dataclasses
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -41,6 +49,9 @@ from repro.experiments.results import ResultSet, RunRecord, canonical_key, flatt
 from repro.experiments.testcases import make_test_cases, select_spread
 from repro.injection.errors import ErrorSpec, build_e1_error_set, build_e2_error_set
 from repro.injection.fic import CampaignController
+from repro.obs.bus import TraceBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JSONLSink
 
 __all__ = [
     "RunSpec",
@@ -207,10 +218,20 @@ def _execute_one(
     spec: RunSpec,
     run_config: Optional[RunConfig],
     timeout_s: Optional[float],
+    tracer: Optional[TraceBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunRecord:
-    """Execute one spec on a freshly booted system (reboot-per-run)."""
+    """Execute one spec on a freshly booted system (reboot-per-run).
+
+    A timed-out run still yields exactly one record — the synthetic
+    wedged record — which flows into the checkpoint and trace like any
+    other, plus a ``run-timeout`` trace event marking the abort.
+    """
     controller = CampaignController(
-        injection_period_ms=spec.injection_period_ms, run_config=run_config
+        injection_period_ms=spec.injection_period_ms,
+        run_config=run_config,
+        tracer=tracer,
+        metrics=metrics,
     )
     error = spec.error_spec()
     case = spec.test_case()
@@ -224,10 +245,27 @@ def _execute_one(
     return flatten_record(record)
 
 
-def _run_chunk(payload) -> List[RunRecord]:
-    """Worker entry point: execute a chunk of specs, return their records."""
-    specs, run_config, timeout_s = payload
-    return [_execute_one(spec, run_config, timeout_s) for spec in specs]
+def _run_chunk(payload) -> Tuple[List[RunRecord], Optional[dict]]:
+    """Worker entry point: execute a chunk of specs, return their records.
+
+    With tracing on, the chunk's events go to a private part file the
+    dispatcher merges on completion (a retry rewrites the part file from
+    scratch, so duplicates cannot survive).  With metrics on, a fresh
+    per-chunk registry travels back as an additive snapshot.
+    """
+    specs, run_config, timeout_s, trace_part, metrics_enabled = payload
+    registry = MetricsRegistry() if metrics_enabled else None
+    sink = JSONLSink(trace_part, mode="w") if trace_part is not None else None
+    tracer = TraceBus([sink]) if sink is not None else None
+    try:
+        records = [
+            _execute_one(spec, run_config, timeout_s, tracer, registry)
+            for spec in specs
+        ]
+    finally:
+        if sink is not None:
+            sink.close()
+    return records, registry.snapshot() if registry is not None else None
 
 
 # -- the engine -------------------------------------------------------------
@@ -292,6 +330,8 @@ def execute_specs(
     timeout_s: Optional[float] = None,
     chunk_size: Optional[int] = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    trace: Optional[Union[str, Path, TraceBus]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ResultSet:
     """Execute *specs*, serially or on a process pool; return the results.
 
@@ -300,6 +340,13 @@ def execute_specs(
     to ``workers=1``.  With *checkpoint* set, completed records are
     appended to that CSV as they arrive; with *resume* additionally set,
     specs whose records are already in the file are not re-run.
+
+    *trace* is either a JSONL file path (one event per line; appended to
+    on resume, otherwise rewritten) or an already-wired
+    :class:`~repro.obs.TraceBus` — the latter only for in-process serial
+    execution, since a live bus cannot cross the process-pool boundary.
+    *metrics* is a :class:`~repro.obs.MetricsRegistry` the campaign
+    updates in place (worker registries are merged in as chunks finish).
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
@@ -317,8 +364,25 @@ def execute_specs(
 
     total = len(specs)
     done = total - len(pending)
+    restored = done
     if progress is not None and done:
         progress(done, total)
+
+    use_pool = workers > 1 and pending and _multiprocessing_usable()
+    tracer: Optional[TraceBus] = None
+    trace_sink: Optional[JSONLSink] = None
+    trace_path: Optional[Path] = None
+    if isinstance(trace, TraceBus):
+        if use_pool:
+            raise ValueError(
+                "a TraceBus instance cannot cross the process-pool boundary; "
+                "pass a trace file path when workers > 1"
+            )
+        tracer = trace
+    elif trace is not None:
+        trace_path = Path(trace)
+        trace_sink = JSONLSink(trace_path, mode="a" if resume else "w")
+        tracer = TraceBus([trace_sink])
 
     def _complete(chunk_records: Sequence[RunRecord]) -> None:
         nonlocal done
@@ -330,19 +394,56 @@ def execute_specs(
         if progress is not None:
             progress(done, total)
 
-    if workers == 1 or not pending or not _multiprocessing_usable():
-        for spec in pending:
-            _complete([_execute_one(spec, run_config, timeout_s)])
-    else:
-        _run_pool(
-            pending,
-            run_config,
-            min(workers, len(pending)),
-            timeout_s,
-            chunk_size,
-            max_attempts,
-            _complete,
+    start = time.perf_counter()
+    if tracer is not None:
+        tracer.emit(
+            "campaign",
+            "campaign-start",
+            runs=total,
+            pending=len(pending),
+            workers=workers,
         )
+        if restored:
+            tracer.emit("campaign", "resume-restored", count=restored)
+    if metrics is not None and restored:
+        metrics.counter("runs_restored_total").inc(restored)
+
+    try:
+        if not use_pool:
+            for spec in pending:
+                _complete([_execute_one(spec, run_config, timeout_s, tracer, metrics)])
+        else:
+            _run_pool(
+                pending,
+                run_config,
+                min(workers, len(pending)),
+                timeout_s,
+                chunk_size,
+                max_attempts,
+                _complete,
+                tracer=tracer,
+                trace_path=trace_path,
+                trace_sink=trace_sink,
+                metrics=metrics,
+            )
+        elapsed = time.perf_counter() - start
+        executed = done - restored
+        if metrics is not None:
+            metrics.gauge("campaign_seconds").set(round(elapsed, 3))
+            metrics.gauge("campaign_runs_per_sec").set(
+                round(executed / elapsed, 3) if elapsed > 0 else 0.0
+            )
+        if tracer is not None:
+            tracer.emit(
+                "campaign",
+                "campaign-end",
+                runs=total,
+                executed=executed,
+                seconds=round(elapsed, 3),
+            )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
 
     return ResultSet(by_key[spec.key] for spec in specs)
 
@@ -355,12 +456,42 @@ def _run_pool(
     chunk_size: Optional[int],
     max_attempts: int,
     complete: Callable[[Sequence[RunRecord]], None],
+    tracer: Optional[TraceBus] = None,
+    trace_path: Optional[Path] = None,
+    trace_sink: Optional[JSONLSink] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     chunks = _chunked(pending, chunk_size or _default_chunk_size(len(pending), workers))
     attempts = {index: 0 for index in range(len(chunks))}
 
+    def _part_path(index: int) -> Optional[str]:
+        return f"{trace_path}.part{index}" if trace_path is not None else None
+
     def _payload(index: int):
-        return (chunks[index], run_config, timeout_s)
+        return (chunks[index], run_config, timeout_s, _part_path(index), metrics is not None)
+
+    def _note_retry(index: int, exc: BaseException) -> None:
+        if tracer is not None:
+            tracer.emit(
+                "campaign",
+                "chunk-retry",
+                chunk=index,
+                attempt=attempts[index],
+                error=repr(exc),
+            )
+        if metrics is not None:
+            metrics.counter("chunk_retries_total").inc()
+
+    def _merge_chunk_trace(index: int) -> None:
+        """Fold the worker's part file into the main trace (checkpoint time)."""
+        part = _part_path(index)
+        if part is None:
+            return
+        path = Path(part)
+        if path.exists():
+            trace_sink.write_raw(path.read_text(encoding="utf-8"))
+            trace_sink.flush()
+            path.unlink()
 
     executor = _new_executor(workers)
     try:
@@ -375,7 +506,7 @@ def _run_pool(
             for future in finished:
                 index = futures.pop(future)
                 try:
-                    records = future.result()
+                    records, snapshot = future.result()
                 except concurrent.futures.BrokenExecutor as exc:
                     # The pool itself died (a worker was killed): every
                     # outstanding future is void.  Rebuild the pool and
@@ -386,6 +517,7 @@ def _run_pool(
                             f"chunk {index} ({len(chunks[index])} runs) failed "
                             f"{attempts[index]} times; giving up: {exc!r}"
                         ) from exc
+                    _note_retry(index, exc)
                     outstanding = [index] + list(futures.values())
                     executor.shutdown(wait=False)
                     executor = _new_executor(workers)
@@ -401,8 +533,12 @@ def _run_pool(
                             f"chunk {index} ({len(chunks[index])} runs) failed "
                             f"{attempts[index]} times; giving up: {exc!r}"
                         ) from exc
+                    _note_retry(index, exc)
                     futures[executor.submit(_run_chunk, _payload(index))] = index
                 else:
                     complete(records)
+                    _merge_chunk_trace(index)
+                    if metrics is not None and snapshot is not None:
+                        metrics.merge(snapshot)
     finally:
         executor.shutdown(wait=False)

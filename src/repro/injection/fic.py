@@ -8,6 +8,13 @@ failure analysis.  :class:`CampaignController` plays that role for the
 simulated target: it builds a fresh system per run (the evaluation
 reboots between runs), arms the injector, executes the run and packages
 the readouts.
+
+Observability.  Given a ``tracer`` (:class:`repro.obs.TraceBus`) the
+controller emits the run-lifecycle events (``run-start``, ``run-end``,
+``run-timeout``) and wires the bus into the run's detection log and
+injector, so detections, recoveries and bit flips stream out with their
+sim-times.  Given a ``metrics`` registry it maintains the campaign
+counters and the per-monitor detection-latency histograms.
 """
 
 from __future__ import annotations
@@ -62,12 +69,100 @@ class CampaignController:
         injection_period_ms: int = INJECTION_PERIOD_MS,
         injection_start_ms: int = 0,
         run_config: Optional[RunConfig] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.classifier = classifier if classifier is not None else FailureClassifier()
         self.injection_period_ms = injection_period_ms
         self.injection_start_ms = injection_start_ms
         self.run_config = run_config
+        self.tracer = tracer
+        self.metrics = metrics
         self.runs_executed = 0
+
+    # -- observability ------------------------------------------------------
+
+    @staticmethod
+    def _run_id(error: Optional[ErrorSpec], test_case: TestCase, version: str) -> str:
+        from repro.obs.events import run_id_for
+
+        name = error.name if error is not None else "-"
+        return run_id_for(version, name, test_case.mass_kg, test_case.velocity_mps)
+
+    def _emit_run_start(
+        self, error: Optional[ErrorSpec], test_case: TestCase, version: str
+    ) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.run_id = self._run_id(error, test_case, version)
+        tracer.emit(
+            "campaign",
+            "run-start",
+            time_ms=0.0,
+            version=version,
+            error=error.name if error is not None else None,
+            signal=error.signal if error is not None else None,
+            mass_kg=test_case.mass_kg,
+            velocity_mps=test_case.velocity_mps,
+        )
+
+    def _emit_run_end(self, result: RunResult) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.emit(
+            "campaign",
+            "run-end",
+            time_ms=float(result.duration_ms),
+            detected=result.detected,
+            failed=result.failed,
+            wedged=result.wedged,
+            first_detection_ms=result.first_detection_ms,
+            first_injection_ms=result.first_injection_ms,
+            latency_ms=result.detection_latency_ms,
+            detections=result.detection_count,
+            injections=result.injection_count,
+            duration_ms=result.duration_ms,
+        )
+        tracer.run_id = ""
+
+    def _record_metrics(self, result: RunResult, detection_events=()) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.counter("runs_total").inc()
+        if result.detected:
+            metrics.counter("runs_detected_total").inc()
+        if result.failed:
+            metrics.counter("runs_failed_total").inc()
+        if result.wedged:
+            metrics.counter("runs_wedged_total").inc()
+        metrics.counter("injections_total").inc(result.injection_count)
+        metrics.counter("detections_total").inc(result.detection_count)
+        first_injection = result.first_injection_ms
+        if result.detected and (
+            first_injection is None or result.first_detection_ms < first_injection
+        ):
+            # A detection with nothing injected yet: the assertion fired
+            # on the system's own behaviour (the false-alarm measure).
+            metrics.counter("false_alarms_total").inc()
+        latency = result.detection_latency_ms
+        if latency is not None:
+            metrics.histogram("detection_latency_ms").observe(latency)
+        seen = set()
+        for event in detection_events:
+            monitor = str(event.monitor_id)
+            metrics.counter("detections_total", monitor=monitor).inc()
+            if (
+                first_injection is not None
+                and monitor not in seen
+                and event.time >= first_injection
+            ):
+                seen.add(monitor)
+                metrics.histogram(
+                    "detection_latency_ms", monitor=monitor
+                ).observe(event.time - first_injection)
 
     @staticmethod
     def version_eas(version: str) -> Optional[Tuple[str, ...]]:
@@ -87,9 +182,14 @@ class CampaignController:
 
     def run_reference(self, test_case: TestCase, version: str = "All") -> ExperimentRecord:
         """A fault-free reference run (the Section-3.4 precondition check)."""
+        self._emit_run_start(None, test_case, version)
         system = self._build_system(test_case, version)
+        if self.tracer is not None:
+            system.master.detection_log.tracer = self.tracer
         result = system.run()
         self.runs_executed += 1
+        self._emit_run_end(result)
+        self._record_metrics(result, system.master.detection_log.events)
         return ExperimentRecord(error=None, version=version, result=result)
 
     def run_injection(
@@ -99,14 +199,20 @@ class CampaignController:
         version: str = "All",
     ) -> ExperimentRecord:
         """One injected experiment run on a freshly booted system."""
+        self._emit_run_start(error, test_case, version)
         system = self._build_system(test_case, version)
+        if self.tracer is not None:
+            system.master.detection_log.tracer = self.tracer
         injector = TimeTriggeredInjector(
             error,
             period_ms=self.injection_period_ms,
             start_ms=self.injection_start_ms,
+            tracer=self.tracer,
         )
         result = system.run(injector)
         self.runs_executed += 1
+        self._emit_run_end(result)
+        self._record_metrics(result, system.master.detection_log.events)
         return ExperimentRecord(error=error, version=version, result=result)
 
     def timeout_record(
@@ -146,4 +252,19 @@ class CampaignController:
             duration_ms=timeout_ms,
         )
         self.runs_executed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            # The aborted run_injection already emitted run-start; this
+            # is the run's terminal event.
+            tracer.run_id = self._run_id(error, test_case, version)
+            tracer.emit(
+                "campaign",
+                "run-timeout",
+                time_ms=float(timeout_ms),
+                version=version,
+                error=error.name if error is not None else None,
+                timeout_ms=timeout_ms,
+            )
+            tracer.run_id = ""
+        self._record_metrics(result)
         return ExperimentRecord(error=error, version=version, result=result)

@@ -19,6 +19,13 @@ Two further fault models extend the paper's (which notes bit-flips model
 
 All three share the one-method ``tick(now_ms, memory)`` protocol the
 target system calls each millisecond.
+
+Observability.  Each injector carries an optional ``tracer``
+(:class:`repro.obs.TraceBus`); when set, every performed injection is
+published as an ``injection/injection`` trace event.  The attribute
+defaults to ``None`` and is tested only on ticks that actually inject,
+so tracing disabled costs one predicate check per injection — nothing on
+the every-millisecond fast path.
 """
 
 from __future__ import annotations
@@ -39,16 +46,39 @@ __all__ = [
 INJECTION_PERIOD_MS = 20
 
 
+def _trace_injection(injector, now_ms: int, model: str) -> None:
+    """Publish one ``injection`` event for *injector* (tracer known set)."""
+    error = injector.error
+    injector.tracer.emit(
+        "injection",
+        "injection",
+        time_ms=now_ms,
+        error=error.name,
+        address=error.address,
+        bit=error.bit,
+        model=model,
+        count=injector.injections,
+    )
+
+
 class TimeTriggeredInjector:
     """Periodically flips one (address, bit) pair in the target memory."""
 
-    __slots__ = ("error", "period_ms", "start_ms", "injections", "first_injection_ms")
+    __slots__ = (
+        "error",
+        "period_ms",
+        "start_ms",
+        "injections",
+        "first_injection_ms",
+        "tracer",
+    )
 
     def __init__(
         self,
         error: ErrorSpec,
         period_ms: int = INJECTION_PERIOD_MS,
         start_ms: int = 0,
+        tracer=None,
     ) -> None:
         if period_ms <= 0:
             raise ValueError(f"period_ms must be positive, got {period_ms}")
@@ -59,6 +89,7 @@ class TimeTriggeredInjector:
         self.start_ms = start_ms
         self.injections = 0
         self.first_injection_ms: Optional[int] = None
+        self.tracer = tracer
 
     def tick(self, now_ms: int, memory: MemoryMap) -> bool:
         """Called every millisecond; injects when the trigger time is due."""
@@ -68,6 +99,8 @@ class TimeTriggeredInjector:
         self.injections += 1
         if self.first_injection_ms is None:
             self.first_injection_ms = now_ms
+        if self.tracer is not None:
+            _trace_injection(self, now_ms, "time-triggered")
         return True
 
     def reset(self) -> None:
@@ -79,15 +112,16 @@ class TimeTriggeredInjector:
 class TransientInjector:
     """A single bit-flip at one instant (transient-upset fault model)."""
 
-    __slots__ = ("error", "at_ms", "injections", "first_injection_ms")
+    __slots__ = ("error", "at_ms", "injections", "first_injection_ms", "tracer")
 
-    def __init__(self, error: ErrorSpec, at_ms: int = 0) -> None:
+    def __init__(self, error: ErrorSpec, at_ms: int = 0, tracer=None) -> None:
         if at_ms < 0:
             raise ValueError(f"at_ms must be non-negative, got {at_ms}")
         self.error = error
         self.at_ms = at_ms
         self.injections = 0
         self.first_injection_ms: Optional[int] = None
+        self.tracer = tracer
 
     def tick(self, now_ms: int, memory: MemoryMap) -> bool:
         if now_ms != self.at_ms or self.injections:
@@ -95,6 +129,8 @@ class TransientInjector:
         memory.data[self.error.address] ^= 1 << self.error.bit
         self.injections = 1
         self.first_injection_ms = now_ms
+        if self.tracer is not None:
+            _trace_injection(self, now_ms, "transient")
         return True
 
     def reset(self) -> None:
@@ -117,9 +153,16 @@ class StuckAtInjector:
         "start_ms",
         "injections",
         "first_injection_ms",
+        "tracer",
     )
 
-    def __init__(self, error: ErrorSpec, stuck_value: int = 1, start_ms: int = 0) -> None:
+    def __init__(
+        self,
+        error: ErrorSpec,
+        stuck_value: int = 1,
+        start_ms: int = 0,
+        tracer=None,
+    ) -> None:
         if stuck_value not in (0, 1):
             raise ValueError(f"stuck_value must be 0 or 1, got {stuck_value}")
         if start_ms < 0:
@@ -129,6 +172,7 @@ class StuckAtInjector:
         self.start_ms = start_ms
         self.injections = 0
         self.first_injection_ms: Optional[int] = None
+        self.tracer = tracer
 
     def tick(self, now_ms: int, memory: MemoryMap) -> bool:
         if now_ms < self.start_ms:
@@ -142,6 +186,8 @@ class StuckAtInjector:
         self.injections += 1
         if self.first_injection_ms is None:
             self.first_injection_ms = now_ms
+        if self.tracer is not None:
+            _trace_injection(self, now_ms, "stuck-at")
         return True
 
     def reset(self) -> None:

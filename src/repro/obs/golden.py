@@ -1,0 +1,119 @@
+"""Golden-trace recorder: a byte-stable reference arrestment trace.
+
+Runs one fault-free arrestment on the grid-midpoint test case and
+records it as a structured trace — run lifecycle plus a periodic
+``monitor``/``signal-sample`` event for every :class:`TargetSystem`
+signal-trace sample.  The output is fully deterministic (sim-time only,
+no wall clock, sorted JSON keys), so the committed copy at
+``tests/data/golden_arrestment.jsonl`` doubles as a regression oracle:
+any change to the control loop, the signal map or the event schema
+shows up as a byte diff.
+
+Regenerate deliberately with ``make regen-golden`` (or ``python -m
+repro.obs.golden tests/data/golden_arrestment.jsonl``) and review the
+diff like any other behavioural change.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.obs.bus import TraceBus
+from repro.obs.events import TraceEvent, run_id_for
+from repro.obs.sinks import JSONLSink, RingBufferSink
+
+__all__ = ["GOLDEN_CASE", "GOLDEN_SAMPLE_PERIOD_MS", "record_golden_trace", "main"]
+
+#: Midpoint of the paper's 5x5 test-case grid (mass 8-20 t, velocity
+#: 40-70 m/s): representative without favouring any grid corner.
+GOLDEN_CASE = TestCase(mass_kg=14000.0, velocity_mps=55.0)
+
+#: Signal sampling period for the golden run; coarse enough to keep the
+#: committed file small, fine enough to cover the whole arrestment.
+GOLDEN_SAMPLE_PERIOD_MS = 250
+
+_SAMPLE_FIELDS = (
+    "mscnt",
+    "ms_slot_nbr",
+    "pulscnt",
+    "i",
+    "set_value",
+    "is_value",
+    "out_value",
+)
+
+
+def record_golden_trace(tracer: Optional[TraceBus] = None) -> List[TraceEvent]:
+    """Run the golden arrestment and publish its trace into *tracer*.
+
+    Returns the event list; with no *tracer*, events are collected in a
+    throwaway ring buffer.  Every emitted value derives from the
+    simulation alone, so two calls produce byte-identical traces.
+    """
+    if tracer is None:
+        tracer = TraceBus([RingBufferSink()])
+    buffer = RingBufferSink()
+    tracer.attach(buffer)
+
+    case = GOLDEN_CASE
+    system = TargetSystem(
+        case, RunConfig(signal_trace_period_ms=GOLDEN_SAMPLE_PERIOD_MS)
+    )
+    tracer.run_id = run_id_for("All", None, case.mass_kg, case.velocity_mps)
+    tracer.emit(
+        "campaign",
+        "run-start",
+        time_ms=0.0,
+        version="All",
+        error=None,
+        signal=None,
+        mass_kg=case.mass_kg,
+        velocity_mps=case.velocity_mps,
+    )
+    result = system.run()
+    for sample in system.signal_trace:
+        now, *values = sample
+        tracer.emit(
+            "monitor",
+            "signal-sample",
+            time_ms=float(now),
+            **dict(zip(_SAMPLE_FIELDS, values)),
+        )
+    summary = result.summary
+    tracer.emit(
+        "campaign",
+        "run-end",
+        time_ms=float(result.duration_ms),
+        detected=result.detected,
+        failed=result.failed,
+        wedged=result.wedged,
+        first_detection_ms=result.first_detection_ms,
+        first_injection_ms=result.first_injection_ms,
+        latency_ms=result.detection_latency_ms,
+        detections=result.detection_count,
+        injections=result.injection_count,
+        duration_ms=result.duration_ms,
+        stop_distance_m=round(summary.stop_distance_m, 6),
+        max_retardation_g=round(summary.max_retardation_g, 6),
+        stopped=summary.stopped,
+    )
+    tracer.run_id = ""
+    return list(buffer)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.golden <path>`` — (re)write the golden trace."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.golden <output.jsonl>", file=sys.stderr)
+        return 2
+    with JSONLSink(args[0], mode="w") as sink:
+        events = record_golden_trace(TraceBus([sink]))
+    print(f"golden trace: {len(events)} events -> {args[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,151 @@ class TestContinuousProperties:
             assert wrapped.holds(value, prev)
 
 
+class TestContinuousFiringProperties:
+    """The ISSUE-3 trio: in-rate never fires, out-of-bounds always fires,
+    wrap-around accepts modular steps."""
+
+    @given(continuous_params(), st.data())
+    @settings(max_examples=300)
+    def test_in_range_in_rate_never_fires(self, params, data):
+        """A legal step (domain + rate conformant) is always accepted."""
+        a = ContinuousAssertion(params)
+        prev = data.draw(st.integers(params.smin, params.smax), label="prev")
+        direction = data.draw(st.sampled_from(["incr", "decr"]), label="direction")
+        if direction == "incr":
+            low, high = max(params.rmin_incr, 1), params.rmax_incr
+            if low > high or prev + low > params.smax:
+                return
+            delta = data.draw(st.integers(low, min(high, params.smax - prev)))
+            value = prev + delta
+        else:
+            low, high = max(params.rmin_decr, 1), params.rmax_decr
+            if low > high or prev - low < params.smin:
+                return
+            delta = data.draw(st.integers(low, min(high, prev - params.smin)))
+            value = prev - delta
+        assert a.holds(value, prev)
+        assert a.check(value, prev).ok
+
+    @given(continuous_params(), _values, st.one_of(st.none(), _values))
+    @settings(max_examples=300)
+    def test_out_of_bounds_always_fires_with_named_test(self, params, value, prev):
+        if params.smin <= value <= params.smax:
+            return
+        result = ContinuousAssertion(params).check(value, prev)
+        assert not result.ok
+        expected = "1" if value > params.smax else "2"
+        assert expected in result.failed_tests
+
+    @given(
+        st.integers(0, 200),     # smin
+        st.integers(20, 500),    # domain span
+        st.integers(1, 15),      # wrap step distance d
+        st.data(),
+    )
+    @settings(max_examples=300)
+    def test_wrap_around_accepts_modular_increase(self, smin, span, d, data):
+        """4b: an increase folding through smax -> smin is a legal step."""
+        smax = smin + span
+        params = ContinuousParams.static_monotonic(
+            smin, smax, rate=d, increasing=True, wrap=True
+        )
+        # Split the step across the edge: prev is `a` below smax, the new
+        # sample lands `d - a` above smin, so the Table-2 wrapped distance
+        # (smax - prev) + (s - smin) is exactly d.
+        a_part = data.draw(st.integers(0, d), label="above-edge part")
+        prev = smax - a_part
+        value = smin + (d - a_part)
+        if not value < prev:  # tiny domains: the fold must still descend
+            return
+        assertion = ContinuousAssertion(params)
+        assert assertion.holds(value, prev)
+        assert assertion.check(value, prev).passed_test == "4b"
+
+    @given(
+        st.integers(0, 200),
+        st.integers(20, 500),
+        st.integers(1, 15),
+        st.data(),
+    )
+    @settings(max_examples=300)
+    def test_wrap_around_accepts_modular_decrease(self, smin, span, d, data):
+        """4a: a decrease folding through smin -> smax is a legal step."""
+        smax = smin + span
+        params = ContinuousParams.static_monotonic(
+            smin, smax, rate=d, increasing=False, wrap=True
+        )
+        below = data.draw(st.integers(0, d), label="below-edge part")
+        prev = smin + below
+        value = smax - (d - below)
+        if not value > prev:
+            return
+        assertion = ContinuousAssertion(params)
+        assert assertion.holds(value, prev)
+        assert assertion.check(value, prev).passed_test == "4a"
+
+    @given(st.integers(0, 100), st.integers(10, 300), st.integers(1, 9))
+    @settings(max_examples=100)
+    def test_wrapping_counter_trajectory_never_fires(self, smin, span, rate):
+        """A modular counter stepping by its exact rate is silent forever."""
+        smax = smin + span
+        params = ContinuousParams.static_monotonic(
+            smin, smax, rate=rate, increasing=True, wrap=True
+        )
+        a = ContinuousAssertion(params)
+        prev = smin
+        for _ in range(3 * (span // rate + 2)):
+            step = prev + rate
+            if step <= smax:
+                value = step
+            else:
+                # fold through the edge: the Table-2 wrapped distance
+                # (smax - prev) + (value - smin) equals the rate exactly
+                value = smin + rate - (smax - prev)
+            assert a.holds(value, prev), (prev, value)
+            prev = value
+
+
+class TestMonitorFiringProperties:
+    """The same trio observed through a SignalMonitor and DetectionLog."""
+
+    @given(st.integers(0, 100), st.integers(10, 300), st.integers(1, 9), st.integers(2, 30))
+    @settings(max_examples=100)
+    def test_in_rate_trajectory_records_no_detection(self, start, span, rate, steps):
+        from repro.core.classes import SignalClass
+        from repro.core.monitor import SignalMonitor
+
+        smax = start + span
+        params = ContinuousParams.static_monotonic(start, smax, rate)
+        monitor = SignalMonitor(
+            "sig", SignalClass.CONTINUOUS_MONOTONIC_STATIC, params, monitor_id="EAx"
+        )
+        value = start
+        for tick in range(steps):
+            if value + rate > smax:
+                break
+            value += rate
+            monitor.test(value, time=float(tick))
+        assert not monitor.log.detected
+        assert monitor.violations == 0
+
+    @given(continuous_params(), _values, st.integers(0, 500))
+    @settings(max_examples=200)
+    def test_out_of_bounds_sample_always_records_detection(self, params, value, t):
+        from repro.core.monitor import SignalMonitor
+        from repro.core.parameters import classify_continuous
+
+        if params.smin <= value <= params.smax:
+            return
+        monitor = SignalMonitor(
+            "sig", classify_continuous(params), params, monitor_id="EAx"
+        )
+        monitor.test(value, time=float(t))
+        assert monitor.log.detected
+        assert monitor.log.first_detection_time == float(t)
+        assert monitor.log.first_detection_by("EAx") == float(t)
+
+
 @st.composite
 def discrete_params(draw):
     domain = draw(st.sets(st.integers(0, 30), min_size=1, max_size=8))

@@ -1,0 +1,87 @@
+"""DetectionLog edge cases: unknown monitors, clearing, tied timestamps."""
+
+from repro.core.assertions import AssertionResult
+from repro.core.monitor import DetectionEvent, DetectionLog
+
+
+def _event(time, monitor_id, signal="i", value=0):
+    return DetectionEvent(
+        signal=signal,
+        time=time,
+        value=value,
+        previous=None,
+        result=AssertionResult(False, ("1",)),
+        monitor_id=monitor_id,
+    )
+
+
+class TestFirstDetectionBy:
+    def test_unknown_monitor_id_returns_none(self):
+        log = DetectionLog()
+        log.record(_event(10.0, "EA1"))
+        assert log.first_detection_by("EA9") is None
+
+    def test_empty_log_returns_none(self):
+        assert DetectionLog().first_detection_by("EA1") is None
+
+    def test_picks_first_event_of_that_monitor_only(self):
+        log = DetectionLog()
+        log.record(_event(5.0, "EA1"))
+        log.record(_event(7.0, "EA2"))
+        log.record(_event(9.0, "EA2"))
+        assert log.first_detection_by("EA2") == 7.0
+        assert log.first_detection_by("EA1") == 5.0
+
+
+class TestClear:
+    def test_clear_after_iteration_resets_everything(self):
+        log = DetectionLog()
+        log.record(_event(3.0, "EA1"))
+        log.record(_event(4.0, "EA2"))
+        seen = [event.time for event in log]  # iterate, then clear
+        assert seen == [3.0, 4.0]
+
+        log.clear()
+        assert len(log) == 0
+        assert list(log) == []
+        assert not log.detected
+        assert log.first_detection_time is None
+        assert log.first_detection_by("EA1") is None
+
+    def test_log_is_reusable_after_clear(self):
+        log = DetectionLog()
+        log.record(_event(3.0, "EA1"))
+        log.clear()
+        log.record(_event(8.0, "EA2"))
+        assert log.detected
+        assert log.first_detection_time == 8.0
+        assert log.first_detection_by("EA2") == 8.0
+
+    def test_iterator_taken_before_clear_does_not_resurrect_events(self):
+        log = DetectionLog()
+        log.record(_event(1.0, "EA1"))
+        iterator = iter(log)
+        log.clear()
+        assert list(iterator) == []  # events list was cleared in place
+
+
+class TestSameTimeDetections:
+    def test_two_monitors_firing_at_the_same_sim_time(self):
+        log = DetectionLog()
+        log.record(_event(12.0, "EA3"))
+        log.record(_event(12.0, "EA5"))
+
+        # global statistics: one first-detection time, insertion order kept
+        assert log.first_detection_time == 12.0
+        assert [event.monitor_id for event in log] == ["EA3", "EA5"]
+        # per-monitor attribution is preserved despite the tie
+        assert log.first_detection_by("EA3") == 12.0
+        assert log.first_detection_by("EA5") == 12.0
+        assert len(log) == 2
+
+    def test_same_monitor_twice_at_same_time_keeps_both_events(self):
+        log = DetectionLog()
+        log.record(_event(20.0, "EA1", signal="i"))
+        log.record(_event(20.0, "EA1", signal="mscnt"))
+        assert len(log) == 2
+        assert log.first_detection_by("EA1") == 20.0

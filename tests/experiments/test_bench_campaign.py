@@ -20,12 +20,18 @@ def _load_bench_module():
 
 VALID = {
     "benchmark": "campaign",
-    "schema_version": 1,
+    "schema_version": 2,
     "scale": {"versions": ["All"], "errors": 16, "cases": 1, "runs": 16},
     "serial": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
     "parallel": {"workers": 2, "runs": 16, "seconds": 1.0, "runs_per_sec": 16.0},
     "speedup": 2.0,
     "equivalent": True,
+    "tracing": {
+        "off": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
+        "null_sink": {"runs": 16, "seconds": 2.1, "runs_per_sec": 7.6},
+        "overhead_pct": 0.5,
+        "null_sink_overhead_pct": 5.0,
+    },
 }
 
 
@@ -37,12 +43,18 @@ class TestSchemaValidation:
         "mutation, match",
         [
             ({"benchmark": "other"}, "benchmark"),
-            ({"schema_version": 2}, "schema_version"),
+            ({"schema_version": 1}, "schema_version"),
             ({"scale": {"versions": "All"}}, "versions"),
             ({"serial": {}}, "serial"),
             ({"parallel": {"runs": 16, "seconds": 1.0, "runs_per_sec": 16.0}}, "workers"),
             ({"speedup": "fast"}, "speedup"),
             ({"equivalent": False}, "equivalent"),
+            ({"tracing": None}, "tracing"),
+            ({"tracing": {**VALID["tracing"], "off": {}}}, "tracing.off"),
+            (
+                {"tracing": {**VALID["tracing"], "overhead_pct": "low"}},
+                "overhead_pct",
+            ),
         ],
     )
     def test_broken_documents_rejected(self, mutation, match):

@@ -1,0 +1,150 @@
+"""End-to-end observability acceptance: trace and CSV must agree.
+
+The campaign CSV and the structured trace are produced by different
+code paths; ``reconcile_trace`` returning an empty discrepancy list is
+the acceptance criterion for the observability layer — checked here on
+the CLI path, the serial engine path and the process-pool path.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.campaign import CampaignConfig
+from repro.experiments.parallel import enumerate_e1_specs, execute_specs
+from repro.experiments.persistence import load_results
+from repro.obs import (
+    MetricsRegistry,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+    read_trace,
+    reconcile_trace,
+)
+
+TINY = CampaignConfig(cases_all=1, versions=("All",))
+
+
+def _tiny_filter(error):
+    return error.signal == "i" and error.signal_bit < 2
+
+
+def _tiny_specs():
+    return enumerate_e1_specs(TINY, _tiny_filter)
+
+
+class TestEngineTracing:
+    def test_serial_trace_reconciles_with_records(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = MetricsRegistry()
+        results = execute_specs(_tiny_specs(), trace=trace, metrics=metrics)
+
+        events = read_trace(trace)  # parseable JSONL, line by line
+        assert reconcile_trace(events, results.records) == []
+        kinds = {e.kind for e in events}
+        assert {"campaign-start", "run-start", "injection", "run-end", "campaign-end"} <= kinds
+        assert metrics.counter("runs_total").value == len(results)
+        assert metrics.gauge("campaign_runs_per_sec").value > 0
+
+    def test_pool_trace_merges_part_files_and_reconciles(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = MetricsRegistry()
+        results = execute_specs(
+            _tiny_specs(), workers=2, chunk_size=1, trace=trace, metrics=metrics
+        )
+        assert not list(tmp_path.glob("trace.jsonl.part*"))  # merged + removed
+        events = read_trace(trace)
+        assert reconcile_trace(events, results.records) == []
+        # per-chunk worker metrics were merged back into the dispatcher's registry
+        assert metrics.counter("runs_total").value == len(results)
+
+    def test_pool_and_serial_traces_cover_same_runs(self, tmp_path):
+        serial_trace = tmp_path / "serial.jsonl"
+        pool_trace = tmp_path / "pool.jsonl"
+        execute_specs(_tiny_specs(), trace=serial_trace)
+        execute_specs(_tiny_specs(), workers=2, chunk_size=1, trace=pool_trace)
+
+        def run_events(path):
+            by_run = {}
+            for event in read_trace(path):
+                if event.run_id:
+                    by_run.setdefault(event.run_id, []).append(
+                        (event.kind, event.time_ms)
+                    )
+            return by_run
+
+        assert run_events(serial_trace) == run_events(pool_trace)
+
+    def test_trace_bus_instance_works_serially(self):
+        buffer = RingBufferSink()
+        results = execute_specs(_tiny_specs()[:1], trace=TraceBus([buffer]))
+        assert reconcile_trace(buffer.events, results.records) == []
+
+    def test_trace_bus_instance_rejected_with_pool(self):
+        with pytest.raises(ValueError, match="process-pool boundary"):
+            execute_specs(_tiny_specs(), workers=2, trace=TraceBus([NullSink()]))
+
+    def test_resume_appends_to_trace_file(self, tmp_path):
+        specs = _tiny_specs()
+        trace = tmp_path / "trace.jsonl"
+        ck = tmp_path / "ck.csv"
+        execute_specs(specs[:1], checkpoint=ck, trace=trace)
+        results = execute_specs(specs, checkpoint=ck, resume=True, trace=trace)
+
+        events = read_trace(trace)
+        assert len([e for e in events if e.kind == "campaign-start"]) == 2
+        assert len([e for e in events if e.kind == "resume-restored"]) == 1
+        # both campaigns' events reconcile against the final record set
+        assert reconcile_trace(events, results.records) == []
+
+
+class TestCliTracing:
+    def test_e1_cli_writes_reconcilable_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        save = tmp_path / "runs.csv"
+        metrics_out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "e1",
+                "--versions", "All",
+                "--cases-all", "1",
+                "--signal", "i",
+                "--save", str(save),
+                "--trace", str(trace),
+                "--metrics-out", str(metrics_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign metrics:" in out
+        assert "runs_total" in out
+
+        records = load_results(save).records
+        events = read_trace(trace)
+        assert events, "trace file must not be empty"
+        assert reconcile_trace(events, records) == []
+
+        detections_in_trace = {
+            e.run_id for e in events if e.kind == "detection"
+        }
+        detected_in_csv = {
+            e.run_id
+            for e in events
+            if e.kind == "run-start"
+        } & detections_in_trace
+        csv_detected = {
+            rid
+            for rid, record in (
+                (
+                    f"{r.version}|{r.error_name}|m{r.mass_kg:g}|v{r.velocity_mps:g}",
+                    r,
+                )
+                for r in records
+            )
+            if record.detected
+        }
+        assert detected_in_csv == csv_detected
+
+        snapshot = json.loads(metrics_out.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["runs_total"] == len(records)

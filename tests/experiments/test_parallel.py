@@ -124,9 +124,9 @@ class TestCheckpointResume:
         executed = []
         real = parallel._execute_one
 
-        def counting(spec, run_config, timeout_s):
+        def counting(spec, run_config, timeout_s, *obs):
             executed.append(spec.key)
-            return real(spec, run_config, timeout_s)
+            return real(spec, run_config, timeout_s, *obs)
 
         monkeypatch.setattr(parallel, "_execute_one", counting)
         resumed = execute_specs(specs, checkpoint=path, resume=True)
@@ -138,7 +138,7 @@ class TestCheckpointResume:
         path = tmp_path / "ck.csv"
         expected = execute_specs(specs, checkpoint=path)
 
-        def exploding(spec, run_config, timeout_s):
+        def exploding(spec, run_config, timeout_s, *obs):
             raise AssertionError(f"spec {spec.key} should not re-run")
 
         monkeypatch.setattr(parallel, "_execute_one", exploding)
@@ -165,6 +165,65 @@ class TestCheckpointResume:
             progress=lambda done, total: seen.append((done, total)),
         )
         assert seen == [(1, 2), (2, 2)]
+
+
+class TestWedgedRunTracing:
+    """A timed-out run must be observable and checkpointed exactly once."""
+
+    def _wedge_first_spec(self, monkeypatch):
+        original = CampaignController.run_injection
+
+        def crawling(self, *args, **kwargs):
+            time.sleep(5.0)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(CampaignController, "run_injection", crawling)
+
+    def test_timeout_emits_trace_event_and_one_checkpoint_record(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import read_trace, run_id_for
+
+        self._wedge_first_spec(monkeypatch)
+        spec = _tiny_specs()[0]
+        trace = tmp_path / "trace.jsonl"
+        ck = tmp_path / "ck.csv"
+        results = execute_specs([spec], checkpoint=ck, timeout_s=0.05, trace=trace)
+        assert results.records[0].wedged
+
+        events = [e for e in read_trace(trace) if e.kind == "run-timeout"]
+        assert len(events) == 1
+        assert events[0].run_id == run_id_for(
+            spec.version, spec.error_name, spec.mass_kg, spec.velocity_mps
+        )
+        assert events[0].data["timeout_ms"] == 50
+
+        checkpointed = load_checkpoint(ck).records
+        assert len(checkpointed) == 1 and checkpointed[0].wedged
+
+    def test_resume_skips_wedged_run_without_duplicates(self, tmp_path, monkeypatch):
+        from repro.obs import read_trace
+
+        self._wedge_first_spec(monkeypatch)
+        spec = _tiny_specs()[0]
+        trace = tmp_path / "trace.jsonl"
+        ck = tmp_path / "ck.csv"
+        first = execute_specs([spec], checkpoint=ck, timeout_s=0.05, trace=trace)
+
+        def exploding(spec, run_config, timeout_s, *obs):
+            raise AssertionError(f"spec {spec.key} should not re-run")
+
+        monkeypatch.setattr(parallel, "_execute_one", exploding)
+        resumed = execute_specs(
+            [spec], checkpoint=ck, resume=True, timeout_s=0.05, trace=trace
+        )
+        assert resumed.records == first.records
+        assert len(load_checkpoint(ck).records) == 1  # still exactly one record
+
+        events = read_trace(trace)  # resume appended to the same file
+        assert len([e for e in events if e.kind == "run-timeout"]) == 1
+        restored = [e for e in events if e.kind == "resume-restored"]
+        assert len(restored) == 1 and restored[0].data["count"] == 1
 
 
 class TestRetry:

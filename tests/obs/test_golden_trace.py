@@ -1,0 +1,69 @@
+"""Golden-trace regression: the committed reference arrestment trace.
+
+``tests/data/golden_arrestment.jsonl`` is a byte-exact recording of one
+fault-free midpoint arrestment.  If the control loop, the signal map or
+the event schema changes behaviour, this test fails with a diff; when
+the change is intended, regenerate with ``make regen-golden`` and commit
+the new file alongside the change.
+"""
+
+from pathlib import Path
+
+from repro.obs import RingBufferSink, TraceBus, read_trace
+from repro.obs.golden import GOLDEN_SAMPLE_PERIOD_MS, main, record_golden_trace
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_arrestment.jsonl"
+
+
+def _render(events) -> str:
+    return "".join(event.to_json() + "\n" for event in events)
+
+
+class TestGoldenTrace:
+    def test_recording_is_byte_stable(self):
+        assert _render(record_golden_trace()) == _render(record_golden_trace())
+
+    def test_matches_committed_golden_file(self):
+        recorded = _render(record_golden_trace())
+        committed = GOLDEN_PATH.read_text(encoding="utf-8")
+        assert recorded == committed, (
+            "golden trace drifted from tests/data/golden_arrestment.jsonl; "
+            "if the behaviour change is intended, run `make regen-golden` "
+            "and commit the updated file"
+        )
+
+    def test_trace_shape(self):
+        events = record_golden_trace()
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "run-start"
+        assert kinds[-1] == "run-end"
+        samples = [e for e in events if e.kind == "signal-sample"]
+        assert len(samples) == len(events) - 2
+        times = [e.time_ms for e in samples]
+        assert times == sorted(times)
+        assert all(t % GOLDEN_SAMPLE_PERIOD_MS == 0 for t in times)
+        # a fault-free run: no detections, a successful stop
+        end = events[-1].data
+        assert end["detected"] is False and end["failed"] is False
+        assert end["stopped"] is True
+
+    def test_seq_is_contiguous(self):
+        events = record_golden_trace()
+        assert [event.seq for event in events] == list(range(len(events)))
+
+    def test_custom_bus_receives_the_trace(self):
+        buffer = RingBufferSink()
+        events = record_golden_trace(TraceBus([buffer]))
+        assert buffer.events == events
+
+
+class TestGoldenCli:
+    def test_main_writes_parseable_identical_trace(self, tmp_path, capsys):
+        out = tmp_path / "golden.jsonl"
+        assert main([str(out)]) == 0
+        assert "golden trace:" in capsys.readouterr().out
+        assert _render(read_trace(out)) == _render(record_golden_trace())
+
+    def test_main_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

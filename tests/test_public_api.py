@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.injection",
     "repro.experiments",
     "repro.analysis",
+    "repro.obs",
 ]
 
 MODULES = [
@@ -68,6 +69,12 @@ MODULES = [
     "repro.analysis.rules_plan",
     "repro.analysis.rules_coverage",
     "repro.analysis.selfcheck",
+    "repro.obs.events",
+    "repro.obs.bus",
+    "repro.obs.metrics",
+    "repro.obs.sinks",
+    "repro.obs.reconcile",
+    "repro.obs.golden",
 ]
 
 
