@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage regen-golden bench bench-tables bench-full e1 e2 reference examples clean
+.PHONY: install test lint coverage regen-golden bench bench-smoke bench-tables bench-full e1 e2 reference examples clean
 
 # Coverage floor for the instrumented packages (ratchet: raise as
 # coverage improves, never lower).
@@ -15,7 +15,8 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Static checks: ruff + mypy when installed (pip install -e .[lint]),
-# always followed by the repo's own assertion linter on the arrestor plan.
+# always followed by the repo's own assertion linter on every registered
+# target's plan and the cross-target campaign smoke benchmark.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src/repro/; \
@@ -27,8 +28,9 @@ lint:
 	else \
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
-	PYTHONPATH=src $(PYTHON) -m repro.analysis
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --all-targets
 	@$(MAKE) --no-print-directory coverage
+	@$(MAKE) --no-print-directory bench-smoke
 
 # Ratcheted coverage gate over the assertion engines and the
 # observability layer; skipped when pytest-cov is not installed
@@ -53,6 +55,18 @@ regen-golden:
 bench:
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json $(BENCH_ARGS)
 	$(PYTHON) benchmarks/bench_campaign.py --check BENCH_campaign.json
+
+# Tiny single-repeat sweep over every registered target: exercises the
+# serial and parallel engines, the serial/parallel equivalence check and
+# the schema validator per target without the full bench's repeat count.
+bench-smoke:
+	@for target in $$(PYTHONPATH=src $(PYTHON) -c "from repro.targets import target_names; print(' '.join(target_names()))"); do \
+		echo "== bench-smoke: $$target"; \
+		$(PYTHON) benchmarks/bench_campaign.py --target $$target --repeats 1 \
+			--out BENCH_smoke_$$target.json || exit 1; \
+		$(PYTHON) benchmarks/bench_campaign.py --check BENCH_smoke_$$target.json || exit 1; \
+		rm -f BENCH_smoke_$$target.json; \
+	done
 
 # The table/figure regeneration benchmarks (pytest-benchmark suite).
 bench-tables:

@@ -6,8 +6,10 @@ record-for-record identical, and writes ``BENCH_campaign.json``::
 
     {
       "benchmark": "campaign",
-      "schema_version": 2,
-      "scale": {"versions": [...], "errors": N, "cases": N, "runs": N},
+      "schema_version": 3,
+      "repeats": N,
+      "scale": {"target": T, "versions": [...], "errors": N, "cases": N,
+                "runs": N},
       "serial":   {"runs": N, "seconds": S, "runs_per_sec": R},
       "parallel": {"workers": W, "runs": N, "seconds": S, "runs_per_sec": R},
       "speedup": X,
@@ -23,19 +25,27 @@ record-for-record identical, and writes ``BENCH_campaign.json``::
 The tracing section guards the observability layer's hot-path budget:
 ``off`` repeats the serial slice with tracing disabled (publishers hold
 ``tracer=None``, so the entire cost is one predicate check), and
-``overhead_pct`` compares it against the earlier ``serial`` measurement
-of the *same* configuration — the disabled-tracing overhead, which must
-stay within noise (< 2%).  ``null_sink`` runs the slice with an enabled
-bus discarding every event, pricing event construction itself.
+``overhead_pct`` compares it against the ``serial`` measurement of the
+*same* configuration — the disabled-tracing overhead, which must stay
+within noise (< 2%).  ``null_sink`` runs the slice with an enabled bus
+discarding every event, pricing event construction itself.
+
+Every timed configuration is preceded by one untimed warm-up run and
+then measured as the **median of ``--repeats`` (>= 3) timed repeats**;
+single-shot timings of a seconds-scale workload jitter enough that the
+overhead comparison used to come out negative (tracing "faster" than no
+tracing) on a loaded machine.
 
 Usage::
 
-    python benchmarks/bench_campaign.py [--signals S1,S2] [--cases N]
-                                        [--workers N] [--out FILE]
+    python benchmarks/bench_campaign.py [--target NAME] [--signals S1,S2]
+                                        [--cases N] [--workers N]
+                                        [--repeats N] [--out FILE]
     python benchmarks/bench_campaign.py --check FILE    # validate schema
 
 ``make bench`` runs the tiny default scale and then validates the
-emitted file.  Scale up (more signals / ``--cases``) for a meaningful
+emitted file; ``make bench-smoke`` sweeps every registered target at
+``--repeats 1``.  Scale up (more signals / ``--cases``) for a meaningful
 speedup measurement on a multi-core machine; on a single core the
 parallel figure mostly measures pool overhead.
 """
@@ -52,7 +62,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: A cheap, always-detected signal per built-in target (the default slice).
+DEFAULT_SIGNALS = {"arrestor": "mscnt", "tanklevel": "tick"}
 
 _THROUGHPUT_KEYS = {"runs": int, "seconds": float, "runs_per_sec": float}
 
@@ -78,9 +91,14 @@ def validate_bench_json(data: dict) -> None:
         raise ValueError("benchmark field must be 'campaign'")
     if data.get("schema_version") != SCHEMA_VERSION:
         raise ValueError(f"schema_version must be {SCHEMA_VERSION}")
+    repeats = data.get("repeats")
+    if isinstance(repeats, bool) or not isinstance(repeats, int) or repeats < 1:
+        raise ValueError("repeats must be a positive integer")
     scale = data.get("scale")
     if not isinstance(scale, dict) or not isinstance(scale.get("versions"), list):
         raise ValueError("scale must be an object with a versions list")
+    if not isinstance(scale.get("target"), str) or not scale["target"]:
+        raise ValueError("scale.target must be a non-empty string")
     for key in ("errors", "cases", "runs"):
         if not isinstance(scale.get(key), int):
             raise ValueError(f"scale.{key} must be an integer")
@@ -108,20 +126,23 @@ def validate_bench_json(data: dict) -> None:
             raise ValueError(f"tracing.{key} must be a number")
 
 
-def _timed(config: CampaignConfig, error_filter):
-    start = time.perf_counter()
-    results = run_e1_campaign(config, error_filter=error_filter)
-    seconds = time.perf_counter() - start
-    return results, seconds
+def _median(samples) -> float:
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
-def _timed_traced(config: CampaignConfig, error_filter, tracer, metrics):
-    from repro.experiments.parallel import enumerate_e1_specs, execute_specs
-
-    specs = enumerate_e1_specs(config, error_filter)
-    start = time.perf_counter()
-    results = execute_specs(specs, trace=tracer, metrics=metrics)
-    return results, time.perf_counter() - start
+def _measure(run_once, repeats: int):
+    """One warm-up run, then the median wall-clock of *repeats* timed runs."""
+    results = run_once()  # warm-up (untimed)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = run_once()
+        samples.append(time.perf_counter() - start)
+    return results, _median(samples)
 
 
 def _throughput(runs: int, seconds: float) -> dict:
@@ -132,29 +153,42 @@ def _throughput(runs: int, seconds: float) -> dict:
     }
 
 
-def run_benchmark(signals, cases: int, workers: int) -> dict:
+def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
+                  target=None) -> dict:
+    from repro.experiments.parallel import enumerate_e1_specs, execute_specs
     from repro.obs import MetricsRegistry, NullSink, TraceBus
+    from repro.targets.registry import get_target
 
+    resolved = get_target(target)
     versions = ("All",)
     error_filter = lambda e: e.signal in signals  # noqa: E731
-    serial_cfg = CampaignConfig(cases_all=cases, versions=versions, workers=1)
-    parallel_cfg = CampaignConfig(cases_all=cases, versions=versions, workers=workers)
+    serial_cfg = CampaignConfig(
+        cases_all=cases, versions=versions, workers=1, target=resolved.name
+    )
+    parallel_cfg = CampaignConfig(
+        cases_all=cases, versions=versions, workers=workers, target=resolved.name
+    )
 
-    serial_results, serial_s = _timed(serial_cfg, error_filter)
-    parallel_results, parallel_s = _timed(parallel_cfg, error_filter)
+    serial_results, serial_s = _measure(
+        lambda: run_e1_campaign(serial_cfg, error_filter=error_filter), repeats
+    )
+    parallel_results, parallel_s = _measure(
+        lambda: run_e1_campaign(parallel_cfg, error_filter=error_filter), repeats
+    )
 
-    # Disabled-tracing overhead: re-run the serial slice (still no
-    # tracer), then with an enabled bus discarding into a NullSink.
-    # Best-of-2 per configuration keeps the comparison under the run-to-
-    # run noise of a seconds-scale workload.
-    off_s = null_s = float("inf")
-    for _ in range(2):
-        off_results, seconds = _timed_traced(serial_cfg, error_filter, None, None)
-        off_s = min(off_s, seconds)
-        null_results, seconds = _timed_traced(
-            serial_cfg, error_filter, TraceBus([NullSink()]), MetricsRegistry()
-        )
-        null_s = min(null_s, seconds)
+    # Disabled-tracing overhead: the same serial slice through the spec
+    # executor with no tracer, then with an enabled bus discarding into a
+    # NullSink.  Same warm-up + median discipline as above.
+    specs = enumerate_e1_specs(serial_cfg, error_filter)
+    off_results, off_s = _measure(
+        lambda: execute_specs(specs, trace=None, metrics=None), repeats
+    )
+    null_results, null_s = _measure(
+        lambda: execute_specs(
+            specs, trace=TraceBus([NullSink()]), metrics=MetricsRegistry()
+        ),
+        repeats,
+    )
     assert off_results.records == serial_results.records == null_results.records
 
     runs = len(serial_results)
@@ -164,22 +198,18 @@ def run_benchmark(signals, cases: int, workers: int) -> dict:
     return {
         "benchmark": "campaign",
         "schema_version": SCHEMA_VERSION,
+        "repeats": repeats,
         "scale": {
+            "target": resolved.name,
             "versions": list(versions),
             "errors": runs // cases if cases else 0,
             "cases": cases,
             "runs": runs,
         },
-        "serial": {
-            "runs": runs,
-            "seconds": round(serial_s, 3),
-            "runs_per_sec": round(runs / serial_s, 3) if serial_s else 0.0,
-        },
+        "serial": _throughput(runs, serial_s),
         "parallel": {
             "workers": workers,
-            "runs": len(parallel_results),
-            "seconds": round(parallel_s, 3),
-            "runs_per_sec": round(runs / parallel_s, 3) if parallel_s else 0.0,
+            **_throughput(len(parallel_results), parallel_s),
         },
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
         "equivalent": serial_results.records == parallel_results.records,
@@ -201,9 +231,17 @@ def run_benchmark(signals, cases: int, workers: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--target",
+        default=None,
+        metavar="NAME",
+        help="registered workload to benchmark (default: $REPRO_TARGET or "
+        "'arrestor')",
+    )
+    parser.add_argument(
         "--signals",
-        default="mscnt",
-        help="comma-separated monitored signals to inject (16 errors each)",
+        default=None,
+        help="comma-separated monitored signals to inject (16 errors each; "
+        "default: one cheap signal of the selected target)",
     )
     parser.add_argument("--cases", type=int, default=1, metavar="N")
     parser.add_argument(
@@ -213,6 +251,14 @@ def main(argv=None) -> int:
         # (where the figure measures dispatch overhead, not speedup).
         default=max(2, min(4, os.cpu_count() or 1)),
         metavar="N",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed repeats per configuration; the median is reported "
+        "(default: %(default)s)",
     )
     parser.add_argument("--out", default="BENCH_campaign.json", metavar="FILE")
     parser.add_argument(
@@ -234,8 +280,23 @@ def main(argv=None) -> int:
         print(f"{args.check}: schema OK (speedup {data['speedup']}x)")
         return 0
 
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    if args.signals is not None:
+        signals = tuple(args.signals.split(","))
+    else:
+        from repro.targets.registry import get_target
+
+        resolved = get_target(args.target)
+        signals = (
+            DEFAULT_SIGNALS.get(resolved.name, resolved.monitored_signals[0]),
+        )
     data = run_benchmark(
-        signals=tuple(args.signals.split(",")), cases=args.cases, workers=args.workers
+        signals=signals,
+        cases=args.cases,
+        workers=args.workers,
+        repeats=args.repeats,
+        target=args.target,
     )
     validate_bench_json(data)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -243,7 +304,8 @@ def main(argv=None) -> int:
         handle.write("\n")
     tracing = data["tracing"]
     print(
-        f"{data['scale']['runs']} runs: serial {data['serial']['runs_per_sec']}/s, "
+        f"[{data['scale']['target']}] {data['scale']['runs']} runs x "
+        f"{data['repeats']} repeats: serial {data['serial']['runs_per_sec']}/s, "
         f"parallel[{data['parallel']['workers']}] {data['parallel']['runs_per_sec']}/s "
         f"(speedup {data['speedup']}x, equivalent={data['equivalent']}) -> {args.out}"
     )

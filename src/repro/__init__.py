@@ -10,6 +10,9 @@ The package splits into:
 * :mod:`repro.memory`, :mod:`repro.rtos`, :mod:`repro.plant`,
   :mod:`repro.arrestor` — the target system: emulated memory, the slot
   scheduler, the environment simulator and the arresting-system software;
+* :mod:`repro.targets` — the target protocol and scenario registry the
+  harness drives workloads through (the arrestor adapter plus the
+  tank-level reference workload);
 * :mod:`repro.injection`, :mod:`repro.experiments` — the fault-injection
   machinery and the campaign harness regenerating the paper's tables;
 * :mod:`repro.analysis` — a static linter for assertion configurations,
@@ -34,6 +37,13 @@ from repro.core import (
     build_assertion,
     linear_transition_map,
 )
+from repro.targets import (
+    Target,
+    get_target,
+    register_target,
+    target_names,
+    unregister_target,
+)
 
 __version__ = "1.0.0"
 
@@ -50,7 +60,12 @@ __all__ = [
     "ParameterError",
     "SignalClass",
     "SignalMonitor",
+    "Target",
     "build_assertion",
+    "get_target",
     "linear_transition_map",
+    "register_target",
+    "target_names",
+    "unregister_target",
     "__version__",
 ]

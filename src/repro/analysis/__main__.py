@@ -3,13 +3,19 @@
 ::
 
     python -m repro.analysis                         # arrestor self-check
+    python -m repro.analysis --target tanklevel      # a registered target
+    python -m repro.analysis --all-targets           # the whole registry
+    python -m repro.analysis --list-targets          # registered workloads
     python -m repro.analysis --format json           # machine-readable
     python -m repro.analysis --list-rules            # the rule catalogue
     python -m repro.analysis --target pkg.mod:build  # lint your own plan
 
-A ``--target`` names a zero-argument callable as ``module:function``; it
-may return an ``InstrumentationPlan``, a ``(plan, fmeca_entries)`` pair,
-or a mapping with ``"plan"`` and optional ``"fmeca"`` keys.
+A ``--target`` is either a registered workload name (see
+``--list-targets``) whose shipped plan is linted via
+:meth:`~repro.targets.base.Target.lint_target`, or — when it contains a
+``:`` — a zero-argument callable as ``module:function`` that may return
+an ``InstrumentationPlan``, a ``(plan, fmeca_entries)`` pair, or a
+mapping with ``"plan"`` and optional ``"fmeca"`` keys.
 
 Exit status: 0 when no error-severity diagnostics were produced (or with
 ``--strict``, none at all), 1 on findings, 2 on usage errors.
@@ -44,6 +50,15 @@ def _resolve_target(
     if spec is None:
         plan, fmeca = build_default_target()
         return plan, fmeca, DEFAULT_TARGET
+    if ":" not in spec:
+        from repro.targets import get_target
+
+        try:
+            target = get_target(spec)
+        except KeyError as exc:
+            raise UsageError(str(exc.args[0])) from None
+        plan, fmeca = target.lint_target()
+        return plan, tuple(fmeca), f"target {target.name!r}"
     module_name, _, attr = spec.partition(":")
     if not module_name or not attr:
         raise UsageError(f"--target must look like 'module:callable', got {spec!r}")
@@ -112,9 +127,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--target",
-        metavar="MODULE:CALLABLE",
-        help="zero-argument callable returning the plan to analyse "
-        "(default: the arrestor's own instrumentation)",
+        metavar="NAME|MODULE:CALLABLE",
+        help="a registered target name, or a zero-argument callable "
+        "returning the plan to analyse (default: the arrestor's own "
+        "instrumentation)",
+    )
+    parser.add_argument(
+        "--all-targets",
+        action="store_true",
+        help="lint every registered target's shipped plan",
+    )
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="print the registered targets and exit",
     )
     parser.add_argument(
         "--format",
@@ -182,6 +208,28 @@ def _render(report: AnalysisReport, fmt: str, target: str, n_rules: int) -> None
         print(report.format_text())
 
 
+def _run_all_targets(
+    registry: RuleRegistry, options: AnalysisOptions, fmt: str, strict: bool
+) -> int:
+    import json as _json
+
+    from repro.analysis.selfcheck import check_all_targets
+
+    reports = check_all_targets(registry=registry, options=options)
+    if fmt == "json":
+        payload = {name: _json.loads(report.to_json()) for name, report in reports.items()}
+        print(_json.dumps(payload, indent=2))
+    else:
+        for name, report in reports.items():
+            _render(report, fmt, f"target {name!r}", len(registry))
+    passed = (
+        all(r.clean for r in reports.values())
+        if strict
+        else all(r.ok for r in reports.values())
+    )
+    return 0 if passed else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -190,11 +238,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.list_rules:
             _print_rules(registry)
             return 0
+        if args.list_targets:
+            from repro.targets import default_target_name, get_target, target_names
+
+            default = default_target_name()
+            for name in target_names():
+                marker = "  (default)" if name == default else ""
+                print(f"{name:12s} {get_target(name).description}{marker}")
+            return 0
         options = AnalysisOptions(
             critical_rpn=args.rpn_threshold,
             pds_floor=args.pds_floor,
             pem_floor=args.pem_floor,
         )
+        if args.all_targets:
+            if args.target is not None:
+                raise UsageError("--all-targets and --target are mutually exclusive")
+            return _run_all_targets(registry, options, args.format, args.strict)
         plan, fmeca, target = _resolve_target(args.target)
     except (UsageError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,16 +1,17 @@
-"""Self-check: lint the arresting system's own instrumentation.
+"""Self-check: lint the shipped targets' own instrumentation.
 
-The repository ships a full Section-2.3 outcome for the target system —
-:func:`repro.arrestor.instrumentation.build_instrumentation_plan` plus
-its FMECA table.  Linting it is both a regression guard for the arrestor
-configuration and the reference example of a plan the analyser considers
-clean; ``python -m repro.analysis`` runs it by default and ``make lint``
-wires it into CI.
+The repository ships a full Section-2.3 outcome for every registered
+workload — an instrumentation plan plus its FMECA table, exposed through
+:meth:`repro.targets.base.Target.lint_target`.  Linting them is both a
+regression guard for the shipped configurations and the reference
+example of plans the analyser considers clean; ``python -m
+repro.analysis`` runs the arrestor by default, ``--all-targets`` sweeps
+the whole registry, and ``make lint`` wires the sweep into CI.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.process import FmecaEntry, InstrumentationPlan
 
@@ -18,7 +19,7 @@ from repro.analysis.diagnostics import AnalysisOptions, AnalysisReport
 from repro.analysis.engine import analyze_plan
 from repro.analysis.registry import RuleRegistry
 
-__all__ = ["build_default_target", "self_check"]
+__all__ = ["build_default_target", "self_check", "check_all_targets"]
 
 
 def build_default_target() -> Tuple[InstrumentationPlan, Tuple[FmecaEntry, ...]]:
@@ -39,3 +40,22 @@ def self_check(
     """Analyse the arrestor's Table-4 instrumentation; expected clean."""
     plan, fmeca = build_default_target()
     return analyze_plan(plan, fmeca, registry=registry, options=options)
+
+
+def check_all_targets(
+    *,
+    registry: Optional[RuleRegistry] = None,
+    options: Optional[AnalysisOptions] = None,
+) -> Dict[str, AnalysisReport]:
+    """Lint every registered target's shipped plan; all expected clean.
+
+    Returns ``{target name: report}`` in registry order, so CI can both
+    gate on the aggregate and point at the offending workload.
+    """
+    from repro.targets import get_target, target_names
+
+    reports: Dict[str, AnalysisReport] = {}
+    for name in target_names():
+        plan, fmeca = get_target(name).lint_target()
+        reports[name] = analyze_plan(plan, fmeca, registry=registry, options=options)
+    return reports

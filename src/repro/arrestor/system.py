@@ -25,28 +25,15 @@ from repro.arrestor import constants as k
 from repro.arrestor.master import MasterNode
 from repro.arrestor.slave import SlaveNode
 from repro.plant.environment import Environment
-from repro.plant.failure import ArrestmentSummary, FailureClassifier, FailureVerdict
+from repro.plant.failure import FailureClassifier
 from repro.rtos.pins import DigitalPin
 from repro.rtos.watchdog import WatchdogTimer
+from repro.targets.base import RunResult, TestCase
 
 __all__ = ["TestCase", "RunConfig", "RunResult", "TargetSystem"]
 
 #: Simulation step: the 1-ms resolution of the target's time base.
 _DT_S = 0.001
-
-
-@dataclasses.dataclass(frozen=True)
-class TestCase:
-    """One incoming aircraft: mass (kg) and engagement velocity (m/s)."""
-
-    mass_kg: float
-    velocity_mps: float
-
-    def __post_init__(self) -> None:
-        if self.mass_kg <= 0:
-            raise ValueError(f"mass must be positive, got {self.mass_kg}")
-        if self.velocity_mps <= 0:
-            raise ValueError(f"velocity must be positive, got {self.velocity_mps}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,44 +67,6 @@ class RunConfig:
             raise ValueError("watchdog_timeout_ms must be positive when set")
         if self.enabled_eas is not None:
             object.__setattr__(self, "enabled_eas", tuple(self.enabled_eas))
-
-
-@dataclasses.dataclass(frozen=True)
-class RunResult:
-    """Readouts of one experiment run."""
-
-    test_case: TestCase
-    summary: ArrestmentSummary
-    verdict: FailureVerdict
-    detected: bool
-    first_detection_ms: Optional[float]
-    detection_count: int
-    first_injection_ms: Optional[float]
-    injection_count: int
-    wedged: bool
-    duration_ms: int
-    watchdog_fired_ms: Optional[float] = None
-
-    @property
-    def failed(self) -> bool:
-        return self.verdict.failed
-
-    @property
-    def detection_latency_ms(self) -> Optional[float]:
-        """First-injection-to-first-detection latency (Table 8's measure)."""
-        if self.first_detection_ms is None or self.first_injection_ms is None:
-            return None
-        return self.first_detection_ms - self.first_injection_ms
-
-    @property
-    def detected_with_watchdog(self) -> bool:
-        """Detection by the assertions *or* the (optional) watchdog.
-
-        The paper's measures count assertion detections only
-        (:attr:`detected`); this widened measure backs the watchdog
-        ablation.
-        """
-        return self.detected or self.watchdog_fired_ms is not None
 
 
 class TargetSystem:
@@ -169,6 +118,11 @@ class TargetSystem:
         #: OutValue) samples when ``signal_trace_period_ms`` is set.
         self.signal_trace: list = []
 
+    @property
+    def detection_log(self):
+        """The master node's detection log (the target-protocol surface)."""
+        return self.master.detection_log
+
     def run(self, injector=None) -> RunResult:
         """Execute the arrestment; *injector* is ticked every millisecond."""
         master = self.master
@@ -187,12 +141,23 @@ class TargetSystem:
         now = 0
         watchdog = self.watchdog
         trace_period = config.signal_trace_period_ms
+        tx_pending = False
         for now in range(config.observe_ms_max):
             if injector is not None:
                 injector.tick(now, memory)
             slot = master.tick(now)
-            if slot == k.SLOT_COMM:
+            # The link shifts the transmit buffer out during the
+            # millisecond after COMM writes it, so the slave receives the
+            # buffer *as it is at delivery time* — a bit flipped in that
+            # window reaches the slave's drum (the propagation path the
+            # slave-side EA1-S reception guard closes).  The slave only
+            # consumes the set point at its V_REG slot, later in the
+            # cycle, so fault-free behaviour is unchanged.
+            if tx_pending:
                 slave.receive_set_value(comm_tx.get())
+                tx_pending = False
+            if slot == k.SLOT_COMM:
+                tx_pending = True
             slave.tick(now)
             env.advance(_DT_S)
 

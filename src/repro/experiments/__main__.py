@@ -15,9 +15,12 @@ Usage::
 
 ``e1`` regenerates Tables 7 and 8, ``e2`` Table 9, ``reference`` checks
 the fault-free precondition over the full 25-case grid, and ``table6``
-prints the error-set composition.  ``--signal`` restricts E1 to one
-monitored signal (a quick partial campaign); with ``--load`` it filters
-the loaded records the same way.  ``--workers`` fans the campaign out
+prints the error-set composition.  ``--target`` selects the workload
+(default ``$REPRO_TARGET`` or the arrestor; ``--list-targets`` shows the
+registry), accepted both before and after the subcommand.  ``--signal``
+restricts E1 to one monitored signal (a quick partial campaign); with
+``--load`` it filters the loaded records the same way.  ``--workers``
+fans the campaign out
 over a process pool, and ``--checkpoint``/``--resume`` stream completed
 runs to an append-only CSV so an interrupted campaign picks up where it
 left off.  ``--trace`` streams the structured event trace (detections,
@@ -36,7 +39,6 @@ import time
 
 from repro.obs.metrics import MetricsRegistry
 
-from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
 from repro.experiments.analysis import (
     detection_by_bit,
     detection_threshold_bit,
@@ -56,7 +58,7 @@ from repro.experiments.tables import (
     render_table8,
     render_table9,
 )
-from repro.injection.errors import build_e1_error_set
+from repro.targets.registry import default_target_name, get_target, target_names
 
 
 def _default_workers() -> int:
@@ -67,7 +69,30 @@ def _default_workers() -> int:
         return 1
 
 
+def _add_target_option(parser: argparse.ArgumentParser) -> None:
+    # SUPPRESS keeps an unused subcommand option from writing its default
+    # into the namespace, which would clobber a --target given before the
+    # subcommand (the subparser namespace is copied over the parent's).
+    parser.add_argument(
+        "--target",
+        default=argparse.SUPPRESS,
+        metavar="NAME",
+        help="registered workload to run against "
+        "(default: $REPRO_TARGET or 'arrestor'; see --list-targets)",
+    )
+
+
+def _list_targets() -> int:
+    default = default_target_name()
+    for name in target_names():
+        target = get_target(name)
+        marker = "  (default)" if name == default else ""
+        print(f"{name:12s} {target.description}{marker}")
+    return 0
+
+
 def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    _add_target_option(parser)
     parser.add_argument(
         "--workers",
         type=int,
@@ -122,6 +147,7 @@ def _progress(done: int, total: int) -> None:
 
 
 def _cmd_e1(args: argparse.Namespace) -> int:
+    target = get_target(args.target)
     versions = tuple(args.versions.split(",")) if args.versions else None
     metrics = MetricsRegistry()
     config = CampaignConfig(
@@ -130,12 +156,16 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         workers=args.workers,
         trace_path=args.trace,
         metrics=metrics,
+        target=target.name,
         **({"versions": versions} if versions else {}),
     )
     error_filter = None
     if args.signal is not None:
-        if args.signal not in MONITORED_SIGNALS:
-            print(f"unknown signal {args.signal!r}; pick one of {MONITORED_SIGNALS}")
+        if args.signal not in target.monitored_signals:
+            print(
+                f"unknown signal {args.signal!r}; "
+                f"pick one of {tuple(target.monitored_signals)}"
+            )
             return 2
         error_filter = lambda e: e.signal == args.signal  # noqa: E731
     if args.load:
@@ -160,12 +190,13 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         if args.trace:
             print(f"trace events written to {args.trace}\n")
         _print_metrics(metrics, args.metrics_out)
-    shown = versions if versions else None
+    shown = versions if versions else tuple(config.versions)
+    signals = tuple(target.monitored_signals)
     print("Table 7. Error detection probabilities (%)")
-    print(render_table7(results, shown) if shown else render_table7(results))
+    print(render_table7(results, shown, signals=signals))
     print()
     print("Table 8. Error detection latencies (ms)")
-    print(render_table8(results, shown) if shown else render_table8(results))
+    print(render_table8(results, shown, signals=signals))
     return 0
 
 
@@ -176,6 +207,7 @@ def _cmd_e2(args: argparse.Namespace) -> int:
         workers=args.workers,
         trace_path=args.trace,
         metrics=metrics,
+        target=args.target,
     )
     if args.load:
         results = load_results(args.load)
@@ -200,8 +232,8 @@ def _cmd_e2(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_reference(_args: argparse.Namespace) -> int:
-    records = run_reference_grid()
+def _cmd_reference(args: argparse.Namespace) -> int:
+    records = run_reference_grid(target=args.target)
     bad = [r for r in records if r.detected or r.failed]
     print(f"fault-free grid: {len(records)} runs, {len(bad)} anomalies")
     for record in bad:
@@ -246,10 +278,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table6(_args: argparse.Namespace) -> int:
-    errors = build_e1_error_set(MasterMemory())
+def _cmd_table6(args: argparse.Namespace) -> int:
+    target = get_target(args.target)
+    errors = target.e1_error_set()
+    plan, _ = target.lint_target()
+    ea_by_signal = {planned.signal: planned.monitor_id for planned in plan}
     print("Table 6. The distribution of errors in the error set E1.")
-    print(render_table6(errors, cases_per_error=25))
+    print(render_table6(errors, cases_per_error=25, ea_by_signal=ea_by_signal))
     return 0
 
 
@@ -258,7 +293,14 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Fault-injection campaign runner (Hiller, DSN 2000 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    _add_target_option(parser)
+    parser.set_defaults(target=None)
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="list the registered workloads and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p_e1 = sub.add_parser("e1", help="run the E1 experiment (Tables 7 and 8)")
     p_e1.add_argument("--cases-all", type=int, default=3, metavar="N")
@@ -282,6 +324,7 @@ def main(argv=None) -> int:
     p_e2.set_defaults(func=_cmd_e2)
 
     p_ref = sub.add_parser("reference", help="fault-free precondition check")
+    _add_target_option(p_ref)
     p_ref.set_defaults(func=_cmd_reference)
 
     p_rep = sub.add_parser("report", help="render tables/analyses from saved run records")
@@ -289,9 +332,14 @@ def main(argv=None) -> int:
     p_rep.set_defaults(func=_cmd_report)
 
     p_t6 = sub.add_parser("table6", help="print the E1 error-set composition")
+    _add_target_option(p_t6)
     p_t6.set_defaults(func=_cmd_table6)
 
     args = parser.parse_args(argv)
+    if args.list_targets:
+        return _list_targets()
+    if args.command is None:
+        parser.error("a command is required (e1, e2, reference, report, table6)")
     return args.func(args)
 
 

@@ -27,8 +27,8 @@ from repro.experiments.parallel import (
     execute_specs,
 )
 from repro.experiments.results import ResultSet
-from repro.experiments.testcases import make_test_cases
 from repro.injection.fic import CampaignController
+from repro.targets.registry import get_target
 
 __all__ = ["CampaignConfig", "E1_VERSIONS", "run_e1_campaign", "run_e2_campaign", "run_reference_grid"]
 
@@ -51,7 +51,9 @@ class CampaignConfig:
     cases_all: int = 3
     cases_per_ea: int = 1
     cases_e2: int = 3
-    versions: Tuple[str, ...] = E1_VERSIONS
+    #: System versions to run; ``None`` selects the target's full set
+    #: (for the arrestor: :data:`E1_VERSIONS`, the paper's eight builds).
+    versions: Optional[Tuple[str, ...]] = None
     injection_period_ms: int = 20
     e2_seed: int = 2000
     run_config: Optional[RunConfig] = None
@@ -66,12 +68,19 @@ class CampaignConfig:
     #: Metrics registry the campaign updates in place (counters, latency
     #: histograms, runs/sec); None = no metrics.
     metrics: Optional[MetricsRegistry] = None
+    #: Registered workload the campaign runs against; ``None`` resolves
+    #: to the registry default (``$REPRO_TARGET``, else the arrestor).
+    target: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("cases_all", "cases_per_ea", "cases_e2"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be at least 1")
-        unknown = set(self.versions) - set(E1_VERSIONS)
+        resolved = get_target(self.target)
+        object.__setattr__(self, "target", resolved.name)
+        if self.versions is None:
+            object.__setattr__(self, "versions", tuple(resolved.versions))
+        unknown = set(self.versions) - set(resolved.versions)
         if unknown:
             raise ValueError(f"unknown versions: {sorted(unknown)}")
         if self.workers < 1:
@@ -89,7 +98,9 @@ class CampaignConfig:
         sizes on top of whichever baseline applies.  ``REPRO_WORKERS``
         sets the process-pool width, ``REPRO_RUN_TIMEOUT`` the per-run
         wall-clock limit in seconds, and ``REPRO_TRACE`` a JSONL file
-        the structured trace streams to.
+        the structured trace streams to.  ``REPRO_TARGET`` selects the
+        workload (it also applies to configs built without ``from_env``,
+        via the registry default).
         """
         full = os.environ.get("REPRO_FULL") == "1"
 
@@ -190,6 +201,7 @@ def run_e2_campaign(
 def run_reference_grid(
     versions: Tuple[str, ...] = ("All",),
     config: Optional[CampaignConfig] = None,
+    target: Optional[str] = None,
 ) -> List:
     """Fault-free runs over the full 25-case grid (Section 3.4 precondition).
 
@@ -199,9 +211,14 @@ def run_reference_grid(
     injection period are honoured so the precondition is checked on the
     *same* system configuration the injected runs will use — and its
     ``trace_path``/``metrics`` stream the reference runs' events too.
+    *target* (a registered name) overrides the config's workload; the
+    default resolves like every other campaign entry point.
     """
     tracer = None
     sink = None
+    resolved = get_target(
+        target if target is not None else (config.target if config else None)
+    )
     if config is not None:
         if config.trace_path is not None:
             from repro.obs.bus import TraceBus
@@ -214,13 +231,14 @@ def run_reference_grid(
             run_config=config.run_config,
             tracer=tracer,
             metrics=config.metrics,
+            target=resolved,
         )
     else:
-        controller = CampaignController()
+        controller = CampaignController(target=resolved)
     records = []
     try:
         for version in versions:
-            for case in make_test_cases():
+            for case in resolved.test_cases():
                 records.append(controller.run_reference(case, version))
     finally:
         if sink is not None:

@@ -42,13 +42,13 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.arrestor.signals_map import MasterMemory
-from repro.arrestor.system import RunConfig, TestCase
 from repro.experiments.persistence import append_records, load_checkpoint
 from repro.experiments.results import ResultSet, RunRecord, canonical_key, flatten_record
-from repro.experiments.testcases import make_test_cases, select_spread
-from repro.injection.errors import ErrorSpec, build_e1_error_set, build_e2_error_set
+from repro.experiments.testcases import select_spread
+from repro.injection.errors import ErrorSpec
 from repro.injection.fic import CampaignController
+from repro.targets.base import TestCase
+from repro.targets.registry import DEFAULT_TARGET, get_target
 from repro.obs.bus import TraceBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import JSONLSink
@@ -96,6 +96,9 @@ class RunSpec:
     mass_kg: float
     velocity_mps: float
     injection_period_ms: int
+    #: Registered workload the spec runs against; defaults to the
+    #: arrestor so pre-target-layer pickles and call sites stay valid.
+    target: str = DEFAULT_TARGET
 
     @property
     def key(self) -> SpecKey:
@@ -123,6 +126,7 @@ class RunSpec:
         error: ErrorSpec,
         case: TestCase,
         injection_period_ms: int,
+        target: str = DEFAULT_TARGET,
     ) -> "RunSpec":
         return cls(
             experiment=experiment,
@@ -136,6 +140,7 @@ class RunSpec:
             mass_kg=case.mass_kg,
             velocity_mps=case.velocity_mps,
             injection_period_ms=injection_period_ms,
+            target=target,
         )
 
 
@@ -148,10 +153,11 @@ class RunSpec:
 
 def enumerate_e1_specs(config, error_filter: Optional[Callable] = None) -> List[RunSpec]:
     """The E1 grid in serial order: version -> error -> test case."""
-    errors = build_e1_error_set(MasterMemory())
+    target = get_target(getattr(config, "target", None))
+    errors = target.e1_error_set()
     if error_filter is not None:
         errors = [e for e in errors if error_filter(e)]
-    grid = make_test_cases()
+    grid = target.test_cases()
     cases_all = select_spread(grid, config.cases_all)
     cases_ea = select_spread(grid, config.cases_per_ea)
     specs: List[RunSpec] = []
@@ -160,19 +166,29 @@ def enumerate_e1_specs(config, error_filter: Optional[Callable] = None) -> List[
         for error in errors:
             for case in cases:
                 specs.append(
-                    RunSpec.build("e1", version, error, case, config.injection_period_ms)
+                    RunSpec.build(
+                        "e1",
+                        version,
+                        error,
+                        case,
+                        config.injection_period_ms,
+                        target=target.name,
+                    )
                 )
     return specs
 
 
 def enumerate_e2_specs(config, error_filter: Optional[Callable] = None) -> List[RunSpec]:
     """The E2 grid in serial order: error -> test case (All version only)."""
-    errors = build_e2_error_set(MasterMemory(), seed=config.e2_seed)
+    target = get_target(getattr(config, "target", None))
+    errors = target.e2_error_set(seed=config.e2_seed)
     if error_filter is not None:
         errors = [e for e in errors if error_filter(e)]
-    cases = select_spread(make_test_cases(), config.cases_e2)
+    cases = select_spread(target.test_cases(), config.cases_e2)
     return [
-        RunSpec.build("e2", "All", error, case, config.injection_period_ms)
+        RunSpec.build(
+            "e2", "All", error, case, config.injection_period_ms, target=target.name
+        )
         for error in errors
         for case in cases
     ]
@@ -216,7 +232,7 @@ def _wall_clock_limit(seconds: Optional[float]):
 
 def _execute_one(
     spec: RunSpec,
-    run_config: Optional[RunConfig],
+    run_config,
     timeout_s: Optional[float],
     tracer: Optional[TraceBus] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -232,6 +248,7 @@ def _execute_one(
         run_config=run_config,
         tracer=tracer,
         metrics=metrics,
+        target=spec.target,
     )
     error = spec.error_spec()
     case = spec.test_case()
@@ -322,7 +339,7 @@ def _restore(
 
 def execute_specs(
     specs: Sequence[RunSpec],
-    run_config: Optional[RunConfig] = None,
+    run_config=None,
     workers: int = 1,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
@@ -396,12 +413,14 @@ def execute_specs(
 
     start = time.perf_counter()
     if tracer is not None:
+        targets = sorted({spec.target for spec in specs})
         tracer.emit(
             "campaign",
             "campaign-start",
             runs=total,
             pending=len(pending),
             workers=workers,
+            target=targets[0] if len(targets) == 1 else targets,
         )
         if restored:
             tracer.emit("campaign", "resume-restored", count=restored)
@@ -450,7 +469,7 @@ def execute_specs(
 
 def _run_pool(
     pending: Sequence[RunSpec],
-    run_config: Optional[RunConfig],
+    run_config,
     workers: int,
     timeout_s: Optional[float],
     chunk_size: Optional[int],

@@ -13,7 +13,7 @@ Each function returns the table as a string in the layout of the paper:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.arrestor.instrumentation import EA_BY_SIGNAL, EA_IDS
 from repro.arrestor.signals_map import MONITORED_SIGNALS
@@ -33,12 +33,27 @@ def _layout(rows: List[List[str]]) -> str:
     return "\n".join(_format_row(row, widths) for row in rows)
 
 
-def render_table6(errors: Sequence[ErrorSpec], cases_per_error: int) -> str:
-    """Table 6: the distribution of errors in the error set E1."""
+def render_table6(
+    errors: Sequence[ErrorSpec],
+    cases_per_error: int,
+    ea_by_signal: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Table 6: the distribution of errors in the error set E1.
+
+    *ea_by_signal* maps each signal to the assertion label shown in the
+    second column; the default is the arrestor's mapping.  Signals appear
+    in error-set order, so any target's E1 set renders correctly.
+    """
+    if ea_by_signal is None:
+        ea_by_signal = EA_BY_SIGNAL
     rows = [["Signal", "Executable assertion", "# errors (ns)", "Error numbers", "# injections"]]
-    by_signal = {signal: [e for e in errors if e.signal == signal] for signal in MONITORED_SIGNALS}
+    signals: List[str] = []
+    for error in errors:
+        if error.signal is not None and error.signal not in signals:
+            signals.append(error.signal)
+    by_signal = {signal: [e for e in errors if e.signal == signal] for signal in signals}
     total = 0
-    for signal in MONITORED_SIGNALS:
+    for signal in signals:
         errs = by_signal[signal]
         if not errs:
             continue
@@ -46,7 +61,7 @@ def render_table6(errors: Sequence[ErrorSpec], cases_per_error: int) -> str:
         rows.append(
             [
                 signal,
-                EA_BY_SIGNAL[signal],
+                ea_by_signal.get(signal, "-"),
                 str(len(errs)),
                 numbers,
                 str(len(errs) * cases_per_error),
@@ -60,16 +75,23 @@ def render_table6(errors: Sequence[ErrorSpec], cases_per_error: int) -> str:
 _MEASURES = ("P(d)", "P(d|fail)", "P(d|no fail)")
 
 
-def render_table7(results: ResultSet, versions: Sequence[str] = E1_VERSIONS) -> str:
+def render_table7(
+    results: ResultSet,
+    versions: Sequence[str] = E1_VERSIONS,
+    signals: Optional[Sequence[str]] = None,
+) -> str:
     """Table 7: error detection probabilities (%) with 95 % intervals.
 
     Empty cells mean no detection was registered for that combination,
     and — per the paper's caption — probabilities of exactly 100.0 print
-    without a confidence interval.
+    without a confidence interval.  *signals* selects the row axis
+    (default: the arrestor's seven monitored signals).
     """
+    if signals is None:
+        signals = MONITORED_SIGNALS
     header = ["Signal", "Measure"] + list(versions)
     rows = [header]
-    for signal in list(MONITORED_SIGNALS) + ["Total"]:
+    for signal in list(signals) + ["Total"]:
         sig_filter = None if signal == "Total" else signal
         for measure in _MEASURES:
             row = [signal if measure == "P(d)" else "", measure]
@@ -93,11 +115,17 @@ def render_table7(results: ResultSet, versions: Sequence[str] = E1_VERSIONS) -> 
 _LATENCY_ROWS = ("Min", "Average", "Max")
 
 
-def render_table8(results: ResultSet, versions: Sequence[str] = E1_VERSIONS) -> str:
+def render_table8(
+    results: ResultSet,
+    versions: Sequence[str] = E1_VERSIONS,
+    signals: Optional[Sequence[str]] = None,
+) -> str:
     """Table 8: error detection latencies for all detected errors (ms)."""
+    if signals is None:
+        signals = MONITORED_SIGNALS
     header = ["Signal", "Latency"] + list(versions)
     rows = [header]
-    for signal in list(MONITORED_SIGNALS) + ["Total"]:
+    for signal in list(signals) + ["Total"]:
         sig_filter = None if signal == "Total" else signal
         for which in _LATENCY_ROWS:
             row = [signal if which == "Min" else "", which]

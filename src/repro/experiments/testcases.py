@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.arrestor.system import TestCase
+from repro.targets.base import TestCase
 
 __all__ = [
     "VELOCITY_RANGE_MPS",

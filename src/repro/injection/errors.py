@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.arrestor.signals_map import MONITORED_SIGNALS
 
 __all__ = [
     "ErrorSpec",
@@ -65,17 +65,23 @@ class ErrorSpec:
             raise ValueError(f"area must be 'ram' or 'stack', got {self.area!r}")
 
 
-def build_e1_error_set(memory: MasterMemory) -> List[ErrorSpec]:
-    """The 112 errors of E1: every bit position of every monitored signal.
+def build_e1_error_set(
+    memory, signals: Optional[Sequence[str]] = None
+) -> List[ErrorSpec]:
+    """The E1 error set: every bit position of every monitored signal.
 
-    Error numbering follows Table 6: S1..S16 target SetValue, S17..S32
-    IsValue, S33..S48 i, S49..S64 pulscnt, S65..S80 ms_slot_nbr,
-    S81..S96 mscnt, S97..S112 OutValue.  Within a signal, errors go from
-    bit 0 (LSB) to bit 15 (MSB).
+    *memory* is any target memory exposing ``signal_variable(name)``;
+    *signals* defaults to the arrestor's seven monitored signals, giving
+    the paper's 112 errors.  Error numbering follows Table 6: S1..S16
+    target SetValue, S17..S32 IsValue, S33..S48 i, S49..S64 pulscnt,
+    S65..S80 ms_slot_nbr, S81..S96 mscnt, S97..S112 OutValue.  Within a
+    signal, errors go from bit 0 (LSB) to bit 15 (MSB).
     """
+    if signals is None:
+        signals = MONITORED_SIGNALS
     errors: List[ErrorSpec] = []
     number = 1
-    for signal in MONITORED_SIGNALS:
+    for signal in signals:
         variable = memory.signal_variable(signal)
         for bit in range(E1_ERRORS_PER_SIGNAL):
             address = variable.address + (bit >> 3)
@@ -94,17 +100,18 @@ def build_e1_error_set(memory: MasterMemory) -> List[ErrorSpec]:
 
 
 def build_e2_error_set(
-    memory: MasterMemory,
+    memory,
     seed: int = 2000,
     n_ram: int = E2_RAM_ERRORS,
     n_stack: int = E2_STACK_ERRORS,
 ) -> List[ErrorSpec]:
-    """The 200 errors of E2: uniform random (address, bit), with replacement.
+    """The E2 error set: uniform random (address, bit), with replacement.
 
-    Locations are drawn uniformly over the whole 417-byte RAM area and the
-    whole 1008-byte stack area respectively; bit positions uniformly over
-    0..7.  Sampling is with replacement, as in the paper, so duplicate
-    errors can (and occasionally do) occur.
+    Locations are drawn uniformly over the target memory's whole ``ram``
+    region (the paper's 417-byte application RAM) and its whole ``stack``
+    region (1008 bytes) respectively; bit positions uniformly over 0..7.
+    Sampling is with replacement, as in the paper, so duplicate errors
+    can (and occasionally do) occur.
     """
     if n_ram < 0 or n_stack < 0:
         raise ValueError("error counts must be non-negative")

@@ -22,10 +22,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-from repro.arrestor.system import RunConfig, RunResult, TargetSystem, TestCase
 from repro.injection.errors import ErrorSpec
 from repro.injection.injector import INJECTION_PERIOD_MS, TimeTriggeredInjector
-from repro.plant.failure import ArrestmentSummary, FailureClassifier, FailureVerdict
+from repro.plant.failure import FailureVerdict
+from repro.targets.base import RunResult, TestCase
+from repro.targets.registry import get_target
 
 __all__ = ["ExperimentRecord", "CampaignController", "TIMEOUT_VIOLATION"]
 
@@ -57,22 +58,30 @@ class ExperimentRecord:
 class CampaignController:
     """Executes experiment runs against freshly booted target systems.
 
-    ``version`` names the system build under test: ``"EA1"``..``"EA7"``
-    for the single-assertion versions, ``"All"`` for the version with all
-    seven mechanisms active — the eight versions of Section 3.4 — or any
-    explicit tuple of EA ids.
+    ``version`` names the system build under test: one of the target's
+    single-assertion versions (the arrestor's ``"EA1"``..``"EA7"``) or
+    ``"All"`` for the build with every mechanism active — the versions
+    of Section 3.4.
+
+    ``target`` selects the workload: a registered name, a
+    :class:`~repro.targets.base.Target` instance, or ``None`` for the
+    registry default (``$REPRO_TARGET``, else the arrestor).
+    ``classifier`` and ``run_config`` are forwarded to the target's
+    ``boot``; ``None`` selects the target's own defaults.
     """
 
     def __init__(
         self,
-        classifier: Optional[FailureClassifier] = None,
+        classifier=None,
         injection_period_ms: int = INJECTION_PERIOD_MS,
         injection_start_ms: int = 0,
-        run_config: Optional[RunConfig] = None,
+        run_config=None,
         tracer=None,
         metrics=None,
+        target=None,
     ) -> None:
-        self.classifier = classifier if classifier is not None else FailureClassifier()
+        self.target = get_target(target)
+        self.classifier = classifier
         self.injection_period_ms = injection_period_ms
         self.injection_start_ms = injection_start_ms
         self.run_config = run_config
@@ -105,6 +114,7 @@ class CampaignController:
             signal=error.signal if error is not None else None,
             mass_kg=test_case.mass_kg,
             velocity_mps=test_case.velocity_mps,
+            target=self.target.name,
         )
 
     def _emit_run_end(self, result: RunResult) -> None:
@@ -166,18 +176,17 @@ class CampaignController:
 
     @staticmethod
     def version_eas(version: str) -> Optional[Tuple[str, ...]]:
-        """EA ids enabled in a named system version (None = all seven)."""
+        """EA ids enabled in a named system version (None = all)."""
         if version == "All":
             return None
         return (version,)
 
-    def _build_system(self, test_case: TestCase, version: str) -> TargetSystem:
-        enabled = self.version_eas(version)
-        if self.run_config is not None:
-            config = dataclasses.replace(self.run_config, enabled_eas=enabled)
-            return TargetSystem(test_case, config=config, classifier=self.classifier)
-        return TargetSystem(
-            test_case, classifier=self.classifier, enabled_eas=enabled
+    def _build_system(self, test_case: TestCase, version: str):
+        return self.target.boot(
+            test_case,
+            version,
+            run_config=self.run_config,
+            classifier=self.classifier,
         )
 
     def run_reference(self, test_case: TestCase, version: str = "All") -> ExperimentRecord:
@@ -185,11 +194,11 @@ class CampaignController:
         self._emit_run_start(None, test_case, version)
         system = self._build_system(test_case, version)
         if self.tracer is not None:
-            system.master.detection_log.tracer = self.tracer
+            system.detection_log.tracer = self.tracer
         result = system.run()
         self.runs_executed += 1
         self._emit_run_end(result)
-        self._record_metrics(result, system.master.detection_log.events)
+        self._record_metrics(result, system.detection_log.events)
         return ExperimentRecord(error=None, version=version, result=result)
 
     def run_injection(
@@ -202,7 +211,7 @@ class CampaignController:
         self._emit_run_start(error, test_case, version)
         system = self._build_system(test_case, version)
         if self.tracer is not None:
-            system.master.detection_log.tracer = self.tracer
+            system.detection_log.tracer = self.tracer
         injector = TimeTriggeredInjector(
             error,
             period_ms=self.injection_period_ms,
@@ -212,7 +221,7 @@ class CampaignController:
         result = system.run(injector)
         self.runs_executed += 1
         self._emit_run_end(result)
-        self._record_metrics(result, system.master.detection_log.events)
+        self._record_metrics(result, system.detection_log.events)
         return ExperimentRecord(error=error, version=version, result=result)
 
     def timeout_record(
@@ -227,18 +236,10 @@ class CampaignController:
         The campaign engine gives each run a wall-clock timeout so a
         wedged simulation cannot hang a worker (the FIC3 equivalently
         aborts runs whose target stops responding).  Such a run counts as
-        wedged and failed — the aircraft was never confirmed stopped —
+        wedged and failed — the service was never confirmed delivered —
         with no detection and no latency.
         """
-        summary = ArrestmentSummary(
-            mass_kg=test_case.mass_kg,
-            engagement_velocity_mps=test_case.velocity_mps,
-            max_retardation_g=0.0,
-            max_cable_force_n=0.0,
-            stop_distance_m=0.0,
-            stopped=False,
-            duration_s=timeout_ms / 1000.0,
-        )
+        summary = self.target.timeout_summary(test_case, timeout_ms / 1000.0)
         result = RunResult(
             test_case=test_case,
             summary=summary,
@@ -264,6 +265,7 @@ class CampaignController:
                 version=version,
                 error=error.name if error is not None else None,
                 timeout_ms=timeout_ms,
+                target=self.target.name,
             )
             tracer.run_id = ""
         self._record_metrics(result)

@@ -8,6 +8,7 @@ functions over a ``bytearray``: they sit on the 1-ms simulation hot path.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional
 
 from repro.memory.layout import MemoryRegion, Symbol
@@ -28,6 +29,8 @@ class MemoryMap:
             if a.name in {r.name for r in regions if r is not a}:
                 raise ValueError(f"duplicate region name {a.name!r}")
         self.regions: Dict[str, MemoryRegion] = {r.name: r for r in regions}
+        self._ordered = sorted(regions, key=lambda r: r.start)
+        self._starts = [r.start for r in self._ordered]
         self._size = max(r.end for r in regions)
         self.data = bytearray(self._size)
 
@@ -39,11 +42,18 @@ class MemoryMap:
         return self._size
 
     def region_of(self, address: int) -> Optional[MemoryRegion]:
-        """The region containing *address*, or ``None`` for unmapped holes."""
-        for region in self.regions.values():
-            if region.contains(address):
-                return region
-        return None
+        """The region containing *address*, or ``None`` for unmapped holes.
+
+        Regions are kept sorted by start address, so the lookup is a
+        binary search: the candidate is the last region starting at or
+        below *address*, and a miss (a hole between regions, or an
+        address below/above all of them) returns ``None``.
+        """
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        region = self._ordered[index]
+        return region if region.contains(address) else None
 
     def check_mapped(self, address: int, size: int = 1) -> None:
         """Raise when ``[address, address + size)`` leaves mapped memory."""

@@ -23,6 +23,11 @@ campaign     resume-restored   checkpointed runs were skipped on resume
 campaign     chunk-retry       a worker chunk failed and was resubmitted
 campaign     campaign-end      the engine assembled the final result set
 ===========  ================  ==============================================
+
+``run-start`` and ``run-timeout`` events carry a ``target`` data field —
+the registry name of the workload the run executes on (e.g.
+``"arrestor"``, ``"tanklevel"``) — so multi-target trace files remain
+attributable run by run.
 """
 
 from __future__ import annotations

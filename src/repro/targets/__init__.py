@@ -1,0 +1,40 @@
+"""Target layer: the protocol and registry the harness drives workloads by.
+
+``repro.targets`` separates *what the paper's method needs from a
+system* (memory map, monitored signals, versions, one-run execution,
+failure classification, an instrumentation plan) from *which system it
+is*.  The campaign grid, the parallel engine, the static linter and the
+CLIs all resolve their workload through :func:`get_target`; two
+reference workloads ship built in:
+
+* ``arrestor`` — the paper's aircraft-arrestment system (default);
+* ``tanklevel`` — a two-node tank-level controller exercising the
+  Section-2 generality claim on an independent plant.
+
+See ``docs/architecture.md`` ("The target layer") for how to add one.
+"""
+
+from repro.targets.base import BootedSystem, RunResult, Target, TestCase
+from repro.targets.registry import (
+    DEFAULT_TARGET,
+    TARGET_ENV_VAR,
+    default_target_name,
+    get_target,
+    register_target,
+    target_names,
+    unregister_target,
+)
+
+__all__ = [
+    "BootedSystem",
+    "RunResult",
+    "Target",
+    "TestCase",
+    "DEFAULT_TARGET",
+    "TARGET_ENV_VAR",
+    "default_target_name",
+    "get_target",
+    "register_target",
+    "target_names",
+    "unregister_target",
+]

@@ -1,0 +1,225 @@
+"""The target protocol: what a workload must provide to the harness.
+
+The paper's central generality claim (Section 2) is that the signal
+classification scheme and the generic executable assertions are
+*target-independent* — only the parameter sets, the memory layout and
+the failure semantics are system-specific.  This module is that seam in
+code: a :class:`Target` bundles everything the campaign grid, the
+parallel engine, the static linter and the CLIs need to know about one
+workload, so those layers never import a concrete system.
+
+A target provides:
+
+* a **memory** object (``.map`` is the injectable
+  :class:`~repro.memory.memmap.MemoryMap`, ``.signal_variable(name)``
+  resolves a monitored signal to its :class:`~repro.memory.memmap.Variable`)
+  — the surface the E1/E2 error-set builders and the injectors use;
+* the **monitored signals** and the **system versions** (one per
+  assertion mechanism plus the aggregate ``"All"`` build of Section 3.4);
+* ``boot()`` — a freshly built system for one run, exposing
+  ``run(injector) -> RunResult`` and a ``detection_log``;
+* a **failure classification** (via the booted system) and a
+  ``timeout_summary`` for runs the engine aborts on wall clock;
+* ``lint_target()`` — the Section-2.3 instrumentation plan plus FMECA
+  table, so ``python -m repro.analysis`` can lint any registered target.
+
+:class:`TestCase` and :class:`RunResult` live here because every layer
+above the targets shares them; :mod:`repro.arrestor.system` re-exports
+both for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, List, Optional, Tuple
+
+from repro.plant.failure import FailureVerdict
+
+__all__ = ["TestCase", "RunResult", "BootedSystem", "Target", "validate_target"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TestCase:
+    """One point of the experimental grid, as two positive magnitudes.
+
+    For the arrestor the axes are literal — aircraft mass (kg) and
+    engagement velocity (m/s).  Other targets reinterpret the same grid
+    (the tank-level workload reads them as outflow demand and initial
+    level); keeping a single test-case type lets checkpoints, run keys
+    and result CSVs stay target-agnostic.
+    """
+
+    mass_kg: float
+    velocity_mps: float
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError(f"mass must be positive, got {self.mass_kg}")
+        if self.velocity_mps <= 0:
+            raise ValueError(f"velocity must be positive, got {self.velocity_mps}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Readouts of one experiment run (target-agnostic).
+
+    ``summary`` is the target's own physics readout (e.g. an
+    :class:`~repro.plant.failure.ArrestmentSummary`); everything the
+    experiment harness aggregates is in the shared fields.
+    """
+
+    test_case: TestCase
+    summary: Any
+    verdict: FailureVerdict
+    detected: bool
+    first_detection_ms: Optional[float]
+    detection_count: int
+    first_injection_ms: Optional[float]
+    injection_count: int
+    wedged: bool
+    duration_ms: int
+    watchdog_fired_ms: Optional[float] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict.failed
+
+    @property
+    def detection_latency_ms(self) -> Optional[float]:
+        """First-injection-to-first-detection latency (Table 8's measure)."""
+        if self.first_detection_ms is None or self.first_injection_ms is None:
+            return None
+        return self.first_detection_ms - self.first_injection_ms
+
+    @property
+    def detected_with_watchdog(self) -> bool:
+        """Detection by the assertions *or* the (optional) watchdog.
+
+        The paper's measures count assertion detections only
+        (:attr:`detected`); this widened measure backs the watchdog
+        ablation.
+        """
+        return self.detected or self.watchdog_fired_ms is not None
+
+
+class BootedSystem(abc.ABC):
+    """What :meth:`Target.boot` returns: one system, ready for one run.
+
+    Concrete systems need not inherit from this class — it documents the
+    duck-typed surface the campaign controller uses (``register`` is via
+    :func:`Target.boot`, not isinstance checks).
+    """
+
+    @abc.abstractmethod
+    def run(self, injector=None) -> RunResult:
+        """Execute the run; *injector* is ticked every millisecond."""
+
+    @property
+    @abc.abstractmethod
+    def detection_log(self):
+        """The run's :class:`~repro.core.monitor.DetectionLog`."""
+
+
+class Target(abc.ABC):
+    """One workload the fault-injection harness can drive end to end."""
+
+    #: Registry name (``--target`` value); concrete classes override.
+    name: str = ""
+    #: One-line description shown by ``--list-targets``.
+    description: str = ""
+
+    # -- static surface ------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def versions(self) -> Tuple[str, ...]:
+        """The system versions of the E1-style experiment.
+
+        One version per assertion mechanism plus the aggregate ``"All"``
+        build (the Section-3.4 convention every target follows)."""
+
+    @property
+    @abc.abstractmethod
+    def monitored_signals(self) -> Tuple[str, ...]:
+        """Monitored signal names, in error-set numbering order."""
+
+    @abc.abstractmethod
+    def memory(self) -> Any:
+        """A fresh memory object: ``.map`` plus ``.signal_variable(name)``."""
+
+    @abc.abstractmethod
+    def test_cases(self) -> List[TestCase]:
+        """The full experimental grid (the paper's 25 cases)."""
+
+    def version_eas(self, version: str) -> Optional[Tuple[str, ...]]:
+        """Mechanism ids enabled in a named version (``None`` = all)."""
+        if version == "All":
+            return None
+        return (version,)
+
+    # -- error sets ----------------------------------------------------------
+
+    def e1_error_set(self):
+        """E1: one bit-flip error per bit of each monitored signal."""
+        from repro.injection.errors import build_e1_error_set
+
+        return build_e1_error_set(self.memory(), signals=self.monitored_signals)
+
+    def e2_error_set(self, seed: int = 2000):
+        """E2: random (address, bit) errors over the RAM and stack areas."""
+        from repro.injection.errors import build_e2_error_set
+
+        return build_e2_error_set(self.memory(), seed=seed)
+
+    # -- execution -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def boot(
+        self,
+        test_case: TestCase,
+        version: str = "All",
+        run_config: Any = None,
+        classifier: Any = None,
+    ) -> Any:
+        """A freshly built system for one run (reboot-per-run semantics).
+
+        The returned object satisfies the :class:`BootedSystem` surface.
+        *run_config* and *classifier* are target-specific and optional;
+        ``None`` selects the target's defaults.
+        """
+
+    @abc.abstractmethod
+    def timeout_summary(self, test_case: TestCase, duration_s: float) -> Any:
+        """The physics summary of a run aborted on wall clock.
+
+        Used by the engine to synthesise the wedged record of a timed-out
+        run; the verdict itself is supplied by the controller."""
+
+    # -- static analysis -----------------------------------------------------
+
+    @abc.abstractmethod
+    def lint_target(self):
+        """``(InstrumentationPlan, fmeca_entries)`` for the static linter."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def validate_target(target: Target) -> Target:
+    """Sanity-check a target's static surface at registration time."""
+    if not target.name:
+        raise ValueError(f"{type(target).__name__} must set a non-empty name")
+    versions = tuple(target.versions)
+    if "All" not in versions:
+        raise ValueError(
+            f"target {target.name!r} must offer the aggregate 'All' version"
+        )
+    if len(set(versions)) != len(versions):
+        raise ValueError(f"target {target.name!r} has duplicate versions")
+    signals = tuple(target.monitored_signals)
+    if not signals:
+        raise ValueError(f"target {target.name!r} monitors no signals")
+    if len(set(signals)) != len(signals):
+        raise ValueError(f"target {target.name!r} has duplicate monitored signals")
+    return target

@@ -1,0 +1,111 @@
+"""The scenario registry: target name -> factory.
+
+Every harness layer resolves its workload here instead of importing a
+concrete system: ``get_target("tanklevel")`` (or ``get_target(None)``
+for the default, overridable via the ``REPRO_TARGET`` environment
+variable).  Third-party workloads join with :func:`register_target`;
+the built-in targets are registered lazily so importing this module
+stays cheap and free of import cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Callable, Dict, Tuple, Union
+
+from repro.targets.base import Target, validate_target
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "TARGET_ENV_VAR",
+    "register_target",
+    "unregister_target",
+    "get_target",
+    "target_names",
+    "default_target_name",
+]
+
+#: The workload used when neither an explicit name nor the environment
+#: variable selects one: the paper's own target system.
+DEFAULT_TARGET = "arrestor"
+
+#: Environment variable naming the session-wide default target.
+TARGET_ENV_VAR = "REPRO_TARGET"
+
+TargetFactory = Callable[[], Target]
+
+_factories: Dict[str, TargetFactory] = {}
+_instances: Dict[str, Target] = {}
+
+
+def _lazy(module: str, attr: str) -> TargetFactory:
+    def _load() -> Target:
+        return getattr(importlib.import_module(module), attr)()
+
+    return _load
+
+
+#: Built-in workloads, loaded on first use.
+_BUILTINS: Dict[str, TargetFactory] = {
+    "arrestor": _lazy("repro.targets.arrestor", "ArrestorTarget"),
+    "tanklevel": _lazy("repro.targets.tanklevel", "TankLevelTarget"),
+}
+
+
+def register_target(name: str, factory: TargetFactory, replace: bool = False) -> None:
+    """Register a workload under *name* (``--target`` / ``RunSpec.target``).
+
+    *factory* is a zero-argument callable returning a
+    :class:`~repro.targets.base.Target`; it is invoked lazily on first
+    :func:`get_target` and the instance is cached.  Re-registering an
+    existing name requires ``replace=True``.
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise ValueError(f"target name must be a simple identifier, got {name!r}")
+    if not replace and (name in _factories or name in _BUILTINS):
+        raise ValueError(f"target {name!r} is already registered")
+    _factories[name] = factory
+    _instances.pop(name, None)
+
+
+def unregister_target(name: str) -> None:
+    """Remove a third-party registration (built-ins cannot be removed)."""
+    if name in _BUILTINS and name not in _factories:
+        raise ValueError(f"built-in target {name!r} cannot be unregistered")
+    _factories.pop(name, None)
+    _instances.pop(name, None)
+
+
+def target_names() -> Tuple[str, ...]:
+    """All registered target names, built-ins first, then alphabetical."""
+    extra = sorted(set(_factories) - set(_BUILTINS))
+    return tuple(_BUILTINS) + tuple(extra)
+
+
+def default_target_name() -> str:
+    """``$REPRO_TARGET`` when set, else :data:`DEFAULT_TARGET`."""
+    return os.environ.get(TARGET_ENV_VAR) or DEFAULT_TARGET
+
+
+def get_target(name: Union[str, Target, None] = None) -> Target:
+    """Resolve *name* to a target instance (cached per name).
+
+    ``None`` selects :func:`default_target_name`; passing an already
+    constructed :class:`Target` returns it unchanged, so call sites can
+    accept either form.
+    """
+    if isinstance(name, Target):
+        return name
+    if name is None:
+        name = default_target_name()
+    if name in _instances:
+        return _instances[name]
+    factory = _factories.get(name) or _BUILTINS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown target {name!r}; registered targets: {', '.join(target_names())}"
+        )
+    target = validate_target(factory())
+    _instances[name] = target
+    return target

@@ -1,0 +1,24 @@
+"""The tank-level reference workload (the second registered target).
+
+A two-node water-level control system — controller node, trim-drain
+slave node, first-order tank plant — instrumented with five executable
+assertions via the same Section-2.3 process as the arrestor, and run
+through the identical campaign, analysis and observability stack.
+"""
+
+from repro.targets.tanklevel.plant import (
+    TankFailureClassifier,
+    TankPlant,
+    TankRunSummary,
+)
+from repro.targets.tanklevel.system import TankRunConfig, TankSystem
+from repro.targets.tanklevel.target import TankLevelTarget
+
+__all__ = [
+    "TankFailureClassifier",
+    "TankLevelTarget",
+    "TankPlant",
+    "TankRunConfig",
+    "TankRunSummary",
+    "TankSystem",
+]

@@ -1,0 +1,198 @@
+"""Section-2.3 instrumentation of the tank-level controller.
+
+The Section-2 process is target-independent; applying it to this
+workload yields five monitored signals:
+
+========= ==== ============== ========= =====================================
+signal     EA   class          location  envelope source
+========= ==== ============== ========= =====================================
+SetPoint  EA1  Co/Ra          VALVE_A   controller slew limit (2x margin)
+level     EA2  Co/Ra          CTRL      valve/drain authority over one pass
+flow_acc  EA3  Co/Mo/Dy       CTRL      per-pass accumulation bound
+slot_id   EA4  Di/Se/Li       CLOCK     the five-slot cyclic schedule
+tick      EA5  Co/Mo/St       CLOCK     1-ms clock, 16-bit wrap-around
+========= ==== ============== ========= =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.core.classes import SignalClass
+from repro.core.monitor import DetectionLog, SignalMonitor
+from repro.core.parameters import ContinuousParams, DiscreteParams, linear_transition_map
+from repro.core.process import FmecaEntry, InstrumentationPlan, SignalInventory
+from repro.core.recovery import RecoveryStrategy, default_recovery_for
+from repro.targets.tanklevel.plant import TANK_HEIGHT_MM
+
+__all__ = [
+    "EA_IDS",
+    "SIGNAL_BY_EA",
+    "EA_BY_SIGNAL",
+    "N_SLOTS",
+    "SETPOINT_MAX",
+    "SLEW_PER_MS",
+    "CTRL_KP",
+    "build_signal_inventory",
+    "default_fmeca_entries",
+    "assertion_parameters",
+    "build_instrumentation_plan",
+    "build_monitors",
+]
+
+#: Mechanism identifiers, in signal order.
+EA_IDS = ("EA1", "EA2", "EA3", "EA4", "EA5")
+
+SIGNAL_BY_EA: Dict[str, str] = {
+    "EA1": "SetPoint",
+    "EA2": "level",
+    "EA3": "flow_acc",
+    "EA4": "slot_id",
+    "EA5": "tick",
+}
+
+EA_BY_SIGNAL: Dict[str, str] = {sig: ea for ea, sig in SIGNAL_BY_EA.items()}
+
+#: The five 1-ms schedule slots: LEVEL_S, CTRL, VALVE_A, COMM, IDLE.
+N_SLOTS = 5
+
+#: Set-point authority (10-bit DAC counts).
+SETPOINT_MAX = 1023
+
+#: Controller slew budget per elapsed millisecond (25 counts per 5-ms pass).
+SLEW_PER_MS = 5
+
+#: Proportional gain: set-point counts per millimetre of level error.
+CTRL_KP = 8
+
+_TEST_LOCATION: Dict[str, str] = {
+    "SetPoint": "VALVE_A",
+    "level": "CTRL",
+    "flow_acc": "CTRL",
+    "slot_id": "CLOCK",
+    "tick": "CLOCK",
+}
+
+_CLASSIFICATION: Dict[str, SignalClass] = {
+    "SetPoint": SignalClass.CONTINUOUS_RANDOM,
+    "level": SignalClass.CONTINUOUS_RANDOM,
+    "flow_acc": SignalClass.CONTINUOUS_MONOTONIC_DYNAMIC,
+    "slot_id": SignalClass.DISCRETE_SEQUENTIAL_LINEAR,
+    "tick": SignalClass.CONTINUOUS_MONOTONIC_STATIC,
+}
+
+
+def build_signal_inventory() -> SignalInventory:
+    """Steps 1-3: the controller node's signal dataflow."""
+    inventory = SignalInventory()
+    inventory.declare("level_sensor", "input", "LevelSensor", ["LEVEL_S"])
+    inventory.declare("tick", "internal", "CLOCK", ["CTRL"])
+    inventory.declare("slot_id", "internal", "CLOCK", ["CLOCK"])
+    inventory.declare("level", "internal", "LEVEL_S", ["CTRL"])
+    inventory.declare("SetPoint", "internal", "CTRL", ["VALVE_A", "COMM"])
+    inventory.declare("flow_acc", "internal", "CTRL", ["CTRL"])
+    inventory.declare("valve_cmd", "output", "VALVE_A", ["InletValve"])
+    inventory.declare("comm_SetPoint", "output", "COMM", ["DrainNode"])
+    return inventory
+
+
+def default_fmeca_entries() -> Tuple[FmecaEntry, ...]:
+    """Step 4: the FMECA table that selects the five monitored signals."""
+    return (
+        FmecaEntry("SetPoint", "wrong inflow set point", severity=9, occurrence=4),
+        FmecaEntry("level", "false level feedback", severity=8, occurrence=4),
+        FmecaEntry("flow_acc", "volume account corrupted", severity=7, occurrence=3),
+        FmecaEntry("slot_id", "schedule derailed", severity=7, occurrence=3),
+        FmecaEntry("tick", "time base corrupted", severity=7, occurrence=3),
+        FmecaEntry("valve_cmd", "actuator latch stuck", severity=9, occurrence=1, detectability=4),
+        FmecaEntry("comm_SetPoint", "trim set point stale", severity=5, occurrence=2, detectability=5),
+        FmecaEntry("level_sensor", "sensor latch corrupted", severity=6, occurrence=2, detectability=5),
+    )
+
+
+# -- assertion envelopes (step 6) ---------------------------------------------
+
+#: SetPoint moves at most SLEW_PER_MS * N_SLOTS counts between VALVE_A
+#: tests; the envelope adds ~2x margin.
+_SETPOINT_MAX_RATE = 2 * SLEW_PER_MS * N_SLOTS - 2
+
+#: Physical level slew between two CTRL tests (5 ms): full inlet
+#: authority is ~1.2 mm, plus quantisation; 8 mm gives >4x margin.
+_LEVEL_MAX_RATE = 8
+
+#: flow_acc grows by SetPoint >> 6 per pass, i.e. at most 15.
+_FLOW_ACC_MAX_RATE = 16
+
+#: flow_acc stays far below this over any observation window.
+_FLOW_ACC_MAX = 60000
+
+
+def assertion_parameters() -> Dict[str, Union[ContinuousParams, DiscreteParams]]:
+    """Step 6: the per-signal ``Pcont``/``Pdisc`` the assertions use."""
+    return {
+        "SetPoint": ContinuousParams.random(
+            0,
+            SETPOINT_MAX,
+            rmax_incr=_SETPOINT_MAX_RATE,
+            rmax_decr=_SETPOINT_MAX_RATE,
+        ),
+        "level": ContinuousParams.random(
+            0,
+            int(TANK_HEIGHT_MM),
+            rmax_incr=_LEVEL_MAX_RATE,
+            rmax_decr=_LEVEL_MAX_RATE,
+        ),
+        "flow_acc": ContinuousParams.dynamic_monotonic(
+            0, _FLOW_ACC_MAX, rmin=0, rmax=_FLOW_ACC_MAX_RATE, increasing=True
+        ),
+        "slot_id": linear_transition_map(range(N_SLOTS), cyclic=True),
+        "tick": ContinuousParams.static_monotonic(0, 0xFFFF, rate=1, wrap=True),
+    }
+
+
+def build_instrumentation_plan() -> InstrumentationPlan:
+    """Steps 5-7 for the controller node, validated against the inventory."""
+    inventory = build_signal_inventory()
+    plan = InstrumentationPlan(inventory)
+    params = assertion_parameters()
+    for ea in EA_IDS:
+        signal = SIGNAL_BY_EA[ea]
+        plan.plan(
+            signal,
+            _CLASSIFICATION[signal],
+            params[signal],
+            location=_TEST_LOCATION[signal],
+            monitor_id=ea,
+        )
+    return plan
+
+
+def build_monitors(
+    enabled: Optional[Iterable[str]] = None,
+    log: Optional[DetectionLog] = None,
+    with_recovery: bool = False,
+) -> Dict[str, SignalMonitor]:
+    """Step 8: instantiate the monitors, keyed by EA id."""
+    enabled_set = set(enabled) if enabled is not None else set(EA_IDS)
+    unknown = enabled_set - set(EA_IDS)
+    if unknown:
+        raise ValueError(f"unknown mechanism ids: {sorted(unknown)}")
+    shared_log = log if log is not None else DetectionLog()
+    params = assertion_parameters()
+    monitors: Dict[str, SignalMonitor] = {}
+    for ea in EA_IDS:
+        if ea not in enabled_set:
+            continue
+        signal = SIGNAL_BY_EA[ea]
+        recovery: Optional[RecoveryStrategy] = None
+        if with_recovery:
+            recovery = default_recovery_for(params[signal])
+        monitors[ea] = SignalMonitor(
+            signal,
+            _CLASSIFICATION[signal],
+            params[signal],
+            log=shared_log,
+            recovery=recovery,
+            monitor_id=ea,
+        )
+    return monitors

@@ -1,0 +1,81 @@
+"""Memory layout of the tank-level controller node.
+
+A smaller target than the arrestor's master node: 256 bytes of
+application RAM and a 512-byte stack area, with an unmapped hole between
+them (the regions of a real part's memory map rarely abut).  The five
+monitored signals live in RAM together with the unmonitored application
+state — actuator latch, communication buffer, sensor latch,
+configuration mirror — so random RAM errors keep the realistic mix of
+consequences; the stack area holds CTRL's scratch locals, which the
+control law reads back every pass, giving stack errors a propagation
+path into the set-point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memory.layout import MemoryRegion, RegionAllocator
+from repro.memory.memmap import MemoryMap, Variable
+
+__all__ = ["TankMemory", "RAM_REGION", "STACK_REGION", "MONITORED_SIGNALS"]
+
+RAM_REGION = MemoryRegion("ram", 0x0000, 256)
+STACK_REGION = MemoryRegion("stack", 0x0400, 512)
+
+#: The five service-critical signals, in EA1..EA5 order.
+MONITORED_SIGNALS = ("SetPoint", "level", "flow_acc", "slot_id", "tick")
+
+
+class TankMemory:
+    """The controller node's emulated memory, symbols and typed handles."""
+
+    def __init__(self) -> None:
+        self.map = MemoryMap([RAM_REGION, STACK_REGION])
+        self.ram = RegionAllocator(RAM_REGION)
+        self.stack = RegionAllocator(STACK_REGION)
+
+        # -- the monitored signals -------------------------------------------
+        self.tick = self._var("tick")
+        self.slot_id = self._var("slot_id")
+        self.level = self._var("level")
+        self.set_point = self._var("SetPoint")
+        self.flow_acc = self._var("flow_acc")
+
+        # -- unmonitored application state -----------------------------------
+        self.valve_cmd = self._var("valve_cmd")
+        self.comm_set_point = self._var("comm_SetPoint")
+        self.level_raw_latch = self._var("level_raw_latch")
+        self.last_ctrl_tick = self._var("last_ctrl_tick")
+        self.diag_boot_flags = self._var("diag_boot_flags")
+
+        # -- boot-time configuration mirror (read at initialisation only) ----
+        self.config_mirror: List[Variable] = [
+            Variable(self.map, sym)
+            for sym in self.ram.allocate_array("config_mirror", 6)
+        ]
+
+        # Remaining RAM bytes stay unallocated: cold spare capacity, still
+        # mapped and injectable, never read.
+
+        # -- stack: CTRL's scratch locals, live every control pass ------------
+        self.ctrl_err = Variable(
+            self.map, self.stack.allocate("ctrl_err", 2), signed=True
+        )
+        self.ctrl_sp_raw = Variable(self.map, self.stack.allocate("ctrl_sp_raw", 2))
+        # The rest of the stack region is anonymous deep-stack space:
+        # injectable, not consulted at the simulated call depth.
+
+    def _var(self, name: str, signed: bool = False) -> Variable:
+        return Variable(self.map, self.ram.allocate(name, 2), signed=signed)
+
+    def signal_variable(self, name: str) -> Variable:
+        """The :class:`Variable` handle of a monitored signal."""
+        mapping: Dict[str, Variable] = {
+            "SetPoint": self.set_point,
+            "level": self.level,
+            "flow_acc": self.flow_acc,
+            "slot_id": self.slot_id,
+            "tick": self.tick,
+        }
+        return mapping[name]

@@ -1,0 +1,149 @@
+"""The tank plant: a drum-boiler-style level process and its failure spec.
+
+The second reference workload regulates the water level of a supply tank
+feeding a variable consumer: an inlet valve (0..1023 counts) admits up to
+``Q_MAX_LPS`` litres per second, the consumer draws a constant demand,
+and a slave-side trim drain bleeds off a small flow that shrinks as the
+controller's set-point rises.  Level is measured in millimetres over a
+1250-mm tank; the control objective is to hold 800 mm within a 100-mm
+band (the delivered service of Section 3.3, restated for this plant).
+
+The test-case grid is reinterpreted on this target's physical axes:
+``mass_kg`` becomes consumer demand (8000..20000 -> 2.22..5.56 l/s) and
+``velocity_mps`` the initial fill level (40..70 -> 500..875 mm), so the
+same 5 x 5 evaluation grid spans the plant's whole operating envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.plant.failure import FailureVerdict
+
+__all__ = [
+    "TANK_HEIGHT_MM",
+    "TARGET_LEVEL_MM",
+    "LEVEL_TOLERANCE_MM",
+    "Q_MAX_LPS",
+    "Q_TRIM_LPS",
+    "MM_PER_LITRE",
+    "demand_for",
+    "initial_level_for",
+    "TankPlant",
+    "TankRunSummary",
+    "TankFailureClassifier",
+]
+
+#: Physical tank height; reaching it is an overflow failure.
+TANK_HEIGHT_MM = 1250.0
+
+#: The level the controller must hold, and the delivered-service band.
+TARGET_LEVEL_MM = 800.0
+LEVEL_TOLERANCE_MM = 100.0
+
+#: Inlet valve authority at full command (1023 counts).
+Q_MAX_LPS = 9.0
+
+#: Slave trim drain at set-point 0; shrinks linearly to 0 at full set-point.
+Q_TRIM_LPS = 0.5
+
+#: Level change per litre of net flow (tank cross-section).
+MM_PER_LITRE = 25.0
+
+
+def demand_for(mass_kg: float) -> float:
+    """Consumer demand (l/s) for a test case's ``mass_kg`` axis."""
+    return mass_kg / 3600.0
+
+
+def initial_level_for(velocity_mps: float) -> float:
+    """Initial fill level (mm) for a test case's ``velocity_mps`` axis."""
+    return velocity_mps * 12.5
+
+
+@dataclasses.dataclass(frozen=True)
+class TankRunSummary:
+    """What the plant's readouts say about one regulation run."""
+
+    demand_lps: float
+    initial_level_mm: float
+    max_level_mm: float
+    min_level_mm: float
+    final_level_mm: float
+    settled: bool
+    duration_s: float
+
+
+class TankPlant:
+    """First-order level dynamics driven by valve counts and trim flow."""
+
+    def __init__(self, demand_lps: float, initial_level_mm: float) -> None:
+        if demand_lps <= 0:
+            raise ValueError(f"demand must be positive, got {demand_lps}")
+        if not 0 <= initial_level_mm <= TANK_HEIGHT_MM:
+            raise ValueError(
+                f"initial level must be within the tank, got {initial_level_mm}"
+            )
+        self.demand_lps = demand_lps
+        self.initial_level_mm = initial_level_mm
+        self.level_mm = float(initial_level_mm)
+        self.max_level_mm = self.level_mm
+        self.min_level_mm = self.level_mm
+
+    def advance(self, dt_s: float, valve_counts: int, trim_lps: float) -> None:
+        """One integration step under the given actuator commands."""
+        counts = min(max(valve_counts, 0), 1023)
+        inflow = Q_MAX_LPS * counts / 1023.0
+        outflow = self.demand_lps + trim_lps
+        self.level_mm += (inflow - outflow) * MM_PER_LITRE * dt_s
+        if self.level_mm > TANK_HEIGHT_MM:
+            self.level_mm = TANK_HEIGHT_MM
+        elif self.level_mm < 0.0:
+            self.level_mm = 0.0
+        if self.level_mm > self.max_level_mm:
+            self.max_level_mm = self.level_mm
+        elif self.level_mm < self.min_level_mm:
+            self.min_level_mm = self.level_mm
+
+    def summary(self, duration_s: float) -> TankRunSummary:
+        return TankRunSummary(
+            demand_lps=self.demand_lps,
+            initial_level_mm=self.initial_level_mm,
+            max_level_mm=self.max_level_mm,
+            min_level_mm=self.min_level_mm,
+            final_level_mm=self.level_mm,
+            settled=abs(self.level_mm - TARGET_LEVEL_MM) <= LEVEL_TOLERANCE_MM,
+            duration_s=duration_s,
+        )
+
+
+class TankFailureClassifier:
+    """The delivered-service constraints of the tank-level system.
+
+    1. **Overflow** — the level must never reach the tank brim;
+    2. **Dry** — the tank must never run empty (the consumer loses supply);
+    3. **Regulation** — at the end of the observation window the level
+       must sit within the tolerance band around the target.
+    """
+
+    def __init__(
+        self,
+        target_mm: float = TARGET_LEVEL_MM,
+        tolerance_mm: float = LEVEL_TOLERANCE_MM,
+        height_mm: float = TANK_HEIGHT_MM,
+    ) -> None:
+        if tolerance_mm <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance_mm}")
+        self.target_mm = target_mm
+        self.tolerance_mm = tolerance_mm
+        self.height_mm = height_mm
+
+    def classify(self, summary: TankRunSummary) -> FailureVerdict:
+        violated = []
+        if summary.max_level_mm >= self.height_mm:
+            violated.append("overflow")
+        if summary.min_level_mm <= 0.0:
+            violated.append("dry")
+        if abs(summary.final_level_mm - self.target_mm) > self.tolerance_mm:
+            violated.append("regulation")
+        return FailureVerdict(bool(violated), tuple(violated))

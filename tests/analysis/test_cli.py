@@ -122,9 +122,11 @@ class TestListRules:
 
 
 class TestUsageErrors:
-    def test_malformed_target_spec(self, capsys):
-        assert main(["--target", "no-colon"]) == 2
-        assert "module:callable" in capsys.readouterr().err
+    def test_unknown_registry_name(self, capsys):
+        # A spec without a colon is a registry name, not module:callable.
+        assert main(["--target", "no-such-target"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown target" in err and "arrestor" in err
 
     def test_unimportable_module(self, capsys):
         assert main(["--target", "definitely_missing_mod:f"]) == 2

@@ -79,3 +79,41 @@ class TestEndToEnd:
         result = TargetSystem(CASE, config=config).run()
         assert not result.detected
         assert not result.failed
+
+    def test_corrupted_comm_tx_buffer_guarded_at_reception(self):
+        # Corrupt the COMM transmit buffer itself — the unchecked path
+        # between the master's V_REG test and the slave's drum: EA1 on
+        # the master never sees it, only the slave-side EA1-S can.
+        from repro.arrestor import constants as k
+        from repro.injection.errors import ErrorSpec
+
+        def _tx_injector():
+            var = MasterMemory().comm_tx_set_value
+            spec = ErrorSpec(
+                "comm_tx_b15", var.address + 1, 7, "ram", signal=None, signal_bit=15
+            )
+            return TimeTriggeredInjector(spec, start_ms=500)
+
+        config = RunConfig(slave_assertion=True)
+        system = TargetSystem(CASE, config=config)
+        applied = []
+        slave = system.slave
+        original = slave.receive_set_value
+
+        def spying_receive(value):
+            original(value)
+            applied.append(slave.set_value)
+
+        slave.receive_set_value = spying_receive
+        result = system.run(_tx_injector())
+
+        slave_events = [
+            e for e in system.master.detection_log.events if e.monitor_id == "EA1-S"
+        ]
+        assert slave_events, "EA1-S must flag the corrupted transmission"
+        assert result.detected
+        # Hold-last-valid recovery keeps every applied set point within
+        # the actuator's envelope despite the high-bit corruption.
+        assert applied
+        assert all(0 <= value <= k.SETVALUE_MAX_COUNTS for value in applied)
+        assert not result.failed

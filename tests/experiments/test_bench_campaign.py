@@ -20,8 +20,15 @@ def _load_bench_module():
 
 VALID = {
     "benchmark": "campaign",
-    "schema_version": 2,
-    "scale": {"versions": ["All"], "errors": 16, "cases": 1, "runs": 16},
+    "schema_version": 3,
+    "repeats": 3,
+    "scale": {
+        "target": "arrestor",
+        "versions": ["All"],
+        "errors": 16,
+        "cases": 1,
+        "runs": 16,
+    },
     "serial": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
     "parallel": {"workers": 2, "runs": 16, "seconds": 1.0, "runs_per_sec": 16.0},
     "speedup": 2.0,
@@ -43,8 +50,11 @@ class TestSchemaValidation:
         "mutation, match",
         [
             ({"benchmark": "other"}, "benchmark"),
-            ({"schema_version": 1}, "schema_version"),
+            ({"schema_version": 2}, "schema_version"),
+            ({"repeats": 0}, "repeats"),
+            ({"repeats": True}, "repeats"),
             ({"scale": {"versions": "All"}}, "versions"),
+            ({"scale": {**VALID["scale"], "target": ""}}, "target"),
             ({"serial": {}}, "serial"),
             ({"parallel": {"runs": 16, "seconds": 1.0, "runs_per_sec": 16.0}}, "workers"),
             ({"speedup": "fast"}, "speedup"),

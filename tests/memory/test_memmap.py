@@ -57,6 +57,28 @@ class TestAccess:
         assert mem.region_of(0x105).name == "stack"
         assert mem.region_of(0x80) is None
 
+    def test_region_of_boundaries_and_holes(self):
+        # Regions: ram [0x00, 0x40), hole [0x40, 0x100), stack [0x100, 0x120).
+        mem = _memory()
+        assert mem.region_of(0x00).name == "ram"
+        assert mem.region_of(0x3F).name == "ram"
+        assert mem.region_of(0x40) is None  # first address past ram
+        assert mem.region_of(0xFF) is None  # last address of the hole
+        assert mem.region_of(0x100).name == "stack"
+        assert mem.region_of(0x11F).name == "stack"
+        assert mem.region_of(0x120) is None  # past every region
+        assert mem.region_of(-1) is None  # below every region
+
+    def test_region_of_unordered_construction(self):
+        # region_of bisects over start addresses; construction order must
+        # not matter.
+        mem = MemoryMap(
+            [MemoryRegion("hi", 0x200, 16), MemoryRegion("lo", 0x000, 16)]
+        )
+        assert mem.region_of(0x004).name == "lo"
+        assert mem.region_of(0x1FF) is None
+        assert mem.region_of(0x20F).name == "hi"
+
     def test_check_mapped(self):
         mem = _memory()
         mem.check_mapped(0x3E, 2)

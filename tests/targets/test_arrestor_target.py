@@ -1,0 +1,65 @@
+"""The arrestor adapter must be behaviourally identical to direct wiring."""
+
+from repro.arrestor.signals_map import MONITORED_SIGNALS, MasterMemory
+from repro.arrestor.system import RunConfig, TargetSystem, TestCase
+from repro.injection.errors import ErrorSpec
+from repro.injection.injector import TimeTriggeredInjector
+from repro.targets.registry import get_target
+
+_CASE = TestCase(mass_kg=14000.0, velocity_mps=55.0)
+
+
+def _result_key(result):
+    return (
+        result.detected,
+        result.first_detection_ms,
+        result.detection_count,
+        result.failed,
+        result.wedged,
+        result.duration_ms,
+        result.summary,
+    )
+
+
+def _mscnt_injector():
+    mem = MasterMemory()
+    var = mem.signal_variable("mscnt")
+    spec = ErrorSpec("probe", var.address + 1, 7, "ram", signal="mscnt", signal_bit=15)
+    return TimeTriggeredInjector(spec, period_ms=20)
+
+
+class TestAdapterEquivalence:
+    def test_static_surface_matches_arrestor_modules(self):
+        target = get_target("arrestor")
+        assert target.monitored_signals == MONITORED_SIGNALS
+        assert target.versions[-1] == "All"
+        assert len(target.versions) == 8
+
+    def test_fault_free_run_identical(self):
+        direct = TargetSystem(_CASE).run(None)
+        adapted = get_target("arrestor").boot(_CASE).run(None)
+        assert _result_key(adapted) == _result_key(direct)
+
+    def test_injected_run_identical(self):
+        direct = TargetSystem(_CASE).run(_mscnt_injector())
+        adapted = get_target("arrestor").boot(_CASE).run(_mscnt_injector())
+        assert adapted.detected and direct.detected
+        assert _result_key(adapted) == _result_key(direct)
+
+    def test_version_selection_matches_enabled_eas(self):
+        direct = TargetSystem(_CASE, enabled_eas=("EA6",)).run(_mscnt_injector())
+        adapted = get_target("arrestor").boot(_CASE, version="EA6").run(
+            _mscnt_injector()
+        )
+        assert _result_key(adapted) == _result_key(direct)
+
+    def test_run_config_passes_through(self):
+        config = RunConfig(with_recovery=True, observe_ms_max=4000)
+        system = get_target("arrestor").boot(_CASE, run_config=config)
+        assert system.config.with_recovery
+        assert system.config.observe_ms_max == 4000
+
+    def test_timeout_summary_is_a_non_stop(self):
+        summary = get_target("arrestor").timeout_summary(_CASE, duration_s=1.5)
+        assert not summary.stopped
+        assert summary.duration_s == 1.5

@@ -1,0 +1,62 @@
+"""Campaign engine behaviour across registered targets."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.campaign import CampaignConfig, run_e1_campaign
+from repro.targets.registry import get_target
+
+
+def _tiny_config(target, workers=1):
+    return CampaignConfig(
+        cases_all=1,
+        cases_per_ea=1,
+        versions=("All",),
+        workers=workers,
+        target=target,
+    )
+
+
+def _keyed(results):
+    return sorted(dataclasses.astuple(r) for r in results.records)
+
+
+class TestTargetRouting:
+    def test_config_resolves_target_versions(self):
+        config = CampaignConfig(target="tanklevel")
+        assert config.target == "tanklevel"
+        assert config.versions == get_target("tanklevel").versions
+
+    def test_unknown_target_version_rejected(self):
+        with pytest.raises(ValueError, match="unknown versions"):
+            CampaignConfig(target="tanklevel", versions=("EA7",))
+
+    def test_default_target_versions_unchanged(self):
+        from repro.experiments.campaign import E1_VERSIONS
+
+        assert CampaignConfig().versions == E1_VERSIONS
+
+
+class TestTanklevelCampaign:
+    def test_e1_covers_the_tanklevel_error_set(self):
+        results = run_e1_campaign(_tiny_config("tanklevel"))
+        target = get_target("tanklevel")
+        assert len(results) == 16 * len(target.monitored_signals)
+        assert set(r.signal for r in results.records) == set(
+            target.monitored_signals
+        )
+        # High-bit errors must be detected on every signal (the paper's
+        # bit-threshold structure carries over to the second workload).
+        for signal in target.monitored_signals:
+            high = [
+                r
+                for r in results.records
+                if r.signal == signal and r.signal_bit == 15
+            ]
+            assert high and all(r.detected for r in high), signal
+
+    def test_serial_parallel_equivalence(self):
+        serial = run_e1_campaign(_tiny_config("tanklevel", workers=1))
+        parallel = run_e1_campaign(_tiny_config("tanklevel", workers=2))
+        assert _keyed(serial) == _keyed(parallel)

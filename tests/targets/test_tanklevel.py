@@ -1,0 +1,130 @@
+"""Tests for the tank-level reference workload."""
+
+import dataclasses
+
+import pytest
+
+from repro.arrestor.system import RunConfig as ArrestorRunConfig
+from repro.injection.errors import ErrorSpec
+from repro.injection.injector import TimeTriggeredInjector
+from repro.targets.base import TestCase
+from repro.targets.registry import get_target
+from repro.targets.tanklevel import TankPlant, TankRunConfig, TankSystem
+from repro.targets.tanklevel.plant import (
+    LEVEL_TOLERANCE_MM,
+    TARGET_LEVEL_MM,
+    demand_for,
+    initial_level_for,
+)
+
+_CASE = TestCase(mass_kg=14000.0, velocity_mps=55.0)
+
+
+def _injector(signal, bit, period_ms=20):
+    mem = get_target("tanklevel").memory()
+    var = mem.signal_variable(signal)
+    spec = ErrorSpec(
+        f"probe_{signal}_{bit}",
+        var.address + bit // 8,
+        bit % 8,
+        "ram",
+        signal=signal,
+        signal_bit=bit,
+    )
+    return TimeTriggeredInjector(spec, period_ms=period_ms)
+
+
+class TestPlant:
+    def test_reinterprets_the_shared_grid(self):
+        assert demand_for(3600.0) == pytest.approx(1.0)
+        assert initial_level_for(40.0) == pytest.approx(500.0)
+
+    def test_level_integrates_and_clamps(self):
+        from repro.targets.tanklevel.plant import TANK_HEIGHT_MM
+
+        plant = TankPlant(demand_lps=0.1, initial_level_mm=1249.0)
+        plant.advance(1.0, valve_counts=1023, trim_lps=0.0)
+        assert plant.level_mm == TANK_HEIGHT_MM
+        plant = TankPlant(demand_lps=5.0, initial_level_mm=1.0)
+        plant.advance(1.0, valve_counts=0, trim_lps=0.5)
+        assert plant.level_mm == 0.0
+
+
+class TestFaultFree:
+    def test_full_grid_regulates_without_false_alarms(self):
+        target = get_target("tanklevel")
+        for case in target.test_cases():
+            result = target.boot(case).run(None)
+            assert not result.detected, (case, result.detection_count)
+            assert not result.failed, (case, result.verdict)
+            assert result.summary.settled
+            assert (
+                abs(result.summary.final_level_mm - TARGET_LEVEL_MM)
+                <= LEVEL_TOLERANCE_MM
+            )
+
+    def test_detection_log_is_per_boot(self):
+        target = get_target("tanklevel")
+        first = target.boot(_CASE)
+        second = target.boot(_CASE)
+        assert first.detection_log is not second.detection_log
+
+
+class TestInjection:
+    @pytest.mark.parametrize("signal", get_target("tanklevel").monitored_signals)
+    def test_high_bit_errors_are_detected(self, signal):
+        result = get_target("tanklevel").boot(_CASE).run(_injector(signal, 15))
+        assert result.detected, signal
+        assert result.first_detection_ms is not None
+
+    def test_disabled_mechanism_does_not_detect(self):
+        # EA2 guards `level`; a version with only EA1 must miss level errors.
+        result = (
+            get_target("tanklevel")
+            .boot(_CASE, version="EA1")
+            .run(_injector("level", 15))
+        )
+        assert not result.detected
+
+    def test_recovery_restores_regulation(self):
+        config = TankRunConfig(with_recovery=True)
+        result = (
+            get_target("tanklevel")
+            .boot(_CASE, run_config=config)
+            .run(_injector("level", 15))
+        )
+        assert result.detected
+        assert not result.failed
+
+    def test_injection_metadata_propagates(self):
+        result = get_target("tanklevel").boot(_CASE).run(_injector("tick", 0))
+        assert result.injection_count > 0
+        assert result.first_injection_ms == 0
+
+
+class TestRunConfig:
+    def test_rejects_foreign_run_config(self):
+        with pytest.raises(TypeError, match="TankRunConfig"):
+            get_target("tanklevel").boot(_CASE, run_config=ArrestorRunConfig())
+
+    def test_version_overrides_run_config_eas(self):
+        system = get_target("tanklevel").boot(
+            _CASE, version="EA3", run_config=TankRunConfig(enabled_eas=("EA1",))
+        )
+        assert system.config.enabled_eas == ("EA3",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="observe_ms"):
+            TankRunConfig(observe_ms=0)
+
+    def test_direct_construction_matches_boot(self):
+        direct = TankSystem(_CASE).run(None)
+        booted = get_target("tanklevel").boot(_CASE).run(None)
+        assert dataclasses.astuple(direct) == dataclasses.astuple(booted)
+
+
+class TestTimeout:
+    def test_timeout_summary_is_unsettled(self):
+        summary = get_target("tanklevel").timeout_summary(_CASE, duration_s=2.0)
+        assert not summary.settled
+        assert summary.duration_s == 2.0
