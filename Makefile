@@ -57,14 +57,16 @@ bench:
 	$(PYTHON) benchmarks/bench_campaign.py --check BENCH_campaign.json
 
 # Tiny single-repeat sweep over every registered target: exercises the
-# serial and parallel engines, the serial/parallel equivalence check and
-# the schema validator per target without the full bench's repeat count.
+# cold, snapshot-warm, parallel and store-replay engines, the
+# cross-configuration equivalence check, the schema validator and the
+# warm >= cold throughput-regression guard per target, without the full
+# bench's repeat count.
 bench-smoke:
 	@for target in $$(PYTHONPATH=src $(PYTHON) -c "from repro.targets import target_names; print(' '.join(target_names()))"); do \
 		echo "== bench-smoke: $$target"; \
 		$(PYTHON) benchmarks/bench_campaign.py --target $$target --repeats 1 \
 			--out BENCH_smoke_$$target.json || exit 1; \
-		$(PYTHON) benchmarks/bench_campaign.py --check BENCH_smoke_$$target.json || exit 1; \
+		$(PYTHON) benchmarks/bench_campaign.py --check BENCH_smoke_$$target.json --smoke || exit 1; \
 		rm -f BENCH_smoke_$$target.json; \
 	done
 

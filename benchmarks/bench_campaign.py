@@ -1,19 +1,28 @@
-"""Campaign-engine throughput: serial vs parallel runs/sec.
+"""Campaign-engine throughput: cold vs snapshot-accelerated runs/sec.
 
-Runs the same (small, deterministic) E1 slice through the serial path
-(``workers=1``) and the process-pool path, checks the result sets are
-record-for-record identical, and writes ``BENCH_campaign.json``::
+Runs the same (small, deterministic) E1 slice through the engine's
+configurations, checks every result set is record-for-record identical,
+and writes ``BENCH_campaign.json``::
 
     {
       "benchmark": "campaign",
-      "schema_version": 3,
+      "schema_version": 4,
       "repeats": N,
+      "cpus": N,
       "scale": {"target": T, "versions": [...], "errors": N, "cases": N,
                 "runs": N},
       "serial":   {"runs": N, "seconds": S, "runs_per_sec": R},
       "parallel": {"workers": W, "runs": N, "seconds": S, "runs_per_sec": R},
       "speedup": X,
+      "pool_scaling": Y,
       "equivalent": true,
+      "snapshot": {
+        "injection_start_ms": MS,
+        "cold": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "warm": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "speedup": X
+      },
+      "store_hit": {"runs": N, "seconds": S, "runs_per_sec": R, "hits": N},
       "tracing": {
         "off":       {"runs": N, "seconds": S, "runs_per_sec": R},
         "null_sink": {"runs": N, "seconds": S, "runs_per_sec": R},
@@ -22,13 +31,30 @@ record-for-record identical, and writes ``BENCH_campaign.json``::
       }
     }
 
-The tracing section guards the observability layer's hot-path budget:
-``off`` repeats the serial slice with tracing disabled (publishers hold
-``tracer=None``, so the entire cost is one predicate check), and
-``overhead_pct`` compares it against the ``serial`` measurement of the
-*same* configuration — the disabled-tracing overhead, which must stay
-within noise (< 2%).  ``null_sink`` runs the slice with an enabled bus
-discarding every event, pricing event construction itself.
+Interpreting the sections:
+
+* ``serial`` is the **cold baseline**: one process, snapshots disabled,
+  every run re-boots and re-simulates from t=0 — the engine exactly as
+  it behaved before snapshot acceleration.
+* ``parallel`` is the **production configuration**: snapshot reuse on,
+  a pre-warmed pool of ``--workers`` processes.  ``speedup`` compares it
+  against the cold baseline, so it reports the end-to-end acceleration
+  a user gets, whatever its source (snapshot reuse, prefix
+  fast-forward, or pool parallelism).
+* ``pool_scaling`` isolates the pool's own contribution: warm-serial
+  over warm-parallel wall-clock.  On a single-CPU container (``cpus``
+  reports the affinity mask) this hovers around 1.0 — the honest
+  number — and the overall speedup comes from the snapshot layer.
+* ``snapshot`` prices that layer alone: the identical serial slice cold
+  vs warm (boot snapshots + fault-free prefix fast-forward at the
+  listed ``injection_start_ms``).  ``make bench-smoke``'s regression
+  guard fails the build if ``warm`` drops below ``cold``.
+* ``store_hit`` replays the slice against a pre-filled result store:
+  every record restores from disk and zero runs are simulated.
+* ``tracing`` guards the observability hot path (snapshots off, so the
+  numbers stay comparable across schema versions): ``overhead_pct``
+  should stay within timing noise (a few percent either way on a busy
+  machine) and ``null_sink`` prices event construction.
 
 Every timed configuration is preceded by one untimed warm-up run and
 then measured as the **median of ``--repeats`` (>= 3) timed repeats**;
@@ -40,14 +66,13 @@ Usage::
 
     python benchmarks/bench_campaign.py [--target NAME] [--signals S1,S2]
                                         [--cases N] [--workers N]
+                                        [--injection-start MS]
                                         [--repeats N] [--out FILE]
     python benchmarks/bench_campaign.py --check FILE    # validate schema
 
 ``make bench`` runs the tiny default scale and then validates the
 emitted file; ``make bench-smoke`` sweeps every registered target at
-``--repeats 1``.  Scale up (more signals / ``--cases``) for a meaningful
-speedup measurement on a multi-core machine; on a single core the
-parallel figure mostly measures pool overhead.
+``--repeats 1`` and enforces the warm >= cold guard.
 """
 
 from __future__ import annotations
@@ -55,26 +80,37 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: A cheap, always-detected signal per built-in target (the default slice).
 DEFAULT_SIGNALS = {"arrestor": "mscnt", "tanklevel": "tick"}
 
+#: Default first-injection time per target: late enough that the shared
+#: fault-free prefix dominates the run, so the fast-forward win is
+#: visible even at bench scale (arrestor horizon 25 s, tanklevel 6 s).
+DEFAULT_INJECTION_START = {"arrestor": 12000, "tanklevel": 3000}
+
 _THROUGHPUT_KEYS = {"runs": int, "seconds": float, "runs_per_sec": float}
 
 
-def validate_bench_json(data: dict) -> None:
-    """Raise ``ValueError`` unless *data* matches the BENCH_campaign schema."""
+def validate_bench_json(data: dict, smoke: bool = False) -> None:
+    """Raise ``ValueError`` unless *data* matches the BENCH_campaign schema.
 
-    def _section(name: str, extra: dict) -> None:
-        section = data.get(name)
+    With *smoke*, additionally enforce the throughput-regression guard:
+    the snapshot-accelerated configuration must not be slower than the
+    cold baseline.
+    """
+
+    def _throughput(name: str, section, extra: dict = {}) -> None:
         if not isinstance(section, dict):
             raise ValueError(f"missing or non-object section {name!r}")
         for key, kind in {**_THROUGHPUT_KEYS, **extra}.items():
@@ -87,6 +123,10 @@ def validate_bench_json(data: dict) -> None:
                     f"got {type(section[key]).__name__}"
                 )
 
+    def _number(name: str, value) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{name} must be a number")
+
     if data.get("benchmark") != "campaign":
         raise ValueError("benchmark field must be 'campaign'")
     if data.get("schema_version") != SCHEMA_VERSION:
@@ -94,6 +134,8 @@ def validate_bench_json(data: dict) -> None:
     repeats = data.get("repeats")
     if isinstance(repeats, bool) or not isinstance(repeats, int) or repeats < 1:
         raise ValueError("repeats must be a positive integer")
+    if isinstance(data.get("cpus"), bool) or not isinstance(data.get("cpus"), int):
+        raise ValueError("cpus must be an integer")
     scale = data.get("scale")
     if not isinstance(scale, dict) or not isinstance(scale.get("versions"), list):
         raise ValueError("scale must be an object with a versions list")
@@ -102,28 +144,40 @@ def validate_bench_json(data: dict) -> None:
     for key in ("errors", "cases", "runs"):
         if not isinstance(scale.get(key), int):
             raise ValueError(f"scale.{key} must be an integer")
-    _section("serial", {})
-    _section("parallel", {"workers": int})
-    if not isinstance(data.get("speedup"), (int, float)):
-        raise ValueError("speedup must be a number")
+    _throughput("serial", data.get("serial"))
+    _throughput("parallel", data.get("parallel"), {"workers": int})
+    _number("speedup", data.get("speedup"))
+    _number("pool_scaling", data.get("pool_scaling"))
     if data.get("equivalent") is not True:
-        raise ValueError("equivalent must be true (parallel != serial results)")
+        raise ValueError("equivalent must be true (configurations disagree)")
+
+    snapshot = data.get("snapshot")
+    if not isinstance(snapshot, dict):
+        raise ValueError("missing or non-object section 'snapshot'")
+    if isinstance(snapshot.get("injection_start_ms"), bool) or not isinstance(
+        snapshot.get("injection_start_ms"), int
+    ):
+        raise ValueError("snapshot.injection_start_ms must be an integer")
+    _throughput("snapshot.cold", snapshot.get("cold"))
+    _throughput("snapshot.warm", snapshot.get("warm"))
+    _number("snapshot.speedup", snapshot.get("speedup"))
+    if smoke and snapshot["speedup"] < 1.0:
+        raise ValueError(
+            f"throughput regression: snapshot-accelerated runs are slower "
+            f"than cold runs (speedup {snapshot['speedup']}x < 1.0x)"
+        )
+
+    _throughput("store_hit", data.get("store_hit"), {"hits": int})
+    if data["store_hit"]["hits"] != data["store_hit"]["runs"]:
+        raise ValueError("store_hit.hits must equal store_hit.runs (stale store)")
+
     tracing = data.get("tracing")
     if not isinstance(tracing, dict):
         raise ValueError("missing or non-object section 'tracing'")
-    for name in ("off", "null_sink"):
-        sub = tracing.get(name)
-        if not isinstance(sub, dict):
-            raise ValueError(f"missing or non-object section tracing.{name}")
-        for key, kind in _THROUGHPUT_KEYS.items():
-            accepted = (int, float) if kind is float else kind
-            if isinstance(sub.get(key), bool) or not isinstance(sub.get(key), accepted):
-                raise ValueError(f"tracing.{name}.{key} should be {kind.__name__}")
-    for key in ("overhead_pct", "null_sink_overhead_pct"):
-        if isinstance(tracing.get(key), bool) or not isinstance(
-            tracing.get(key), (int, float)
-        ):
-            raise ValueError(f"tracing.{key} must be a number")
+    _throughput("tracing.off", tracing.get("off"))
+    _throughput("tracing.null_sink", tracing.get("null_sink"))
+    _number("tracing.overhead_pct", tracing.get("overhead_pct"))
+    _number("tracing.null_sink_overhead_pct", tracing.get("null_sink_overhead_pct"))
 
 
 def _median(samples) -> float:
@@ -136,7 +190,7 @@ def _median(samples) -> float:
 
 def _measure(run_once, repeats: int):
     """One warm-up run, then the median wall-clock of *repeats* timed runs."""
-    results = run_once()  # warm-up (untimed)
+    results = run_once()  # warm-up (untimed; also fills the snapshot caches)
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()
@@ -153,52 +207,106 @@ def _throughput(runs: int, seconds: float) -> dict:
     }
 
 
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
-                  target=None) -> dict:
+                  target=None, injection_start_ms=None) -> dict:
     from repro.experiments.parallel import enumerate_e1_specs, execute_specs
+    from repro.experiments.store import ResultStore
     from repro.obs import MetricsRegistry, NullSink, TraceBus
     from repro.targets.registry import get_target
 
     resolved = get_target(target)
+    if injection_start_ms is None:
+        injection_start_ms = DEFAULT_INJECTION_START.get(resolved.name, 0)
     versions = ("All",)
     error_filter = lambda e: e.signal in signals  # noqa: E731
-    serial_cfg = CampaignConfig(
-        cases_all=cases, versions=versions, workers=1, target=resolved.name
-    )
-    parallel_cfg = CampaignConfig(
-        cases_all=cases, versions=versions, workers=workers, target=resolved.name
-    )
 
-    serial_results, serial_s = _measure(
-        lambda: run_e1_campaign(serial_cfg, error_filter=error_filter), repeats
+    def _config(workers: int, snapshots: bool) -> CampaignConfig:
+        return CampaignConfig(
+            cases_all=cases,
+            versions=versions,
+            workers=workers,
+            target=resolved.name,
+            injection_start_ms=injection_start_ms,
+            snapshots=snapshots,
+        )
+
+    cold_cfg = _config(workers=1, snapshots=False)
+    warm_cfg = _config(workers=1, snapshots=True)
+    parallel_cfg = _config(workers=workers, snapshots=True)
+
+    # The cold baseline (strict reboot-per-run, one process) vs the
+    # production configuration (snapshots + pre-warmed pool).
+    cold_results, cold_s = _measure(
+        lambda: run_e1_campaign(cold_cfg, error_filter=error_filter), repeats
+    )
+    warm_results, warm_s = _measure(
+        lambda: run_e1_campaign(warm_cfg, error_filter=error_filter), repeats
     )
     parallel_results, parallel_s = _measure(
         lambda: run_e1_campaign(parallel_cfg, error_filter=error_filter), repeats
     )
 
-    # Disabled-tracing overhead: the same serial slice through the spec
-    # executor with no tracer, then with an enabled bus discarding into a
-    # NullSink.  Same warm-up + median discipline as above.
-    specs = enumerate_e1_specs(serial_cfg, error_filter)
+    # Store replay: fill a fresh store once, then measure pure-hit passes.
+    store_dir = tempfile.mkdtemp(prefix="bench_store_")
+    try:
+        store = ResultStore(
+            store_dir, target=resolved.name,
+            injection_start_ms=injection_start_ms,
+        )
+        run_e1_campaign(warm_cfg, error_filter=error_filter, store=store)
+
+        def _replay():
+            replay_store = ResultStore(
+                store_dir, target=resolved.name,
+                injection_start_ms=injection_start_ms,
+            )
+            return replay_store, run_e1_campaign(
+                warm_cfg, error_filter=error_filter, store=replay_store
+            )
+
+        (replay_store, store_results), store_s = _measure(_replay, repeats)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    # Disabled-tracing overhead: the same slice through the spec executor
+    # with no tracer, then with an enabled bus discarding into a NullSink.
+    # Snapshots stay off so these numbers price tracing, not caching.
+    specs = enumerate_e1_specs(cold_cfg, error_filter)
     off_results, off_s = _measure(
-        lambda: execute_specs(specs, trace=None, metrics=None), repeats
+        lambda: execute_specs(specs, trace=None, metrics=None, snapshots=False),
+        repeats,
     )
     null_results, null_s = _measure(
         lambda: execute_specs(
-            specs, trace=TraceBus([NullSink()]), metrics=MetricsRegistry()
+            specs,
+            trace=TraceBus([NullSink()]),
+            metrics=MetricsRegistry(),
+            snapshots=False,
         ),
         repeats,
     )
-    assert off_results.records == serial_results.records == null_results.records
 
-    runs = len(serial_results)
-    serial_rps = runs / serial_s if serial_s else 0.0
+    equivalent = (
+        cold_results.records == warm_results.records == parallel_results.records
+        == store_results.records == off_results.records == null_results.records
+    )
+
+    runs = len(cold_results)
+    cold_rps = runs / cold_s if cold_s else 0.0
     off_rps = runs / off_s if off_s else 0.0
     null_rps = runs / null_s if null_s else 0.0
     return {
         "benchmark": "campaign",
         "schema_version": SCHEMA_VERSION,
         "repeats": repeats,
+        "cpus": _cpus(),
         "scale": {
             "target": resolved.name,
             "versions": list(versions),
@@ -206,19 +314,30 @@ def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
             "cases": cases,
             "runs": runs,
         },
-        "serial": _throughput(runs, serial_s),
+        "serial": _throughput(runs, cold_s),
         "parallel": {
             "workers": workers,
             **_throughput(len(parallel_results), parallel_s),
         },
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
-        "equivalent": serial_results.records == parallel_results.records,
+        "speedup": round(cold_s / parallel_s, 3) if parallel_s else 0.0,
+        "pool_scaling": round(warm_s / parallel_s, 3) if parallel_s else 0.0,
+        "equivalent": equivalent,
+        "snapshot": {
+            "injection_start_ms": injection_start_ms,
+            "cold": _throughput(runs, cold_s),
+            "warm": _throughput(runs, warm_s),
+            "speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+        },
+        "store_hit": {
+            **_throughput(runs, store_s),
+            "hits": replay_store.stats.hits,
+        },
         "tracing": {
             "off": _throughput(runs, off_s),
             "null_sink": _throughput(runs, null_s),
             "overhead_pct": (
-                round((serial_rps - off_rps) / serial_rps * 100.0, 2)
-                if serial_rps
+                round((cold_rps - off_rps) / cold_rps * 100.0, 2)
+                if cold_rps
                 else 0.0
             ),
             "null_sink_overhead_pct": (
@@ -248,9 +367,17 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         # At least 2 so the pool path is exercised even on one core
-        # (where the figure measures dispatch overhead, not speedup).
+        # (where pool_scaling reports ~1.0 and the speedup is snapshots').
         default=max(2, min(4, os.cpu_count() or 1)),
         metavar="N",
+    )
+    parser.add_argument(
+        "--injection-start",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="first-injection sim-time for the snapshot section "
+        "(default: per-target, e.g. arrestor 12000)",
     )
     parser.add_argument(
         "--repeats",
@@ -267,17 +394,25 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="validate an emitted BENCH_campaign.json instead of benchmarking",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --check: also enforce the warm >= cold regression guard",
+    )
     args = parser.parse_args(argv)
 
     if args.check:
         with open(args.check, "r", encoding="utf-8") as handle:
             data = json.load(handle)
         try:
-            validate_bench_json(data)
+            validate_bench_json(data, smoke=args.smoke)
         except ValueError as exc:
             print(f"{args.check}: INVALID: {exc}")
             return 1
-        print(f"{args.check}: schema OK (speedup {data['speedup']}x)")
+        print(
+            f"{args.check}: schema OK (speedup {data['speedup']}x, "
+            f"snapshot {data['snapshot']['speedup']}x)"
+        )
         return 0
 
     if args.repeats < 1:
@@ -297,17 +432,29 @@ def main(argv=None) -> int:
         workers=args.workers,
         repeats=args.repeats,
         target=args.target,
+        injection_start_ms=args.injection_start,
     )
-    validate_bench_json(data)
+    validate_bench_json(data, smoke=args.smoke)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")
+    snapshot = data["snapshot"]
     tracing = data["tracing"]
     print(
         f"[{data['scale']['target']}] {data['scale']['runs']} runs x "
-        f"{data['repeats']} repeats: serial {data['serial']['runs_per_sec']}/s, "
-        f"parallel[{data['parallel']['workers']}] {data['parallel']['runs_per_sec']}/s "
-        f"(speedup {data['speedup']}x, equivalent={data['equivalent']}) -> {args.out}"
+        f"{data['repeats']} repeats on {data['cpus']} cpu(s): "
+        f"cold-serial {data['serial']['runs_per_sec']}/s, "
+        f"warm-parallel[{data['parallel']['workers']}] "
+        f"{data['parallel']['runs_per_sec']}/s "
+        f"(speedup {data['speedup']}x, pool_scaling {data['pool_scaling']}x, "
+        f"equivalent={data['equivalent']}) -> {args.out}"
+    )
+    print(
+        f"snapshot layer: warm {snapshot['warm']['runs_per_sec']}/s vs cold "
+        f"{snapshot['cold']['runs_per_sec']}/s = {snapshot['speedup']}x "
+        f"(prefix at {snapshot['injection_start_ms']} ms); "
+        f"store replay {data['store_hit']['runs_per_sec']}/s "
+        f"({data['store_hit']['hits']} hits)"
     )
     print(
         f"tracing: disabled overhead {tracing['overhead_pct']}% "

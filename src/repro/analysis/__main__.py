@@ -213,20 +213,35 @@ def _run_all_targets(
 ) -> int:
     import json as _json
 
-    from repro.analysis.selfcheck import check_all_targets
+    from repro.analysis.selfcheck import check_all_targets, check_snapshot_determinism
 
     reports = check_all_targets(registry=registry, options=options)
+    snapshot_failures = {
+        name: failure
+        for name in reports
+        if (failure := check_snapshot_determinism(name)) is not None
+    }
     if fmt == "json":
-        payload = {name: _json.loads(report.to_json()) for name, report in reports.items()}
+        payload = {
+            name: {
+                **_json.loads(report.to_json()),
+                "snapshot_determinism": snapshot_failures.get(name),
+            }
+            for name, report in reports.items()
+        }
         print(_json.dumps(payload, indent=2))
     else:
         for name, report in reports.items():
             _render(report, fmt, f"target {name!r}", len(registry))
+            if name in snapshot_failures:
+                print(f"SNAPSHOT DIVERGENCE: {name}: {snapshot_failures[name]}")
+            else:
+                print(f"OK: target {name!r} — snapshot-enabled run identical to cold run")
     passed = (
         all(r.clean for r in reports.values())
         if strict
         else all(r.ok for r in reports.values())
-    )
+    ) and not snapshot_failures
     return 0 if passed else 1
 
 

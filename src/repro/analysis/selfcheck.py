@@ -19,7 +19,12 @@ from repro.analysis.diagnostics import AnalysisOptions, AnalysisReport
 from repro.analysis.engine import analyze_plan
 from repro.analysis.registry import RuleRegistry
 
-__all__ = ["build_default_target", "self_check", "check_all_targets"]
+__all__ = [
+    "build_default_target",
+    "self_check",
+    "check_all_targets",
+    "check_snapshot_determinism",
+]
 
 
 def build_default_target() -> Tuple[InstrumentationPlan, Tuple[FmecaEntry, ...]]:
@@ -59,3 +64,43 @@ def check_all_targets(
         plan, fmeca = get_target(name).lint_target()
         reports[name] = analyze_plan(plan, fmeca, registry=registry, options=options)
     return reports
+
+
+def check_snapshot_determinism(name: str) -> Optional[str]:
+    """Verify snapshot-restored runs match cold runs for one target.
+
+    Executes the same injected experiment three ways — cold boot,
+    snapshot-miss (capture then restore), snapshot-hit (pure restore
+    through the prefix fast-forward path) — and compares the full
+    :class:`~repro.targets.base.RunResult` of each.  Returns ``None``
+    when they are identical (or the target opts out of snapshots), else
+    a one-line description of the divergence.  ``--all-targets`` runs
+    this per registered workload, so ``make lint`` also guards the
+    dynamic equivalence the snapshot layer promises, not just the static
+    plans.
+    """
+    from repro.injection.fic import CampaignController
+    from repro.targets import clear_cache, get_target
+
+    target = get_target(name)
+    if not target.supports_snapshots():
+        return None  # harness reverts to reboot-per-run; nothing to compare
+    case = target.test_cases()[0]
+    error = target.e1_error_set()[0]
+    start_ms = 1000
+    clear_cache()
+    cold = CampaignController(
+        target=target, snapshots=False, injection_start_ms=start_ms
+    )
+    warm = CampaignController(
+        target=target, snapshots=True, injection_start_ms=start_ms
+    )
+    reference = cold.run_injection(error, case).result
+    for label in ("snapshot-miss", "snapshot-hit"):
+        result = warm.run_injection(error, case).result
+        if result != reference:
+            return (
+                f"{label} run diverged from the cold run for error "
+                f"{error.name!r} (case m={case.mass_kg}, v={case.velocity_mps})"
+            )
+    return None

@@ -69,6 +69,28 @@ class RunConfig:
             object.__setattr__(self, "enabled_eas", tuple(self.enabled_eas))
 
 
+@dataclasses.dataclass
+class _LoopState:
+    """Where a (possibly paused) run loop stands.
+
+    Keeping the loop variables on the system instead of the stack is what
+    makes a run *resumable*: :meth:`TargetSystem.run_prefix` can execute
+    the fault-free prefix, the snapshot layer can deep-copy the whole
+    system (this state included), and :meth:`TargetSystem.run` continues
+    from the restored tick with behaviour byte-identical to an
+    uninterrupted run.
+    """
+
+    #: The next millisecond to execute.
+    next_ms: int = 0
+    #: The last millisecond actually executed (-1 = none yet).
+    last_ms: int = -1
+    stop_deadline: Optional[int] = None
+    events_seen: int = 0
+    tx_pending: bool = False
+    finished: bool = False
+
+
 class TargetSystem:
     """Master + slave + environment, ready to execute one arrestment."""
 
@@ -117,14 +139,65 @@ class TargetSystem:
         #: (time, mscnt, ms_slot_nbr, pulscnt, i, SetValue, IsValue,
         #: OutValue) samples when ``signal_trace_period_ms`` is set.
         self.signal_trace: list = []
+        #: Loop state of an in-progress (or finished) run; ``None`` until
+        #: the first :meth:`run`/:meth:`run_prefix` call.
+        self._loop: Optional[_LoopState] = None
 
     @property
     def detection_log(self):
         """The master node's detection log (the target-protocol surface)."""
         return self.master.detection_log
 
+    def run_prefix(self, until_ms: int) -> None:
+        """Advance the fault-free run up to (excluding) tick *until_ms*.
+
+        Used by the snapshot layer: the fault-free prefix of an injected
+        run with ``injection_start_ms > 0`` is identical for every error,
+        so it is simulated once, the paused system is snapshotted, and
+        every run restores it and continues with :meth:`run`.  Ticking an
+        armed-but-not-yet-due injector is a no-op, so skipping those
+        ticks entirely preserves byte-identical behaviour.
+        """
+        if until_ms < 0:
+            raise ValueError(f"until_ms must be non-negative, got {until_ms}")
+        self._advance(None, until_ms)
+
     def run(self, injector=None) -> RunResult:
-        """Execute the arrestment; *injector* is ticked every millisecond."""
+        """Execute the arrestment; *injector* is ticked every millisecond.
+
+        On a system advanced with :meth:`run_prefix` the loop resumes
+        where the prefix paused; otherwise it runs start to finish.
+        """
+        self._advance(injector, None)
+        state = self._loop
+        summary = self.env.summary()
+        verdict = self.classifier.classify(summary)
+        log = self.master.detection_log
+        return RunResult(
+            test_case=self.test_case,
+            summary=summary,
+            verdict=verdict,
+            detected=log.detected,
+            first_detection_ms=log.first_detection_time,
+            detection_count=len(log.events),
+            first_injection_ms=(
+                injector.first_injection_ms if injector is not None else None
+            ),
+            injection_count=(injector.injections if injector is not None else 0),
+            wedged=self.master.wedged,
+            duration_ms=state.last_ms + 1,
+            watchdog_fired_ms=(
+                self.watchdog.fired_at_ms if self.watchdog is not None else None
+            ),
+        )
+
+    def _advance(self, injector, until_ms: Optional[int]) -> None:
+        """The run loop, from the stored state up to *until_ms* (or the end)."""
+        state = self._loop
+        if state is None:
+            state = self._loop = _LoopState()
+        if state.finished:
+            return
         master = self.master
         slave = self.slave
         env = self.env
@@ -136,13 +209,22 @@ class TargetSystem:
 
         overrun_m = config.overrun_distance_m
         post_stop = config.post_stop_ms
-        stop_deadline: Optional[int] = None
-        events_seen = 0
-        now = 0
+        stop_deadline = state.stop_deadline
+        events_seen = state.events_seen
+        now = state.next_ms
         watchdog = self.watchdog
         trace_period = config.signal_trace_period_ms
-        tx_pending = False
-        for now in range(config.observe_ms_max):
+        tx_pending = state.tx_pending
+        for now in range(state.next_ms, config.observe_ms_max):
+            if until_ms is not None and now >= until_ms:
+                # Pause *before* executing tick ``now``: the resumed run
+                # executes it (injector first), exactly as the cold loop
+                # would have.
+                state.next_ms = now
+                state.stop_deadline = stop_deadline
+                state.events_seen = events_seen
+                state.tx_pending = tx_pending
+                return
             if injector is not None:
                 injector.tick(now, memory)
             slot = master.tick(now)
@@ -193,22 +275,9 @@ class TargetSystem:
             elif now >= stop_deadline:
                 break
 
-        summary = env.summary()
-        verdict = self.classifier.classify(summary)
-        return RunResult(
-            test_case=self.test_case,
-            summary=summary,
-            verdict=verdict,
-            detected=log.detected,
-            first_detection_ms=log.first_detection_time,
-            detection_count=len(log.events),
-            first_injection_ms=(
-                injector.first_injection_ms if injector is not None else None
-            ),
-            injection_count=(injector.injections if injector is not None else 0),
-            wedged=master.wedged,
-            duration_ms=now + 1,
-            watchdog_fired_ms=(
-                self.watchdog.fired_at_ms if self.watchdog is not None else None
-            ),
-        )
+        state.next_ms = now + 1
+        state.last_ms = now
+        state.stop_deadline = stop_deadline
+        state.events_seen = events_seen
+        state.tx_pending = tx_pending
+        state.finished = True

@@ -6,9 +6,13 @@ Usage::
 
     python -m repro.experiments e1 [--cases-all N] [--cases-ea N] [--signal S]
                                    [--workers N] [--checkpoint CSV] [--resume]
+                                   [--store DIR] [--force] [--no-snapshots]
+                                   [--injection-start MS]
                                    [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments e2 [--cases N] [--workers N]
                                    [--checkpoint CSV] [--resume]
+                                   [--store DIR] [--force] [--no-snapshots]
+                                   [--injection-start MS]
                                    [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments reference
     python -m repro.experiments table6
@@ -23,7 +27,14 @@ restricts E1 to one monitored signal (a quick partial campaign); with
 fans the campaign out
 over a process pool, and ``--checkpoint``/``--resume`` stream completed
 runs to an append-only CSV so an interrupted campaign picks up where it
-left off.  ``--trace`` streams the structured event trace (detections,
+left off.  ``--store`` points at the content-addressed result store: a
+re-run with unchanged code and configuration restores every record from
+the store and executes zero new runs (``--force`` re-simulates anyway
+while refreshing the store).  ``--no-snapshots`` disables warm-target
+snapshot reuse (strict reboot-per-run), and ``--injection-start``
+delays the first injection, letting the snapshot layer fast-forward
+every run through the shared fault-free prefix.  ``--trace`` streams
+the structured event trace (detections,
 injections, run lifecycle) to a JSONL file; a campaign always ends with
 a metrics summary, and ``--metrics-out`` additionally writes the full
 metrics snapshot as JSON.
@@ -112,6 +123,34 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         help="skip runs already recorded in the --checkpoint file",
     )
     parser.add_argument(
+        "--store",
+        default=os.environ.get("REPRO_STORE") or None,
+        metavar="DIR",
+        help="content-addressed result store directory: restore records "
+        "computed by earlier campaigns with the same code/config and add "
+        "fresh ones (default: $REPRO_STORE or off)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="bypass --store lookups and re-simulate (the store is still "
+        "refreshed with the new records)",
+    )
+    parser.add_argument(
+        "--injection-start",
+        type=int,
+        default=int(os.environ.get("REPRO_INJECTION_START") or 0),
+        metavar="MS",
+        help="sim-time of the first injection in ms; a positive value lets "
+        "the snapshot layer fast-forward the shared fault-free prefix "
+        "(default: $REPRO_INJECTION_START or 0)",
+    )
+    parser.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="disable warm-target snapshot reuse (strict reboot-per-run)",
+    )
+    parser.add_argument(
         "--trace",
         default=os.environ.get("REPRO_TRACE") or None,
         metavar="JSONL",
@@ -157,6 +196,8 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         metrics=metrics,
         target=target.name,
+        injection_start_ms=args.injection_start,
+        snapshots=False if args.no_snapshots else None,
         **({"versions": versions} if versions else {}),
     )
     error_filter = None
@@ -182,6 +223,8 @@ def _cmd_e1(args: argparse.Namespace) -> int:
             error_filter=error_filter,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            store=args.store,
+            force=args.force,
         )
         print(f"\nE1 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
         if args.save:
@@ -208,6 +251,8 @@ def _cmd_e2(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         metrics=metrics,
         target=args.target,
+        injection_start_ms=args.injection_start,
+        snapshots=False if args.no_snapshots else None,
     )
     if args.load:
         results = load_results(args.load)
@@ -219,6 +264,8 @@ def _cmd_e2(args: argparse.Namespace) -> int:
             progress=_progress,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            store=args.store,
+            force=args.force,
         )
         print(f"\nE2 campaign: {len(results)} runs in {time.time() - start:.0f}s\n")
         if args.save:

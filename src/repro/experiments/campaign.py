@@ -55,6 +55,11 @@ class CampaignConfig:
     #: (for the arrestor: :data:`E1_VERSIONS`, the paper's eight builds).
     versions: Optional[Tuple[str, ...]] = None
     injection_period_ms: int = 20
+    #: Sim-time (ms) of the first injection.  A positive start lets the
+    #: snapshot layer fast-forward every run through the shared
+    #: fault-free prefix (simulated once per grid point, not once per
+    #: error); 0 reproduces the paper's inject-from-boot campaigns.
+    injection_start_ms: int = 0
     e2_seed: int = 2000
     run_config: Optional[RunConfig] = None
     #: Worker processes for campaign execution; 1 = in-process serial.
@@ -71,6 +76,9 @@ class CampaignConfig:
     #: Registered workload the campaign runs against; ``None`` resolves
     #: to the registry default (``$REPRO_TARGET``, else the arrestor).
     target: Optional[str] = None
+    #: Warm-target snapshot reuse: ``True``/``False`` force it on/off,
+    #: ``None`` follows the session default (``REPRO_SNAPSHOTS``).
+    snapshots: Optional[bool] = None
 
     def __post_init__(self) -> None:
         for name in ("cases_all", "cases_per_ea", "cases_e2"):
@@ -87,6 +95,10 @@ class CampaignConfig:
             raise ValueError(f"workers must be at least 1, got {self.workers}")
         if self.run_timeout_s is not None and self.run_timeout_s <= 0:
             raise ValueError("run_timeout_s must be positive when set")
+        if self.injection_start_ms < 0:
+            raise ValueError(
+                f"injection_start_ms must be non-negative, got {self.injection_start_ms}"
+            )
 
     @classmethod
     def from_env(cls) -> "CampaignConfig":
@@ -100,7 +112,11 @@ class CampaignConfig:
         wall-clock limit in seconds, and ``REPRO_TRACE`` a JSONL file
         the structured trace streams to.  ``REPRO_TARGET`` selects the
         workload (it also applies to configs built without ``from_env``,
-        via the registry default).
+        via the registry default).  ``REPRO_INJECTION_START`` sets the
+        first-injection sim-time in ms (enabling prefix fast-forward);
+        ``REPRO_SNAPSHOTS=0`` disables warm-target snapshot reuse (the
+        snapshot layer reads that variable itself, so ``snapshots``
+        stays ``None`` here).
         """
         full = os.environ.get("REPRO_FULL") == "1"
 
@@ -131,7 +147,24 @@ class CampaignConfig:
             workers=_env_int("REPRO_WORKERS", 1),
             run_timeout_s=_env_float("REPRO_RUN_TIMEOUT"),
             trace_path=os.environ.get("REPRO_TRACE") or None,
+            injection_start_ms=_env_int("REPRO_INJECTION_START", 0),
         )
+
+
+def _resolve_store(store, config: CampaignConfig):
+    """Coerce a store argument (path or ResultStore) for this config."""
+    if store is None:
+        return None
+    from repro.experiments.store import ResultStore
+
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(
+        store,
+        target=config.target,
+        run_config=config.run_config,
+        injection_start_ms=config.injection_start_ms,
+    )
 
 
 def run_e1_campaign(
@@ -140,6 +173,8 @@ def run_e1_campaign(
     error_filter: Optional[Callable] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    store: Optional[Union[str, Path, "ResultStore"]] = None,
+    force: bool = False,
 ) -> ResultSet:
     """Execute the E1 experiment (Tables 7 and 8).
 
@@ -155,6 +190,13 @@ def run_e1_campaign(
     optionally streaming completed runs to *checkpoint* and — with
     *resume* — skipping the runs already recorded there.  The result is
     record-for-record identical whatever the worker count.
+
+    *store* (a directory path or a prebuilt
+    :class:`~repro.experiments.store.ResultStore`) enables the
+    content-addressed result store: records computed by any earlier
+    campaign with the same code and configuration are restored instead
+    of re-simulated, and fresh records are added for the next campaign.
+    *force* re-simulates everything while still refreshing the store.
     """
     if config is None:
         config = CampaignConfig()
@@ -168,6 +210,9 @@ def run_e1_campaign(
         timeout_s=config.run_timeout_s,
         trace=config.trace_path,
         metrics=config.metrics,
+        store=_resolve_store(store, config),
+        force=force,
+        snapshots=config.snapshots,
     )
 
 
@@ -177,11 +222,13 @@ def run_e2_campaign(
     error_filter: Optional[Callable] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    store: Optional[Union[str, Path, "ResultStore"]] = None,
+    force: bool = False,
 ) -> ResultSet:
     """Execute the E2 experiment (Table 9): All version, random locations.
 
-    Same execution engine, checkpointing and resume semantics as
-    :func:`run_e1_campaign`.
+    Same execution engine, checkpointing, resume, and result-store
+    semantics as :func:`run_e1_campaign`.
     """
     if config is None:
         config = CampaignConfig()
@@ -195,6 +242,9 @@ def run_e2_campaign(
         timeout_s=config.run_timeout_s,
         trace=config.trace_path,
         metrics=config.metrics,
+        store=_resolve_store(store, config),
+        force=force,
+        snapshots=config.snapshots,
     )
 
 
@@ -232,6 +282,7 @@ def run_reference_grid(
             tracer=tracer,
             metrics=config.metrics,
             target=resolved,
+            snapshots=config.snapshots,
         )
     else:
         controller = CampaignController(target=resolved)

@@ -8,13 +8,23 @@ a crash loses everything.  This module turns a campaign into
    (version, error, test-case) triples carrying everything a worker
    needs to execute one run;
 2. an **execution engine** that dispatches specs in chunks to a process
-   pool (each run still boots a fresh :class:`TargetSystem`, preserving
-   the evaluation's reboot-between-runs semantics), retries failed
-   chunks a bounded number of times, gives every run a wall-clock
-   timeout that classifies a wedged simulation instead of hanging the
-   pool, and streams completed records to an append-only CSV
-   **checkpoint** so an interrupted campaign resumes by skipping the
-   specs already on disk.
+   pool (each run still gets a pristine system — by default restored
+   from a warm boot/prefix snapshot, which is byte-identical to the
+   evaluation's reboot-between-runs semantics; ``REPRO_SNAPSHOTS=0``
+   reverts to literal reboots), retries failed chunks a bounded number
+   of times, gives every run a wall-clock timeout that classifies a
+   wedged simulation instead of hanging the pool, and streams completed
+   records to an append-only CSV **checkpoint** so an interrupted
+   campaign resumes by skipping the specs already on disk.
+
+Acceleration.  Before forking its pool the dispatcher pre-warms the
+process-global snapshot cache (one boot — and, with a positive
+``injection_start_ms``, one fault-free prefix simulation — per distinct
+grid point), so every forked worker inherits the warm cache instead of
+rebuilding it.  An optional content-addressed **result store**
+(:mod:`repro.experiments.store`) short-circuits specs whose records were
+already computed by any earlier campaign with the same code and
+configuration.
 
 Observability.  With a trace destination and/or a metrics registry
 (``execute_specs(trace=..., metrics=...)``), the engine publishes run
@@ -47,6 +57,7 @@ from repro.experiments.results import ResultSet, RunRecord, canonical_key, flatt
 from repro.experiments.testcases import select_spread
 from repro.injection.errors import ErrorSpec
 from repro.injection.fic import CampaignController
+from repro.targets import snapshot as snapshots_mod
 from repro.targets.base import TestCase
 from repro.targets.registry import DEFAULT_TARGET, get_target
 from repro.obs.bus import TraceBus
@@ -99,6 +110,9 @@ class RunSpec:
     #: Registered workload the spec runs against; defaults to the
     #: arrestor so pre-target-layer pickles and call sites stay valid.
     target: str = DEFAULT_TARGET
+    #: Sim-time (ms) of the earliest injection; runs with a positive
+    #: start share a fault-free prefix the snapshot layer fast-forwards.
+    injection_start_ms: int = 0
 
     @property
     def key(self) -> SpecKey:
@@ -127,6 +141,7 @@ class RunSpec:
         case: TestCase,
         injection_period_ms: int,
         target: str = DEFAULT_TARGET,
+        injection_start_ms: int = 0,
     ) -> "RunSpec":
         return cls(
             experiment=experiment,
@@ -141,6 +156,7 @@ class RunSpec:
             velocity_mps=case.velocity_mps,
             injection_period_ms=injection_period_ms,
             target=target,
+            injection_start_ms=injection_start_ms,
         )
 
 
@@ -161,6 +177,7 @@ def enumerate_e1_specs(config, error_filter: Optional[Callable] = None) -> List[
     cases_all = select_spread(grid, config.cases_all)
     cases_ea = select_spread(grid, config.cases_per_ea)
     specs: List[RunSpec] = []
+    start_ms = getattr(config, "injection_start_ms", 0)
     for version in config.versions:
         cases = cases_all if version == "All" else cases_ea
         for error in errors:
@@ -173,6 +190,7 @@ def enumerate_e1_specs(config, error_filter: Optional[Callable] = None) -> List[
                         case,
                         config.injection_period_ms,
                         target=target.name,
+                        injection_start_ms=start_ms,
                     )
                 )
     return specs
@@ -185,9 +203,16 @@ def enumerate_e2_specs(config, error_filter: Optional[Callable] = None) -> List[
     if error_filter is not None:
         errors = [e for e in errors if error_filter(e)]
     cases = select_spread(target.test_cases(), config.cases_e2)
+    start_ms = getattr(config, "injection_start_ms", 0)
     return [
         RunSpec.build(
-            "e2", "All", error, case, config.injection_period_ms, target=target.name
+            "e2",
+            "All",
+            error,
+            case,
+            config.injection_period_ms,
+            target=target.name,
+            injection_start_ms=start_ms,
         )
         for error in errors
         for case in cases
@@ -236,8 +261,9 @@ def _execute_one(
     timeout_s: Optional[float],
     tracer: Optional[TraceBus] = None,
     metrics: Optional[MetricsRegistry] = None,
+    snapshots: Optional[bool] = None,
 ) -> RunRecord:
-    """Execute one spec on a freshly booted system (reboot-per-run).
+    """Execute one spec on a freshly booted (or snapshot-restored) system.
 
     A timed-out run still yields exactly one record — the synthetic
     wedged record — which flows into the checkpoint and trace like any
@@ -245,10 +271,12 @@ def _execute_one(
     """
     controller = CampaignController(
         injection_period_ms=spec.injection_period_ms,
+        injection_start_ms=spec.injection_start_ms,
         run_config=run_config,
         tracer=tracer,
         metrics=metrics,
         target=spec.target,
+        snapshots=snapshots,
     )
     error = spec.error_spec()
     case = spec.test_case()
@@ -270,13 +298,13 @@ def _run_chunk(payload) -> Tuple[List[RunRecord], Optional[dict]]:
     scratch, so duplicates cannot survive).  With metrics on, a fresh
     per-chunk registry travels back as an additive snapshot.
     """
-    specs, run_config, timeout_s, trace_part, metrics_enabled = payload
+    specs, run_config, timeout_s, trace_part, metrics_enabled, snapshots = payload
     registry = MetricsRegistry() if metrics_enabled else None
     sink = JSONLSink(trace_part, mode="w") if trace_part is not None else None
     tracer = TraceBus([sink]) if sink is not None else None
     try:
         records = [
-            _execute_one(spec, run_config, timeout_s, tracer, registry)
+            _execute_one(spec, run_config, timeout_s, tracer, registry, snapshots)
             for spec in specs
         ]
     finally:
@@ -311,9 +339,15 @@ def _chunked(specs: Sequence[RunSpec], size: int) -> List[Tuple[RunSpec, ...]]:
 
 
 def _default_chunk_size(pending: int, workers: int) -> int:
-    # Small enough that the checkpoint advances steadily and stragglers
-    # don't serialise the tail; large enough to amortise dispatch.
-    return max(1, min(16, -(-pending // (workers * 4))))
+    # Small enough that the checkpoint advances steadily, stragglers
+    # don't serialise the tail, and even a small campaign fans out over
+    # every worker (at least two chunks per worker when the pending
+    # count allows); large enough to amortise dispatch.  Capped at 8:
+    # with warm snapshot caches a run is cheap, so finer-grained chunks
+    # cost little and keep the pool busy to the end.
+    if pending <= 0:
+        return 1
+    return max(1, min(8, pending // (workers * 2) or 1, -(-pending // (workers * 4))))
 
 
 def _restore(
@@ -349,6 +383,9 @@ def execute_specs(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     trace: Optional[Union[str, Path, TraceBus]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    store=None,
+    force: bool = False,
+    snapshots: Optional[bool] = None,
 ) -> ResultSet:
     """Execute *specs*, serially or on a process pool; return the results.
 
@@ -357,6 +394,16 @@ def execute_specs(
     to ``workers=1``.  With *checkpoint* set, completed records are
     appended to that CSV as they arrive; with *resume* additionally set,
     specs whose records are already in the file are not re-run.
+
+    *store* is an optional
+    :class:`~repro.experiments.store.ResultStore`: specs whose records
+    it already holds are restored instead of re-simulated (unless
+    *force*), and every freshly executed record is added to it, so a
+    repeated campaign with unchanged code executes zero new runs.
+    *snapshots* opts in/out of warm-target snapshot reuse (``None``
+    follows the ``REPRO_SNAPSHOTS`` default); with a pool, the parent
+    pre-warms the snapshot cache for every distinct grid point before
+    forking so workers inherit it instead of re-simulating prefixes.
 
     *trace* is either a JSONL file path (one event per line; appended to
     on resume, otherwise rewritten) or an already-wired
@@ -378,10 +425,26 @@ def execute_specs(
     if checkpoint is not None:
         by_key.update(_restore(checkpoint, resume, keys))
     pending = [spec for spec in specs if spec.key not in by_key]
+    restored = len(by_key)
+
+    store_hits: List[RunRecord] = []
+    if store is not None and not force and pending:
+        remaining = []
+        for spec in pending:
+            record = store.lookup(spec)
+            if record is None:
+                remaining.append(spec)
+            else:
+                store_hits.append(record)
+        pending = remaining
+        if store_hits:
+            if checkpoint is not None:
+                append_records(checkpoint, store_hits)
+            for record in store_hits:
+                by_key[canonical_key(record)] = record
 
     total = len(specs)
     done = total - len(pending)
-    restored = done
     if progress is not None and done:
         progress(done, total)
 
@@ -405,6 +468,8 @@ def execute_specs(
         nonlocal done
         if checkpoint is not None:
             append_records(checkpoint, chunk_records)
+        if store is not None:
+            store.add(chunk_records)
         for record in chunk_records:
             by_key[canonical_key(record)] = record
         done += len(chunk_records)
@@ -424,13 +489,24 @@ def execute_specs(
         )
         if restored:
             tracer.emit("campaign", "resume-restored", count=restored)
+        if store_hits:
+            tracer.emit("campaign", "store-restored", count=len(store_hits))
     if metrics is not None and restored:
         metrics.counter("runs_restored_total").inc(restored)
+    if metrics is not None and store_hits:
+        metrics.counter("runs_store_hits_total").inc(len(store_hits))
+
+    if use_pool:
+        warmed = _prewarm_pool_snapshots(pending, run_config, snapshots)
+        if warmed and tracer is not None:
+            tracer.emit("campaign", "snapshot-prewarm", count=warmed)
 
     try:
         if not use_pool:
             for spec in pending:
-                _complete([_execute_one(spec, run_config, timeout_s, tracer, metrics)])
+                _complete(
+                    [_execute_one(spec, run_config, timeout_s, tracer, metrics, snapshots)]
+                )
         else:
             _run_pool(
                 pending,
@@ -444,9 +520,10 @@ def execute_specs(
                 trace_path=trace_path,
                 trace_sink=trace_sink,
                 metrics=metrics,
+                snapshots=snapshots,
             )
         elapsed = time.perf_counter() - start
-        executed = done - restored
+        executed = done - restored - len(store_hits)
         if metrics is not None:
             metrics.gauge("campaign_seconds").set(round(elapsed, 3))
             metrics.gauge("campaign_runs_per_sec").set(
@@ -467,6 +544,42 @@ def execute_specs(
     return ResultSet(by_key[spec.key] for spec in specs)
 
 
+def _prewarm_pool_snapshots(
+    pending: Sequence[RunSpec], run_config, snapshots: Optional[bool]
+) -> int:
+    """Warm the parent's snapshot cache before the pool forks.
+
+    Forked workers inherit the parent's address space, so every distinct
+    (target, version, case, prefix) snapshot built here is shared by all
+    workers for free — without this, each worker re-simulates the same
+    fault-free prefixes.  Returns how many grid points were warmed (0
+    when snapshots are off or tracing makes the controller bypass them).
+    """
+    enabled = snapshots if snapshots is not None else snapshots_mod.snapshots_enabled_default()
+    if not enabled:
+        return 0
+    warmed = 0
+    seen = set()
+    for spec in pending:
+        point = (spec.target, spec.version, spec.mass_kg, spec.velocity_mps,
+                 spec.injection_start_ms)
+        if point in seen:
+            continue
+        seen.add(point)
+        target = get_target(spec.target)
+        if not target.supports_snapshots():
+            continue
+        if snapshots_mod.prewarm(
+            target,
+            spec.test_case(),
+            spec.version,
+            prefix_ms=spec.injection_start_ms,
+            run_config=run_config,
+        ):
+            warmed += 1
+    return warmed
+
+
 def _run_pool(
     pending: Sequence[RunSpec],
     run_config,
@@ -479,6 +592,7 @@ def _run_pool(
     trace_path: Optional[Path] = None,
     trace_sink: Optional[JSONLSink] = None,
     metrics: Optional[MetricsRegistry] = None,
+    snapshots: Optional[bool] = None,
 ) -> None:
     chunks = _chunked(pending, chunk_size or _default_chunk_size(len(pending), workers))
     attempts = {index: 0 for index in range(len(chunks))}
@@ -487,7 +601,14 @@ def _run_pool(
         return f"{trace_path}.part{index}" if trace_path is not None else None
 
     def _payload(index: int):
-        return (chunks[index], run_config, timeout_s, _part_path(index), metrics is not None)
+        return (
+            chunks[index],
+            run_config,
+            timeout_s,
+            _part_path(index),
+            metrics is not None,
+            snapshots,
+        )
 
     def _note_retry(index: int, exc: BaseException) -> None:
         if tracer is not None:

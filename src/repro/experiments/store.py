@@ -1,0 +1,191 @@
+"""Incremental, content-addressed campaign result store.
+
+A checkpoint file remembers the runs of *one campaign invocation*; the
+result store remembers the runs of *every campaign ever executed with
+this code* — and forgets them the moment the code changes.  Each stored
+record is addressed by
+
+* the **run identity** — ``(version, error name, test case)``, the same
+  :func:`~repro.experiments.results.canonical_key` that keys checkpoint
+  resume, and
+* the **context fingerprint** — a SHA-256 over the target's simulation
+  source code (:meth:`Target.fingerprint_sources`) plus the run
+  configuration and injection parameters.
+
+Editing any fingerprinted source file, changing the run config, or
+moving ``injection_start_ms`` therefore invalidates exactly the affected
+records: the store resolves to a different per-context CSV file and
+re-simulates.  Re-running an unchanged campaign executes **zero** new
+runs and reproduces the same tables from stored records.
+
+On disk a store is a directory of checkpoint-format CSV files, one per
+``(target, context fingerprint)`` — the same tolerant, append-only
+format as :mod:`repro.experiments.persistence`, so a store file can be
+inspected (or rescued) with the ordinary result tooling.
+
+The store complements, not replaces, the checkpoint: the engine still
+appends every record (stored or fresh) to the campaign's checkpoint
+file, so resume semantics and the campaign artifact are unchanged.
+Pass ``force=True`` (CLI ``--force``) to bypass lookups and re-simulate
+while still refreshing the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.experiments.persistence import append_records, load_checkpoint
+from repro.experiments.results import RunRecord, canonical_key
+from repro.targets.base import Target
+from repro.targets.registry import get_target
+
+__all__ = ["ResultStore", "StoreStats", "code_fingerprint", "context_fingerprint"]
+
+
+def _module_source_files(module_name: str) -> List[Path]:
+    """Every ``.py`` file belonging to *module_name* (package or module)."""
+    module = importlib.import_module(module_name)
+    module_file = getattr(module, "__file__", None)
+    if module_file is None:  # namespace/builtin: nothing to hash
+        return []
+    path = Path(module_file)
+    if path.name == "__init__.py":
+        return sorted(path.parent.rglob("*.py"))
+    return [path]
+
+
+def code_fingerprint(target: Target) -> str:
+    """SHA-256 over the source code that determines *target*'s run results.
+
+    Files are hashed in sorted path order, each prefixed by its
+    package-relative name, so renames and content edits both change the
+    digest while the absolute checkout location does not.
+    """
+    digest = hashlib.sha256()
+    seen = set()
+    for module_name in target.fingerprint_sources():
+        for path in _module_source_files(module_name):
+            if path in seen:
+                continue
+            seen.add(path)
+            anchor = path.parts.index(module_name.split(".", 1)[0])
+            digest.update("/".join(path.parts[anchor:]).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def context_fingerprint(
+    target: Target,
+    run_config=None,
+    injection_start_ms: int = 0,
+    code: Optional[str] = None,
+) -> str:
+    """The full content address of one experimental context.
+
+    ``repr(run_config)`` is a complete rendering of a frozen dataclass's
+    fields (the same convention the snapshot cache keys by), so two
+    campaigns differ in context fingerprint iff they could differ in
+    results: different code, different configuration, or a different
+    injection start.
+    """
+    digest = hashlib.sha256()
+    digest.update((code or code_fingerprint(target)).encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(target.name.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(repr(run_config).encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(str(injection_start_ms).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class StoreStats:
+    """Lookup accounting for one engine invocation."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class ResultStore:
+    """A directory of stored run records, addressed by content.
+
+    One instance is bound to a single context — target, run config,
+    injection start — and reads/writes that context's CSV file
+    (``<target>-<fingerprint[:16]>.csv`` under *root*).  Lookups verify
+    the stored record's error-descriptor fields against the requesting
+    spec, so a stale record whose error name collides across error-set
+    seeds is treated as a miss rather than silently returned.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        target=None,
+        run_config=None,
+        injection_start_ms: int = 0,
+    ) -> None:
+        self.root = Path(root)
+        self.target = get_target(target)
+        self.fingerprint = context_fingerprint(
+            self.target, run_config, injection_start_ms
+        )
+        self.path = self.root / f"{self.target.name}-{self.fingerprint[:16]}.csv"
+        self.stats = StoreStats()
+        self._records: Optional[Dict[Tuple, RunRecord]] = None
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> Dict[Tuple, RunRecord]:
+        if self._records is None:
+            self._records = {
+                canonical_key(record): record
+                for record in load_checkpoint(self.path).records
+            }
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # -- lookup / insert -----------------------------------------------------
+
+    @staticmethod
+    def _matches(record: RunRecord, spec) -> bool:
+        """The stored record describes the same error the spec injects."""
+        return (
+            record.signal == spec.signal
+            and record.signal_bit == spec.signal_bit
+            and record.area == spec.area
+        )
+
+    def lookup(self, spec) -> Optional[RunRecord]:
+        """The stored record for *spec*, or ``None`` (counted as a miss)."""
+        record = self._load().get(spec.key)
+        if record is not None and self._matches(record, spec):
+            self.stats.hits += 1
+            return record
+        self.stats.misses += 1
+        return None
+
+    def add(self, records: Iterable[RunRecord]) -> int:
+        """Persist *records* not yet stored; returns how many were appended."""
+        known = self._load()
+        fresh = []
+        for record in records:
+            key = canonical_key(record)
+            if key in known:
+                continue
+            known[key] = record
+            fresh.append(record)
+        if fresh:
+            self.root.mkdir(parents=True, exist_ok=True)
+            append_records(self.path, fresh)
+        return len(fresh)

@@ -15,20 +15,40 @@ controller emits the run-lifecycle events (``run-start``, ``run-end``,
 injector, so detections, recoveries and bit flips stream out with their
 sim-times.  Given a ``metrics`` registry it maintains the campaign
 counters and the per-monitor detection-latency histograms.
+
+Snapshot acceleration.  With ``snapshots`` enabled (the default; see
+``REPRO_SNAPSHOTS``), "a fresh system per run" is implemented by
+restoring a cached boot-state snapshot instead of rebuilding the module
+graph (:mod:`repro.targets.snapshot`), and — when ``injection_start_ms
+> 0`` and no tracer is attached — by fast-forwarding through a memoized
+fault-free prefix, so the pre-injection trajectory of a (version, case)
+grid point is simulated once rather than once per error.  Both paths
+are byte-identical to a cold run; fault-free reference runs are
+additionally memoized outright (one simulation per (version, case)).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.injection.errors import ErrorSpec
 from repro.injection.injector import INJECTION_PERIOD_MS, TimeTriggeredInjector
 from repro.plant.failure import FailureVerdict
 from repro.targets.base import RunResult, TestCase
 from repro.targets.registry import get_target
+from repro.targets import snapshot as snapshots_mod
 
 __all__ = ["ExperimentRecord", "CampaignController", "TIMEOUT_VIOLATION"]
+
+#: Memoized fault-free reference runs: cache key -> (RunResult, events).
+#: Per process, like the snapshot cache (forked workers inherit it).
+_REFERENCE_MEMO: Dict[Tuple, Tuple[RunResult, Tuple]] = {}
+
+
+def clear_reference_memo() -> None:
+    """Drop memoized reference results (tests; after editing a target)."""
+    _REFERENCE_MEMO.clear()
 
 #: Constraint name recorded in the verdict of a timed-out run.
 TIMEOUT_VIOLATION = "worker-timeout"
@@ -68,6 +88,12 @@ class CampaignController:
     registry default (``$REPRO_TARGET``, else the arrestor).
     ``classifier`` and ``run_config`` are forwarded to the target's
     ``boot``; ``None`` selects the target's own defaults.
+
+    ``snapshots`` opts a controller in or out of warm-target snapshot
+    reuse; ``None`` follows the session default (``REPRO_SNAPSHOTS``).
+    Snapshot reuse silently disables itself when the target does not
+    support it or a custom ``classifier`` instance is supplied (its
+    identity cannot key a shared cache).
     """
 
     def __init__(
@@ -79,7 +105,12 @@ class CampaignController:
         tracer=None,
         metrics=None,
         target=None,
+        snapshots: Optional[bool] = None,
     ) -> None:
+        if injection_start_ms < 0:
+            raise ValueError(
+                f"injection_start_ms must be non-negative, got {injection_start_ms}"
+            )
         self.target = get_target(target)
         self.classifier = classifier
         self.injection_period_ms = injection_period_ms
@@ -88,6 +119,9 @@ class CampaignController:
         self.tracer = tracer
         self.metrics = metrics
         self.runs_executed = 0
+        if snapshots is None:
+            snapshots = snapshots_mod.snapshots_enabled_default()
+        self.snapshots = bool(snapshots)
 
     # -- observability ------------------------------------------------------
 
@@ -181,7 +215,37 @@ class CampaignController:
             return None
         return (version,)
 
-    def _build_system(self, test_case: TestCase, version: str):
+    def _snapshots_usable(self) -> bool:
+        """Snapshot reuse applies: enabled, default classifier, capable target."""
+        return (
+            self.snapshots
+            and self.classifier is None
+            and self.target.supports_snapshots()
+        )
+
+    def _build_system(self, test_case: TestCase, version: str, fast_forward: bool = False):
+        """A fresh system for one run — restored from the warm cache when sound.
+
+        With *fast_forward* (injected runs whose first flip lands at
+        ``injection_start_ms > 0``) the restored system has already been
+        advanced through the memoized fault-free prefix.  Fast-forward is
+        skipped under an attached tracer so the trace stream of the
+        prefix window stays identical to a cold run's.
+        """
+        if self._snapshots_usable():
+            if fast_forward and self.injection_start_ms > 0 and self.tracer is None:
+                system = snapshots_mod.prefixed_system(
+                    self.target,
+                    test_case,
+                    version,
+                    self.injection_start_ms,
+                    run_config=self.run_config,
+                )
+                if system is not None:
+                    return system
+            return snapshots_mod.booted_system(
+                self.target, test_case, version, run_config=self.run_config
+            )
         return self.target.boot(
             test_case,
             version,
@@ -189,13 +253,40 @@ class CampaignController:
             classifier=self.classifier,
         )
 
+    def _reference_memo_key(self, test_case: TestCase, version: str) -> Tuple:
+        return (
+            self.target.name,
+            version,
+            test_case.mass_kg,
+            test_case.velocity_mps,
+            repr(self.run_config),
+        )
+
     def run_reference(self, test_case: TestCase, version: str = "All") -> ExperimentRecord:
-        """A fault-free reference run (the Section-3.4 precondition check)."""
+        """A fault-free reference run (the Section-3.4 precondition check).
+
+        With snapshots enabled and no tracer attached, the result is
+        memoized per (target, version, case, config): re-validating the
+        reference grid — including the per-version fault-free rows of a
+        campaign — costs one simulation per grid point per process.
+        """
         self._emit_run_start(None, test_case, version)
+        memo_key = None
+        if self._snapshots_usable() and self.tracer is None:
+            memo_key = self._reference_memo_key(test_case, version)
+            cached = _REFERENCE_MEMO.get(memo_key)
+            if cached is not None:
+                result, events = cached
+                self.runs_executed += 1
+                self._emit_run_end(result)
+                self._record_metrics(result, events)
+                return ExperimentRecord(error=None, version=version, result=result)
         system = self._build_system(test_case, version)
         if self.tracer is not None:
             system.detection_log.tracer = self.tracer
         result = system.run()
+        if memo_key is not None:
+            _REFERENCE_MEMO[memo_key] = (result, tuple(system.detection_log.events))
         self.runs_executed += 1
         self._emit_run_end(result)
         self._record_metrics(result, system.detection_log.events)
@@ -209,7 +300,7 @@ class CampaignController:
     ) -> ExperimentRecord:
         """One injected experiment run on a freshly booted system."""
         self._emit_run_start(error, test_case, version)
-        system = self._build_system(test_case, version)
+        system = self._build_system(test_case, version, fast_forward=True)
         if self.tracer is not None:
             system.detection_log.tracer = self.tracer
         injector = TimeTriggeredInjector(

@@ -63,6 +63,8 @@ EVENT_KINDS = (
     (SUBSYSTEM_CAMPAIGN, "run-timeout"),
     (SUBSYSTEM_CAMPAIGN, "campaign-start"),
     (SUBSYSTEM_CAMPAIGN, "resume-restored"),
+    (SUBSYSTEM_CAMPAIGN, "store-restored"),
+    (SUBSYSTEM_CAMPAIGN, "snapshot-prewarm"),
     (SUBSYSTEM_CAMPAIGN, "chunk-retry"),
     (SUBSYSTEM_CAMPAIGN, "campaign-end"),
 )

@@ -14,7 +14,7 @@ reference workloads ship built in:
 See ``docs/architecture.md`` ("The target layer") for how to add one.
 """
 
-from repro.targets.base import BootedSystem, RunResult, Target, TestCase
+from repro.targets.base import BootedSystem, RunResult, Snapshot, Target, TestCase
 from repro.targets.registry import (
     DEFAULT_TARGET,
     TARGET_ENV_VAR,
@@ -24,12 +24,27 @@ from repro.targets.registry import (
     target_names,
     unregister_target,
 )
+from repro.targets.snapshot import (
+    SNAPSHOTS_ENV_VAR,
+    booted_system,
+    cache_stats,
+    clear_cache,
+    prefixed_system,
+    snapshots_enabled_default,
+)
 
 __all__ = [
     "BootedSystem",
     "RunResult",
+    "Snapshot",
     "Target",
     "TestCase",
+    "SNAPSHOTS_ENV_VAR",
+    "booted_system",
+    "cache_stats",
+    "clear_cache",
+    "prefixed_system",
+    "snapshots_enabled_default",
     "DEFAULT_TARGET",
     "TARGET_ENV_VAR",
     "default_target_name",

@@ -82,3 +82,18 @@ class ArrestorTarget(Target):
         )
 
         return build_instrumentation_plan(), default_fmeca_entries()
+
+    def fingerprint_sources(self) -> Tuple[str, ...]:
+        # The default would hash all of repro.targets (this adapter's
+        # package), needlessly invalidating arrestor results when an
+        # unrelated workload changes; pin the arrestor's actual sources.
+        return (
+            "repro.core",
+            "repro.memory",
+            "repro.plant",
+            "repro.rtos",
+            "repro.injection",
+            "repro.targets.base",
+            "repro.targets.arrestor",
+            "repro.arrestor",
+        )

@@ -31,12 +31,21 @@ both for backwards compatibility.
 from __future__ import annotations
 
 import abc
+import copy
 import dataclasses
+import pickle
 from typing import Any, List, Optional, Tuple
 
 from repro.plant.failure import FailureVerdict
 
-__all__ = ["TestCase", "RunResult", "BootedSystem", "Target", "validate_target"]
+__all__ = [
+    "TestCase",
+    "RunResult",
+    "BootedSystem",
+    "Snapshot",
+    "Target",
+    "validate_target",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -121,6 +130,27 @@ class BootedSystem(abc.ABC):
         """The run's :class:`~repro.core.monitor.DetectionLog`."""
 
 
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """A captured booted-system state, restorable into fresh run copies.
+
+    ``codec`` names the capture strategy: ``"pickle"`` stores the system
+    as bytes (the default — restoring is a single ``loads``, cheaper
+    than re-booting the module graph), ``"deepcopy"`` keeps a pristine
+    object template for systems whose state does not pickle.  Either
+    way, :meth:`Target.restore` hands out an *independent* copy per
+    call, so one snapshot serves any number of runs without any run
+    leaking corrupted state into the next.
+    """
+
+    codec: str
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if self.codec not in ("pickle", "deepcopy"):
+            raise ValueError(f"unknown snapshot codec {self.codec!r}")
+
+
 class Target(abc.ABC):
     """One workload the fault-injection harness can drive end to end."""
 
@@ -195,6 +225,60 @@ class Target(abc.ABC):
 
         Used by the engine to synthesise the wedged record of a timed-out
         run; the verdict itself is supplied by the controller."""
+
+    # -- snapshots -----------------------------------------------------------
+
+    def supports_snapshots(self) -> bool:
+        """Whether booted systems may be captured/restored via snapshots.
+
+        The default implementation snapshots any system whose object
+        graph pickles (falling back to deep copy), which holds for both
+        built-in targets.  A target wrapping unrestorable resources
+        (sockets, co-processes, real hardware) overrides this to return
+        ``False`` and the harness silently reverts to reboot-per-run.
+        """
+        return True
+
+    def snapshot(self, system: Any) -> Snapshot:
+        """Capture *system* (typically pristine or prefix-advanced).
+
+        The default pickles the system; systems that cannot pickle are
+        kept as a deep-copy template.  Restored copies must behave
+        byte-identically to the captured system — the determinism tests
+        and the committed golden trace enforce this for the built-ins.
+        """
+        try:
+            payload = pickle.dumps(system, protocol=pickle.HIGHEST_PROTOCOL)
+            return Snapshot(codec="pickle", payload=payload)
+        except Exception:
+            return Snapshot(codec="deepcopy", payload=copy.deepcopy(system))
+
+    def restore(self, snapshot: Snapshot) -> Any:
+        """A fresh, independent system copy from a :class:`Snapshot`."""
+        if snapshot.codec == "pickle":
+            return pickle.loads(snapshot.payload)
+        return copy.deepcopy(snapshot.payload)
+
+    def fingerprint_sources(self) -> Tuple[str, ...]:
+        """Module/package names whose source code determines run results.
+
+        The incremental result store hashes these sources into the
+        content-addressed key of every stored record, so editing any of
+        them invalidates exactly the affected target's cache.  The
+        default covers the shared simulation stack plus the package the
+        concrete target class lives in; targets with code outside that
+        package extend the tuple (see :class:`ArrestorTarget`).
+        """
+        package = type(self).__module__.rsplit(".", 1)[0]
+        return (
+            "repro.core",
+            "repro.memory",
+            "repro.plant",
+            "repro.rtos",
+            "repro.injection",
+            "repro.targets.base",
+            package,
+        )
 
     # -- static analysis -----------------------------------------------------
 

@@ -1,0 +1,238 @@
+"""Warm-target snapshot caches: boot once, restore per run.
+
+The paper's FIC3 *resets the target system* between runs, and the
+campaign engine reproduces that faithfully — but a reset only needs a
+pristine *state*, not a rebuilt object graph.  This module keeps one
+process-global cache of captured system states and serves every run a
+fresh restored copy:
+
+* **Boot snapshots** — one per ``(target, version, test case, run
+  config)``: the system exactly as :meth:`Target.boot` leaves it.
+  Restoring (a single ``pickle.loads``) replaces re-wiring the module
+  graph, monitors and plant on every run.
+* **Prefix snapshots** — additionally advanced through the fault-free
+  prefix with :meth:`run_prefix` when the campaign injects from
+  ``injection_start_ms > 0``.  Every error of the grid shares the same
+  fault-free trajectory up to the first injection tick (the injector is
+  a strict no-op before its start time), so the prefix is simulated
+  **once per (version, case)** instead of once per run — the
+  checkpoint-based SWIFI acceleration of the FIC/GOOFI lineage.
+
+Restored runs are byte-identical to cold runs: a snapshot is captured
+from a freshly booted system *before* any tracer is attached, every
+consumer receives its own independent copy, and the cold-vs-restored
+equivalence (full :class:`RunResult` plus detection-event list) is
+pinned by tests for every built-in target.
+
+The cache is per process.  Pool workers fork from the dispatcher, so
+snapshots pre-warmed in the parent (see ``execute_specs``) are inherited
+by every worker at zero cost; workers also warm their own cache across
+the chunks they execute.  Disable the whole layer with
+``REPRO_SNAPSHOTS=0`` (or per call site) to return to strict
+reboot-per-run semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.targets.base import Snapshot, Target, TestCase
+
+__all__ = [
+    "SNAPSHOTS_ENV_VAR",
+    "snapshots_enabled_default",
+    "SnapshotCache",
+    "CacheStats",
+    "booted_system",
+    "prefixed_system",
+    "prewarm",
+    "cache_stats",
+    "clear_cache",
+]
+
+#: Set to ``0``/``false``/``off`` to disable snapshot reuse everywhere.
+SNAPSHOTS_ENV_VAR = "REPRO_SNAPSHOTS"
+
+#: Entries kept per cache before the least-recently-used is evicted.
+#: A full E1 campaign needs versions x cases entries (the arrestor's
+#: 8 x 25 = 200 at paper scale); prefix snapshots are the same count.
+DEFAULT_CACHE_SIZE = 256
+
+
+def snapshots_enabled_default() -> bool:
+    """The session-wide default: on unless ``REPRO_SNAPSHOTS`` disables it."""
+    raw = os.environ.get(SNAPSHOTS_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/build accounting, exposed for benchmarks and tests."""
+
+    boot_hits: int = 0
+    boot_misses: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+CacheKey = Tuple[str, str, float, float, str, int]
+
+
+def _cache_key(
+    target: Target,
+    version: str,
+    test_case: TestCase,
+    run_config: Any,
+    prefix_ms: int,
+) -> CacheKey:
+    """The identity of one snapshot.
+
+    ``run_config`` objects are frozen dataclasses; their ``repr`` is a
+    complete, stable rendering of every field, which keys differently
+    configured campaigns apart without requiring hashability.
+    """
+    return (
+        target.name,
+        version,
+        test_case.mass_kg,
+        test_case.velocity_mps,
+        repr(run_config),
+        prefix_ms,
+    )
+
+
+class SnapshotCache:
+    """An LRU map of :class:`CacheKey` to :class:`Snapshot`."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, Snapshot]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Snapshot]:
+        snapshot = self._entries.get(key)
+        if snapshot is not None:
+            self._entries.move_to_end(key)
+        return snapshot
+
+    def put(self, key: CacheKey, snapshot: Snapshot) -> None:
+        self._entries[key] = snapshot
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+#: The process-global cache every harness layer shares (and forked pool
+#: workers inherit).
+_CACHE = SnapshotCache()
+
+
+def clear_cache() -> None:
+    """Drop every cached snapshot (tests; after hot-editing a target)."""
+    _CACHE.clear()
+
+
+def cache_stats() -> CacheStats:
+    """The process-global cache's accounting."""
+    return _CACHE.stats
+
+
+def _boot(
+    target: Target, test_case: TestCase, version: str, run_config: Any
+) -> Any:
+    return target.boot(test_case, version, run_config=run_config, classifier=None)
+
+
+def booted_system(
+    target: Target,
+    test_case: TestCase,
+    version: str = "All",
+    run_config: Any = None,
+) -> Any:
+    """A freshly-restorable booted system for one run (warm-boot path).
+
+    On a cache miss the system is booted once, captured, and the
+    *restored copy* is returned — so the very first run already executes
+    on the same restore path as every later one, keeping all runs
+    uniform.  Only classifier-default boots are cached (a caller-supplied
+    classifier instance has no stable identity to key on).
+    """
+    key = _cache_key(target, version, test_case, run_config, prefix_ms=0)
+    snapshot = _CACHE.get(key)
+    if snapshot is None:
+        _CACHE.stats.boot_misses += 1
+        snapshot = target.snapshot(_boot(target, test_case, version, run_config))
+        _CACHE.put(key, snapshot)
+    else:
+        _CACHE.stats.boot_hits += 1
+    return target.restore(snapshot)
+
+
+def prefixed_system(
+    target: Target,
+    test_case: TestCase,
+    version: str,
+    prefix_ms: int,
+    run_config: Any = None,
+) -> Optional[Any]:
+    """A system fast-forwarded through the fault-free prefix, or ``None``.
+
+    Sound only when the caller's injector performs its first write at or
+    after *prefix_ms* (the campaign passes ``injection_start_ms``), so
+    the skipped ticks are provably identical to the fault-free run.
+    Returns ``None`` when the target's booted system does not expose the
+    ``run_prefix`` capability — callers fall back to a cold run.
+    """
+    if prefix_ms <= 0:
+        return booted_system(target, test_case, version, run_config)
+    key = _cache_key(target, version, test_case, run_config, prefix_ms)
+    snapshot = _CACHE.get(key)
+    if snapshot is None:
+        system = _boot(target, test_case, version, run_config)
+        run_prefix = getattr(system, "run_prefix", None)
+        if run_prefix is None:
+            return None
+        _CACHE.stats.prefix_misses += 1
+        run_prefix(prefix_ms)
+        snapshot = target.snapshot(system)
+        _CACHE.put(key, snapshot)
+    else:
+        _CACHE.stats.prefix_hits += 1
+    return target.restore(snapshot)
+
+
+def prewarm(
+    target: Target,
+    test_case: TestCase,
+    version: str,
+    prefix_ms: int = 0,
+    run_config: Any = None,
+) -> bool:
+    """Ensure the snapshot for one grid point exists; report availability.
+
+    The dispatcher calls this for every distinct (version, case) of a
+    campaign *before* forking its worker pool, so the expensive prefix
+    simulations happen exactly once and reach every worker through the
+    forked address space instead of being redone per worker.
+    """
+    if prefix_ms > 0:
+        return prefixed_system(target, test_case, version, prefix_ms, run_config) is not None
+    booted_system(target, test_case, version, run_config)
+    return True

@@ -207,6 +207,18 @@ class TankNode:
         return slot
 
 
+@dataclasses.dataclass
+class _LoopState:
+    """Loop variables of a (possibly paused) run — see the arrestor's
+    :class:`repro.arrestor.system._LoopState` for why they live on the
+    system: pausing + snapshotting + resuming must be byte-identical to
+    an uninterrupted run."""
+
+    next_ms: int = 0
+    last_ms: int = -1
+    finished: bool = False
+
+
 class TankSystem:
     """Controller node + drain node + plant, ready to execute one run."""
 
@@ -236,29 +248,61 @@ class TankSystem:
             with_recovery=config.with_recovery,
         )
         self.drain = DrainNode()
+        self._loop: Optional[_LoopState] = None
 
     @property
     def detection_log(self):
         """The controller node's detection log (the target-protocol surface)."""
         return self.node.detection_log
 
-    def run(self, injector=None) -> RunResult:
-        """Execute the regulation run; *injector* is ticked every millisecond."""
+    def run_prefix(self, until_ms: int) -> None:
+        """Advance the fault-free run up to (excluding) tick *until_ms*.
+
+        The snapshot-layer hook (see the arrestor's ``run_prefix``): the
+        paused system is snapshotted once per (version, case) and every
+        injected run restores it instead of re-simulating the prefix.
+        """
+        if until_ms < 0:
+            raise ValueError(f"until_ms must be non-negative, got {until_ms}")
+        self._advance(None, until_ms)
+
+    def _advance(self, injector, until_ms: Optional[int]) -> None:
+        """The run loop, from the stored state up to *until_ms* (or the end)."""
+        state = self._loop
+        if state is None:
+            state = self._loop = _LoopState()
+        if state.finished:
+            return
         node = self.node
         mem = node.mem
         plant = self.plant
         drain = self.drain
-        log = node.detection_log
         memory = mem.map
-        now = 0
-        for now in range(self.config.observe_ms):
+        now = state.next_ms
+        for now in range(state.next_ms, self.config.observe_ms):
+            if until_ms is not None and now >= until_ms:
+                state.next_ms = now
+                return
             if injector is not None:
                 injector.tick(now, memory)
             slot = node.tick(now)
             if slot == SLOT_COMM:
                 drain.receive(mem.comm_set_point.get())
             plant.advance(_DT_S, mem.valve_cmd.get(), drain.trim_lps)
-        summary = plant.summary((now + 1) / 1000.0)
+        state.next_ms = now + 1
+        state.last_ms = now
+        state.finished = True
+
+    def run(self, injector=None) -> RunResult:
+        """Execute the regulation run; *injector* is ticked every millisecond.
+
+        On a system advanced with :meth:`run_prefix` the loop resumes
+        where the prefix paused; otherwise it runs start to finish.
+        """
+        self._advance(injector, None)
+        log = self.node.detection_log
+        now = self._loop.last_ms
+        summary = self.plant.summary((now + 1) / 1000.0)
         verdict = self.classifier.classify(summary)
         return RunResult(
             test_case=self.test_case,

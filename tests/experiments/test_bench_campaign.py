@@ -20,8 +20,9 @@ def _load_bench_module():
 
 VALID = {
     "benchmark": "campaign",
-    "schema_version": 3,
+    "schema_version": 4,
     "repeats": 3,
+    "cpus": 1,
     "scale": {
         "target": "arrestor",
         "versions": ["All"],
@@ -32,7 +33,15 @@ VALID = {
     "serial": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
     "parallel": {"workers": 2, "runs": 16, "seconds": 1.0, "runs_per_sec": 16.0},
     "speedup": 2.0,
+    "pool_scaling": 1.0,
     "equivalent": True,
+    "snapshot": {
+        "injection_start_ms": 12000,
+        "cold": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
+        "warm": {"runs": 16, "seconds": 0.5, "runs_per_sec": 32.0},
+        "speedup": 4.0,
+    },
+    "store_hit": {"runs": 16, "seconds": 0.01, "runs_per_sec": 1600.0, "hits": 16},
     "tracing": {
         "off": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
         "null_sink": {"runs": 16, "seconds": 2.1, "runs_per_sec": 7.6},
@@ -50,15 +59,28 @@ class TestSchemaValidation:
         "mutation, match",
         [
             ({"benchmark": "other"}, "benchmark"),
-            ({"schema_version": 2}, "schema_version"),
+            ({"schema_version": 3}, "schema_version"),
             ({"repeats": 0}, "repeats"),
             ({"repeats": True}, "repeats"),
+            ({"cpus": "one"}, "cpus"),
             ({"scale": {"versions": "All"}}, "versions"),
             ({"scale": {**VALID["scale"], "target": ""}}, "target"),
             ({"serial": {}}, "serial"),
             ({"parallel": {"runs": 16, "seconds": 1.0, "runs_per_sec": 16.0}}, "workers"),
             ({"speedup": "fast"}, "speedup"),
+            ({"pool_scaling": None}, "pool_scaling"),
             ({"equivalent": False}, "equivalent"),
+            ({"snapshot": None}, "snapshot"),
+            ({"snapshot": {**VALID["snapshot"], "cold": {}}}, "snapshot.cold"),
+            (
+                {"snapshot": {**VALID["snapshot"], "injection_start_ms": "late"}},
+                "injection_start_ms",
+            ),
+            ({"store_hit": None}, "store_hit"),
+            (
+                {"store_hit": {**VALID["store_hit"], "hits": 3}},
+                "stale store",
+            ),
             ({"tracing": None}, "tracing"),
             ({"tracing": {**VALID["tracing"], "off": {}}}, "tracing.off"),
             (
@@ -72,6 +94,22 @@ class TestSchemaValidation:
         data = {**VALID, **mutation}
         with pytest.raises(ValueError, match=match):
             module.validate_bench_json(data)
+
+    def test_smoke_guard_rejects_regression(self):
+        # A warm configuration slower than cold is valid JSON but fails
+        # the bench-smoke throughput-regression guard.
+        module = _load_bench_module()
+        data = {
+            **VALID,
+            "snapshot": {
+                **VALID["snapshot"],
+                "warm": {"runs": 16, "seconds": 3.0, "runs_per_sec": 5.3},
+                "speedup": 0.667,
+            },
+        }
+        module.validate_bench_json(data)  # plain check passes
+        with pytest.raises(ValueError, match="regression"):
+            module.validate_bench_json(data, smoke=True)
 
 
 class TestCheckMode:
@@ -96,3 +134,28 @@ class TestCheckMode:
         )
         assert result.returncode == 1
         assert "INVALID" in result.stdout
+
+    def test_check_smoke_flag_enforces_guard(self, tmp_path):
+        path = tmp_path / "BENCH_campaign.json"
+        slow = {
+            **VALID,
+            "snapshot": {
+                **VALID["snapshot"],
+                "warm": {"runs": 16, "seconds": 3.0, "runs_per_sec": 5.3},
+                "speedup": 0.667,
+            },
+        }
+        path.write_text(json.dumps(slow))
+        ok = subprocess.run(
+            [sys.executable, str(BENCH), "--check", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert ok.returncode == 0
+        guarded = subprocess.run(
+            [sys.executable, str(BENCH), "--check", str(path), "--smoke"],
+            capture_output=True,
+            text=True,
+        )
+        assert guarded.returncode == 1
+        assert "regression" in guarded.stdout

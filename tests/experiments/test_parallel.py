@@ -65,6 +65,53 @@ class TestSpecEnumeration:
             execute_specs([spec, spec])
 
 
+class TestChunkSizing:
+    """A small campaign must fan out across every worker (issue: a
+    16-run campaign used to land in one chunk and run serially)."""
+
+    def test_sixteen_runs_fan_out_over_two_workers(self):
+        size = parallel._default_chunk_size(16, 2)
+        chunks = parallel._chunked([object()] * 16, size)
+        assert size == 2
+        assert len(chunks) == 8  # >= two chunks per worker
+
+    def test_large_campaigns_cap_chunk_size(self):
+        assert parallel._default_chunk_size(1000, 2) == 8
+        assert parallel._default_chunk_size(1000, 8) == 8
+
+    def test_tiny_and_empty_pending_stay_positive(self):
+        assert parallel._default_chunk_size(4, 2) == 1
+        assert parallel._default_chunk_size(3, 2) == 1
+        assert parallel._default_chunk_size(1, 4) == 1
+        assert parallel._default_chunk_size(0, 2) == 1
+
+    def test_every_worker_gets_at_least_two_chunks(self):
+        for pending in (8, 16, 32, 64, 128):
+            for workers in (2, 4):
+                size = parallel._default_chunk_size(pending, workers)
+                assert len(parallel._chunked([None] * pending, size)) >= min(
+                    pending, workers * 2
+                )
+
+    def test_spec_round_trips_injection_start(self):
+        import dataclasses
+
+        from repro.experiments.results import flatten_record
+
+        spec = _tiny_specs()[0]
+        delayed = dataclasses.replace(spec, injection_start_ms=1000)
+        record = _execute_one(delayed, None, None)
+        assert canonical_key(record) == spec.key
+
+        controller = CampaignController(
+            target=delayed.target, injection_start_ms=1000, snapshots=False
+        )
+        expected = controller.run_injection(
+            delayed.error_spec(), delayed.test_case(), delayed.version
+        )
+        assert record == flatten_record(expected)
+
+
 class TestEquivalence:
     def test_parallel_equals_serial(self):
         serial = run_e1_campaign(TINY, error_filter=_tiny_filter)

@@ -1,0 +1,175 @@
+"""The content-addressed result store (repro.experiments.store)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import store as store_mod
+from repro.experiments.campaign import CampaignConfig, run_e1_campaign
+from repro.experiments.parallel import RunSpec, enumerate_e1_specs, execute_specs
+from repro.experiments.persistence import load_checkpoint
+from repro.experiments.store import ResultStore, code_fingerprint, context_fingerprint
+from repro.experiments.tables import render_table7
+from repro.injection.fic import clear_reference_memo
+from repro.obs.metrics import MetricsRegistry
+from repro.targets import clear_cache
+from repro.targets.registry import get_target
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    clear_reference_memo()
+    yield
+    clear_cache()
+    clear_reference_memo()
+
+
+def _tank_config(**overrides):
+    return CampaignConfig(
+        cases_all=1, versions=("All",), target="tanklevel", **overrides
+    )
+
+
+def _campaign(tmp_path, metrics=None, force=False, checkpoint=None, resume=False):
+    config = _tank_config(metrics=metrics)
+    return run_e1_campaign(
+        config,
+        error_filter=lambda e: e.signal == "tick",
+        store=tmp_path / "store",
+        force=force,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+
+
+class TestFingerprints:
+    def test_code_fingerprint_stable_within_process(self):
+        target = get_target("tanklevel")
+        assert code_fingerprint(target) == code_fingerprint(target)
+
+    def test_context_differs_by_config_and_start(self):
+        target = get_target("tanklevel")
+        base = context_fingerprint(target)
+        assert context_fingerprint(target, injection_start_ms=500) != base
+        assert context_fingerprint(target, run_config="other") != base
+        assert context_fingerprint(target) == base
+
+    def test_targets_have_distinct_fingerprints(self):
+        a = code_fingerprint(get_target("arrestor"))
+        b = code_fingerprint(get_target("tanklevel"))
+        assert a != b
+
+
+class TestStoreHitsAndMisses:
+    def test_second_campaign_executes_zero_runs(self, tmp_path):
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        first = _campaign(tmp_path, metrics=m1)
+        assert m1.counter("runs_total").value == len(first)
+
+        clear_cache()
+        clear_reference_memo()
+        second = _campaign(tmp_path, metrics=m2)
+        assert list(second.records) == list(first.records)
+        assert m2.counter("runs_total").value == 0  # nothing simulated
+        assert m2.counter("runs_store_hits_total").value == len(first)
+
+    def test_force_resimulates_but_refreshes_store(self, tmp_path):
+        first = _campaign(tmp_path)
+        metrics = MetricsRegistry()
+        forced = _campaign(tmp_path, metrics=metrics, force=True)
+        assert list(forced.records) == list(first.records)
+        assert metrics.counter("runs_total").value == len(first)
+        assert metrics.counter("runs_store_hits_total").value == 0
+
+    def test_stale_code_fingerprint_misses(self, tmp_path, monkeypatch):
+        first = _campaign(tmp_path)
+        clear_cache()
+        clear_reference_memo()
+        # The target's source "changed": the store resolves to a different
+        # per-context file and every lookup misses.
+        monkeypatch.setattr(
+            store_mod, "code_fingerprint", lambda target: "0" * 64
+        )
+        metrics = MetricsRegistry()
+        again = _campaign(tmp_path, metrics=metrics)
+        assert list(again.records) == list(first.records)
+        assert metrics.counter("runs_store_hits_total").value == 0
+        assert metrics.counter("runs_total").value == len(first)
+        # Both contexts now have their own store file.
+        assert len(list((tmp_path / "store").glob("tanklevel-*.csv"))) == 2
+
+    def test_lookup_rejects_error_descriptor_mismatch(self, tmp_path):
+        config = _tank_config()
+        specs = enumerate_e1_specs(config, lambda e: e.signal == "tick")
+        store = ResultStore(tmp_path / "store", target="tanklevel")
+        execute_specs(specs[:2], store=store)
+        assert store.stats.misses == 2
+
+        fresh = ResultStore(tmp_path / "store", target="tanklevel")
+        assert fresh.lookup(specs[0]) is not None
+        # Same (version, error name, case) key, different descriptor: a
+        # record from another error-set seed must not be served.
+        imposter = dataclasses.replace(specs[0], signal="level", signal_bit=3)
+        assert fresh.lookup(imposter) is None
+        assert fresh.stats.as_dict() == {"hits": 1, "misses": 1}
+
+
+class TestCheckpointInteraction:
+    def test_store_hits_flow_into_checkpoint(self, tmp_path):
+        first = _campaign(tmp_path)
+        clear_cache()
+        clear_reference_memo()
+        checkpoint = tmp_path / "checkpoint.csv"
+        replay = _campaign(tmp_path, checkpoint=checkpoint)
+        assert list(replay.records) == list(first.records)
+        # The checkpoint is complete even though nothing was simulated...
+        assert len(load_checkpoint(checkpoint)) == len(first)
+        # ...so a resume from it alone (no store) also executes zero runs.
+        metrics = MetricsRegistry()
+        config = _tank_config(metrics=metrics)
+        resumed = run_e1_campaign(
+            config,
+            error_filter=lambda e: e.signal == "tick",
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        assert list(resumed.records) == list(first.records)
+        assert metrics.counter("runs_total").value == 0
+        assert metrics.counter("runs_restored_total").value == len(first)
+
+    def test_partial_store_fills_the_gap(self, tmp_path):
+        # Store half the grid, then run the full grid: only the missing
+        # half is simulated.
+        config = _tank_config()
+        specs = enumerate_e1_specs(config, lambda e: e.signal == "tick")
+        half = len(specs) // 2
+        store = ResultStore(tmp_path / "store", target="tanklevel")
+        execute_specs(specs[:half], store=store)
+
+        clear_cache()
+        clear_reference_memo()
+        metrics = MetricsRegistry()
+        fresh_store = ResultStore(tmp_path / "store", target="tanklevel")
+        full = execute_specs(specs, store=fresh_store, metrics=metrics)
+        assert len(full) == len(specs)
+        assert metrics.counter("runs_store_hits_total").value == half
+        assert metrics.counter("runs_total").value == len(specs) - half
+        assert len(fresh_store) == len(specs)  # gap persisted for next time
+
+
+class TestTableReproduction:
+    def test_replayed_campaign_reproduces_table7(self, tmp_path):
+        target = get_target("tanklevel")
+        first = _campaign(tmp_path)
+        table = render_table7(first, ("All",), signals=tuple(target.monitored_signals))
+
+        clear_cache()
+        clear_reference_memo()
+        metrics = MetricsRegistry()
+        replay = _campaign(tmp_path, metrics=metrics)
+        assert metrics.counter("runs_total").value == 0
+        replay_table = render_table7(
+            replay, ("All",), signals=tuple(target.monitored_signals)
+        )
+        assert replay_table == table
