@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage regen-golden bench bench-smoke bench-tables bench-full e1 e2 reference examples clean
+.PHONY: install test lint coverage regen-golden bench bench-lint bench-smoke bench-tables bench-full e1 e2 reference examples clean
 
 # Coverage floor for the instrumented packages (ratchet: raise as
 # coverage improves, never lower).
@@ -15,8 +15,10 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Static checks: ruff + mypy when installed (pip install -e .[lint]),
-# always followed by the repo's own assertion linter on every registered
-# target's plan and the cross-target campaign smoke benchmark.
+# always followed by the repo's own assertion linter — plan rules plus
+# the EA4xx/EA5xx source-level packs (AST def-use over every
+# fingerprinted module) — on every registered target, and the
+# cross-target campaign smoke benchmark.  Fails on any new finding.
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src/repro/; \
@@ -28,7 +30,7 @@ lint:
 	else \
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
-	PYTHONPATH=src $(PYTHON) -m repro.analysis --all-targets
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --all-targets --source
 	@$(MAKE) --no-print-directory coverage
 	@$(MAKE) --no-print-directory bench-smoke
 
@@ -55,6 +57,13 @@ regen-golden:
 bench:
 	$(PYTHON) benchmarks/bench_campaign.py --out BENCH_campaign.json $(BENCH_ARGS)
 	$(PYTHON) benchmarks/bench_campaign.py --check BENCH_campaign.json
+
+# Source-level lint cost per target (wall-time, closure size, rule
+# traffic) + schema check of the emitted BENCH_lint.json; the check also
+# gates on zero error-severity findings.
+bench-lint:
+	$(PYTHON) benchmarks/bench_lint.py --out BENCH_lint.json $(BENCH_LINT_ARGS)
+	$(PYTHON) benchmarks/bench_lint.py --check BENCH_lint.json
 
 # Tiny single-repeat sweep over every registered target: exercises the
 # cold, snapshot-warm, parallel and store-replay engines, the
@@ -91,5 +100,5 @@ examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info BENCH_campaign.json
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info BENCH_campaign.json BENCH_lint.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

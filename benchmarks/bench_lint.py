@@ -1,0 +1,223 @@
+"""Source-level lint cost: wall-time and rule traffic per target.
+
+Runs the full static analysis (plan rules + the EA4xx/EA5xx source
+packs, including the AST def-use pass over every fingerprinted module)
+on each registered target and writes ``BENCH_lint.json``::
+
+    {
+      "benchmark": "lint",
+      "schema_version": 1,
+      "repeats": N,
+      "rules": N,
+      "targets": {
+        "<name>": {
+          "seconds": S,
+          "modules": N,
+          "events": N,
+          "memories": N,
+          "findings": {"error": N, "warning": N, "info": N}
+        },
+        ...
+      },
+      "total_seconds": S
+    }
+
+``seconds`` is the median of ``--repeats`` timed repeats of the whole
+pipeline (parse, def-use, rules) with one untimed warm-up; ``modules``
+and ``events`` size the analysed closure so cost regressions can be
+attributed (more source vs slower pass).  The schema check also fails
+when any target reports error-severity findings — the benchmark doubles
+as a lint gate for the emitted artefact.
+
+Usage::
+
+    python benchmarks/bench_lint.py [--target NAME] [--repeats N] [--out FILE]
+    python benchmarks/bench_lint.py --check FILE    # validate schema
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SCHEMA_VERSION = 1
+
+_FINDING_KEYS = ("error", "warning", "info")
+
+
+def validate_bench_json(data: dict) -> None:
+    """Raise ``ValueError`` unless *data* matches the BENCH_lint schema.
+
+    Also enforces the lint gate: no target may report error-severity
+    findings.
+    """
+    if data.get("benchmark") != "lint":
+        raise ValueError("benchmark field must be 'lint'")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"schema_version must be {SCHEMA_VERSION}")
+    repeats = data.get("repeats")
+    if isinstance(repeats, bool) or not isinstance(repeats, int) or repeats < 1:
+        raise ValueError("repeats must be a positive integer")
+    rules = data.get("rules")
+    if isinstance(rules, bool) or not isinstance(rules, int) or rules < 1:
+        raise ValueError("rules must be a positive integer")
+    targets = data.get("targets")
+    if not isinstance(targets, dict) or not targets:
+        raise ValueError("targets must be a non-empty object")
+    for name, section in targets.items():
+        if not isinstance(section, dict):
+            raise ValueError(f"targets.{name} must be an object")
+        for key in ("modules", "events", "memories"):
+            value = section.get(key)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ValueError(f"targets.{name}.{key} must be a non-negative int")
+        seconds = section.get("seconds")
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            raise ValueError(f"targets.{name}.seconds must be a number")
+        findings = section.get("findings")
+        if not isinstance(findings, dict) or set(findings) != set(_FINDING_KEYS):
+            raise ValueError(
+                f"targets.{name}.findings must have exactly keys {_FINDING_KEYS}"
+            )
+        for key in _FINDING_KEYS:
+            value = findings[key]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"targets.{name}.findings.{key} must be a non-negative int"
+                )
+        if findings["error"]:
+            raise ValueError(
+                f"lint gate: target {name!r} reports {findings['error']} "
+                f"error-severity finding(s)"
+            )
+    total = data.get("total_seconds")
+    if isinstance(total, bool) or not isinstance(total, (int, float)):
+        raise ValueError("total_seconds must be a number")
+
+
+def _median(samples) -> float:
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _lint_once(name, registry):
+    from repro.analysis.engine import analyze_plan, analyze_target_source
+    from repro.analysis.source import build_source_model
+    from repro.targets.registry import get_target
+
+    target = get_target(name)
+    model = build_source_model(target)
+    plan, fmeca = target.lint_target()
+    report = analyze_plan(plan, fmeca, registry=registry).merged(
+        analyze_target_source(target, registry=registry, source_model=model)
+    )
+    return model, report
+
+
+def run_benchmark(targets, repeats: int = 3) -> dict:
+    from repro.analysis.registry import default_registry
+
+    registry = default_registry()
+    sections = {}
+    total = 0.0
+    for name in targets:
+        model, report = _lint_once(name, registry)  # warm-up (untimed)
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            model, report = _lint_once(name, registry)
+            samples.append(time.perf_counter() - start)
+        seconds = _median(samples)
+        total += seconds
+        sections[name] = {
+            "seconds": round(seconds, 3),
+            "modules": len(model.modules),
+            "events": len(model.events),
+            "memories": len(model.memories),
+            "findings": {
+                "error": len(report.errors),
+                "warning": len(report.warnings),
+                "info": len(report.infos),
+            },
+        }
+    return {
+        "benchmark": "lint",
+        "schema_version": SCHEMA_VERSION,
+        "repeats": repeats,
+        "rules": len(registry),
+        "targets": sections,
+        "total_seconds": round(total, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target",
+        default=None,
+        metavar="NAME",
+        help="lint only this registered target (default: all targets)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed repeats per target; the median is reported "
+        "(default: %(default)s)",
+    )
+    parser.add_argument("--out", default="BENCH_lint.json", metavar="FILE")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="validate an emitted BENCH_lint.json instead of benchmarking",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        try:
+            validate_bench_json(data)
+        except ValueError as exc:
+            print(f"{args.check}: INVALID: {exc}")
+            return 1
+        print(
+            f"{args.check}: schema OK ({len(data['targets'])} target(s), "
+            f"{data['total_seconds']} s total)"
+        )
+        return 0
+
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    from repro.targets.registry import target_names
+
+    names = [args.target] if args.target else list(target_names())
+    data = run_benchmark(names, repeats=args.repeats)
+    validate_bench_json(data)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    for name, section in data["targets"].items():
+        findings = section["findings"]
+        print(
+            f"[{name}] {section['modules']} modules, {section['events']} "
+            f"def-use events through {data['rules']} rule(s) in "
+            f"{section['seconds']} s "
+            f"(errors {findings['error']}, warnings {findings['warning']})"
+        )
+    print(f"total {data['total_seconds']} s -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

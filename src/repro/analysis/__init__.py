@@ -9,7 +9,7 @@ executing the system: it inspects parameter sets (``Pcont``/``Pdisc``,
 modal sets), :class:`~repro.core.process.InstrumentationPlan` objects and
 their inventories, and emits structured :class:`Diagnostic` records.
 
-Three built-in rule packs (18 rules):
+Five built-in rule packs (27 rules):
 
 * **parameter vacuity** (EA101-EA109) — envelopes wider than the domain,
   unbuildable templates, degenerate transition relations, vacuous modes;
@@ -17,7 +17,14 @@ Three built-in rule packs (18 rules):
   assertions, dead dataflow, duplicate monitor ids, class/parameter
   contradictions;
 * **coverage** (EA301-EA303) — static bounds on the Section-2.4 model's
-  ``Pds`` and ``Pem`` terms, unguarded output pathways.
+  ``Pds`` and ``Pem`` terms, unguarded output pathways;
+* **source dataflow/placement** (EA401-EA404) — an AST def-use pass over
+  the target's fingerprinted source modules: phase-locked checks behind
+  the wrap idiom, written-never-checked signals, dead monitors,
+  unguarded communication-buffer consumption (Section 2.3 placement);
+* **source drift** (EA501-EA505) — memory map vs plan vs
+  ``monitored_signals`` disagreement, and fingerprint-completeness of
+  the import closure (the incremental store's stale-cache guard).
 
 Library use::
 
@@ -41,10 +48,16 @@ from repro.analysis.diagnostics import (
     Finding,
     Severity,
 )
-from repro.analysis.engine import analyze_params, analyze_plan
+from repro.analysis.engine import analyze_params, analyze_plan, analyze_target_source
 from repro.analysis.registry import Rule, RuleContext, RuleRegistry, default_registry
 from repro.analysis.rules_coverage import estimate_pds
 from repro.analysis.selfcheck import build_default_target, self_check
+from repro.analysis.source import (
+    DEFAULT_FINGERPRINT_EXEMPT,
+    SignalEvent,
+    SourceModel,
+    build_source_model,
+)
 
 __all__ = [
     "AnalysisOptions",
@@ -54,6 +67,7 @@ __all__ = [
     "Severity",
     "analyze_params",
     "analyze_plan",
+    "analyze_target_source",
     "Rule",
     "RuleContext",
     "RuleRegistry",
@@ -61,4 +75,8 @@ __all__ = [
     "estimate_pds",
     "build_default_target",
     "self_check",
+    "SignalEvent",
+    "SourceModel",
+    "build_source_model",
+    "DEFAULT_FINGERPRINT_EXEMPT",
 ]

@@ -5,6 +5,7 @@
     python -m repro.analysis                         # arrestor self-check
     python -m repro.analysis --target tanklevel      # a registered target
     python -m repro.analysis --all-targets           # the whole registry
+    python -m repro.analysis --source --target NAME  # + EA4xx/EA5xx source pass
     python -m repro.analysis --list-targets          # registered workloads
     python -m repro.analysis --format json           # machine-readable
     python -m repro.analysis --list-rules            # the rule catalogue
@@ -16,6 +17,12 @@ A ``--target`` is either a registered workload name (see
 ``:`` — a zero-argument callable as ``module:function`` that may return
 an ``InstrumentationPlan``, a ``(plan, fmeca_entries)`` pair, or a
 mapping with ``"plan"`` and optional ``"fmeca"`` keys.
+
+``--source`` additionally parses the target's fingerprinted source
+modules (never importing them) and runs the EA4xx placement and EA5xx
+drift rules; such findings carry ``file:line`` in both text and JSON
+output.  It requires a registered target (or ``--all-targets``), since
+only those ship source to analyse.
 
 Exit status: 0 when no error-severity diagnostics were produced (or with
 ``--strict``, none at all), 1 on findings, 2 on usage errors.
@@ -138,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lint every registered target's shipped plan",
     )
     parser.add_argument(
+        "--source",
+        action="store_true",
+        help="also run the source-level EA4xx/EA5xx rules over the "
+        "target's fingerprinted modules (registered targets only)",
+    )
+    parser.add_argument(
         "--list-targets",
         action="store_true",
         help="print the registered targets and exit",
@@ -209,13 +222,17 @@ def _render(report: AnalysisReport, fmt: str, target: str, n_rules: int) -> None
 
 
 def _run_all_targets(
-    registry: RuleRegistry, options: AnalysisOptions, fmt: str, strict: bool
+    registry: RuleRegistry,
+    options: AnalysisOptions,
+    fmt: str,
+    strict: bool,
+    source: bool = False,
 ) -> int:
     import json as _json
 
     from repro.analysis.selfcheck import check_all_targets, check_snapshot_determinism
 
-    reports = check_all_targets(registry=registry, options=options)
+    reports = check_all_targets(registry=registry, options=options, source=source)
     snapshot_failures = {
         name: failure
         for name in reports
@@ -269,12 +286,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.all_targets:
             if args.target is not None:
                 raise UsageError("--all-targets and --target are mutually exclusive")
-            return _run_all_targets(registry, options, args.format, args.strict)
+            return _run_all_targets(
+                registry, options, args.format, args.strict, args.source
+            )
+        if args.source:
+            if args.target is None:
+                raise UsageError("--source requires --target NAME or --all-targets")
+            if ":" in args.target:
+                raise UsageError(
+                    "--source needs a registered target (its fingerprinted "
+                    "sources), not a module:callable plan factory"
+                )
         plan, fmeca, target = _resolve_target(args.target)
     except (UsageError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = analyze_plan(plan, fmeca, registry=registry, options=options)
+    if args.source:
+        from repro.analysis.engine import analyze_target_source
+        from repro.targets import get_target
+
+        report = report.merged(
+            analyze_target_source(
+                get_target(args.target), registry=registry, options=options
+            )
+        )
     _render(report, args.format, target, len(registry))
     if args.strict:
         return 0 if report.clean else 1

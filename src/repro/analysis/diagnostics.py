@@ -60,25 +60,46 @@ class Severity(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class Diagnostic:
-    """One finding of the static analyser."""
+    """One finding of the static analyser.
+
+    ``file`` and ``line`` locate the finding in target source when the
+    producing rule works at source level (the EA4xx/EA5xx packs); the
+    parameter/plan rules have no source location and leave them ``None``.
+    """
 
     rule_id: str
     severity: Severity
     subject: str
     message: str
     hint: Optional[str] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
 
-    def to_dict(self) -> Dict[str, Optional[str]]:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "rule": self.rule_id,
             "severity": self.severity.value,
             "subject": self.subject,
             "message": self.message,
             "hint": self.hint,
+            "file": self.file,
+            "line": self.line,
         }
+
+    @property
+    def location(self) -> Optional[str]:
+        """``path:line`` when the finding carries a source location."""
+        if self.file is None:
+            return None
+        if self.line is None:
+            return self.file
+        return f"{self.file}:{self.line}"
 
     def format(self) -> str:
         line = f"{self.rule_id} {self.severity.value:<7} {self.subject}: {self.message}"
+        location = self.location
+        if location:
+            line = f"{location}: {line}"
         if self.hint:
             line += f"\n    hint: {self.hint}"
         return line
@@ -97,6 +118,8 @@ class Finding:
     message: str
     hint: Optional[str] = None
     severity: Optional[Severity] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,12 +138,31 @@ class AnalysisOptions:
     ``word_values``
         Size of the corrupted-value space the ``Pds`` surrogate assumes;
         the paper's target stores every signal in a 16-bit word.
+    ``injection_period_ms``
+        The campaign's injection period; the source-level placement rule
+        EA401 flags post-wrap checks whose wrap modulus divides it (the
+        phase-lock idiom: every injected corruption is folded back into
+        the legal domain before the check runs).
+    ``fingerprint_exempt``
+        Module-name prefixes the fingerprint-completeness rule EA504
+        neither requires in ``fingerprint_sources()`` nor walks further.
+        Defaults: the observability layer (result-neutral by the golden
+        trace harness), the target registry (pure dispatch — covering
+        it would weld every target's result cache to every workload)
+        and the analysis package itself (the linter never runs during a
+        campaign).
     """
 
     critical_rpn: int = 100
     pds_floor: float = 0.9
     pem_floor: float = 0.8
     word_values: int = 1 << 16
+    injection_period_ms: int = 20
+    fingerprint_exempt: Tuple[str, ...] = (
+        "repro.obs",
+        "repro.targets.registry",
+        "repro.analysis",
+    )
 
     def __post_init__(self) -> None:
         if self.critical_rpn < 1:
@@ -131,6 +173,11 @@ class AnalysisOptions:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         if self.word_values < 2:
             raise ValueError(f"word_values must be >= 2, got {self.word_values}")
+        if self.injection_period_ms < 1:
+            raise ValueError(
+                f"injection_period_ms must be >= 1, got {self.injection_period_ms}"
+            )
+        object.__setattr__(self, "fingerprint_exempt", tuple(self.fingerprint_exempt))
 
 
 class AnalysisReport:
@@ -199,7 +246,7 @@ class AnalysisReport:
         )
         return "\n".join(lines)
 
-    def to_dicts(self) -> List[Dict[str, Optional[str]]]:
+    def to_dicts(self) -> List[Dict[str, object]]:
         return [d.to_dict() for d in self.diagnostics]
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -28,7 +28,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.registry import Rule, RuleContext, RuleRegistry, default_registry
 
-__all__ = ["analyze_params", "analyze_plan"]
+__all__ = ["analyze_params", "analyze_plan", "analyze_target_source"]
 
 Params = Union[ContinuousParams, DiscreteParams, ModalParameterSet]
 
@@ -48,6 +48,8 @@ def _run_rule(rule: Rule, ctx: RuleContext, out: List[Diagnostic]) -> None:
                 subject=finding.subject or ctx.subject,
                 message=finding.message,
                 hint=finding.hint,
+                file=finding.file,
+                line=finding.line,
             )
         )
 
@@ -131,5 +133,44 @@ def analyze_plan(
         )
     ctx = RuleContext(options=options, subject="plan", plan=plan, fmeca=tuple(fmeca))
     for rule in registry.for_scope("plan"):
+        _run_rule(rule, ctx, diagnostics)
+    return AnalysisReport(diagnostics)
+
+
+def analyze_target_source(
+    target,
+    *,
+    registry: Optional[RuleRegistry] = None,
+    options: Optional[AnalysisOptions] = None,
+    source_model=None,
+) -> AnalysisReport:
+    """Run the source-scope rules (EA4xx/EA5xx) over one target.
+
+    Parses the modules named by ``target.fingerprint_sources()`` (plus
+    their intra-repository import closure) into a
+    :class:`~repro.analysis.source.SourceModel` — nothing is imported or
+    executed — and checks placement (dataflow) and drift against the
+    target's shipped plan.  Pass *source_model* to reuse a prebuilt
+    model (the fixture tests do).
+    """
+    from repro.analysis.source import build_source_model
+
+    registry = registry if registry is not None else default_registry()
+    options = options if options is not None else AnalysisOptions()
+    if source_model is None:
+        source_model = build_source_model(
+            target, exempt=options.fingerprint_exempt
+        )
+    plan, fmeca = target.lint_target()
+    ctx = RuleContext(
+        options=options,
+        subject=getattr(target, "name", "target"),
+        plan=plan,
+        fmeca=tuple(fmeca),
+        target=target,
+        source=source_model,
+    )
+    diagnostics: List[Diagnostic] = []
+    for rule in registry.for_scope("source"):
         _run_rule(rule, ctx, diagnostics)
     return AnalysisReport(diagnostics)

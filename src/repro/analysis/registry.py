@@ -11,7 +11,11 @@ Scopes partition the rule set by what a check needs to see:
     per-mode sets are additionally analysed under their own scope);
 ``plan``
     an :class:`~repro.core.process.InstrumentationPlan` with its
-    inventory and (optionally) the FMECA table.
+    inventory and (optionally) the FMECA table;
+``source``
+    a :class:`~repro.analysis.source.SourceModel` def-use graph of the
+    target's fingerprinted source modules, alongside the plan and the
+    target object (the EA4xx/EA5xx packs).
 
 Users extend the analyser by registering custom rules::
 
@@ -45,7 +49,7 @@ __all__ = [
 ]
 
 #: The scopes a rule may declare.
-SCOPES = ("continuous", "discrete", "modal", "plan")
+SCOPES = ("continuous", "discrete", "modal", "plan", "source")
 
 Params = Union[ContinuousParams, DiscreteParams, ModalParameterSet]
 
@@ -56,7 +60,10 @@ class RuleContext:
 
     Which fields are populated depends on the rule's scope: parameter
     scopes get ``subject`` + ``params``; the plan scope gets ``plan`` and
-    ``fmeca``.  ``options`` is always set.
+    ``fmeca``; the source scope additionally gets ``target`` (the
+    :class:`~repro.targets.base.Target` under analysis) and ``source``
+    (its :class:`~repro.analysis.source.SourceModel`).  ``options`` is
+    always set.
     """
 
     options: AnalysisOptions
@@ -64,6 +71,8 @@ class RuleContext:
     params: Optional[Params] = None
     plan: Optional[InstrumentationPlan] = None
     fmeca: Tuple[FmecaEntry, ...] = ()
+    target: Optional[object] = None
+    source: Optional[object] = None
 
 
 CheckFunction = Callable[[RuleContext], Iterable[Finding]]
@@ -180,10 +189,18 @@ def default_registry() -> RuleRegistry:
     Returns a new instance each time so callers can add or remove rules
     without affecting other users.
     """
-    from repro.analysis import rules_coverage, rules_params, rules_plan
+    from repro.analysis import (
+        rules_coverage,
+        rules_dataflow,
+        rules_drift,
+        rules_params,
+        rules_plan,
+    )
 
     registry = RuleRegistry()
     rules_params.register(registry)
     rules_plan.register(registry)
     rules_coverage.register(registry)
+    rules_dataflow.register(registry)
+    rules_drift.register(registry)
     return registry

@@ -51,18 +51,29 @@ def check_all_targets(
     *,
     registry: Optional[RuleRegistry] = None,
     options: Optional[AnalysisOptions] = None,
+    source: bool = False,
 ) -> Dict[str, AnalysisReport]:
     """Lint every registered target's shipped plan; all expected clean.
 
     Returns ``{target name: report}`` in registry order, so CI can both
-    gate on the aggregate and point at the offending workload.
+    gate on the aggregate and point at the offending workload.  With
+    *source* the EA4xx/EA5xx source-level pass (see
+    :func:`~repro.analysis.engine.analyze_target_source`) runs per
+    target and its findings are merged into each report.
     """
+    from repro.analysis.engine import analyze_target_source
     from repro.targets import get_target, target_names
 
     reports: Dict[str, AnalysisReport] = {}
     for name in target_names():
-        plan, fmeca = get_target(name).lint_target()
-        reports[name] = analyze_plan(plan, fmeca, registry=registry, options=options)
+        target = get_target(name)
+        plan, fmeca = target.lint_target()
+        report = analyze_plan(plan, fmeca, registry=registry, options=options)
+        if source:
+            report = report.merged(
+                analyze_target_source(target, registry=registry, options=options)
+            )
+        reports[name] = report
     return reports
 
 

@@ -1,0 +1,1032 @@
+"""Source-level def-use analysis of target implementation modules.
+
+The dynamic harness proves what the shipped instrumentation *does*; this
+module proves things about what the target source *says*.  It parses —
+never imports or executes — every module named by
+:meth:`~repro.targets.base.Target.fingerprint_sources` plus the
+intra-repository modules those transitively import, and builds a
+per-signal def-use model:
+
+* **memory models** — classes exposing a ``signal_variable`` mapping are
+  recognised as target memories; their ``__init__`` allocations
+  (``self.x = self._var("Sym")`` / ``Variable(map, region.allocate("Sym",
+  n))``) yield the attribute → signal-symbol table that keys everything
+  else;
+* **signal events** — every ``.get()`` / ``.set()`` / ``.add()`` on a
+  resolvable signal handle and every check idiom
+  (``ModuleBase.checked(monitor, var, now)`` and ``monitor.test(var.get(),
+  now)``) becomes a :class:`SignalEvent` with module/function/order and
+  file:line, with class-level (``self._slot = mem.slot_id``) and local
+  (``comm_tx = master.mem.comm_tx_set_value``) aliases resolved;
+* **taint + wrap tracking** — a local assigned from a standalone
+  unchecked read is tainted by that signal; folding it through the wrap
+  idiom (``if slot >= N: slot = 0`` or ``slot % N``) records the modulus
+  ``N`` (resolved through module constants and ``import ... as k``
+  aliases, ``-1`` when unresolvable), so the EA401 placement rule can
+  decide whether a later check is phase-locked against the injection
+  period;
+* **import closure** — intra-repository imports of covered modules are
+  walked; imports that no fingerprint entry covers are recorded with
+  their file:line for the EA504 stale-cache rule.
+
+A fingerprint entry covers a module when it names the module, an
+ancestor package, or a descendant (so an entry like ``repro.targets.base``
+also vouches for the pure-facade package ``repro.targets`` it sits in).
+Module files are resolved by path arithmetic under the root package's
+search path — the analyser imports nothing, matching the
+:mod:`repro.analysis` contract that the system under analysis is never
+executed.
+
+The model is deliberately syntactic: it recognises the handle idioms
+this repository's targets use, not arbitrary Python.  Rules built on it
+(:mod:`repro.analysis.rules_dataflow`, :mod:`repro.analysis.rules_drift`)
+are tuned so that the shipped targets pass clean and each seeded-defect
+fixture fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib.util
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "SignalEvent",
+    "MemoryModel",
+    "FunctionInfo",
+    "ImportRecord",
+    "SourceModel",
+    "build_source_model",
+    "DEFAULT_FINGERPRINT_EXEMPT",
+]
+
+#: Default module-name prefixes exempt from fingerprint coverage (see
+#: :class:`~repro.analysis.diagnostics.AnalysisOptions.fingerprint_exempt`):
+#: the observability layer (result-neutrality is enforced dynamically by
+#: the golden-trace harness), the target registry (pure dispatch —
+#: covering it would weld every target's result cache to every
+#: workload), and the analysis package itself (the linter never runs
+#: during a campaign).
+DEFAULT_FINGERPRINT_EXEMPT: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.targets.registry",
+    "repro.analysis",
+)
+
+#: Check-helper method names (the arrestor's ``ModuleBase.checked`` and
+#: the tank node's ``_checked`` share the read-test-writeback shape).
+_CHECK_HELPERS = ("checked", "_checked")
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalEvent:
+    """One access to a monitored-memory signal found in target source.
+
+    ``kind`` is ``"read"`` / ``"write"`` / ``"check"``.  ``index`` orders
+    events within ``function``; it counts events, not lines, so it is
+    invariant under comment/whitespace edits.  ``in_write`` marks a read
+    nested in a same-signal write (the exempt read-modify-write shape);
+    ``tainted`` marks a write whose value derives from a standalone
+    unchecked read of the same signal, with ``wrap_modulus`` the wrap
+    fold applied in between (``None`` no wrap, ``-1`` unresolvable).
+    ``consumer`` names the method a read is passed straight into
+    (``drain.receive(mem.comm_set_point.get())`` → ``"receive"``).
+    """
+
+    signal: str
+    kind: str
+    module: str
+    file: str
+    line: int
+    function: str
+    index: int
+    in_write: bool = False
+    tainted: bool = False
+    rmw: bool = False
+    wrap_modulus: Optional[int] = None
+    consumer: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryModel:
+    """One recognised target-memory class (has a ``signal_variable`` map)."""
+
+    class_name: str
+    module: str
+    file: str
+    line: int
+    #: Keys of the ``signal_variable`` mapping, in declaration order.
+    mapped_signals: Tuple[str, ...]
+    #: The module-level ``MONITORED_SIGNALS`` tuple, when present.
+    declared_signals: Tuple[str, ...]
+    #: Attribute name → signal symbol, from ``__init__`` allocations.
+    attr_symbols: Mapping[str, str]
+
+    @property
+    def monitored(self) -> Tuple[str, ...]:
+        """Mapped ∪ declared signals, mapped order first."""
+        seen = list(self.mapped_signals)
+        for name in self.declared_signals:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionInfo:
+    """Guard capabilities of one parsed function/method (for EA404)."""
+
+    name: str
+    qualname: str
+    module: str
+    file: str
+    line: int
+    has_test_call: bool = False
+    has_clamp: bool = False
+
+    @property
+    def guarded(self) -> bool:
+        return self.has_test_call or self.has_clamp
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportRecord:
+    """An intra-repository import no fingerprint entry covers (EA504)."""
+
+    module: str
+    importer: str
+    file: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceModel:
+    """The def-use model :func:`build_source_model` produces."""
+
+    target_name: str
+    entries: Tuple[str, ...]
+    unresolved_entries: Tuple[str, ...]
+    modules: Tuple[str, ...]
+    memories: Tuple[MemoryModel, ...]
+    events: Tuple[SignalEvent, ...]
+    functions: Tuple[FunctionInfo, ...]
+    uncovered_imports: Tuple[ImportRecord, ...]
+
+    def for_signal(self, signal: str) -> List[SignalEvent]:
+        return [e for e in self.events if e.signal == signal]
+
+    def signals(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.signal for e in self.events}))
+
+    @property
+    def monitored(self) -> Tuple[str, ...]:
+        """Union of every memory model's monitored signals, stable order."""
+        seen: List[str] = []
+        for memory in self.memories:
+            for name in memory.monitored:
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def comm_signals(self) -> Tuple[str, ...]:
+        """Communication-buffer symbols (by the ``comm`` naming convention)."""
+        names = {e.signal for e in self.events}
+        for memory in self.memories:
+            names.update(memory.attr_symbols.values())
+        return tuple(sorted(n for n in names if "comm" in n.lower()))
+
+    def functions_named(self, name: str) -> List[FunctionInfo]:
+        return [f for f in self.functions if f.name == name]
+
+    def structure(self) -> Tuple[Tuple[object, ...], ...]:
+        """A location-free view of the event stream.
+
+        Excludes file paths and line numbers, so it is invariant under
+        comment- and whitespace-only edits to the analysed sources — the
+        property the def-use tests pin.
+        """
+        return tuple(
+            (
+                e.module,
+                e.function,
+                e.index,
+                e.signal,
+                e.kind,
+                e.in_write,
+                e.tainted,
+                e.rmw,
+                e.wrap_modulus,
+                e.consumer,
+            )
+            for e in self.events
+        )
+
+
+# -- module location ----------------------------------------------------------
+
+
+class _Locator:
+    """Resolve dotted module names to source files by path arithmetic.
+
+    Only the *root* package of a dotted name is looked up through the
+    import machinery (and the roots in play — ``repro``, test fixtures —
+    are already imported); every submodule is resolved as a file-system
+    path under the root's search locations, so the analyser never
+    triggers an import of the code it is inspecting.
+    """
+
+    def __init__(self, extra: Mapping[str, str]):
+        self.extra = dict(extra)
+        self._roots: Dict[str, Optional[List[Path]]] = {}
+
+    def _root_paths(self, root: str) -> Optional[List[Path]]:
+        if root not in self._roots:
+            try:
+                spec = importlib.util.find_spec(root)
+            except (ImportError, ValueError):
+                spec = None
+            if spec is None or not spec.submodule_search_locations:
+                self._roots[root] = None
+            else:
+                self._roots[root] = [Path(p) for p in spec.submodule_search_locations]
+        return self._roots[root]
+
+    def locate(self, name: str) -> Optional[Tuple[str, Path]]:
+        """``("module" | "package", path-to-.py-file)`` or ``None``."""
+        root, _, rest = name.partition(".")
+        bases = self._root_paths(root)
+        if bases is None:
+            return None
+        for base in bases:
+            path = base.joinpath(*rest.split(".")) if rest else base
+            init = path / "__init__.py"
+            if path.is_dir() and init.is_file():
+                return ("package", init)
+            if rest:
+                as_file = path.with_suffix(".py")
+                if as_file.is_file():
+                    return ("module", as_file)
+        return None
+
+    def is_module(self, name: str) -> bool:
+        return name in self.extra or self.locate(name) is not None
+
+    def package_dir(self, name: str) -> Optional[Path]:
+        found = self.locate(name)
+        if found and found[0] == "package":
+            return found[1].parent
+        return None
+
+
+def _covered(module: str, entries: Sequence[str]) -> bool:
+    """Whether any fingerprint entry vouches for *module*.
+
+    An entry covers the module itself, its descendants, and its ancestor
+    packages (an ancestor is a facade whose source the entry's own hash
+    chain already depends on through the re-export).
+    """
+    return any(
+        module == entry
+        or module.startswith(entry + ".")
+        or entry.startswith(module + ".")
+        for entry in entries
+    )
+
+
+def _exempt(module: str, prefixes: Sequence[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _ParsedModule:
+    name: str
+    file: str
+    tree: ast.Module
+    constants: Dict[str, int] = dataclasses.field(default_factory=dict)
+    import_aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
+    declared_signals: Tuple[str, ...] = ()
+
+
+def _parse(name: str, file: str, text: str) -> _ParsedModule:
+    tree = ast.parse(text, filename=file)
+    parsed = _ParsedModule(name=name, file=file, tree=tree)
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = node.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                    parsed.constants[target.id] = value.value
+                elif target.id == "MONITORED_SIGNALS" and isinstance(
+                    value, (ast.Tuple, ast.List)
+                ):
+                    names = [
+                        e.value
+                        for e in value.elts
+                        if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    ]
+                    parsed.declared_signals = tuple(names)
+    return parsed
+
+
+def _module_imports(
+    tree: ast.Module, locator: _Locator
+) -> List[Tuple[str, int]]:
+    """All absolute imports in *tree* as ``(module name, line)`` pairs.
+
+    ``from pkg import name`` resolves to the submodule ``pkg.name`` when
+    that is an importable module, else to ``pkg`` itself (a facade
+    re-export).  Relative imports do not occur in this repository and
+    are ignored.
+    """
+    found: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                candidate = f"{node.module}.{alias.name}"
+                if locator.is_module(candidate):
+                    found.append((candidate, node.lineno))
+                else:
+                    found.append((node.module, node.lineno))
+    return found
+
+
+def _record_import_aliases(parsed: _ParsedModule, locator: _Locator) -> None:
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    parsed.import_aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                candidate = f"{node.module}.{alias.name}"
+                if locator.is_module(candidate):
+                    parsed.import_aliases[alias.asname or alias.name] = candidate
+
+
+# -- memory-class recognition -------------------------------------------------
+
+
+def _allocation_symbol(call: ast.Call) -> Optional[str]:
+    """The signal symbol allocated by one ``__init__`` call, if any."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "_var"
+        and call.args
+        and isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, str)
+    ):
+        return call.args[0].value
+    for arg in call.args:
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "allocate"
+            and arg.args
+            and isinstance(arg.args[0], ast.Constant)
+            and isinstance(arg.args[0].value, str)
+        ):
+            return arg.args[0].value
+    return None
+
+
+def _signal_variable_mapping(func: ast.FunctionDef) -> Tuple[str, ...]:
+    """Keys of the ``signal_variable`` dict literal, in order."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict) and node.keys:
+            keys = [
+                k.value
+                for k in node.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            ]
+            values_ok = all(
+                isinstance(v, ast.Attribute)
+                and isinstance(v.value, ast.Name)
+                and v.value.id == "self"
+                for v in node.values
+            )
+            if keys and len(keys) == len(node.keys) and values_ok:
+                return tuple(keys)
+    return ()
+
+
+def _find_memories(parsed: _ParsedModule) -> List[MemoryModel]:
+    memories: List[MemoryModel] = []
+    for node in parsed.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        mapper = methods.get("signal_variable")
+        if mapper is None:
+            continue
+        mapped = _signal_variable_mapping(mapper)
+        if not mapped:
+            continue
+        attr_symbols: Dict[str, str] = {}
+        init = methods.get("__init__")
+        if init is not None:
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if isinstance(stmt.value, ast.Call):
+                    symbol = _allocation_symbol(stmt.value)
+                    if symbol is not None:
+                        attr_symbols[target.attr] = symbol
+        memories.append(
+            MemoryModel(
+                class_name=node.name,
+                module=parsed.name,
+                file=parsed.file,
+                line=node.lineno,
+                mapped_signals=mapped,
+                declared_signals=parsed.declared_signals,
+                attr_symbols=attr_symbols,
+            )
+        )
+    return memories
+
+
+# -- event extraction ---------------------------------------------------------
+
+
+class _ExprInfo:
+    """What scanning one expression surfaced (for taint propagation)."""
+
+    __slots__ = ("reads", "tainted", "had_check")
+
+    def __init__(self) -> None:
+        self.reads: List[str] = []
+        self.tainted: List[str] = []
+        self.had_check = False
+
+    def merge(self, other: "_ExprInfo") -> None:
+        self.reads.extend(other.reads)
+        self.tainted.extend(other.tainted)
+        self.had_check = self.had_check or other.had_check
+
+
+class _FunctionScanner:
+    """Extract :class:`SignalEvent` records from one function body."""
+
+    def __init__(
+        self,
+        parsed: _ParsedModule,
+        qualname: str,
+        class_attr_symbols: Mapping[str, str],
+        global_attr_symbols: Mapping[str, str],
+        constants_of: Mapping[str, Mapping[str, int]],
+        events: List[SignalEvent],
+    ) -> None:
+        self.parsed = parsed
+        self.qualname = qualname
+        self.class_attrs = class_attr_symbols
+        self.global_attrs = global_attr_symbols
+        self.constants_of = constants_of
+        self.events = events
+        self.index = 0
+        self.taint: Dict[str, Tuple[str, Optional[int]]] = {}
+        self.local_symbols: Dict[str, str] = {}
+        self.has_test_call = False
+        self.has_clamp = False
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_handle(self, expr: ast.expr) -> Optional[str]:
+        """The signal symbol a handle expression denotes, if known."""
+        if isinstance(expr, ast.Name):
+            return self.local_symbols.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and attr in self.class_attrs
+            ):
+                return self.class_attrs[attr]
+            return self.global_attrs.get(attr)
+        return None
+
+    def resolve_constant(self, expr: ast.expr) -> Optional[int]:
+        """An integer modulus: literal, module constant, or ``k.NAME``."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self.parsed.constants.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            module = self.parsed.import_aliases.get(expr.value.id)
+            if module is not None:
+                return self.constants_of.get(module, {}).get(expr.attr)
+        return None
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        signal: str,
+        node: ast.AST,
+        *,
+        in_write: bool = False,
+        tainted: bool = False,
+        rmw: bool = False,
+        wrap_modulus: Optional[int] = None,
+        consumer: Optional[str] = None,
+    ) -> None:
+        self.events.append(
+            SignalEvent(
+                signal=signal,
+                kind=kind,
+                module=self.parsed.name,
+                file=self.parsed.file,
+                line=getattr(node, "lineno", 0),
+                function=self.qualname,
+                index=self.index,
+                in_write=in_write,
+                tainted=tainted,
+                rmw=rmw,
+                wrap_modulus=wrap_modulus,
+                consumer=consumer,
+            )
+        )
+        self.index += 1
+
+    # -- expressions ------------------------------------------------------
+
+    def scan_expr(self, node: Optional[ast.expr], wstack: List[str]) -> _ExprInfo:
+        info = _ExprInfo()
+        if node is None:
+            return info
+        if isinstance(node, ast.Call):
+            self._scan_call(node, wstack, info)
+        elif isinstance(node, ast.Name):
+            if node.id in self.taint:
+                info.tainted.append(node.id)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    info.merge(self.scan_expr(child, wstack))
+        return info
+
+    def _scan_call(self, node: ast.Call, wstack: List[str], info: _ExprInfo) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+
+        if name in ("min", "max") or (name and "clamp" in name.lower()):
+            self.has_clamp = True
+
+        # The read-test-writeback helper: checked(monitor, var, now).
+        if name in _CHECK_HELPERS and len(node.args) >= 2:
+            signal = self.resolve_handle(node.args[1])
+            if signal is not None:
+                self.emit("check", signal, node)
+                info.had_check = True
+                for position, arg in enumerate(node.args):
+                    if position != 1:
+                        info.merge(self.scan_expr(arg, wstack))
+                return
+
+        # Direct monitor use: monitor.test(var.get(), now) or .test(value, now).
+        if name == "test":
+            self.has_test_call = True
+            args = list(node.args)
+            if args:
+                first = args[0]
+                if (
+                    isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Attribute)
+                    and first.func.attr == "get"
+                ):
+                    signal = self.resolve_handle(first.func.value)
+                    if signal is not None:
+                        self.emit("check", signal, node)
+                        info.had_check = True
+                        for arg in args[1:]:
+                            info.merge(self.scan_expr(arg, wstack))
+                        return
+            info.had_check = True
+            for arg in args:
+                info.merge(self.scan_expr(arg, wstack))
+            return
+
+        # Variable-handle accesses: handle.get() / .set(v) / .add(v).
+        if isinstance(func, ast.Attribute) and name in ("get", "set", "add"):
+            signal = self.resolve_handle(func.value)
+            if signal is not None:
+                if name == "get":
+                    in_write = bool(wstack) and wstack[-1] == signal
+                    self.emit("read", signal, node, in_write=in_write)
+                    if not in_write:
+                        info.reads.append(signal)
+                else:
+                    inner = _ExprInfo()
+                    for arg in node.args:
+                        inner.merge(self.scan_expr(arg, wstack + [signal]))
+                    wrap: Optional[int] = None
+                    tainted = False
+                    for local in inner.tainted:
+                        taint_signal, taint_wrap = self.taint[local]
+                        if taint_signal == signal:
+                            tainted = True
+                            wrap = taint_wrap
+                            break
+                    self.emit(
+                        "write",
+                        signal,
+                        node,
+                        tainted=tainted,
+                        rmw=(name == "add"),
+                        wrap_modulus=wrap,
+                    )
+                    info.merge(inner)
+                return
+            # Unresolvable handle (e.g. a parameter): scan args only.
+            for arg in node.args:
+                info.merge(self.scan_expr(arg, wstack))
+            return
+
+        # Generic call: flag reads handed straight to a consumer method.
+        consumer = name if isinstance(func, ast.Attribute) else None
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Attribute)
+                and arg.func.attr == "get"
+            ):
+                signal = self.resolve_handle(arg.func.value)
+                if signal is not None:
+                    self.emit("read", signal, arg, consumer=consumer)
+                    info.reads.append(signal)
+                    continue
+            info.merge(self.scan_expr(arg, wstack))
+        for keyword in node.keywords:
+            info.merge(self.scan_expr(keyword.value, wstack))
+        if isinstance(func, ast.Attribute):
+            info.merge(self.scan_expr(func.value, wstack))
+
+    # -- statements -------------------------------------------------------
+
+    def _assign_name(self, name: str, info: _ExprInfo) -> None:
+        self.local_symbols.pop(name, None)
+        if info.had_check:
+            # The value went through a monitor: a validated local.
+            self.taint.pop(name, None)
+        elif info.reads:
+            self.taint[name] = (info.reads[0], None)
+        elif info.tainted:
+            self.taint[name] = self.taint[info.tainted[0]]
+        else:
+            self.taint.pop(name, None)
+
+    def _apply_wrap(self, name: str, modulus_expr: ast.expr) -> None:
+        if name not in self.taint:
+            return
+        signal, _ = self.taint[name]
+        modulus = self.resolve_constant(modulus_expr)
+        self.taint[name] = (signal, modulus if modulus is not None else -1)
+
+    def _wrap_candidate(
+        self, node: ast.If
+    ) -> Optional[Tuple[str, str, Optional[int]]]:
+        """The wrap idiom ``if x >= K: x = 0`` (also ``>`` / ``==``).
+
+        Returns ``(local, signal, modulus)`` when the folded local is
+        currently tainted; the caller re-applies the taint *after* the
+        branch bodies are scanned (the ``x = 0`` reset would otherwise
+        clear it).
+        """
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.GtE, ast.Gt, ast.Eq))
+            and isinstance(test.left, ast.Name)
+        ):
+            return None
+        name = test.left.id
+        if name not in self.taint:
+            return None
+        resets = any(
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value == 0
+            for stmt in node.body
+        )
+        if not resets:
+            return None
+        signal, _ = self.taint[name]
+        modulus = self.resolve_constant(test.comparators[0])
+        return (name, signal, modulus if modulus is not None else -1)
+
+    def scan_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+            if (
+                len(targets) == 1
+                and isinstance(targets[0], ast.Name)
+                and isinstance(value, ast.Attribute)
+            ):
+                symbol = self.resolve_handle(value)
+                if symbol is not None:
+                    # A handle alias (comm_tx = master.mem.comm_tx_set_value):
+                    # binding a Variable object is not a memory read.
+                    name = targets[0].id
+                    self.local_symbols[name] = symbol
+                    self.taint.pop(name, None)
+                    return
+            info = self.scan_expr(value, [])
+            if (
+                isinstance(value, ast.BinOp)
+                and isinstance(value.op, ast.Mod)
+                and info.reads
+            ):
+                modulus = self.resolve_constant(value.right)
+                info_wrap: Optional[int] = modulus if modulus is not None else -1
+            else:
+                info_wrap = None
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._assign_name(target.id, info)
+                    if info_wrap is not None and target.id in self.taint:
+                        signal, _ = self.taint[target.id]
+                        self.taint[target.id] = (signal, info_wrap)
+        elif isinstance(node, ast.AnnAssign):
+            info = self.scan_expr(node.value, [])
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                self._assign_name(node.target.id, info)
+        elif isinstance(node, ast.AugAssign):
+            info = self.scan_expr(node.value, [])
+            if isinstance(node.target, ast.Name) and isinstance(node.op, ast.Mod):
+                self._apply_wrap(node.target.id, node.value)
+        elif isinstance(node, ast.If):
+            self.scan_expr(node.test, [])
+            wrap = self._wrap_candidate(node)
+            for stmt in node.body:
+                self.scan_stmt(stmt)
+            for stmt in node.orelse:
+                self.scan_stmt(stmt)
+            if wrap is not None:
+                name, signal, modulus = wrap
+                self.taint[name] = (signal, modulus)
+        elif isinstance(node, ast.Expr):
+            self.scan_expr(node.value, [])
+        elif isinstance(node, ast.Return):
+            self.scan_expr(node.value, [])
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.scan_expr(node.iter, [])
+            for stmt in node.body:
+                self.scan_stmt(stmt)
+            for stmt in node.orelse:
+                self.scan_stmt(stmt)
+        elif isinstance(node, ast.While):
+            self.scan_expr(node.test, [])
+            for stmt in node.body:
+                self.scan_stmt(stmt)
+            for stmt in node.orelse:
+                self.scan_stmt(stmt)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.scan_expr(item.context_expr, [])
+            for stmt in node.body:
+                self.scan_stmt(stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body:
+                self.scan_stmt(stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self.scan_stmt(stmt)
+            for stmt in node.orelse:
+                self.scan_stmt(stmt)
+            for stmt in node.finalbody:
+                self.scan_stmt(stmt)
+        elif isinstance(node, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.scan_expr(child, [])
+        # Nested function/class definitions are not descended into.
+
+
+def _class_attr_symbols(
+    node: ast.ClassDef, global_attrs: Mapping[str, str]
+) -> Dict[str, str]:
+    """``self._x = mem.slot_id``-style aliases from a class ``__init__``."""
+    aliases: Dict[str, str] = {}
+    for item in node.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for stmt in ast.walk(item):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Attribute) and value.attr in global_attrs:
+                aliases[target.attr] = global_attrs[value.attr]
+    return aliases
+
+
+def _scan_module_events(
+    parsed: _ParsedModule,
+    global_attrs: Mapping[str, str],
+    constants_of: Mapping[str, Mapping[str, int]],
+    events: List[SignalEvent],
+    functions: List[FunctionInfo],
+) -> None:
+    def scan_function(
+        func: ast.FunctionDef, qualname: str, class_attrs: Mapping[str, str]
+    ) -> None:
+        scanner = _FunctionScanner(
+            parsed, qualname, class_attrs, global_attrs, constants_of, events
+        )
+        for stmt in func.body:
+            scanner.scan_stmt(stmt)
+        functions.append(
+            FunctionInfo(
+                name=func.name,
+                qualname=qualname,
+                module=parsed.name,
+                file=parsed.file,
+                line=func.lineno,
+                has_test_call=scanner.has_test_call,
+                has_clamp=scanner.has_clamp,
+            )
+        )
+
+    for node in parsed.tree.body:
+        if isinstance(node, ast.ClassDef):
+            class_attrs = _class_attr_symbols(node, global_attrs)
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    scan_function(item, f"{node.name}.{item.name}", class_attrs)
+        elif isinstance(node, ast.FunctionDef):
+            scan_function(node, node.name, {})
+
+
+# -- the builder --------------------------------------------------------------
+
+
+def build_source_model(
+    target: Optional[object] = None,
+    *,
+    entries: Optional[Sequence[str]] = None,
+    extra_sources: Optional[Mapping[str, str]] = None,
+    exempt: Sequence[str] = DEFAULT_FINGERPRINT_EXEMPT,
+    target_name: Optional[str] = None,
+) -> SourceModel:
+    """Parse a target's fingerprinted sources into a :class:`SourceModel`.
+
+    *entries* defaults to ``target.fingerprint_sources()``.
+    *extra_sources* maps dotted module names to source text and takes
+    precedence over the file system — the fixture tests use it to
+    analyse seeded-defect modules that are never importable.  *exempt*
+    prefixes are neither required in the fingerprint nor walked.
+    """
+    if entries is None:
+        if target is None:
+            raise ValueError("build_source_model needs a target or explicit entries")
+        entries = tuple(target.fingerprint_sources())
+    else:
+        entries = tuple(entries)
+    name = target_name or getattr(target, "name", None) or "<unnamed>"
+    extra = dict(extra_sources or {})
+    locator = _Locator(extra)
+
+    roots = {entry.partition(".")[0] for entry in entries}
+    roots.update(key.partition(".")[0] for key in extra)
+
+    # Expand fingerprint entries to concrete module files.
+    to_parse: Dict[str, Tuple[str, Optional[str]]] = {}
+    unresolved: List[str] = []
+    for entry in entries:
+        matched = False
+        for key, text in extra.items():
+            if key == entry or key.startswith(entry + "."):
+                to_parse.setdefault(key, (f"<fixture:{key}>", text))
+                matched = True
+        found = locator.locate(entry)
+        if found is not None:
+            matched = True
+            kind, init_file = found
+            if kind == "module":
+                to_parse.setdefault(entry, (str(init_file), None))
+            else:
+                package_dir = init_file.parent
+                for source_file in sorted(package_dir.rglob("*.py")):
+                    relative = source_file.relative_to(package_dir)
+                    parts = list(relative.parts)
+                    if parts[-1] == "__init__.py":
+                        parts = parts[:-1]
+                    else:
+                        parts[-1] = parts[-1][: -len(".py")]
+                    module = ".".join([entry] + parts)
+                    to_parse.setdefault(module, (str(source_file), None))
+        if not matched:
+            unresolved.append(entry)
+
+    # Parse the entry modules, then walk covered imports to a fixpoint.
+    parsed: Dict[str, _ParsedModule] = {}
+    uncovered: Dict[Tuple[str, str], ImportRecord] = {}
+    queue = sorted(to_parse)
+
+    def parse_one(module: str, file: str, text: Optional[str]) -> None:
+        if text is None:
+            text = Path(file).read_text(encoding="utf-8")
+        parsed[module] = _parse(module, file, text)
+
+    for module in queue:
+        file, text = to_parse[module]
+        parse_one(module, file, text)
+
+    while queue:
+        module = queue.pop()
+        current = parsed[module]
+        for imported, line in _module_imports(current.tree, locator):
+            if imported.partition(".")[0] not in roots:
+                continue
+            if _exempt(imported, exempt):
+                continue
+            if not _covered(imported, entries):
+                key = (imported, current.file)
+                if key not in uncovered:
+                    uncovered[key] = ImportRecord(
+                        module=imported,
+                        importer=current.name,
+                        file=current.file,
+                        line=line,
+                    )
+                continue
+            if imported in parsed:
+                continue
+            if imported in extra:
+                parse_one(imported, f"<fixture:{imported}>", extra[imported])
+                queue.append(imported)
+                continue
+            found = locator.locate(imported)
+            if found is not None:
+                parse_one(imported, str(found[1]), None)
+                queue.append(imported)
+
+    # Phase A: constants, import aliases, memory models, the symbol table.
+    ordered = [parsed[module] for module in sorted(parsed)]
+    memories: List[MemoryModel] = []
+    global_attrs: Dict[str, str] = {}
+    constants_of: Dict[str, Mapping[str, int]] = {}
+    for module in ordered:
+        _record_import_aliases(module, locator)
+        constants_of[module.name] = module.constants
+        for memory in _find_memories(module):
+            memories.append(memory)
+            global_attrs.update(memory.attr_symbols)
+
+    # Phase B: the event stream.
+    events: List[SignalEvent] = []
+    functions: List[FunctionInfo] = []
+    for module in ordered:
+        _scan_module_events(module, global_attrs, constants_of, events, functions)
+
+    return SourceModel(
+        target_name=name,
+        entries=entries,
+        unresolved_entries=tuple(unresolved),
+        modules=tuple(module.name for module in ordered),
+        memories=tuple(memories),
+        events=tuple(events),
+        functions=tuple(functions),
+        uncovered_imports=tuple(
+            uncovered[key] for key in sorted(uncovered)
+        ),
+    )

@@ -45,6 +45,10 @@ MONITORED_SIGNALS = (
 class MasterMemory:
     """The master node's emulated memory, symbols and typed handles."""
 
+    #: The monitored-signal names this memory's E1 error set targets
+    #: (the generic default of ``build_e1_error_set``).
+    MONITORED_SIGNALS = MONITORED_SIGNALS
+
     def __init__(self) -> None:
         self.map = MemoryMap([RAM_REGION, STACK_REGION])
         self.ram = RegionAllocator(RAM_REGION)

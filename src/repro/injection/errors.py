@@ -22,8 +22,6 @@ import dataclasses
 import random
 from typing import List, Optional, Sequence
 
-from repro.arrestor.signals_map import MONITORED_SIGNALS
-
 __all__ = [
     "ErrorSpec",
     "build_e1_error_set",
@@ -71,14 +69,21 @@ def build_e1_error_set(
     """The E1 error set: every bit position of every monitored signal.
 
     *memory* is any target memory exposing ``signal_variable(name)``;
-    *signals* defaults to the arrestor's seven monitored signals, giving
-    the paper's 112 errors.  Error numbering follows Table 6: S1..S16
-    target SetValue, S17..S32 IsValue, S33..S48 i, S49..S64 pulscnt,
-    S65..S80 ms_slot_nbr, S81..S96 mscnt, S97..S112 OutValue.  Within a
-    signal, errors go from bit 0 (LSB) to bit 15 (MSB).
+    *signals* defaults to the memory's own ``MONITORED_SIGNALS`` (for
+    the arrestor's :class:`~repro.arrestor.signals_map.MasterMemory`,
+    the seven Table-4 signals, giving the paper's 112 errors).  Error
+    numbering follows Table 6: S1..S16 target SetValue, S17..S32
+    IsValue, S33..S48 i, S49..S64 pulscnt, S65..S80 ms_slot_nbr,
+    S81..S96 mscnt, S97..S112 OutValue.  Within a signal, errors go from
+    bit 0 (LSB) to bit 15 (MSB).
     """
     if signals is None:
-        signals = MONITORED_SIGNALS
+        signals = getattr(memory, "MONITORED_SIGNALS", None)
+        if signals is None:
+            raise TypeError(
+                f"{type(memory).__name__} declares no MONITORED_SIGNALS; "
+                f"pass signals= explicitly"
+            )
     errors: List[ErrorSpec] = []
     number = 1
     for signal in signals:

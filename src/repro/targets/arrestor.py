@@ -94,6 +94,8 @@ class ArrestorTarget(Target):
             "repro.rtos",
             "repro.injection",
             "repro.targets.base",
+            "repro.targets.snapshot",
             "repro.targets.arrestor",
+            "repro.experiments.testcases",
             "repro.arrestor",
         )

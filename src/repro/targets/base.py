@@ -277,6 +277,8 @@ class Target(abc.ABC):
             "repro.rtos",
             "repro.injection",
             "repro.targets.base",
+            "repro.targets.snapshot",
+            "repro.experiments.testcases",
             package,
         )
 
@@ -290,8 +292,15 @@ class Target(abc.ABC):
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-def validate_target(target: Target) -> Target:
-    """Sanity-check a target's static surface at registration time."""
+def validate_target(target: Target, check_source: bool = False) -> Target:
+    """Sanity-check a target's static surface at registration time.
+
+    With *check_source* the target's fingerprinted source modules are
+    additionally parsed and run through the source-scope rules
+    (EA4xx/EA5xx; see :mod:`repro.analysis.source`) and any
+    error-severity finding raises — the slow, thorough variant used by
+    the analysis self-check, not by registration.
+    """
     if not target.name:
         raise ValueError(f"{type(target).__name__} must set a non-empty name")
     versions = tuple(target.versions)
@@ -306,4 +315,13 @@ def validate_target(target: Target) -> Target:
         raise ValueError(f"target {target.name!r} monitors no signals")
     if len(set(signals)) != len(signals):
         raise ValueError(f"target {target.name!r} has duplicate monitored signals")
+    if check_source:
+        from repro.analysis.engine import analyze_target_source
+
+        report = analyze_target_source(target)
+        if not report.ok:
+            raise ValueError(
+                f"target {target.name!r} fails source-level analysis:\n"
+                f"{report.format_text()}"
+            )
     return target

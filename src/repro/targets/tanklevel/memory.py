@@ -30,6 +30,10 @@ MONITORED_SIGNALS = ("SetPoint", "level", "flow_acc", "slot_id", "tick")
 class TankMemory:
     """The controller node's emulated memory, symbols and typed handles."""
 
+    #: The monitored-signal names this memory's E1 error set targets
+    #: (the generic default of ``build_e1_error_set``).
+    MONITORED_SIGNALS = MONITORED_SIGNALS
+
     def __init__(self) -> None:
         self.map = MemoryMap([RAM_REGION, STACK_REGION])
         self.ram = RegionAllocator(RAM_REGION)

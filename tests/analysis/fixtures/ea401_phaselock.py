@@ -1,0 +1,47 @@
+"""Seeded defect: EA401 — check placed after the wrap-folding write.
+
+The five-slot cycle divides the 20-ms injection period, so a check that
+runs after ``if slot >= N_SLOTS: slot = 0`` only ever observes legal
+values: every injected corruption has already been folded back into the
+domain.  This is the phase-lock idiom the tank-level target fixed by
+moving the check to the consumption point.
+"""
+
+N_SLOTS = 5
+
+MONITORED_SIGNALS = ("slot_id",)
+
+
+class FixMemory:
+    def __init__(self):
+        self.slot_id = self._var("slot_id")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"slot_id": self.slot_id}
+        return mapping[name]
+
+
+class FixNode:
+    def __init__(self, node):
+        mem = node.mem
+        self._slot = mem.slot_id
+        self._mon_slot = node.monitors.get("EA4")
+
+    @staticmethod
+    def checked(monitor, var, now_ms):
+        value = var.get()
+        result = monitor.test(value, now_ms)
+        if result != value:
+            var.set(result)
+        return result
+
+    def step(self, now_ms):
+        slot = self._slot.get() + 1
+        if slot >= N_SLOTS:
+            slot = 0
+        self._slot.set(slot)
+        slot = self.checked(self._mon_slot, self._slot, now_ms)
+        return slot

@@ -1,0 +1,28 @@
+"""Seeded defect: EA402 — a monitored signal written but never checked.
+
+The time base advances every step, but no executable assertion tests it
+anywhere: the FMECA selected the signal, the plan claims it, the code
+never guards it.
+"""
+
+MONITORED_SIGNALS = ("tick",)
+
+
+class FixMemory:
+    def __init__(self):
+        self.tick = self._var("tick")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"tick": self.tick}
+        return mapping[name]
+
+
+class FixNode:
+    def __init__(self, node):
+        self._tick = node.mem.tick
+
+    def step(self, now_ms):
+        self._tick.add(1)

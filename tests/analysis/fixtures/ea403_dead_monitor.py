@@ -1,0 +1,37 @@
+"""Seeded defect: EA403 — a dead monitor.
+
+The level monitor tests the signal every step, but nothing in the
+analysed source ever writes it: only the boot value can ever be seen,
+so the check guards nothing.
+"""
+
+MONITORED_SIGNALS = ("level",)
+
+
+class FixMemory:
+    def __init__(self):
+        self.level = self._var("level")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"level": self.level}
+        return mapping[name]
+
+
+class FixNode:
+    def __init__(self, node):
+        self._level = node.mem.level
+        self._mon_level = node.monitors.get("EA2")
+
+    @staticmethod
+    def _checked(monitor, var, now_ms):
+        value = var.get()
+        result = monitor.test(value, now_ms)
+        if result != value:
+            var.set(result)
+        return result
+
+    def step(self, now_ms):
+        return self._checked(self._mon_level, self._level, now_ms)

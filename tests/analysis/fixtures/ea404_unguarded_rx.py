@@ -1,0 +1,44 @@
+"""Seeded defect: EA404 — a communication buffer consumed unguarded.
+
+The controller publishes its set-point into the COMM buffer and the
+drain node latches it verbatim — no monitor test, no range clamp.  A
+corrupted buffer propagates straight into the receiving node's actuator
+(the slave-assertion gap; the paper's slave-side EA validates the
+received SetValue before use).
+"""
+
+MONITORED_SIGNALS = ("SetPoint",)
+
+
+class FixMemory:
+    def __init__(self):
+        self.set_point = self._var("SetPoint")
+        self.comm_set_point = self._var("comm_SetPoint")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"SetPoint": self.set_point}
+        return mapping[name]
+
+
+class FixDrain:
+    def __init__(self):
+        self.received = 0
+
+    def receive(self, set_point):
+        self.received = set_point
+
+
+class FixNode:
+    def __init__(self, node):
+        self.mem = node.mem
+
+    def comm(self, now_ms):
+        self.mem.comm_set_point.set(self.mem.set_point.get())
+
+
+class FixSystem:
+    def advance(self, node, drain):
+        drain.receive(node.mem.comm_set_point.get())

@@ -1,0 +1,21 @@
+"""Seeded defect: EA501 — memory map monitors a signal the plan omits.
+
+The memory class declares ``ghost`` as monitored (both in its
+``signal_variable`` mapping and in ``MONITORED_SIGNALS``) but the test
+supplies a plan that only covers ``SetPoint``.
+"""
+
+MONITORED_SIGNALS = ("SetPoint", "ghost")
+
+
+class FixMemory:
+    def __init__(self):
+        self.set_point = self._var("SetPoint")
+        self.ghost = self._var("ghost")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"SetPoint": self.set_point, "ghost": self.ghost}
+        return mapping[name]

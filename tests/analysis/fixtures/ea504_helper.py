@@ -1,0 +1,7 @@
+"""The helper module ``ea504_uncovered`` imports (itself defect-free)."""
+
+SCALE_SHIFT = 6
+
+
+def scale(value):
+    return value >> SCALE_SHIFT

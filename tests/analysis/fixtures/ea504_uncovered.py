@@ -1,0 +1,13 @@
+"""Seeded defect: EA504 — an import no fingerprint entry covers.
+
+The test fingerprints only this module, so the helper import below is
+transitively required yet uncovered: edits to the helper would change
+behaviour without invalidating cached campaign results.
+"""
+
+from fixpkg.ea504_helper import scale
+
+
+class FixFilter:
+    def apply(self, value):
+        return scale(value)

@@ -1,0 +1,20 @@
+"""A clean memory-only fixture module (one monitored signal).
+
+The drift tests pair this with deliberately inconsistent plans or
+``monitored_signals`` surfaces to seed EA502/EA503 without a defect in
+the source itself.
+"""
+
+MONITORED_SIGNALS = ("SetPoint",)
+
+
+class FixMemory:
+    def __init__(self):
+        self.set_point = self._var("SetPoint")
+
+    def _var(self, name):
+        raise NotImplementedError("fixture memory is never instantiated")
+
+    def signal_variable(self, name):
+        mapping = {"SetPoint": self.set_point}
+        return mapping[name]

@@ -1,0 +1,90 @@
+"""BENCH_lint.json emission and schema validation."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "bench_lint.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_lint", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _load_bench()
+
+
+@pytest.fixture(scope="module")
+def emitted(bench, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_lint.json"
+    assert bench.main(["--repeats", "1", "--out", str(out)]) == 0
+    return json.loads(out.read_text(encoding="utf-8")), out
+
+
+class TestEmission:
+    def test_schema_fields(self, bench, emitted):
+        data, _ = emitted
+        bench.validate_bench_json(data)
+        assert data["benchmark"] == "lint"
+        assert data["schema_version"] == bench.SCHEMA_VERSION
+        assert set(data["targets"]) == {"arrestor", "tanklevel"}
+        for section in data["targets"].values():
+            assert section["modules"] > 0
+            assert section["events"] > 0
+            assert section["memories"] == 1
+            assert section["findings"]["error"] == 0
+
+    def test_check_mode_accepts_emitted_file(self, bench, emitted, capsys):
+        _, out = emitted
+        assert bench.main(["--check", str(out)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+
+    def test_single_target_mode(self, bench, tmp_path):
+        out = tmp_path / "one.json"
+        assert bench.main(["--repeats", "1", "--target", "tanklevel",
+                           "--out", str(out)]) == 0
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert set(data["targets"]) == {"tanklevel"}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.update(benchmark="x"), "benchmark"),
+            (lambda d: d.update(schema_version=99), "schema_version"),
+            (lambda d: d.update(repeats=0), "repeats"),
+            (lambda d: d.update(targets={}), "targets"),
+            (lambda d: d["targets"]["arrestor"].pop("seconds"), "seconds"),
+            (lambda d: d["targets"]["arrestor"]["findings"].pop("info"), "findings"),
+            (
+                lambda d: d["targets"]["arrestor"]["findings"].update(error=2),
+                "lint gate",
+            ),
+            (lambda d: d.update(total_seconds="fast"), "total_seconds"),
+        ],
+    )
+    def test_tampered_payload_rejected(self, bench, emitted, mutate, match):
+        data, _ = emitted
+        tampered = json.loads(json.dumps(data))
+        mutate(tampered)
+        with pytest.raises(ValueError, match=match):
+            bench.validate_bench_json(tampered)
+
+    def test_check_mode_rejects_tampered_file(self, bench, emitted, tmp_path, capsys):
+        data, _ = emitted
+        tampered = json.loads(json.dumps(data))
+        tampered["targets"]["arrestor"]["findings"]["error"] = 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(tampered), encoding="utf-8")
+        assert bench.main(["--check", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out

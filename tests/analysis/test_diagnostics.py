@@ -103,3 +103,38 @@ class TestAnalysisOptions:
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             AnalysisOptions(**kwargs)
+
+
+class TestDiagnosticLocation:
+    def test_format_prefixes_path_and_line(self):
+        diag = Diagnostic(
+            "EA401", Severity.ERROR, "slot", "msg", file="src/a.py", line=12
+        )
+        assert diag.location == "src/a.py:12"
+        assert diag.format().startswith("src/a.py:12: EA401 ")
+
+    def test_format_with_file_only(self):
+        diag = Diagnostic("EA504", Severity.ERROR, "mod", "msg", file="src/a.py")
+        assert diag.location == "src/a.py"
+        assert diag.format().startswith("src/a.py: EA504 ")
+
+    def test_format_unchanged_without_location(self):
+        diag = _diag()
+        assert diag.location is None
+        assert diag.format().startswith("EA101 ")
+
+    def test_to_dict_always_carries_location_keys(self):
+        located = Diagnostic(
+            "EA402", Severity.ERROR, "s", "m", file="b.py", line=3
+        ).to_dict()
+        assert located["file"] == "b.py" and located["line"] == 3
+        bare = _diag().to_dict()
+        assert bare["file"] is None and bare["line"] is None
+
+    def test_location_survives_json_round_trip(self):
+        report = AnalysisReport(
+            [Diagnostic("EA401", Severity.ERROR, "s", "m", file="c.py", line=9)]
+        )
+        payload = json.loads(report.to_json())
+        assert payload["diagnostics"][0]["file"] == "c.py"
+        assert payload["diagnostics"][0]["line"] == 9

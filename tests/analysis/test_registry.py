@@ -22,11 +22,17 @@ def make_rule(rule_id="X001", scope="continuous", severity=Severity.WARNING):
 
 
 class TestDefaultRegistry:
-    def test_holds_all_three_packs(self):
+    def test_holds_all_five_packs(self):
         registry = default_registry()
-        assert len(registry) >= 18
+        assert len(registry) >= 27
         packs = {rule.pack for rule in registry}
-        assert packs == {"parameter-vacuity", "plan-completeness", "coverage"}
+        assert packs == {
+            "parameter-vacuity",
+            "plan-completeness",
+            "coverage",
+            "source-dataflow",
+            "source-drift",
+        }
 
     def test_returns_fresh_instances(self):
         first = default_registry()

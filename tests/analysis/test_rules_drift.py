@@ -1,0 +1,78 @@
+"""Each EA5xx drift rule must fire on its seeded configuration."""
+
+from repro.analysis.diagnostics import Severity
+from tests.analysis.fixtures import PACKAGE, analyze_fixture
+
+
+def _findings(report, rule_id):
+    return [d for d in report.diagnostics if d.rule_id == rule_id]
+
+
+class TestEA501MemorySignalUnplanned:
+    def test_fires_on_memory_signal_missing_from_plan(self):
+        report = analyze_fixture(
+            ["ea501_drift"], planned=["SetPoint"], monitored=["SetPoint"]
+        )
+        (diag,) = _findings(report, "EA501")
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == "ghost"
+        assert diag.file == f"<fixture:{PACKAGE}.ea501_drift>"
+        assert diag.line > 0
+        # only the seeded defect fires
+        assert {d.rule_id for d in report.diagnostics} == {"EA501"}
+
+
+class TestEA502PlannedSignalUnmapped:
+    def test_fires_on_planned_signal_without_memory_symbol(self):
+        report = analyze_fixture(
+            ["memonly"],
+            planned=["SetPoint", "phantom"],
+            monitored=["SetPoint", "phantom"],
+        )
+        (diag,) = _findings(report, "EA502")
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == "phantom"
+        assert "FixMemory" in diag.message
+
+
+class TestEA503TargetPlanAgreement:
+    def test_fires_on_monitored_signals_vs_plan_disagreement(self):
+        report = analyze_fixture(
+            ["memonly"], planned=["SetPoint"], monitored=["SetPoint", "other"]
+        )
+        (diag,) = _findings(report, "EA503")
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == "other"
+        assert diag.file is None and diag.line is None
+
+
+class TestEA504FingerprintCompleteness:
+    def test_fires_on_uncovered_transitive_import(self):
+        report = analyze_fixture(
+            ["ea504_uncovered", "ea504_helper"],
+            planned=[],
+            entries=(f"{PACKAGE}.ea504_uncovered",),
+        )
+        (diag,) = _findings(report, "EA504")
+        assert diag.severity is Severity.ERROR
+        assert diag.subject == f"{PACKAGE}.ea504_helper"
+        assert diag.file == f"<fixture:{PACKAGE}.ea504_uncovered>"
+        assert diag.line == 8
+        assert "fingerprint_sources" in diag.message
+
+    def test_silent_when_package_entry_covers_import(self):
+        report = analyze_fixture(["ea504_uncovered", "ea504_helper"], planned=[])
+        assert not _findings(report, "EA504")
+
+
+class TestEA505FingerprintResolvable:
+    def test_fires_on_unresolvable_entry(self):
+        report = analyze_fixture(
+            ["memonly"],
+            planned=["SetPoint"],
+            entries=(PACKAGE, f"{PACKAGE}.nonexistent"),
+        )
+        (diag,) = _findings(report, "EA505")
+        assert diag.severity is Severity.WARNING
+        assert diag.subject == f"{PACKAGE}.nonexistent"
+        assert report.ok  # warning-only report stays ok
