@@ -66,15 +66,17 @@ bench-lint:
 	$(PYTHON) benchmarks/bench_lint.py --check BENCH_lint.json
 
 # Tiny single-repeat sweep over every registered target: exercises the
-# cold, snapshot-warm, parallel and store-replay engines, the
-# cross-configuration equivalence check, the schema validator and the
-# warm >= cold throughput-regression guard per target, without the full
-# bench's repeat count.
+# cold, snapshot-warm, parallel, store-replay and vectorized-batch
+# engines, the cross-configuration equivalence checks (including the
+# batch-vs-serial differential gate), the schema validator and the
+# throughput-regression guards per target, without the full bench's
+# repeat count.  --smoke on the run pins the pool width so the artifact
+# is deterministic across host CPU counts.
 bench-smoke:
 	@for target in $$(PYTHONPATH=src $(PYTHON) -c "from repro.targets import target_names; print(' '.join(target_names()))"); do \
 		echo "== bench-smoke: $$target"; \
 		$(PYTHON) benchmarks/bench_campaign.py --target $$target --repeats 1 \
-			--out BENCH_smoke_$$target.json || exit 1; \
+			--smoke --out BENCH_smoke_$$target.json || exit 1; \
 		$(PYTHON) benchmarks/bench_campaign.py --check BENCH_smoke_$$target.json --smoke || exit 1; \
 		rm -f BENCH_smoke_$$target.json; \
 	done

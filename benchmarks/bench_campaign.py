@@ -28,6 +28,13 @@ and writes ``BENCH_campaign.json``::
         "null_sink": {"runs": N, "seconds": S, "runs_per_sec": R},
         "overhead_pct": X,
         "null_sink_overhead_pct": Y
+      },
+      "batch": {
+        "supported": true,
+        "grid": {"versions": N, "errors": N, "runs": N},
+        "vectorized": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "speedup_vs_cold_serial": X,
+        "equivalent": true
       }
     }
 
@@ -55,6 +62,14 @@ Interpreting the sections:
   numbers stay comparable across schema versions): ``overhead_pct``
   should stay within timing noise (a few percent either way on a busy
   machine) and ``null_sink`` prices event construction.
+* ``batch`` (schema v5) prices the vectorized kernel: the target's
+  **full E1 grid** (every version x every error x one case) executed as
+  one ``Target.run_batch`` call.  ``speedup_vs_cold_serial`` compares
+  its runs/sec against the cold serial baseline, and ``equivalent`` is
+  the built-in differential gate — the bench slice re-executed through
+  ``execute_specs(batch=True)`` must be record-for-record identical to
+  the cold serial records.  The validator refuses a document whose gate
+  is false.
 
 Every timed configuration is preceded by one untimed warm-up run and
 then measured as the **median of ``--repeats`` (>= 3) timed repeats**;
@@ -89,7 +104,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+
+#: Pool width pinned by ``--smoke`` runs, so smoke artifacts (and the
+#: schema check over them) are deterministic across host CPU counts.
+SMOKE_WORKERS = 2
 
 #: A cheap, always-detected signal per built-in target (the default slice).
 DEFAULT_SIGNALS = {"arrestor": "mscnt", "tanklevel": "tick"}
@@ -178,6 +197,32 @@ def validate_bench_json(data: dict, smoke: bool = False) -> None:
     _throughput("tracing.null_sink", tracing.get("null_sink"))
     _number("tracing.overhead_pct", tracing.get("overhead_pct"))
     _number("tracing.null_sink_overhead_pct", tracing.get("null_sink_overhead_pct"))
+
+    batch = data.get("batch")
+    if not isinstance(batch, dict):
+        raise ValueError("missing or non-object section 'batch'")
+    if not isinstance(batch.get("supported"), bool):
+        raise ValueError("batch.supported must be a boolean")
+    if batch["supported"]:
+        grid = batch.get("grid")
+        if not isinstance(grid, dict):
+            raise ValueError("batch.grid must be an object")
+        for key in ("versions", "errors", "runs"):
+            if isinstance(grid.get(key), bool) or not isinstance(grid.get(key), int):
+                raise ValueError(f"batch.grid.{key} must be an integer")
+        _throughput("batch.vectorized", batch.get("vectorized"))
+        _number("batch.speedup_vs_cold_serial", batch.get("speedup_vs_cold_serial"))
+        if batch.get("equivalent") is not True:
+            raise ValueError(
+                "batch.equivalent must be true (the vectorized kernel "
+                "disagrees with the serial oracle)"
+            )
+        if smoke and batch["speedup_vs_cold_serial"] < 1.0:
+            raise ValueError(
+                f"throughput regression: the vectorized kernel is slower than "
+                f"cold serial runs "
+                f"(speedup {batch['speedup_vs_cold_serial']}x < 1.0x)"
+            )
 
 
 def _median(samples) -> float:
@@ -302,6 +347,42 @@ def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
     cold_rps = runs / cold_s if cold_s else 0.0
     off_rps = runs / off_s if off_s else 0.0
     null_rps = runs / null_s if null_s else 0.0
+
+    # Vectorized batch kernel: the full E1 grid (every version x every
+    # error x one test case) as a single run_batch call per target, plus
+    # the built-in differential gate — the bench slice through the batch
+    # path must reproduce the cold serial records exactly.
+    if resolved.supports_batch():
+        full_cfg = CampaignConfig(
+            cases_all=1,
+            cases_per_ea=1,
+            workers=1,
+            target=resolved.name,
+            injection_start_ms=injection_start_ms,
+        )
+        full_specs = enumerate_e1_specs(full_cfg)
+        batch_results, batch_s = _measure(
+            lambda: execute_specs(full_specs, batch=True, snapshots=False),
+            repeats,
+        )
+        batch_slice = execute_specs(specs, batch=True, snapshots=False)
+        batch_rps = len(full_specs) / batch_s if batch_s else 0.0
+        batch_section = {
+            "supported": True,
+            "grid": {
+                "versions": len(full_cfg.versions),
+                "errors": len(full_specs) // len(full_cfg.versions),
+                "runs": len(full_specs),
+            },
+            "vectorized": _throughput(len(full_specs), batch_s),
+            "speedup_vs_cold_serial": (
+                round(batch_rps / cold_rps, 3) if cold_rps else 0.0
+            ),
+            "equivalent": batch_slice.records == off_results.records,
+        }
+    else:
+        batch_section = {"supported": False}
+
     return {
         "benchmark": "campaign",
         "schema_version": SCHEMA_VERSION,
@@ -332,6 +413,7 @@ def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
             **_throughput(runs, store_s),
             "hits": replay_store.stats.hits,
         },
+        "batch": batch_section,
         "tracing": {
             "off": _throughput(runs, off_s),
             "null_sink": _throughput(runs, null_s),
@@ -397,7 +479,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --check: also enforce the warm >= cold regression guard",
+        help="with --check: also enforce the throughput-regression guards; "
+        "when benchmarking: pin --workers to a fixed width so the emitted "
+        "artifact is deterministic across host CPU counts",
     )
     args = parser.parse_args(argv)
 
@@ -417,6 +501,8 @@ def main(argv=None) -> int:
 
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if args.smoke:
+        args.workers = SMOKE_WORKERS
     if args.signals is not None:
         signals = tuple(args.signals.split(","))
     else:
@@ -462,6 +548,16 @@ def main(argv=None) -> int:
         f"null-sink overhead {tracing['null_sink_overhead_pct']}% "
         f"({tracing['null_sink']['runs_per_sec']}/s)"
     )
+    batch = data["batch"]
+    if batch["supported"]:
+        print(
+            f"batch kernel: full E1 grid ({batch['grid']['runs']} runs) "
+            f"{batch['vectorized']['runs_per_sec']}/s = "
+            f"{batch['speedup_vs_cold_serial']}x over cold serial "
+            f"(equivalent={batch['equivalent']})"
+        )
+    else:
+        print("batch kernel: not supported by this target (serial path only)")
     return 0
 
 

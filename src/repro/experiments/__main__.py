@@ -7,12 +7,12 @@ Usage::
     python -m repro.experiments e1 [--cases-all N] [--cases-ea N] [--signal S]
                                    [--workers N] [--checkpoint CSV] [--resume]
                                    [--store DIR] [--force] [--no-snapshots]
-                                   [--injection-start MS]
+                                   [--injection-start MS] [--batch]
                                    [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments e2 [--cases N] [--workers N]
                                    [--checkpoint CSV] [--resume]
                                    [--store DIR] [--force] [--no-snapshots]
-                                   [--injection-start MS]
+                                   [--injection-start MS] [--batch]
                                    [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments reference
     python -m repro.experiments table6
@@ -33,7 +33,10 @@ the store and executes zero new runs (``--force`` re-simulates anyway
 while refreshing the store).  ``--no-snapshots`` disables warm-target
 snapshot reuse (strict reboot-per-run), and ``--injection-start``
 delays the first injection, letting the snapshot layer fast-forward
-every run through the shared fault-free prefix.  ``--trace`` streams
+every run through the shared fault-free prefix.  ``--batch`` runs the
+eligible part of the grid (bit-flips on monitored RAM signals) through
+the target's vectorized kernel — record-for-record identical to the
+serial path, which stays the oracle.  ``--trace`` streams
 the structured event trace (detections,
 injections, run lifecycle) to a JSONL file; a campaign always ends with
 a metrics summary, and ``--metrics-out`` additionally writes the full
@@ -158,6 +161,14 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_TRACE or off)",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        default=os.environ.get("REPRO_BATCH") == "1",
+        help="vectorized batch execution of eligible runs (bit-flips on "
+        "monitored RAM signals); incompatible with --trace, which falls "
+        "back to the serial path (default: $REPRO_BATCH or off)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="JSON",
@@ -198,6 +209,7 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         target=target.name,
         injection_start_ms=args.injection_start,
         snapshots=False if args.no_snapshots else None,
+        batch=args.batch,
         **({"versions": versions} if versions else {}),
     )
     error_filter = None
@@ -253,6 +265,7 @@ def _cmd_e2(args: argparse.Namespace) -> int:
         target=args.target,
         injection_start_ms=args.injection_start,
         snapshots=False if args.no_snapshots else None,
+        batch=args.batch,
     )
     if args.load:
         results = load_results(args.load)

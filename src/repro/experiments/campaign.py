@@ -79,6 +79,10 @@ class CampaignConfig:
     #: Warm-target snapshot reuse: ``True``/``False`` force it on/off,
     #: ``None`` follows the session default (``REPRO_SNAPSHOTS``).
     snapshots: Optional[bool] = None
+    #: Vectorized batch execution of eligible specs (see
+    #: ``execute_specs(batch=...)``); also settable via ``REPRO_BATCH=1``.
+    #: The serial path stays the oracle and the default.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         for name in ("cases_all", "cases_per_ea", "cases_e2"):
@@ -116,7 +120,8 @@ class CampaignConfig:
         first-injection sim-time in ms (enabling prefix fast-forward);
         ``REPRO_SNAPSHOTS=0`` disables warm-target snapshot reuse (the
         snapshot layer reads that variable itself, so ``snapshots``
-        stays ``None`` here).
+        stays ``None`` here).  ``REPRO_BATCH=1`` opts into vectorized
+        batch execution of eligible specs.
         """
         full = os.environ.get("REPRO_FULL") == "1"
 
@@ -148,6 +153,7 @@ class CampaignConfig:
             run_timeout_s=_env_float("REPRO_RUN_TIMEOUT"),
             trace_path=os.environ.get("REPRO_TRACE") or None,
             injection_start_ms=_env_int("REPRO_INJECTION_START", 0),
+            batch=os.environ.get("REPRO_BATCH") == "1",
         )
 
 
@@ -213,6 +219,7 @@ def run_e1_campaign(
         store=_resolve_store(store, config),
         force=force,
         snapshots=config.snapshots,
+        batch=config.batch,
     )
 
 
@@ -245,6 +252,7 @@ def run_e2_campaign(
         store=_resolve_store(store, config),
         force=force,
         snapshots=config.snapshots,
+        batch=config.batch,
     )
 
 

@@ -48,6 +48,7 @@ import dataclasses
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -56,7 +57,7 @@ from repro.experiments.persistence import append_records, load_checkpoint
 from repro.experiments.results import ResultSet, RunRecord, canonical_key, flatten_record
 from repro.experiments.testcases import select_spread
 from repro.injection.errors import ErrorSpec
-from repro.injection.fic import CampaignController
+from repro.injection.fic import CampaignController, ExperimentRecord
 from repro.targets import snapshot as snapshots_mod
 from repro.targets.base import TestCase
 from repro.targets.registry import DEFAULT_TARGET, get_target
@@ -313,6 +314,97 @@ def _run_chunk(payload) -> Tuple[List[RunRecord], Optional[dict]]:
     return records, registry.snapshot() if registry is not None else None
 
 
+# -- batch (vectorized) execution -------------------------------------------
+
+
+def _batch_eligible(spec: RunSpec, target) -> bool:
+    """Whether one spec can take a target's vectorized kernel path.
+
+    The kernels implement exactly the default-configuration E1 shape:
+    a bit-flip on a monitored RAM signal.  Anything else (E2's raw
+    address errors, stack-area flips, byte-level bits >= 16) stays on
+    the serial path, which handles every spec.
+    """
+    return (
+        spec.signal is not None
+        and spec.signal_bit is not None
+        and 0 <= spec.signal_bit < 16
+        and spec.area == "ram"
+        and spec.signal in target.monitored_signals
+    )
+
+
+def _split_batchable(
+    pending: Sequence[RunSpec], run_config
+) -> Tuple[List[RunSpec], List[RunSpec]]:
+    """Partition *pending* into (batchable, serial) spec lists, in order.
+
+    A non-default *run_config* changes the simulated window/semantics in
+    target-specific ways the kernels do not model, so it forces the
+    whole campaign serial.
+    """
+    if run_config is not None:
+        return [], list(pending)
+    batchable: List[RunSpec] = []
+    rest: List[RunSpec] = []
+    supports: Dict[str, bool] = {}
+    for spec in pending:
+        if spec.target not in supports:
+            supports[spec.target] = get_target(spec.target).supports_batch()
+        if supports[spec.target] and _batch_eligible(spec, get_target(spec.target)):
+            batchable.append(spec)
+        else:
+            rest.append(spec)
+    return batchable, rest
+
+
+def _record_batch_metrics(metrics: Optional[MetricsRegistry], result) -> None:
+    """The aggregate half of ``CampaignController._record_metrics``.
+
+    Batch kernels keep per-row aggregates rather than per-event
+    :class:`DetectionEvent` streams, so the per-monitor counters and
+    latency histograms remain a serial-path-only observability feature.
+    """
+    if metrics is None:
+        return
+    metrics.counter("runs_total").inc()
+    if result.detected:
+        metrics.counter("runs_detected_total").inc()
+    if result.failed:
+        metrics.counter("runs_failed_total").inc()
+    if result.wedged:
+        metrics.counter("runs_wedged_total").inc()
+    metrics.counter("injections_total").inc(result.injection_count)
+    metrics.counter("detections_total").inc(result.detection_count)
+    first_injection = result.first_injection_ms
+    if result.detected and (
+        first_injection is None or result.first_detection_ms < first_injection
+    ):
+        metrics.counter("false_alarms_total").inc()
+    latency = result.detection_latency_ms
+    if latency is not None:
+        metrics.histogram("detection_latency_ms").observe(latency)
+
+
+def _execute_batch_group(
+    group: Sequence[RunSpec], metrics: Optional[MetricsRegistry]
+) -> List[RunRecord]:
+    """Run one target's batchable specs through its vectorized kernel."""
+    target = get_target(group[0].target)
+    results = target.run_batch(list(group))
+    records: List[RunRecord] = []
+    for spec, result in zip(group, results):
+        _record_batch_metrics(metrics, result)
+        records.append(
+            flatten_record(
+                ExperimentRecord(
+                    error=spec.error_spec(), version=spec.version, result=result
+                )
+            )
+        )
+    return records
+
+
 # -- the engine -------------------------------------------------------------
 
 
@@ -386,6 +478,7 @@ def execute_specs(
     store=None,
     force: bool = False,
     snapshots: Optional[bool] = None,
+    batch: bool = False,
 ) -> ResultSet:
     """Execute *specs*, serially or on a process pool; return the results.
 
@@ -411,6 +504,15 @@ def execute_specs(
     execution, since a live bus cannot cross the process-pool boundary.
     *metrics* is a :class:`~repro.obs.MetricsRegistry` the campaign
     updates in place (worker registries are merged in as chunks finish).
+
+    *batch* opts into the vectorized per-chunk execution strategy:
+    pending specs a target's batch kernel can express (default-config
+    bit-flips on monitored RAM signals; see :mod:`repro.targets.batch`)
+    run as one ``Target.run_batch`` call per target, the rest stay
+    serial.  The serial path remains the oracle — batch results are
+    pinned identical by the equivalence suite — and tracing forces the
+    serial path (with a warning), keeping trace artifacts like the
+    committed golden trace byte-stable.
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
@@ -447,6 +549,18 @@ def execute_specs(
     done = total - len(pending)
     if progress is not None and done:
         progress(done, total)
+
+    batch_specs: List[RunSpec] = []
+    if batch and pending:
+        if trace is not None:
+            warnings.warn(
+                "batch execution is incompatible with run tracing (traces are "
+                "a serial-path artifact); running every spec serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            batch_specs, pending = _split_batchable(pending, run_config)
 
     use_pool = workers > 1 and pending and _multiprocessing_usable()
     tracer: Optional[TraceBus] = None
@@ -502,6 +616,12 @@ def execute_specs(
             tracer.emit("campaign", "snapshot-prewarm", count=warmed)
 
     try:
+        if batch_specs:
+            groups: Dict[str, List[RunSpec]] = {}
+            for spec in batch_specs:
+                groups.setdefault(spec.target, []).append(spec)
+            for group in groups.values():
+                _complete(_execute_batch_group(group, metrics))
         if not use_pool:
             for spec in pending:
                 _complete(

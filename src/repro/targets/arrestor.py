@@ -75,6 +75,16 @@ class ArrestorTarget(Target):
             duration_s=duration_s,
         )
 
+    def supports_batch(self) -> bool:
+        from repro.targets.batch.core import numpy_available
+
+        return numpy_available()
+
+    def run_batch(self, specs):
+        from repro.targets.batch.arrestor import run_batch
+
+        return run_batch(specs)
+
     def lint_target(self):
         from repro.arrestor.instrumentation import (
             build_instrumentation_plan,
@@ -96,6 +106,8 @@ class ArrestorTarget(Target):
             "repro.targets.base",
             "repro.targets.snapshot",
             "repro.targets.arrestor",
+            "repro.targets.batch.core",
+            "repro.targets.batch.arrestor",
             "repro.experiments.testcases",
             "repro.arrestor",
         )

@@ -259,6 +259,33 @@ class Target(abc.ABC):
             return pickle.loads(snapshot.payload)
         return copy.deepcopy(snapshot.payload)
 
+    # -- batch execution -----------------------------------------------------
+
+    def supports_batch(self) -> bool:
+        """Whether :meth:`run_batch` can vectorize eligible runs.
+
+        ``False`` by default: batching is an opt-in capability backed by
+        a target-specific kernel in :mod:`repro.targets.batch` that the
+        equivalence suite pins against the serial path.  Targets without
+        a kernel (or on numpy-less installs) simply stay serial.
+        """
+        return False
+
+    def run_batch(self, specs: List[Any]) -> List[RunResult]:
+        """Run many injection runs in one vectorized pass.
+
+        Each spec carries ``version``, ``signal``, ``signal_bit``,
+        ``mass_kg``, ``velocity_mps``, ``injection_period_ms`` and
+        ``injection_start_ms`` (the campaign engine's ``RunSpec`` and
+        :class:`repro.targets.batch.core.BatchRunSpec` both qualify).
+        Results are returned in spec order and must be identical to
+        booting and running each spec serially — the serial path stays
+        the oracle, this is purely an execution strategy.
+        """
+        raise NotImplementedError(
+            f"target {self.name!r} does not implement batch execution"
+        )
+
     def fingerprint_sources(self) -> Tuple[str, ...]:
         """Module/package names whose source code determines run results.
 

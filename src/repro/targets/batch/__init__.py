@@ -1,0 +1,16 @@
+"""Vectorized batch simulation kernels (opt-in ``run_batch`` capability).
+
+``repro.targets.batch`` advances N injection runs in lockstep over numpy
+arrays instead of N sequential Python tick loops: plant state, controller
+state and monitor references live as ``(N,)`` tensors, bit flips are
+applied as per-row XOR masks at per-row injection ticks, and the EA
+checks evaluate as vectorized comparisons producing per-row detection
+latencies.  The serial tick loop remains the oracle — the batch kernels
+are pinned run-for-run against it by the differential harness in
+``tests/targets/test_batch_equivalence.py``.
+
+This package deliberately contains no imports: each target's kernel
+module (``repro.targets.batch.arrestor``, ``repro.targets.batch.
+tanklevel``) is imported lazily by its target adapter so neither target's
+fingerprint closure picks up the other's kernel.
+"""

@@ -1,0 +1,443 @@
+"""Vectorized batch kernel for the arrestor target.
+
+Replays :class:`repro.arrestor.system.TargetSystem` over ``(N,)`` arrays:
+one pass over the observation window advances every row's master node,
+slave node and environment in lockstep.  Every statement mirrors a
+statement of the serial tick path in the same order — the 16-bit masked
+variable arithmetic, the within-tick EA test order (EA6, EA5, EA4, then
+the slot module's tests, then EA3), the one-tick-delayed COMM delivery,
+and the float64 physics op-for-op — so results are identical row-for-row
+(pinned by ``tests/targets/test_batch_equivalence.py``).
+
+Two deliberately scalar escapes keep exactness cheap:
+
+* CALC's checkpoint handler runs at most six times per row, so the rows
+  whose checkpoint fires on a given tick (almost always none) drop to
+  the same scalar integer arithmetic the serial module uses;
+* ``env.time_s`` accumulates by repeated float addition, so the summary
+  duration is read from a precomputed repeated-addition table instead of
+  ``ticks * dt`` (which differs in the last ulp).
+
+Rows finish independently (post-stop window, overrun, or window
+exhaustion): a finished row's state is frozen under the ``active`` mask
+and the loop exits early once every row is done.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.arrestor import constants as k
+from repro.arrestor.instrumentation import EA_IDS, SIGNAL_BY_EA, assertion_parameters
+from repro.plant.aircraft import BRAKE_FORCE_PER_PA, DRAG_COEFF, GRAVITY
+from repro.plant.drum import PULSE_PITCH_M
+from repro.plant.failure import ArrestmentSummary, FailureClassifier
+from repro.plant.hydraulics import PA_PER_COUNT, VALVE_MAX_PA, VALVE_TIME_CONSTANT_S
+from repro.targets.base import RunResult
+from repro.targets.batch.core import (
+    BatchOutcome,
+    DetectionBook,
+    VecMonitor,
+    injection_due,
+    injection_masks,
+    injection_stats,
+    require_numpy,
+)
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["OBSERVE_MS_MAX", "POST_STOP_MS", "OVERRUN_DISTANCE_M", "run_batch", "run_batch_detailed"]
+
+#: The serial defaults (RunConfig) the batch path is restricted to.
+OBSERVE_MS_MAX = 25000
+POST_STOP_MS = 3000
+OVERRUN_DISTANCE_M = 400.0
+
+_MASK16 = 0xFFFF
+_DT_S = 0.001
+
+#: The first-order valve response over one tick (PressureValve.advance).
+_ALPHA = 1.0 - math.exp(-_DT_S / VALVE_TIME_CONSTANT_S)
+
+#: Centimetres per rotation pulse and the remaining-distance table of CALC.
+_CM_PER_PULSE = 5
+_D_REMAIN_CM = tuple(
+    int(round((k.TARGET_STOP_DISTANCE_M - d) * 100.0)) for d in k.CHECKPOINT_DISTANCES_M
+)
+
+#: env.time_s accumulates by repeated ``+= 0.001``; tick-count * 0.001
+#: differs in the last ulp, so the summary reads this table instead.
+_TIME_S: List[float] = [0.0]
+
+
+def _time_s(ticks: int) -> float:
+    while len(_TIME_S) <= ticks:
+        _TIME_S.append(_TIME_S[-1] + _DT_S)
+    return _TIME_S[ticks]
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+class _Row:
+    """Scalar view of one row's CALC state for the checkpoint handler."""
+
+    __slots__ = (
+        "i", "dist_acc", "mscnt", "last_cp_mscnt", "last_cp_pulscnt",
+        "pulscnt", "set_value", "target", "v_prev", "v0", "m_est", "p_cap",
+    )
+
+
+def _handle_checkpoint(row: _Row) -> None:
+    """Calc._handle_checkpoint on one row's scalar state (exact integers)."""
+    i = row.i
+    dist_pulses = row.dist_acc
+    time_ms = (row.mscnt - row.last_cp_mscnt) & _MASK16
+    if time_ms == 0:
+        return
+    v_mean = _clamp(dist_pulses * _CM_PER_PULSE * 1000 // time_ms, 0, _MASK16)
+    if i == 0:
+        v_cmps = v_mean
+        row.v0 = v_cmps
+    else:
+        v_cmps = _clamp(2 * v_mean - row.v_prev, 1, _MASK16)
+        # _refine_mass_estimate
+        dv2 = (row.v_prev * row.v_prev - v_cmps * v_cmps) // 10000
+        if dv2 > 0:
+            brake_n = int(row.set_value * k.FORCE_N_PER_COUNT)
+            drag_n = 2 * v_mean * v_mean // 10000
+            dist_cm = dist_pulses * _CM_PER_PULSE
+            mass = 2 * (brake_n + drag_n) * dist_cm // (dv2 * 100)
+            mass = (row.m_est + mass) // 2
+            row.m_est = _clamp(mass, k.MASS_ESTIMATE_MIN_KG, k.MASS_ESTIMATE_MAX_KG)
+    # _update_force_cap
+    v0_m2 = row.v0 * row.v0 // 10000
+    if v0_m2 > 0:
+        f_cap = (
+            k.FORCE_CAP_MARGIN_NUM
+            * k.CONTROLLER_LIMIT_MARGIN_NUM
+            * row.m_est
+            * v0_m2
+            // (
+                k.FORCE_CAP_MARGIN_DEN
+                * k.CONTROLLER_LIMIT_MARGIN_DEN
+                * 2
+                * int(k.CONTROLLER_NOMINAL_STOP_M)
+            )
+        )
+        row.p_cap = _clamp(int(f_cap // k.FORCE_N_PER_COUNT), 0, k.SETVALUE_MAX_COUNTS)
+    # _command_pressure
+    d_rem_cm = _D_REMAIN_CM[i] if i < k.N_CHECKPOINTS else _D_REMAIN_CM[-1]
+    if d_rem_cm > 0:
+        a_req_cmps2 = v_cmps * v_cmps // (2 * d_rem_cm)
+        force_n = row.m_est * a_req_cmps2 // 100
+        force_n -= 2 * v_cmps * v_cmps // 10000
+        if force_n < 0:
+            force_n = 0
+        counts = int(force_n // k.FORCE_N_PER_COUNT)
+        if row.p_cap > 0:
+            counts = min(counts, row.p_cap)
+        row.target = _clamp(counts, k.PRETENSION_COUNTS, k.SETVALUE_MAX_COUNTS)
+    # rollover
+    row.v_prev = v_cmps
+    row.last_cp_pulscnt = row.pulscnt
+    row.last_cp_mscnt = row.mscnt
+    row.dist_acc = 0
+    row.i = (i + 1) & _MASK16
+
+
+def _monitor_masks(specs):
+    """Per-EA row masks: which rows run with each mechanism enabled."""
+    version_arr = np.array([spec.version for spec in specs])
+    all_rows = version_arr == "All"
+    return {ea: all_rows | (version_arr == ea) for ea in EA_IDS}
+
+
+def _read_counts(pressure_pa):
+    """PressureSensor.read_counts (ripple 0): banker's-rounded, clamped."""
+    counts = np.rint(pressure_pa / PA_PER_COUNT).astype(np.int64)
+    return np.clip(counts, 0, _MASK16)
+
+
+def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
+    """Run every spec's injection run in one vectorized pass."""
+    require_numpy()
+    n = len(specs)
+    if n == 0:
+        return []
+    params = assertion_parameters()
+    ea_rows = _monitor_masks(specs)
+    monitors = {ea: VecMonitor(ea, params[SIGNAL_BY_EA[ea]], n) for ea in EA_IDS}
+    book = DetectionBook(n)
+    xor, period, start = injection_masks(specs, tuple(SIGNAL_BY_EA.values()))
+    cp_pulses = np.array(k.CHECKPOINT_PULSES, dtype=np.int64)
+
+    # -- boot (MasterNode.boot / SlaveNode.__init__ / Environment) -----------
+    mscnt = np.zeros(n, dtype=np.int64)
+    ms_slot_nbr = np.zeros(n, dtype=np.int64)
+    pulscnt = np.zeros(n, dtype=np.int64)
+    i_var = np.zeros(n, dtype=np.int64)
+    set_value = np.full(n, k.PRETENSION_COUNTS, dtype=np.int64)
+    is_value = np.zeros(n, dtype=np.int64)
+    out_value = np.zeros(n, dtype=np.int64)
+    target_sv = np.full(n, k.PRETENSION_COUNTS, dtype=np.int64)
+    m_est = np.full(n, k.INITIAL_MASS_GUESS_KG, dtype=np.int64)
+    p_cap = np.zeros(n, dtype=np.int64)
+    v_prev = np.zeros(n, dtype=np.int64)
+    v0 = np.zeros(n, dtype=np.int64)
+    last_cp_pulscnt = np.zeros(n, dtype=np.int64)
+    last_cp_mscnt = np.zeros(n, dtype=np.int64)
+    prev_pulscnt = np.zeros(n, dtype=np.int64)
+    dist_acc = np.zeros(n, dtype=np.int64)
+    integral = np.zeros(n, dtype=np.int64)
+    comm_tx = np.zeros(n, dtype=np.int64)
+
+    s_set_value = np.full(n, k.PRETENSION_COUNTS, dtype=np.int64)
+    s_is_value = np.zeros(n, dtype=np.int64)
+    s_out_value = np.zeros(n, dtype=np.int64)
+    s_integral = np.zeros(n, dtype=np.int64)
+
+    mass = np.array([float(spec.mass_kg) for spec in specs], dtype=np.float64)
+    velocity = np.array([float(spec.velocity_mps) for spec in specs], dtype=np.float64)
+    position = np.zeros(n, dtype=np.float64)
+    stopped = np.zeros(n, dtype=bool)
+    master_pa = np.zeros(n, dtype=np.float64)
+    slave_pa = np.zeros(n, dtype=np.float64)
+    master_cmd_pa = np.zeros(n, dtype=np.float64)
+    slave_cmd_pa = np.zeros(n, dtype=np.float64)
+    max_g = np.zeros(n, dtype=np.float64)
+    max_f = np.zeros(n, dtype=np.float64)
+    total_pulses = np.zeros(n, dtype=np.int64)
+    emitted_pulses = np.zeros(n, dtype=np.int64)
+
+    tx_pending = np.zeros(n, dtype=bool)
+    deadline = np.full(n, -1, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    last_ms = np.full(n, OBSERVE_MS_MAX - 1, dtype=np.int64)
+
+    for now in range(OBSERVE_MS_MAX):
+        if not active.any():
+            break
+
+        # -- injector ---------------------------------------------------------
+        due = injection_due(now, period, start, active)
+        mscnt ^= np.where(due, xor["mscnt"], 0)
+        ms_slot_nbr ^= np.where(due, xor["ms_slot_nbr"], 0)
+        pulscnt ^= np.where(due, xor["pulscnt"], 0)
+        i_var ^= np.where(due, xor["i"], 0)
+        set_value ^= np.where(due, xor["SetValue"], 0)
+        is_value ^= np.where(due, xor["IsValue"], 0)
+        out_value ^= np.where(due, xor["OutValue"], 0)
+
+        # -- CLOCK: mscnt + EA6, slot wrap fold + EA5 -------------------------
+        mscnt = np.where(active, (mscnt + 1) & _MASK16, mscnt)
+        monitors["EA6"].test(mscnt, now, active & ea_rows["EA6"], book)
+        slot = ms_slot_nbr + 1
+        slot = np.where(slot >= k.N_SLOTS, 0, slot)
+        ms_slot_nbr = np.where(active, slot, ms_slot_nbr)
+        monitors["EA5"].test(ms_slot_nbr, now, active & ea_rows["EA5"], book)
+        slot = ms_slot_nbr  # the checked (stored) slot drives dispatch
+
+        # -- DIST_S (every tick): poll latch, accumulate, EA4 -----------------
+        new_pulses = (total_pulses - emitted_pulses) & _MASK16
+        emitted_pulses = np.where(active, total_pulses, emitted_pulses)
+        pulscnt = np.where(active, (pulscnt + new_pulses) & _MASK16, pulscnt)
+        monitors["EA4"].test(pulscnt, now, active & ea_rows["EA4"], book)
+
+        # -- PRES_S (slot 0) --------------------------------------------------
+        m_pres_s = active & (slot == k.SLOT_PRES_S)
+        is_value = np.where(m_pres_s, _read_counts(master_pa), is_value)
+
+        # -- V_REG (slot 2): EA1, EA2, integer PI -----------------------------
+        m_v_reg = active & (slot == k.SLOT_V_REG)
+        monitors["EA1"].test(set_value, now, m_v_reg & ea_rows["EA1"], book)
+        monitors["EA2"].test(is_value, now, m_v_reg & ea_rows["EA2"], book)
+        err_stored = (set_value - is_value) & _MASK16
+        err = err_stored - ((err_stored & 0x8000) << 1)
+        integral_new = np.clip(
+            integral + (err >> k.PID_KI_SHIFT),
+            -k.PID_INTEGRAL_CLAMP,
+            k.PID_INTEGRAL_CLAMP,
+        )
+        integral = np.where(m_v_reg, integral_new, integral)
+        out = set_value + (err * k.PID_KP_NUM) // k.PID_KP_DEN + integral_new
+        out_value = np.where(
+            m_v_reg, np.clip(out, 0, k.OUTVALUE_MAX_COUNTS), out_value
+        )
+
+        # -- PRES_A (slot 4): EA7, valve command ------------------------------
+        m_pres_a = active & (slot == k.SLOT_PRES_A)
+        monitors["EA7"].test(out_value, now, m_pres_a & ea_rows["EA7"], book)
+        master_cmd_pa = np.where(
+            m_pres_a,
+            np.clip(out_value * PA_PER_COUNT, 0.0, VALVE_MAX_PA),
+            master_cmd_pa,
+        )
+
+        # -- COMM (slot 6): fill the transmit buffer --------------------------
+        m_comm = active & (slot == k.SLOT_COMM)
+        comm_tx = np.where(m_comm, set_value, comm_tx)
+
+        # -- CALC (background, every tick): EA3, accumulation, slew -----------
+        monitors["EA3"].test(i_var, now, active & ea_rows["EA3"], book)
+        delta = (pulscnt - prev_pulscnt) & _MASK16
+        delta = np.where(delta > 0x8000, 0, delta)
+        prev_pulscnt = np.where(active, pulscnt, prev_pulscnt)
+        dist_acc = np.where(active, (dist_acc + delta) & _MASK16, dist_acc)
+        cp_hit = active & (i_var < k.N_CHECKPOINTS)
+        if cp_hit.any():
+            cp_hit &= pulscnt >= cp_pulses[np.minimum(i_var, k.N_CHECKPOINTS - 1)]
+        if cp_hit.any():
+            for r in np.nonzero(cp_hit)[0]:
+                row = _Row()
+                row.i = int(i_var[r])
+                row.dist_acc = int(dist_acc[r])
+                row.mscnt = int(mscnt[r])
+                row.last_cp_mscnt = int(last_cp_mscnt[r])
+                row.last_cp_pulscnt = int(last_cp_pulscnt[r])
+                row.pulscnt = int(pulscnt[r])
+                row.set_value = int(set_value[r])
+                row.target = int(target_sv[r])
+                row.v_prev = int(v_prev[r])
+                row.v0 = int(v0[r])
+                row.m_est = int(m_est[r])
+                row.p_cap = int(p_cap[r])
+                _handle_checkpoint(row)
+                i_var[r] = row.i
+                dist_acc[r] = row.dist_acc
+                last_cp_mscnt[r] = row.last_cp_mscnt
+                last_cp_pulscnt[r] = row.last_cp_pulscnt
+                target_sv[r] = row.target
+                v_prev[r] = row.v_prev
+                v0[r] = row.v0
+                m_est[r] = row.m_est
+                p_cap[r] = row.p_cap
+        # _slew_set_value (every pass)
+        step_up = np.minimum(target_sv - set_value, k.SETVALUE_SLEW_PER_PASS)
+        step_down = np.minimum(set_value - target_sv, k.SETVALUE_SLEW_PER_PASS)
+        slewed = np.where(
+            set_value < target_sv,
+            set_value + step_up,
+            np.where(set_value > target_sv, set_value - step_down, set_value),
+        )
+        set_value = np.where(active, slewed & _MASK16, set_value)
+
+        # -- COMM link delivery (one tick after the buffer was filled) --------
+        deliver = active & tx_pending
+        s_set_value = np.where(deliver, comm_tx & _MASK16, s_set_value)
+        tx_pending = (tx_pending & ~deliver) | m_comm
+
+        # -- slave node (its own schedule is the global tick counter) ---------
+        s_slot = now % k.N_SLOTS
+        if s_slot == k.SLOT_PRES_S:
+            s_is_value = np.where(active, _read_counts(slave_pa), s_is_value)
+        elif s_slot == k.SLOT_V_REG:
+            s_err = s_set_value - s_is_value
+            s_integral_new = np.clip(
+                s_integral + (s_err >> k.PID_KI_SHIFT),
+                -k.PID_INTEGRAL_CLAMP,
+                k.PID_INTEGRAL_CLAMP,
+            )
+            s_integral = np.where(active, s_integral_new, s_integral)
+            s_out = (
+                s_set_value + (s_err * k.PID_KP_NUM) // k.PID_KP_DEN + s_integral_new
+            )
+            s_out_value = np.where(
+                active, np.clip(s_out, 0, k.OUTVALUE_MAX_COUNTS), s_out_value
+            )
+        elif s_slot == k.SLOT_PRES_A:
+            slave_cmd_pa = np.where(
+                active,
+                np.clip(s_out_value * PA_PER_COUNT, 0.0, VALVE_MAX_PA),
+                slave_cmd_pa,
+            )
+
+        # -- environment ------------------------------------------------------
+        master_pa = np.where(
+            active, master_pa + (master_cmd_pa - master_pa) * _ALPHA, master_pa
+        )
+        slave_pa = np.where(
+            active, slave_pa + (slave_cmd_pa - slave_pa) * _ALPHA, slave_pa
+        )
+        moving = active & ~stopped
+        cable = BRAKE_FORCE_PER_PA * (master_pa + slave_pa)
+        drag = DRAG_COEFF * velocity * velocity
+        dec = (cable + drag) / mass
+        new_velocity = velocity - dec * _DT_S
+        stopping = moving & (new_velocity <= 0.0)
+        fraction = np.divide(
+            velocity, dec * _DT_S, out=np.zeros_like(velocity), where=stopping
+        )
+        position = np.where(
+            stopping,
+            position + velocity * _DT_S * fraction / 2.0,
+            np.where(moving, position + (velocity + new_velocity) * _DT_S / 2.0, position),
+        )
+        velocity = np.where(stopping, 0.0, np.where(moving, new_velocity, velocity))
+        stopped = stopped | stopping
+        # An already-stopped aircraft reports zero force and deceleration.
+        dec_eff = np.where(moving, dec, 0.0)
+        force_eff = np.where(moving, cable, 0.0)
+        total_pulses = np.where(
+            active, (position / PULSE_PITCH_M).astype(np.int64), total_pulses
+        )
+        dec_g = dec_eff / GRAVITY
+        max_g = np.where(active & (dec_g > max_g), dec_g, max_g)
+        max_f = np.where(active & (force_eff > max_f), force_eff, max_f)
+
+        # -- stop logic (TargetSystem._advance) -------------------------------
+        no_deadline = deadline < 0
+        arm = active & no_deadline & stopped
+        overrun = active & no_deadline & ~stopped & (position >= OVERRUN_DISTANCE_M)
+        expire = active & ~no_deadline & (now >= deadline)
+        deadline = np.where(arm, now + POST_STOP_MS, deadline)
+        finishing = overrun | expire
+        last_ms = np.where(finishing, now, last_ms)
+        active = active & ~finishing
+
+    # -- assemble -------------------------------------------------------------
+    classifier = FailureClassifier()
+    outcomes: List[BatchOutcome] = []
+    for r, spec in enumerate(specs):
+        row_last_ms = int(last_ms[r])
+        summary = ArrestmentSummary(
+            mass_kg=float(mass[r]),
+            engagement_velocity_mps=float(spec.velocity_mps),
+            max_retardation_g=float(max_g[r]),
+            max_cable_force_n=float(max_f[r]),
+            stop_distance_m=float(position[r]),
+            stopped=bool(stopped[r]),
+            duration_s=_time_s(row_last_ms + 1),
+        )
+        detected, first_ms, count, first_monitor = book.row(r)
+        first_injection, injections = injection_stats(
+            spec.injection_start_ms, spec.injection_period_ms, row_last_ms
+        )
+        result = RunResult(
+            test_case=spec.test_case(),
+            summary=summary,
+            verdict=classifier.classify(summary),
+            detected=detected,
+            first_detection_ms=first_ms,
+            detection_count=count,
+            first_injection_ms=first_injection,
+            injection_count=injections,
+            wedged=False,
+            duration_ms=row_last_ms + 1,
+        )
+        outcomes.append(BatchOutcome(result=result, first_monitor=first_monitor))
+    return outcomes
+
+
+def run_batch(specs: Sequence) -> List[RunResult]:
+    """The ``Target.run_batch`` surface: plain results, kernel detail dropped."""
+    return [outcome.result for outcome in run_batch_detailed(specs)]

@@ -1,0 +1,219 @@
+"""Vectorized batch kernel for the tank-level target.
+
+Replays :class:`repro.targets.tanklevel.system.TankSystem` over ``(N,)``
+arrays: every row is one injection run, and one pass over the 5000-tick
+observation window advances all rows in lockstep.  The serial system is
+the oracle — every statement here mirrors a statement of the serial tick
+path, in the same order, on the same 16-bit masked integer arithmetic
+and the same float64 plant updates, so results are identical
+row-for-row (pinned by ``tests/targets/test_batch_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.targets.base import RunResult
+from repro.targets.batch.core import (
+    BatchOutcome,
+    DetectionBook,
+    VecMonitor,
+    injection_due,
+    injection_masks,
+    injection_stats,
+    require_numpy,
+)
+from repro.targets.tanklevel import instrumentation as ins
+from repro.targets.tanklevel.memory import MONITORED_SIGNALS
+from repro.targets.tanklevel.plant import (
+    LEVEL_TOLERANCE_MM,
+    MM_PER_LITRE,
+    Q_MAX_LPS,
+    Q_TRIM_LPS,
+    TANK_HEIGHT_MM,
+    TARGET_LEVEL_MM,
+    TankFailureClassifier,
+    TankRunSummary,
+    demand_for,
+    initial_level_for,
+)
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["OBSERVE_MS", "run_batch", "run_batch_detailed"]
+
+#: The serial default observation window (TankRunConfig.observe_ms).
+OBSERVE_MS = 5000
+
+_MASK16 = 0xFFFF
+_TARGET = int(TARGET_LEVEL_MM)
+
+
+def _monitor_masks(specs):
+    """Per-EA row masks: which rows run with each mechanism enabled."""
+    version_arr = np.array([spec.version for spec in specs])
+    all_rows = version_arr == "All"
+    return {ea: all_rows | (version_arr == ea) for ea in ins.EA_IDS}
+
+
+def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
+    """Run every spec's injection run in one vectorized pass."""
+    require_numpy()
+    n = len(specs)
+    if n == 0:
+        return []
+    params = ins.assertion_parameters()
+    ea_rows = _monitor_masks(specs)
+    monitors = {
+        ea: VecMonitor(ea, params[ins.SIGNAL_BY_EA[ea]], n) for ea in ins.EA_IDS
+    }
+    book = DetectionBook(n)
+    xor, period, start = injection_masks(specs, MONITORED_SIGNALS)
+    always = np.ones(n, dtype=bool)
+
+    # -- boot (TankNode.boot on a cleared memory image) ----------------------
+    demand = np.array([demand_for(spec.mass_kg) for spec in specs], dtype=np.float64)
+    level_mm = np.array(
+        [initial_level_for(spec.velocity_mps) for spec in specs], dtype=np.float64
+    )
+    initial_level = level_mm.copy()
+    max_level = level_mm.copy()
+    min_level = level_mm.copy()
+    # int(round(...)) is banker's rounding, same as np.rint.
+    level = np.rint(level_mm).astype(np.int64)
+    tick = np.zeros(n, dtype=np.int64)
+    slot_id = np.zeros(n, dtype=np.int64)
+    set_point = np.zeros(n, dtype=np.int64)
+    flow_acc = np.zeros(n, dtype=np.int64)
+    valve_cmd = np.zeros(n, dtype=np.int64)
+    last_ctrl_tick = np.zeros(n, dtype=np.int64)
+    drain_received = np.zeros(n, dtype=np.int64)
+    # Boot validates the first level sample (EA2's reference seed).
+    monitors["EA2"].test(level, 0, ea_rows["EA2"], book)
+
+    for now in range(OBSERVE_MS):
+        # -- injector ---------------------------------------------------------
+        due = injection_due(now, period, start, always)
+        tick ^= np.where(due, xor["tick"], 0)
+        slot_id ^= np.where(due, xor["slot_id"], 0)
+        level ^= np.where(due, xor["level"], 0)
+        set_point ^= np.where(due, xor["SetPoint"], 0)
+        flow_acc ^= np.where(due, xor["flow_acc"], 0)
+
+        # -- CLOCK: tick + EA5, slot consumption + EA4, wrap fold ------------
+        tick = (tick + 1) & _MASK16
+        monitors["EA5"].test(tick, now, ea_rows["EA5"], book)
+        monitors["EA4"].test(slot_id, now, ea_rows["EA4"], book)
+        slot = slot_id + 1
+        slot = np.where(slot >= ins.N_SLOTS, 0, slot)
+        slot_id = slot
+
+        # Rows advance their slot counter in lockstep, so each slot's mask
+        # is all-False on 4 of every 5 ticks (only a corrupted slot_id
+        # desynchronises a row); an empty slot section is the identity on
+        # every piece of state it touches, so it is skipped outright.
+
+        # -- LEVEL_S ----------------------------------------------------------
+        m_level_s = slot == 0
+        if m_level_s.any():
+            latch = np.rint(level_mm).astype(np.int64) & _MASK16
+            level = np.where(m_level_s, latch, level)
+
+        # -- CTRL -------------------------------------------------------------
+        m_ctrl = slot == 1
+        if m_ctrl.any():
+            lvl = monitors["EA2"].test(level, now, m_ctrl & ea_rows["EA2"], book)
+            elapsed = (tick - last_ctrl_tick) & _MASK16
+            last_ctrl_tick = np.where(m_ctrl, tick, last_ctrl_tick)
+            budget = ins.SLEW_PER_MS * elapsed
+            # ctrl_err is a signed stack scratch: store masks to 16 bits, the
+            # read-back sign-extends.
+            err_stored = (_TARGET - lvl) & _MASK16
+            err = err_stored - ((err_stored & 0x8000) << 1)
+            sp_raw = np.minimum(np.maximum(ins.CTRL_KP * err, 0), ins.SETPOINT_MAX)
+            sp = set_point
+            sp_new = np.where(
+                sp_raw > sp,
+                np.minimum(sp + budget, sp_raw),
+                np.where(sp_raw < sp, np.maximum(sp - budget, sp_raw), sp),
+            )
+            set_point = np.where(m_ctrl, sp_new, set_point)
+            flow_new = (flow_acc + (sp_new >> 6)) & _MASK16
+            flow_acc = np.where(m_ctrl, flow_new, flow_acc)
+            monitors["EA3"].test(flow_acc, now, m_ctrl & ea_rows["EA3"], book)
+
+        # -- VALVE_A ----------------------------------------------------------
+        m_valve = slot == 2
+        if m_valve.any():
+            monitors["EA1"].test(set_point, now, m_valve & ea_rows["EA1"], book)
+            valve_cmd = np.where(
+                m_valve,
+                np.minimum(np.maximum(set_point, 0), ins.SETPOINT_MAX),
+                valve_cmd,
+            )
+
+        # -- COMM + same-tick drain receive -----------------------------------
+        m_comm = slot == 3
+        if m_comm.any():
+            drain_received = np.where(
+                m_comm,
+                np.minimum(np.maximum(set_point, 0), ins.SETPOINT_MAX),
+                drain_received,
+            )
+
+        # -- plant ------------------------------------------------------------
+        counts = np.minimum(np.maximum(valve_cmd, 0), 1023)
+        inflow = Q_MAX_LPS * counts / 1023.0
+        trim = Q_TRIM_LPS * (ins.SETPOINT_MAX - drain_received) / ins.SETPOINT_MAX
+        outflow = demand + trim
+        level_mm = level_mm + (inflow - outflow) * MM_PER_LITRE * 0.001
+        level_mm = np.where(
+            level_mm > TANK_HEIGHT_MM,
+            TANK_HEIGHT_MM,
+            np.where(level_mm < 0.0, 0.0, level_mm),
+        )
+        max_level = np.maximum(max_level, level_mm)
+        min_level = np.minimum(min_level, level_mm)
+
+    # -- assemble -------------------------------------------------------------
+    classifier = TankFailureClassifier()
+    last_ms = OBSERVE_MS - 1
+    outcomes: List[BatchOutcome] = []
+    for r, spec in enumerate(specs):
+        summary = TankRunSummary(
+            demand_lps=float(demand[r]),
+            initial_level_mm=float(initial_level[r]),
+            max_level_mm=float(max_level[r]),
+            min_level_mm=float(min_level[r]),
+            final_level_mm=float(level_mm[r]),
+            settled=bool(
+                abs(float(level_mm[r]) - TARGET_LEVEL_MM) <= LEVEL_TOLERANCE_MM
+            ),
+            duration_s=(last_ms + 1) / 1000.0,
+        )
+        detected, first_ms, count, first_monitor = book.row(r)
+        first_injection, injections = injection_stats(
+            spec.injection_start_ms, spec.injection_period_ms, last_ms
+        )
+        result = RunResult(
+            test_case=spec.test_case(),
+            summary=summary,
+            verdict=classifier.classify(summary),
+            detected=detected,
+            first_detection_ms=first_ms,
+            detection_count=count,
+            first_injection_ms=first_injection,
+            injection_count=injections,
+            wedged=False,
+            duration_ms=last_ms + 1,
+        )
+        outcomes.append(BatchOutcome(result=result, first_monitor=first_monitor))
+    return outcomes
+
+
+def run_batch(specs: Sequence) -> List[RunResult]:
+    """The ``Target.run_batch`` surface: plain results, kernel detail dropped."""
+    return [outcome.result for outcome in run_batch_detailed(specs)]

@@ -76,6 +76,24 @@ class TankLevelTarget(Target):
             duration_s=duration_s,
         )
 
+    def supports_batch(self) -> bool:
+        from repro.targets.batch.core import numpy_available
+
+        return numpy_available()
+
+    def run_batch(self, specs):
+        from repro.targets.batch.tanklevel import run_batch
+
+        return run_batch(specs)
+
+    def fingerprint_sources(self) -> Tuple[str, ...]:
+        # The batch kernel is an alternate execution path for this
+        # target's runs, so its source is result-determining too.
+        return super().fingerprint_sources() + (
+            "repro.targets.batch.core",
+            "repro.targets.batch.tanklevel",
+        )
+
     def lint_target(self):
         from repro.targets.tanklevel.instrumentation import (
             build_instrumentation_plan,

@@ -1,0 +1,129 @@
+"""Engine- and CLI-level behaviour of vectorized batch execution.
+
+The batch kernels themselves are differentially pinned in
+``tests/targets/``; this module covers the plumbing around them: the
+``--batch``/``REPRO_BATCH`` opt-in, the tracer fallback that keeps the
+golden trace a serial-path artifact, and the metrics contract of the
+batched path.
+"""
+
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.experiments.campaign import CampaignConfig
+from repro.experiments.parallel import enumerate_e1_specs, execute_specs
+from repro.obs.metrics import MetricsRegistry
+
+
+def _specs(**overrides):
+    config = CampaignConfig(
+        cases_all=1,
+        cases_per_ea=1,
+        target="tanklevel",
+        versions=("EA5", "All"),
+        injection_start_ms=3000,
+        **overrides,
+    )
+    return enumerate_e1_specs(config)
+
+
+def test_trace_forces_serial_fallback_with_warning(tmp_path):
+    """``--batch`` + ``--trace`` warns and runs the serial (oracle) path.
+
+    Traces are a serial-path artifact — the golden-trace regression
+    oracle (``tests/data/golden_arrestment.jsonl``) must never see
+    batch-originated events — so tracing wins and batching is skipped
+    for the whole campaign.
+    """
+    specs = _specs()[:6]
+    serial = execute_specs(specs)
+    trace_path = tmp_path / "trace.jsonl"
+    with pytest.warns(RuntimeWarning, match="incompatible with run tracing"):
+        traced = execute_specs(specs, batch=True, trace=trace_path)
+    assert traced.records == serial.records
+    assert trace_path.exists() and trace_path.stat().st_size > 0
+
+
+def test_batch_records_match_serial_through_engine():
+    specs = _specs()
+    serial = execute_specs(specs)
+    batched = execute_specs(specs, batch=True)
+    assert batched.records == serial.records
+
+
+def test_batch_metrics_cover_aggregates_only():
+    """The batched path records campaign aggregates, not per-monitor detail.
+
+    Per-monitor counters and latency histograms come from the serial
+    detection log; the batch path owns only the run-level aggregates, so
+    those must agree with serial while the per-monitor keys are absent.
+    """
+    specs = _specs()
+    serial_metrics = MetricsRegistry()
+    batch_metrics = MetricsRegistry()
+    execute_specs(specs, metrics=serial_metrics)
+    execute_specs(specs, batch=True, metrics=batch_metrics)
+    serial_snap = serial_metrics.snapshot()
+    batch_snap = batch_metrics.snapshot()
+    for key in (
+        "runs_total",
+        "runs_detected_total",
+        "runs_failed_total",
+        "runs_wedged_total",
+        "detections_total",
+        "false_alarms_total",
+        "injections_total",
+    ):
+        # Counters are created lazily, so a never-incremented one is
+        # simply absent on both sides.
+        assert batch_snap["counters"].get(key, 0) == (
+            serial_snap["counters"].get(key, 0)
+        ), key
+    per_monitor = [
+        key for key in serial_snap["counters"] if "{monitor=" in key
+    ]
+    assert per_monitor, "serial path should expose per-monitor counters"
+    for key in per_monitor:
+        assert key not in batch_snap["counters"]
+
+
+def test_repro_batch_env_opts_in(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert CampaignConfig.from_env().batch is False
+    monkeypatch.setenv("REPRO_BATCH", "1")
+    assert CampaignConfig.from_env().batch is True
+    monkeypatch.setenv("REPRO_BATCH", "0")
+    assert CampaignConfig.from_env().batch is False
+
+
+def test_cli_batch_flag_parses(monkeypatch, capsys, tmp_path):
+    """``repro.experiments e1 --batch`` runs and saves the same CSV."""
+    from repro.experiments.__main__ import main
+
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    out_serial = tmp_path / "serial.csv"
+    out_batch = tmp_path / "batch.csv"
+    base = [
+        "e1",
+        "--target",
+        "tanklevel",
+        "--versions",
+        "All",
+        "--signal",
+        "level",
+        "--cases-all",
+        "1",
+        "--injection-start",
+        "3000",
+    ]
+    main(base + ["--save", str(out_serial)])
+    main(base + ["--batch", "--save", str(out_batch)])
+    capsys.readouterr()
+    assert out_batch.read_text() == out_serial.read_text()
+
+
+def test_batch_default_is_off():
+    assert CampaignConfig().batch is False

@@ -20,7 +20,7 @@ def _load_bench_module():
 
 VALID = {
     "benchmark": "campaign",
-    "schema_version": 4,
+    "schema_version": 5,
     "repeats": 3,
     "cpus": 1,
     "scale": {
@@ -47,6 +47,13 @@ VALID = {
         "null_sink": {"runs": 16, "seconds": 2.1, "runs_per_sec": 7.6},
         "overhead_pct": 0.5,
         "null_sink_overhead_pct": 5.0,
+    },
+    "batch": {
+        "supported": True,
+        "grid": {"versions": 8, "errors": 112, "runs": 896},
+        "vectorized": {"runs": 896, "seconds": 12.0, "runs_per_sec": 74.7},
+        "speedup_vs_cold_serial": 22.4,
+        "equivalent": True,
     },
 }
 
@@ -87,6 +94,19 @@ class TestSchemaValidation:
                 {"tracing": {**VALID["tracing"], "overhead_pct": "low"}},
                 "overhead_pct",
             ),
+            ({"batch": None}, "batch"),
+            ({"batch": {}}, "batch.supported"),
+            ({"batch": {**VALID["batch"], "supported": 1}}, "batch.supported"),
+            ({"batch": {**VALID["batch"], "grid": {}}}, "batch.grid"),
+            (
+                {"batch": {**VALID["batch"], "vectorized": {}}},
+                "batch.vectorized",
+            ),
+            (
+                {"batch": {**VALID["batch"], "speedup_vs_cold_serial": "big"}},
+                "speedup_vs_cold_serial",
+            ),
+            ({"batch": {**VALID["batch"], "equivalent": False}}, "batch.equivalent"),
         ],
     )
     def test_broken_documents_rejected(self, mutation, match):
@@ -94,6 +114,22 @@ class TestSchemaValidation:
         data = {**VALID, **mutation}
         with pytest.raises(ValueError, match=match):
             module.validate_bench_json(data)
+
+    def test_unsupported_batch_section_is_valid(self):
+        # A target without a vectorized kernel reports only the flag;
+        # no grid/throughput/equivalence keys are required.
+        module = _load_bench_module()
+        module.validate_bench_json({**VALID, "batch": {"supported": False}})
+
+    def test_smoke_guard_rejects_batch_regression(self):
+        module = _load_bench_module()
+        data = {
+            **VALID,
+            "batch": {**VALID["batch"], "speedup_vs_cold_serial": 0.8},
+        }
+        module.validate_bench_json(data)  # plain check passes
+        with pytest.raises(ValueError, match="regression"):
+            module.validate_bench_json(data, smoke=True)
 
     def test_smoke_guard_rejects_regression(self):
         # A warm configuration slower than cold is valid JSON but fails

@@ -56,6 +56,18 @@ class TestGoldenTrace:
         events = record_golden_trace(TraceBus([buffer]))
         assert buffer.events == events
 
+    def test_batch_opt_in_cannot_change_the_golden_trace(self, monkeypatch):
+        """Traces are a serial-path artifact, whatever ``REPRO_BATCH`` says.
+
+        The vectorized batch engine produces no trace events; the
+        campaign runner falls back to the serial path whenever a tracer
+        is attached, so the committed golden file must stay byte-exact
+        even for sessions that opt into batching globally.
+        """
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        recorded = _render(record_golden_trace())
+        assert recorded == GOLDEN_PATH.read_text(encoding="utf-8")
+
 
 class TestGoldenCli:
     def test_main_writes_parseable_identical_trace(self, tmp_path, capsys):

@@ -1,0 +1,151 @@
+"""Unit-level differentials for the batch kernel building blocks.
+
+Each vectorized primitive in :mod:`repro.targets.batch.core` mirrors a
+serial component that is already pinned by its own tests; these tests
+drive both sides over the same inputs and require elementwise equality,
+so any semantic drift in either implementation is caught at the
+primitive level before it can surface as a whole-run mismatch.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.classes import SignalClass
+from repro.core.monitor import SignalMonitor
+from repro.core.parameters import ContinuousParams, linear_transition_map
+from repro.core.recovery import HoldLastValid
+from repro.targets.batch.core import (
+    BatchRunSpec,
+    DetectionBook,
+    VecMonitor,
+    injection_stats,
+    linear_cyclic_length,
+)
+
+
+def _drive_pair(signal_class, params, rows, recovery):
+    """Run N serial monitors and one N-row VecMonitor over *rows*.
+
+    *rows* is a list of per-row value sequences, all the same length.
+    Asserts the returned (possibly recovered) values and the violation
+    flags agree elementwise at every step, then returns the book.
+    """
+    n = len(rows)
+    steps = len(rows[0])
+    serial = [
+        SignalMonitor(
+            f"s{r}",
+            signal_class,
+            params,
+            recovery=HoldLastValid() if recovery else None,
+            monitor_id="EAx",
+        )
+        for r in range(n)
+    ]
+    vec = VecMonitor("EAx", params, n, recovery=recovery)
+    book = DetectionBook(n)
+    mask = np.ones(n, dtype=bool)
+    for t in range(steps):
+        values = np.array([rows[r][t] for r in range(n)], dtype=np.int64)
+        before = [m.violations for m in serial]
+        expected = [m.test(rows[r][t], time=t) for r, m in enumerate(serial)]
+        flagged = [m.violations != b for m, b in zip(serial, before)]
+        detected_before = book.detected.copy()
+        count_before = book.count.copy()
+        out = vec.test(values, t, mask, book)
+        for r in range(n):
+            assert out[r] == expected[r], (t, r)
+            newly_counted = book.count[r] != count_before[r]
+            assert newly_counted == flagged[r], (t, r)
+        del detected_before
+    return book
+
+
+def test_continuous_hold_last_valid_matches_serial():
+    params = ContinuousParams.random(0, 100, rmax_incr=10, rmax_decr=10)
+    rows = [
+        [5, 10, 14, 90, 91, 95, 99],  # one out-of-rate jump mid-sequence
+        [5, 6, 7, 8, 9, 10, 11],  # never violates
+        [120, 5, 6, 200, 7, 8, 9],  # violates on the very first sample
+        [5, 5, 5, 5, 5, 5, 5],  # unchanged every step
+    ]
+    book = _drive_pair(SignalClass.CONTINUOUS_RANDOM, params, rows, True)
+    assert book.row(1) == (False, None, 0, None)
+    detected, first_ms, _count, monitor = book.row(0)
+    assert detected and monitor == "EAx" and first_ms == 3
+
+
+def test_continuous_no_recovery_adopts_observed_value():
+    """Without recovery the erroneous sample becomes the new reference."""
+    params = ContinuousParams.random(0, 100, rmax_incr=10, rmax_decr=10)
+    rows = [[5, 50, 55, 60, 0, 5, 10]]
+    _drive_pair(SignalClass.CONTINUOUS_RANDOM, params, rows, False)
+
+
+def test_continuous_wrap_matches_serial():
+    params = ContinuousParams(
+        0, 7, rmin_incr=1, rmax_incr=1, wrap=True
+    )
+    rows = [
+        [0, 1, 2, 3, 4, 5, 6, 7, 0, 1],  # clean wrap-around
+        [0, 1, 5, 6, 7, 0, 1, 2, 3, 4],  # one bad jump, then clean again
+    ]
+    _drive_pair(
+        SignalClass.CONTINUOUS_MONOTONIC_STATIC, params, rows, True
+    )
+
+
+def test_discrete_linear_cyclic_matches_serial():
+    params = linear_transition_map(range(7), cyclic=True)
+    assert linear_cyclic_length(params) == 7
+    rows = [
+        [0, 1, 2, 3, 4, 5, 6, 0, 1],  # clean cycle
+        [0, 1, 2, 9, 4, 5, 6, 0, 1],  # out-of-domain spike
+        [0, 2, 3, 4, 5, 6, 0, 1, 2],  # skipped step
+    ]
+    _drive_pair(
+        SignalClass.DISCRETE_SEQUENTIAL_LINEAR, params, rows, True
+    )
+
+
+def test_discrete_no_recovery_matches_serial():
+    params = linear_transition_map(range(7), cyclic=True)
+    rows = [[0, 1, 5, 6, 0, 1, 2]]
+    _drive_pair(SignalClass.DISCRETE_SEQUENTIAL_LINEAR, params, rows, False)
+
+
+@pytest.mark.parametrize("start", [0, 1, 19, 20, 4990, 5000, 5001])
+@pytest.mark.parametrize("period", [1, 7, 20])
+def test_injection_stats_matches_brute_force(start, period):
+    last_ms = 4999
+    ticks = [
+        now
+        for now in range(last_ms + 1)
+        if now >= start and (now - start) % period == 0
+    ]
+    first, count = injection_stats(start, period, last_ms)
+    assert first == (ticks[0] if ticks else None)
+    assert count == len(ticks)
+
+
+def test_detection_book_orders_monitors_by_first_record():
+    book = DetectionBook(2)
+    none = np.zeros(2, dtype=bool)
+    book.record(none, 10, "EA1")
+    book.record(np.array([True, False]), 11, "EA2")
+    book.record(np.array([True, True]), 12, "EA1")
+    assert book.row(0) == (True, 11, 2, "EA2")
+    assert book.row(1) == (True, 12, 1, "EA1")
+
+
+def test_batch_run_spec_test_case_roundtrip():
+    spec = BatchRunSpec(
+        version="All",
+        signal="tick",
+        signal_bit=4,
+        mass_kg=8000.0,
+        velocity_mps=40.0,
+    )
+    case = spec.test_case()
+    assert (case.mass_kg, case.velocity_mps) == (8000.0, 40.0)

@@ -23,6 +23,10 @@ ARRESTOR_FINGERPRINT = {
     "repro.targets.arrestor",
     "repro.experiments.testcases",
     "repro.arrestor",
+    # The vectorized batch kernel is an alternate execution engine for
+    # the same runs: its semantics must invalidate cached results too.
+    "repro.targets.batch.core",
+    "repro.targets.batch.arrestor",
 }
 
 TANKLEVEL_FINGERPRINT = {
@@ -35,6 +39,8 @@ TANKLEVEL_FINGERPRINT = {
     "repro.targets.snapshot",
     "repro.experiments.testcases",
     "repro.targets.tanklevel",
+    "repro.targets.batch.core",
+    "repro.targets.batch.tanklevel",
 }
 
 
