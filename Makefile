@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage regen-golden bench bench-lint bench-smoke bench-tables bench-full e1 e2 reference examples clean
+.PHONY: install test lint coverage regen-golden bench bench-lint bench-smoke graph-smoke bench-tables bench-full e1 e2 reference examples clean
 
 # Coverage floor for the instrumented packages (ratchet: raise as
 # coverage improves, never lower).
@@ -33,6 +33,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis --all-targets --source
 	@$(MAKE) --no-print-directory coverage
 	@$(MAKE) --no-print-directory bench-smoke
+	@$(MAKE) --no-print-directory graph-smoke
 
 # Ratcheted coverage gate over the assertion engines and the
 # observability layer; skipped when pytest-cov is not installed
@@ -81,6 +82,13 @@ bench-smoke:
 		rm -f BENCH_smoke_$$target.json; \
 	done
 
+# Fast end-to-end slice through the campaign task graph: cold run, warm
+# replay (zero executions), 2-way shard + merge, byte-identical
+# aggregate.  Guards the graph runtime on every `make lint`.
+graph-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/experiments/test_graph_campaign.py::TestGraphSmoke
+
 # The table/figure regeneration benchmarks (pytest-benchmark suite).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -102,5 +110,5 @@ examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info BENCH_campaign.json BENCH_lint.json
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info BENCH_lint.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,7 +6,7 @@ and writes ``BENCH_campaign.json``::
 
     {
       "benchmark": "campaign",
-      "schema_version": 4,
+      "schema_version": 6,
       "repeats": N,
       "cpus": N,
       "scale": {"target": T, "versions": [...], "errors": N, "cases": N,
@@ -34,6 +34,14 @@ and writes ``BENCH_campaign.json``::
         "grid": {"versions": N, "errors": N, "runs": N},
         "vectorized": {"runs": N, "seconds": S, "runs_per_sec": R},
         "speedup_vs_cold_serial": X,
+        "equivalent": true
+      },
+      "graph": {
+        "cold": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "warm_replay": {"runs": N, "seconds": S, "runs_per_sec": R},
+        "replay_speedup": X,
+        "cache_hit_rate": 1.0,
+        "shard_merge": {"shards": 2, "merged_nodes": N, "seconds": S},
         "equivalent": true
       }
     }
@@ -70,6 +78,16 @@ Interpreting the sections:
   ``execute_specs(batch=True)`` must be record-for-record identical to
   the cold serial records.  The validator refuses a document whose gate
   is false.
+* ``graph`` (schema v6) prices the campaign task-graph runtime: the
+  bench slice built as a content-addressed DAG and executed cold
+  (``--force``, every node runs and is stored) vs warm (every node
+  replays from the node store; ``cache_hit_rate`` must be 1.0 and the
+  ``--smoke`` guard fails the build if ``replay_speedup`` drops below
+  1.0).  ``shard_merge`` prices the distribution protocol: the same
+  slice run as two ``--shard i/2`` halves into separate stores, then
+  ``merge``\\ d — its ``seconds`` is the end-to-end overhead of
+  splitting a campaign across workers.  ``equivalent`` gates the graph
+  results against the cold serial records.
 
 Every timed configuration is preceded by one untimed warm-up run and
 then measured as the **median of ``--repeats`` (>= 3) timed repeats**;
@@ -104,7 +122,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.campaign import CampaignConfig, run_e1_campaign  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Pool width pinned by ``--smoke`` runs, so smoke artifacts (and the
 #: schema check over them) are deterministic across host CPU counts.
@@ -222,6 +240,41 @@ def validate_bench_json(data: dict, smoke: bool = False) -> None:
                 f"throughput regression: the vectorized kernel is slower than "
                 f"cold serial runs "
                 f"(speedup {batch['speedup_vs_cold_serial']}x < 1.0x)"
+            )
+
+    graph = data.get("graph")
+    if not isinstance(graph, dict):
+        raise ValueError("missing or non-object section 'graph'")
+    _throughput("graph.cold", graph.get("cold"))
+    _throughput("graph.warm_replay", graph.get("warm_replay"))
+    _number("graph.replay_speedup", graph.get("replay_speedup"))
+    _number("graph.cache_hit_rate", graph.get("cache_hit_rate"))
+    if not 0.0 <= graph["cache_hit_rate"] <= 1.0:
+        raise ValueError("graph.cache_hit_rate must be within [0, 1]")
+    shard_merge = graph.get("shard_merge")
+    if not isinstance(shard_merge, dict):
+        raise ValueError("graph.shard_merge must be an object")
+    for key in ("shards", "merged_nodes"):
+        if isinstance(shard_merge.get(key), bool) or not isinstance(
+            shard_merge.get(key), int
+        ):
+            raise ValueError(f"graph.shard_merge.{key} must be an integer")
+    _number("graph.shard_merge.seconds", shard_merge.get("seconds"))
+    if graph.get("equivalent") is not True:
+        raise ValueError(
+            "graph.equivalent must be true (the task-graph runtime "
+            "disagrees with the flat engine)"
+        )
+    if smoke:
+        if graph["cache_hit_rate"] < 1.0:
+            raise ValueError(
+                f"replay regression: an unchanged graph re-run should replay "
+                f"every node (cache_hit_rate {graph['cache_hit_rate']} < 1.0)"
+            )
+        if graph["replay_speedup"] < 1.0:
+            raise ValueError(
+                f"throughput regression: warm graph replay is slower than "
+                f"cold execution (speedup {graph['replay_speedup']}x < 1.0x)"
             )
 
 
@@ -383,6 +436,57 @@ def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
     else:
         batch_section = {"supported": False}
 
+    # Task-graph runtime: the bench slice as a content-addressed DAG.
+    # Cold forces every node to execute (and store); warm replays the
+    # whole campaign from the node store without simulating anything.
+    from repro.experiments.dag import run_campaign_graph
+    from repro.experiments.graph import NodeStore, merge_stores
+
+    graph_dir = tempfile.mkdtemp(prefix="bench_graph_")
+    try:
+        graph_store = NodeStore(os.path.join(graph_dir, "nodes"))
+        cold_graph, graph_cold_s = _measure(
+            lambda: run_campaign_graph(specs, store=graph_store, force=True),
+            repeats,
+        )
+        warm_graph, graph_warm_s = _measure(
+            lambda: run_campaign_graph(specs, store=graph_store), repeats
+        )
+
+        # Distribution protocol: two shards into separate stores, then
+        # one merge — end-to-end overhead of splitting the campaign.
+        shard_start = time.perf_counter()
+        shard_stores = []
+        for index in range(2):
+            shard_store = NodeStore(os.path.join(graph_dir, f"shard{index}"))
+            run_campaign_graph(specs, store=shard_store, shard=(index, 2))
+            shard_stores.append(shard_store)
+        merged_store = NodeStore(os.path.join(graph_dir, "merged"))
+        merged_nodes, _ = merge_stores(merged_store, shard_stores)
+        shard_merge_s = time.perf_counter() - shard_start
+    finally:
+        shutil.rmtree(graph_dir, ignore_errors=True)
+
+    graph_cold_rps = runs / graph_cold_s if graph_cold_s else 0.0
+    graph_warm_rps = runs / graph_warm_s if graph_warm_s else 0.0
+    graph_section = {
+        "cold": _throughput(runs, graph_cold_s),
+        "warm_replay": _throughput(runs, graph_warm_s),
+        "replay_speedup": (
+            round(graph_warm_rps / graph_cold_rps, 3) if graph_cold_rps else 0.0
+        ),
+        "cache_hit_rate": round(warm_graph.stats.hit_rate, 4),
+        "shard_merge": {
+            "shards": 2,
+            "merged_nodes": merged_nodes,
+            "seconds": round(shard_merge_s, 3),
+        },
+        "equivalent": (
+            cold_graph.results.records == off_results.records
+            and warm_graph.results.records == off_results.records
+        ),
+    }
+
     return {
         "benchmark": "campaign",
         "schema_version": SCHEMA_VERSION,
@@ -414,6 +518,7 @@ def run_benchmark(signals, cases: int, workers: int, repeats: int = 3,
             "hits": replay_store.stats.hits,
         },
         "batch": batch_section,
+        "graph": graph_section,
         "tracing": {
             "off": _throughput(runs, off_s),
             "null_sink": _throughput(runs, null_s),
@@ -558,6 +663,15 @@ def main(argv=None) -> int:
         )
     else:
         print("batch kernel: not supported by this target (serial path only)")
+    graph = data["graph"]
+    print(
+        f"task graph: warm replay {graph['warm_replay']['runs_per_sec']}/s vs "
+        f"cold {graph['cold']['runs_per_sec']}/s = {graph['replay_speedup']}x "
+        f"(hit rate {graph['cache_hit_rate']}); 2-shard run+merge "
+        f"{graph['shard_merge']['seconds']}s for "
+        f"{graph['shard_merge']['merged_nodes']} node(s) "
+        f"(equivalent={graph['equivalent']})"
+    )
     return 0
 
 

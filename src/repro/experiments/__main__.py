@@ -16,6 +16,8 @@ Usage::
                                    [--trace JSONL] [--metrics-out JSON]
     python -m repro.experiments reference
     python -m repro.experiments table6
+    python -m repro.experiments merge DEST SHARD [SHARD ...]
+    python -m repro.experiments diff STORE_A STORE_B
 
 ``e1`` regenerates Tables 7 and 8, ``e2`` Table 9, ``reference`` checks
 the fault-free precondition over the full 25-case grid, and ``table6``
@@ -41,6 +43,15 @@ the structured event trace (detections,
 injections, run lifecycle) to a JSONL file; a campaign always ends with
 a metrics summary, and ``--metrics-out`` additionally writes the full
 metrics snapshot as JSON.
+
+``--graph`` routes the campaign through the content-addressed task
+graph (``--store`` then names a per-node completion-record store, and
+an unchanged re-run replays everything from cache); ``--shard I/N``
+executes one content-address partition of the grid, ``merge`` unions
+shard stores (refusing stores produced by different code), and ``diff``
+compares the per-signal detection probabilities of two captured
+campaigns with Wilson confidence intervals, exiting non-zero on
+significant regressions.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ from repro.experiments.analysis import (
 from repro.experiments.persistence import load_results, save_results
 from repro.experiments.campaign import (
     CampaignConfig,
+    run_campaign_graph,
     run_e1_campaign,
     run_e2_campaign,
     run_reference_grid,
@@ -174,6 +186,24 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         metavar="JSON",
         help="write the campaign metrics snapshot to this JSON file",
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        default=os.environ.get("REPRO_GRAPH") == "1",
+        help="run through the content-addressed task graph: --store names "
+        "a node-store directory, per-node completion records replace "
+        "--checkpoint/--resume, and an unchanged re-run replays every "
+        "node from cache (default: $REPRO_GRAPH or off)",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="execute only shard I of N of the run grid, partitioned by "
+        "node content address (implies --graph; skips aggregation — "
+        "union shard stores with the 'merge' command, then re-run "
+        "unsharded to aggregate from cache)",
+    )
 
 
 def _print_metrics(registry: MetricsRegistry, out_path) -> None:
@@ -194,6 +224,43 @@ def _progress(done: int, total: int) -> None:
         if done == total:
             sys.stderr.write("\n")
         sys.stderr.flush()
+
+
+def _run_graph_campaign(args: argparse.Namespace, config, experiment, error_filter):
+    """The --graph/--shard execution path shared by e1 and e2.
+
+    Returns ``(outcome, exit_code)``; a non-None exit code means a usage
+    error already reported to the user.
+    """
+    if args.checkpoint or args.resume:
+        print(
+            "--checkpoint/--resume are subsumed by per-node completion "
+            "records on the graph path; point --store at a node-store "
+            "directory instead",
+            file=sys.stderr,
+        )
+        return None, 2
+    start = time.time()
+    outcome = run_campaign_graph(
+        config,
+        experiment,
+        progress=_progress,
+        error_filter=error_filter,
+        store=args.store,
+        force=args.force,
+        shard=args.shard,
+    )
+    stats = outcome.stats
+    shard_note = f" [shard {args.shard}]" if args.shard else ""
+    hit_rate = stats.hit_rate
+    print(
+        f"\n{experiment.upper()} campaign (graph{shard_note}): "
+        f"{len(outcome.results)} runs in {time.time() - start:.0f}s — "
+        f"{stats.executed} nodes executed, {stats.cached} replayed"
+        + (f" (hit rate {hit_rate:.0%})" if hit_rate is not None else "")
+        + "\n"
+    )
+    return outcome, None
 
 
 def _cmd_e1(args: argparse.Namespace) -> int:
@@ -227,6 +294,27 @@ def _cmd_e1(args: argparse.Namespace) -> int:
         if args.signal is not None:
             results = ResultSet(results.subset(signal=args.signal))
             print(f"filtered to {len(results)} runs on signal {args.signal}\n")
+    elif args.graph or args.shard:
+        outcome, code = _run_graph_campaign(args, config, "e1", error_filter)
+        if code is not None:
+            return code
+        results = outcome.results
+        if args.save:
+            save_results(results, args.save)
+            print(f"saved run records to {args.save}\n")
+        if args.trace:
+            print(f"trace events written to {args.trace}\n")
+        _print_metrics(metrics, args.metrics_out)
+        if args.shard:
+            print(
+                f"shard {args.shard} complete: {len(results)} runs recorded in "
+                f"{args.store or 'memory (no --store!)'}; merge shard stores "
+                "and re-run unsharded to aggregate"
+            )
+            return 0
+        if outcome.tables is not None:
+            print(outcome.tables)
+            return 0
     else:
         start = time.time()
         results = run_e1_campaign(
@@ -270,6 +358,27 @@ def _cmd_e2(args: argparse.Namespace) -> int:
     if args.load:
         results = load_results(args.load)
         print(f"loaded {len(results)} runs from {args.load}\n")
+    elif args.graph or args.shard:
+        outcome, code = _run_graph_campaign(args, config, "e2", None)
+        if code is not None:
+            return code
+        results = outcome.results
+        if args.save:
+            save_results(results, args.save)
+            print(f"saved run records to {args.save}\n")
+        if args.trace:
+            print(f"trace events written to {args.trace}\n")
+        _print_metrics(metrics, args.metrics_out)
+        if args.shard:
+            print(
+                f"shard {args.shard} complete: {len(results)} runs recorded in "
+                f"{args.store or 'memory (no --store!)'}; merge shard stores "
+                "and re-run unsharded to aggregate"
+            )
+            return 0
+        if outcome.tables is not None:
+            print(outcome.tables)
+            return 0
     else:
         start = time.time()
         results = run_e2_campaign(
@@ -338,6 +447,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.experiments.graph import StoreMergeError, merge_stores
+
+    try:
+        merged, present = merge_stores(args.dest, args.sources)
+    except StoreMergeError as error:
+        print(f"merge refused: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"merged {merged} node record(s) from {len(args.sources)} store(s) "
+        f"into {args.dest} ({present} already present)"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.experiments.diff import diff_results, load_records, render_diff
+
+    try:
+        records_a = load_records(args.store_a)
+        records_b = load_records(args.store_b)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"diff failed: {error}", file=sys.stderr)
+        return 2
+    print(f"A: {len(records_a)} runs from {args.store_a}")
+    print(f"B: {len(records_b)} runs from {args.store_b}\n")
+    deltas = diff_results(records_a, records_b)
+    print(render_diff(deltas, label_a=args.store_a, label_b=args.store_b))
+    return 1 if any(delta.regression for delta in deltas) else 0
+
+
 def _cmd_table6(args: argparse.Namespace) -> int:
     target = get_target(args.target)
     errors = target.e1_error_set()
@@ -395,11 +535,35 @@ def main(argv=None) -> int:
     _add_target_option(p_t6)
     p_t6.set_defaults(func=_cmd_table6)
 
+    p_merge = sub.add_parser(
+        "merge",
+        help="union shard node stores into one (descriptor-verified)",
+    )
+    p_merge.add_argument("dest", help="destination node-store directory")
+    p_merge.add_argument(
+        "sources", nargs="+", help="shard node-store directories to merge in"
+    )
+    p_merge.set_defaults(func=_cmd_merge)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="per-signal P(d) regression diff between two captured campaigns",
+    )
+    p_diff.add_argument(
+        "store_a", help="baseline: result-store dir, node-store dir, or CSV"
+    )
+    p_diff.add_argument(
+        "store_b", help="candidate: result-store dir, node-store dir, or CSV"
+    )
+    p_diff.set_defaults(func=_cmd_diff)
+
     args = parser.parse_args(argv)
     if args.list_targets:
         return _list_targets()
     if args.command is None:
-        parser.error("a command is required (e1, e2, reference, report, table6)")
+        parser.error(
+            "a command is required (e1, e2, reference, report, table6, merge, diff)"
+        )
     return args.func(args)
 
 

@@ -30,7 +30,14 @@ from repro.experiments.results import ResultSet
 from repro.injection.fic import CampaignController
 from repro.targets.registry import get_target
 
-__all__ = ["CampaignConfig", "E1_VERSIONS", "run_e1_campaign", "run_e2_campaign", "run_reference_grid"]
+__all__ = [
+    "CampaignConfig",
+    "E1_VERSIONS",
+    "run_e1_campaign",
+    "run_e2_campaign",
+    "run_campaign_graph",
+    "run_reference_grid",
+]
 
 #: The eight system versions of the E1 experiment.
 E1_VERSIONS: Tuple[str, ...] = ("EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7", "All")
@@ -173,6 +180,93 @@ def _resolve_store(store, config: CampaignConfig):
     )
 
 
+def _tables_renderer(experiment: str, config: CampaignConfig):
+    """The tables-node renderer for one campaign, plus its fingerprint.
+
+    The renderer is keyed by a digest of the table layer's source, so a
+    table-layout change re-renders the artifact without re-simulating a
+    single run (the run nodes' keys are untouched).
+    """
+    import hashlib
+
+    from repro.experiments import tables as tables_module
+
+    fingerprint = hashlib.sha256(
+        Path(tables_module.__file__).read_bytes()
+    ).hexdigest()
+    target = get_target(config.target)
+    signals = tuple(target.monitored_signals)
+    versions = tuple(config.versions)
+
+    if experiment == "e1":
+        def render(results: ResultSet) -> str:
+            return (
+                "Table 7. Error detection probabilities (%)\n"
+                + tables_module.render_table7(results, versions, signals=signals)
+                + "\n\nTable 8. Error detection latencies (ms)\n"
+                + tables_module.render_table8(results, versions, signals=signals)
+            )
+    else:
+        def render(results: ResultSet) -> str:
+            return (
+                "Table 9. Results for error set E2\n"
+                + tables_module.render_table9(results)
+            )
+
+    return render, fingerprint
+
+
+def run_campaign_graph(
+    config: Optional[CampaignConfig] = None,
+    experiment: str = "e1",
+    progress: Optional[ProgressHook] = None,
+    error_filter: Optional[Callable] = None,
+    store: Optional[Union[str, Path]] = None,
+    force: bool = False,
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
+    tables: bool = True,
+):
+    """Execute a campaign through the content-addressed task graph.
+
+    The graph-native counterpart of :func:`run_e1_campaign` /
+    :func:`run_e2_campaign`: the spec grid becomes ``run`` nodes fed by
+    snapshot-``prewarm`` nodes, with ``aggregate`` and ``tables`` nodes
+    downstream (see :mod:`repro.experiments.dag`).  *store* is a
+    **node-store** directory — per-node completion records replace the
+    flat checkpoint CSV, so resume-after-interrupt and
+    replay-when-unchanged are the same mechanism.  *shard* (``"i/n"``)
+    restricts execution to one content-address partition of the grid;
+    merge shard stores with ``python -m repro.experiments merge``.
+    Returns a :class:`~repro.experiments.dag.GraphCampaignResult`.
+    """
+    from repro.experiments import dag
+
+    if config is None:
+        config = CampaignConfig()
+    if experiment not in ("e1", "e2"):
+        raise ValueError(f"experiment must be 'e1' or 'e2', got {experiment!r}")
+    enumerate = enumerate_e1_specs if experiment == "e1" else enumerate_e2_specs
+    renderer = fingerprint = None
+    if tables and shard is None:
+        renderer, fingerprint = _tables_renderer(experiment, config)
+    return dag.run_campaign_graph(
+        enumerate(config, error_filter),
+        run_config=config.run_config,
+        workers=config.workers,
+        timeout_s=config.run_timeout_s,
+        trace=config.trace_path,
+        metrics=config.metrics,
+        store=store,
+        force=force,
+        snapshots=config.snapshots,
+        batch=config.batch,
+        progress=progress,
+        shard=shard,
+        tables_renderer=renderer,
+        tables_fingerprint=fingerprint or "",
+    )
+
+
 def run_e1_campaign(
     config: Optional[CampaignConfig] = None,
     progress: Optional[ProgressHook] = None,
@@ -181,6 +275,8 @@ def run_e1_campaign(
     resume: bool = False,
     store: Optional[Union[str, Path, "ResultStore"]] = None,
     force: bool = False,
+    graph: bool = False,
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
 ) -> ResultSet:
     """Execute the E1 experiment (Tables 7 and 8).
 
@@ -203,9 +299,30 @@ def run_e1_campaign(
     campaign with the same code and configuration are restored instead
     of re-simulated, and fresh records are added for the next campaign.
     *force* re-simulates everything while still refreshing the store.
+
+    *graph* (or a *shard*) routes execution through the task-graph
+    runtime instead — *store* then names a node-store directory and
+    per-node completion records subsume the checkpoint CSV, so
+    *checkpoint*/*resume* cannot be combined with it.
     """
     if config is None:
         config = CampaignConfig()
+    if graph or shard is not None:
+        if checkpoint is not None or resume:
+            raise ValueError(
+                "checkpoint/resume are subsumed by per-node completion "
+                "records on the graph path; pass a node store instead"
+            )
+        return run_campaign_graph(
+            config,
+            "e1",
+            progress=progress,
+            error_filter=error_filter,
+            store=store,
+            force=force,
+            shard=shard,
+            tables=False,
+        ).results
     return execute_specs(
         enumerate_e1_specs(config, error_filter),
         run_config=config.run_config,
@@ -231,14 +348,32 @@ def run_e2_campaign(
     resume: bool = False,
     store: Optional[Union[str, Path, "ResultStore"]] = None,
     force: bool = False,
+    graph: bool = False,
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
 ) -> ResultSet:
     """Execute the E2 experiment (Table 9): All version, random locations.
 
-    Same execution engine, checkpointing, resume, and result-store
-    semantics as :func:`run_e1_campaign`.
+    Same execution engine, checkpointing, resume, result-store and
+    graph/shard semantics as :func:`run_e1_campaign`.
     """
     if config is None:
         config = CampaignConfig()
+    if graph or shard is not None:
+        if checkpoint is not None or resume:
+            raise ValueError(
+                "checkpoint/resume are subsumed by per-node completion "
+                "records on the graph path; pass a node store instead"
+            )
+        return run_campaign_graph(
+            config,
+            "e2",
+            progress=progress,
+            error_filter=error_filter,
+            store=store,
+            force=force,
+            shard=shard,
+            tables=False,
+        ).results
     return execute_specs(
         enumerate_e2_specs(config, error_filter),
         run_config=config.run_config,

@@ -1,0 +1,422 @@
+"""Campaigns expressed as a content-addressed task DAG.
+
+:mod:`repro.experiments.parallel` executes a flat spec list;
+this module re-expresses a campaign as the dependency graph it really
+is, on the :mod:`repro.experiments.graph` runtime:
+
+``prewarm`` nodes
+    One per distinct ``(target, version, test case, prefix)`` grid
+    point: warm the process-global snapshot cache (boot — and, with a
+    positive ``injection_start_ms``, the fault-free prefix) exactly
+    once before any run that needs it.  Side-effect nodes: never
+    stored, executed only when a dependent run node executes.
+``run`` nodes
+    One per :class:`~repro.experiments.parallel.RunSpec`.  Inputs are
+    the spec's fields plus the **context fingerprint** (SHA-256 over the
+    target's simulation sources, the run configuration and the
+    injection start — :func:`repro.experiments.store.context_fingerprint`),
+    so editing fingerprinted code re-keys every run node while an
+    unchanged campaign replays entirely from the node store.  Ready run
+    nodes execute as one wave through the existing engine —
+    serial loop, chunked process pool, or vectorized batch kernels —
+    via a group runner wrapping
+    :func:`~repro.experiments.parallel.execute_specs`.
+``aggregate`` node
+    Depends on every run node; its output is the canonical-order
+    campaign CSV (byte-stable regardless of execution or shard order).
+``tables`` node
+    Depends on ``aggregate``; renders the paper-table artifact through
+    a caller-supplied renderer (keyed by the renderer's code
+    fingerprint so a table-layout change re-renders without
+    re-simulating).
+
+Sharding falls out of the content addresses: ``shard=(i, n)`` keeps
+only the run nodes whose key lands in shard *i* of *n*
+(:func:`~repro.experiments.graph.shard_of`), each shard writes a
+private node store, :func:`~repro.experiments.graph.merge_stores`
+unions them, and a final unsharded pass replays every run node from
+cache — executing zero simulations — before computing aggregation.
+
+Invariants carried over from the flat engine: record-for-record
+equality with the legacy path whatever the worker count, and **a tracer
+disables replay** (traced nodes execute, never replay), so trace
+artifacts like the committed golden trace stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.graph import (
+    Graph,
+    GraphStats,
+    GroupRunner,
+    Node,
+    NodeStore,
+    shard_of,
+)
+from repro.experiments.parallel import RunSpec, execute_specs
+from repro.experiments.persistence import decode_row, encode_record, results_to_csv
+from repro.experiments.results import ResultSet, RunRecord
+from repro.experiments.store import context_fingerprint
+from repro.targets import snapshot as snapshots_mod
+from repro.targets.registry import get_target
+
+__all__ = [
+    "GraphCampaignResult",
+    "build_campaign_graph",
+    "run_campaign_graph",
+    "run_node_name",
+    "AGGREGATE_NODE",
+    "TABLES_NODE",
+]
+
+AGGREGATE_NODE = "aggregate"
+TABLES_NODE = "tables"
+
+ProgressHook = Callable[[int, int], None]
+TablesRenderer = Callable[[ResultSet], str]
+
+
+def run_node_name(spec: RunSpec) -> str:
+    """The stable node name of one run (mirrors the canonical run key)."""
+    return (
+        f"run/{spec.target}/{spec.version}|{spec.error_name}"
+        f"|m{spec.mass_kg:g}|v{spec.velocity_mps:g}"
+    )
+
+
+def _prewarm_node_name(spec: RunSpec) -> str:
+    return (
+        f"prewarm/{spec.target}/{spec.version}"
+        f"|m{spec.mass_kg:g}|v{spec.velocity_mps:g}|p{spec.injection_start_ms}"
+    )
+
+
+def _spec_inputs(spec: RunSpec, context: str) -> Dict[str, str]:
+    """Every result-determining field of one run, as key material."""
+    return {
+        "experiment": spec.experiment,
+        "version": spec.version,
+        "error_name": spec.error_name,
+        "address": str(spec.address),
+        "bit": str(spec.bit),
+        "area": spec.area,
+        "signal": "" if spec.signal is None else spec.signal,
+        "signal_bit": "" if spec.signal_bit is None else str(spec.signal_bit),
+        "mass_kg": repr(spec.mass_kg),
+        "velocity_mps": repr(spec.velocity_mps),
+        "injection_period_ms": str(spec.injection_period_ms),
+        "injection_start_ms": str(spec.injection_start_ms),
+        "target": spec.target,
+        "context": context,
+    }
+
+
+@dataclasses.dataclass
+class GraphCampaignResult:
+    """What one graph-campaign execution produced."""
+
+    #: Records of the executed/replayed run nodes, in spec-enumeration
+    #: order (shard runs carry only the shard's records).
+    results: ResultSet
+    stats: GraphStats
+    #: The aggregate node's canonical-order campaign CSV (None on shard
+    #: runs, which do not aggregate).
+    aggregate_csv: Optional[str] = None
+    #: The tables node's rendered artifact (None when no renderer).
+    tables: Optional[str] = None
+    #: ``(index, count)`` when this was a shard run.
+    shard: Optional[Tuple[int, int]] = None
+
+
+def build_campaign_graph(
+    specs: Sequence[RunSpec],
+    run_config: Any = None,
+    snapshots: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
+    tables_renderer: Optional[TablesRenderer] = None,
+    tables_fingerprint: str = "",
+) -> Graph:
+    """The campaign DAG for *specs*: prewarm -> run -> aggregate -> tables.
+
+    Node keys are fully determined here (content addresses over inputs
+    and dependency keys); nothing is executed.  The single-spec ``run``
+    callables route through :func:`execute_specs` so an individually
+    executed node matches the engine bit-for-bit; bulk execution
+    replaces them with a pooled group runner (see
+    :func:`run_campaign_graph`).
+    """
+    specs = list(specs)
+    graph = Graph()
+    contexts: Dict[Tuple[str, int], str] = {}
+    for spec in specs:
+        ctx_key = (spec.target, spec.injection_start_ms)
+        if ctx_key not in contexts:
+            contexts[ctx_key] = context_fingerprint(
+                get_target(spec.target),
+                run_config,
+                injection_start_ms=spec.injection_start_ms,
+            )
+
+    def _prewarm_runner(spec: RunSpec) -> Callable[[Mapping[str, Any]], Any]:
+        def run(_deps: Mapping[str, Any]) -> Dict[str, Any]:
+            enabled = (
+                snapshots
+                if snapshots is not None
+                else snapshots_mod.snapshots_enabled_default()
+            )
+            target = get_target(spec.target)
+            if not enabled or not target.supports_snapshots():
+                return {"warmed": False}
+            warmed = snapshots_mod.prewarm(
+                target,
+                spec.test_case(),
+                spec.version,
+                prefix_ms=spec.injection_start_ms,
+                run_config=run_config,
+            )
+            return {"warmed": bool(warmed)}
+
+        return run
+
+    def _run_runner(spec: RunSpec) -> Callable[[Mapping[str, Any]], Any]:
+        def run(_deps: Mapping[str, Any]) -> List[str]:
+            results = execute_specs(
+                [spec],
+                run_config=run_config,
+                timeout_s=timeout_s,
+                snapshots=snapshots,
+            )
+            return encode_record(results.records[0])
+
+        return run
+
+    run_names: List[str] = []
+    for spec in specs:
+        prewarm_name = _prewarm_node_name(spec)
+        context = contexts[(spec.target, spec.injection_start_ms)]
+        if prewarm_name not in graph:
+            graph.add(
+                Node(
+                    name=prewarm_name,
+                    kind="prewarm",
+                    run=_prewarm_runner(spec),
+                    inputs={
+                        "target": spec.target,
+                        "version": spec.version,
+                        "mass_kg": repr(spec.mass_kg),
+                        "velocity_mps": repr(spec.velocity_mps),
+                        "prefix_ms": str(spec.injection_start_ms),
+                        "context": context,
+                    },
+                    cacheable=False,
+                    payload=spec,
+                )
+            )
+        name = run_node_name(spec)
+        graph.add(
+            Node(
+                name=name,
+                kind="run",
+                run=_run_runner(spec),
+                inputs=_spec_inputs(spec, context),
+                deps=(prewarm_name,),
+                payload=spec,
+            )
+        )
+        run_names.append(name)
+
+    def _aggregate(deps: Mapping[str, Any]) -> str:
+        records = [decode_row(list(deps[name])) for name in run_names]
+        return results_to_csv(ResultSet(records).sorted())
+
+    graph.add(
+        Node(
+            name=AGGREGATE_NODE,
+            kind="aggregate",
+            run=_aggregate,
+            inputs={
+                "experiments": ",".join(sorted({s.experiment for s in specs})),
+                "records": str(len(specs)),
+            },
+            deps=tuple(run_names),
+        )
+    )
+    if tables_renderer is not None:
+        def _tables(deps: Mapping[str, Any]) -> str:
+            from repro.experiments.persistence import results_from_csv
+
+            return tables_renderer(results_from_csv(deps[AGGREGATE_NODE]))
+
+        graph.add(
+            Node(
+                name=TABLES_NODE,
+                kind="tables",
+                run=_tables,
+                inputs={"renderer": tables_fingerprint},
+                deps=(AGGREGATE_NODE,),
+            )
+        )
+    return graph
+
+
+def _parse_shard(shard: Optional[Union[str, Tuple[int, int]]]) -> Optional[Tuple[int, int]]:
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        try:
+            index_text, _, count_text = shard.partition("/")
+            parsed = (int(index_text), int(count_text))
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/n' (e.g. 0/2), got {shard!r}"
+            ) from None
+        shard = parsed
+    index, count = shard
+    if count < 1:
+        raise ValueError(f"shard count must be at least 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    return (index, count)
+
+
+def run_campaign_graph(
+    specs: Sequence[RunSpec],
+    run_config: Any = None,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    trace: Any = None,
+    metrics: Any = None,
+    store: Optional[Union[str, Path, NodeStore]] = None,
+    force: bool = False,
+    snapshots: Optional[bool] = None,
+    batch: bool = False,
+    progress: Optional[ProgressHook] = None,
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
+    tables_renderer: Optional[TablesRenderer] = None,
+    tables_fingerprint: str = "",
+) -> GraphCampaignResult:
+    """Execute a campaign through the graph runtime.
+
+    Record-for-record equivalent to ``execute_specs(specs, ...)``: the
+    returned :attr:`~GraphCampaignResult.results` is in spec-enumeration
+    order whatever executed, replayed, or ran on how many workers.
+
+    *store* (a directory path or :class:`NodeStore`) enables per-node
+    memoization: an unchanged campaign replays 100 % of its nodes from
+    the store and simulates nothing.  *shard* — ``"i/n"`` or ``(i, n)``
+    — restricts execution to the run nodes whose content address lands
+    in shard *i*, skipping aggregation; shards may run on separate
+    machines against private stores and be joined with
+    :func:`~repro.experiments.graph.merge_stores`.
+
+    With *trace* (a JSONL path or a live
+    :class:`~repro.obs.TraceBus`), replay is disabled — every needed
+    node executes, emitting ``node-start``/``node-done`` plus the usual
+    run-lifecycle events — and execution is forced in-process serial,
+    since one live bus cannot cross a process-pool boundary.
+    """
+    specs = list(specs)
+    shard_spec = _parse_shard(shard)
+    node_store = (
+        store
+        if (store is None or isinstance(store, NodeStore))
+        else NodeStore(store)
+    )
+    graph = build_campaign_graph(
+        specs,
+        run_config=run_config,
+        snapshots=snapshots,
+        timeout_s=timeout_s,
+        tables_renderer=tables_renderer,
+        tables_fingerprint=tables_fingerprint,
+    )
+
+    tracer = None
+    sink = None
+    if trace is not None:
+        from repro.obs.bus import TraceBus
+        from repro.obs.sinks import JSONLSink
+
+        if isinstance(trace, TraceBus):
+            tracer = trace
+        else:
+            sink = JSONLSink(trace, mode="w")
+            tracer = TraceBus([sink])
+
+    spec_names = [run_node_name(spec) for spec in specs]
+    if shard_spec is None:
+        wanted = None
+        wanted_names = spec_names
+    else:
+        index, count = shard_spec
+        wanted_names = [
+            name for name in spec_names if shard_of(graph.key(name), count) == index
+        ]
+        wanted = wanted_names
+
+    total = len(wanted_names)
+    done_box = [0]
+
+    def _runner(
+        nodes: Sequence[Node], _dep_outputs: Mapping[str, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        wave_specs = [node.payload for node in nodes]
+        def _inner_progress(done: int, _wave_total: int) -> None:
+            if progress is not None:
+                progress(done_box[0] + done, total)
+
+        results = execute_specs(
+            wave_specs,
+            run_config=run_config,
+            workers=1 if tracer is not None else workers,
+            timeout_s=timeout_s,
+            trace=tracer,
+            metrics=metrics,
+            snapshots=snapshots,
+            batch=batch,
+            progress=_inner_progress if progress is not None else None,
+        )
+        done_box[0] += len(wave_specs)
+        return {
+            node.name: encode_record(record)
+            for node, record in zip(nodes, results.records)
+        }
+
+    runners: Dict[str, GroupRunner] = {"run": _runner}
+    stats = GraphStats()
+    try:
+        outputs = graph.execute(
+            store=node_store,
+            wanted=wanted,
+            force=force,
+            tracer=tracer,
+            metrics=metrics,
+            runners=runners,
+            stats=stats,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+
+    cached_runs = stats.by_kind.get("run", {}).get("cached", 0)
+    if progress is not None and cached_runs:
+        progress(total, total)
+    if metrics is not None:
+        rate = stats.hit_rate
+        if rate is not None:
+            metrics.gauge("graph_cache_hit_rate").set(round(rate, 4))
+
+    records: List[RunRecord] = [
+        decode_row(list(outputs[name])) for name in wanted_names
+    ]
+    return GraphCampaignResult(
+        results=ResultSet(records),
+        stats=stats,
+        aggregate_csv=outputs.get(AGGREGATE_NODE),
+        tables=outputs.get(TABLES_NODE),
+        shard=shard_spec,
+    )

@@ -1,0 +1,525 @@
+"""A small deterministic task-graph runtime with content-addressed memoization.
+
+The paper's evaluation is a dependency graph — boot, fault-free
+reference run, the injected-run grid, aggregation, the Table-7/8/9
+artifacts — and :mod:`repro.experiments.dag` expresses campaigns that
+way.  This module is the underlying runtime, deliberately generic and
+free of simulation imports:
+
+* :class:`Node` — one unit of work: a ``kind`` (its taxonomy group), a
+  mapping of **input strings** (everything that determines its output),
+  the names of its dependency nodes, and a ``run`` callable receiving
+  the dependencies' outputs.
+* :class:`Graph` — nodes wired by name, topologically scheduled.  Every
+  node has a **content address**: SHA-256 over its kind, its sorted
+  inputs and its dependencies' keys, so a key transitively covers the
+  whole upstream subgraph.  Flip one input anywhere and exactly the
+  downstream subtree re-keys.
+* :class:`NodeStore` — a file-backed map from node key to completion
+  record (descriptor + output payload), written atomically via temp
+  file + rename.  A node whose key is stored **replays** instead of
+  executing; an executed node's output is stored for the next session.
+  Stores union with :func:`merge_stores` (descriptor-verified), which
+  is what makes multi-machine sharding work: partition the grid by node
+  key, run each shard against a private store, merge, and a final pass
+  replays entirely from cache.
+
+Scheduling is deterministic: nodes execute in topological order with
+ties broken by insertion order, and nodes of the same ``kind`` that are
+ready together can be handed to a **group runner** (the campaign layer
+uses this to fan the injected-run grid onto the existing worker pool).
+
+Replay is disabled whenever a tracer is attached — a trace is an
+execution artifact, so traced nodes execute, never replay — and
+per-node lifecycle is published as ``node-start`` / ``node-cached`` /
+``node-done`` trace events plus per-kind counters on the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "Node",
+    "Graph",
+    "GraphStats",
+    "NodeStore",
+    "StoreMergeError",
+    "merge_stores",
+    "shard_of",
+]
+
+#: A group runner: receives the ready nodes of one kind plus each node's
+#: dependency outputs, returns ``{node name: output}`` for all of them.
+GroupRunner = Callable[[Sequence["Node"], Mapping[str, Mapping[str, Any]]], Mapping[str, Any]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Node:
+    """One unit of work in a campaign graph.
+
+    ``inputs`` must carry *every* value that determines the output (the
+    campaign layer folds the code/config context fingerprint in here);
+    the content address is derived from them plus the dependency keys.
+    ``run`` receives ``{dep name: dep output}`` and returns the output,
+    which must be JSON-serialisable when the node is ``cacheable``.
+    ``payload`` is free-form execution context (e.g. the
+    :class:`~repro.experiments.parallel.RunSpec` a run node executes);
+    it never enters the key.  Non-cacheable nodes model side effects
+    (snapshot prewarm): they are never stored and execute only when a
+    downstream node executes.
+    """
+
+    name: str
+    kind: str
+    run: Callable[[Mapping[str, Any]], Any]
+    inputs: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    cacheable: bool = True
+    payload: Any = None
+
+
+@dataclasses.dataclass
+class GraphStats:
+    """Per-execution accounting (also broken down per node kind)."""
+
+    executed: int = 0
+    cached: int = 0
+    skipped: int = 0
+    mismatches: int = 0
+    by_kind: Dict[str, Dict[str, int]] = dataclasses.field(default_factory=dict)
+
+    def note(self, kind: str, outcome: str) -> None:
+        setattr(self, outcome, getattr(self, outcome) + 1)
+        bucket = self.by_kind.setdefault(
+            kind, {"executed": 0, "cached": 0, "skipped": 0}
+        )
+        if outcome in bucket:
+            bucket[outcome] += 1
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Cache hit rate over the nodes that needed an output."""
+        total = self.executed + self.cached
+        return self.cached / total if total else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "executed": self.executed,
+            "cached": self.cached,
+            "skipped": self.skipped,
+            "mismatches": self.mismatches,
+            "hit_rate": self.hit_rate,
+            "by_kind": {kind: dict(counts) for kind, counts in self.by_kind.items()},
+        }
+
+
+class StoreMergeError(RuntimeError):
+    """Two stores disagree about the completion record of one node key."""
+
+
+class NodeStore:
+    """File-backed, content-addressed node completion records.
+
+    One JSON file per completed node under ``<root>/nodes/``, named by
+    the node's key.  Each file carries the node's **descriptor** (name,
+    kind, inputs) next to its output, so lookups verify the stored
+    record describes the same work before replaying it — a key
+    collision or a foreign file is treated as a miss, never silently
+    returned — and :func:`merge_stores` can refuse conflicting shards.
+
+    Writes are atomic (temp file in the same directory + ``os.replace``)
+    so concurrent same-directory writers — two shards sharing a store —
+    can at worst duplicate a byte-identical record, never tear one.
+    """
+
+    SUBDIR = "nodes"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.dir = self.root / self.SUBDIR
+
+    def path_for(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterable[str]:
+        if not self.dir.is_dir():
+            return
+        for entry in sorted(self.dir.glob("*.json")):
+            yield entry.stem
+
+    def load(self, key: str) -> Optional[dict]:
+        """The raw completion record for *key*, or ``None``.
+
+        A torn or foreign file (interrupted write predating the atomic
+        path, hand-edited store) reads as a miss rather than an error —
+        the node simply re-executes.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def get(self, node: Node, key: str) -> Tuple[str, Any]:
+        """``(status, output)`` for *node* at *key*, descriptor-verified.
+
+        *status* is ``"hit"``, ``"miss"`` (no record), or ``"mismatch"``
+        (a record exists but describes different work — key collision or
+        foreign file); only a hit carries an output.
+        """
+        record = self.load(key)
+        if record is None:
+            return "miss", None
+        if (
+            record.get("kind") != node.kind
+            or record.get("inputs") != dict(node.inputs)
+        ):
+            return "mismatch", None
+        return "hit", record.get("output")
+
+    def put(self, node: Node, key: str, output: Any) -> Path:
+        """Persist *node*'s completion record atomically; returns its path."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        record = {
+            "key": key,
+            "name": node.name,
+            "kind": node.kind,
+            "inputs": dict(node.inputs),
+            "deps": list(node.deps),
+            "output": output,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.dir
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def merge_stores(
+    dest: Union[str, Path, NodeStore],
+    sources: Sequence[Union[str, Path, NodeStore]],
+) -> Tuple[int, int]:
+    """Union *sources* into *dest*; returns ``(merged, already_present)``.
+
+    The shard-merge protocol: every source completion record is copied
+    into *dest* unless *dest* (or an earlier source) already holds that
+    key, in which case the two records' descriptors **and outputs** must
+    agree byte-for-byte — a disagreement means the shards were produced
+    by different code or configurations and raising
+    :class:`StoreMergeError` beats silently preferring one of them.
+    """
+    dest_store = dest if isinstance(dest, NodeStore) else NodeStore(dest)
+    merged = present = 0
+    for source in sources:
+        src_store = source if isinstance(source, NodeStore) else NodeStore(source)
+        for key in src_store.iter_keys():
+            record = src_store.load(key)
+            if record is None:  # torn source file: nothing to merge
+                continue
+            existing = dest_store.load(key)
+            if existing is not None:
+                if existing != record:
+                    raise StoreMergeError(
+                        f"node {key} differs between {dest_store.root} and "
+                        f"{src_store.root}: refusing to merge stores produced "
+                        "by different code or configurations"
+                    )
+                present += 1
+                continue
+            dest_store.dir.mkdir(parents=True, exist_ok=True)
+            # Re-serialise through put-equivalent atomic write.
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:16]}.", suffix=".tmp", dir=dest_store.dir
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, dest_store.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            merged += 1
+    return merged, present
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Deterministic shard index of a node key (uniform over hex keys)."""
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    return int(key[:16], 16) % shards
+
+
+class GraphError(ValueError):
+    """Malformed graph: unknown dependency, duplicate node, or a cycle."""
+
+
+class Graph:
+    """Nodes wired by name; deterministic topological execution."""
+
+    def __init__(self) -> None:
+        self._nodes: "Dict[str, Node]" = {}
+        self._keys: Dict[str, str] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._keys.clear()
+        return node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    # -- ordering and keys ---------------------------------------------------
+
+    def topo_order(self) -> List[str]:
+        """Dependencies before dependents; insertion order breaks ties."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str, chain: Tuple[str, ...]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(chain + (name,))
+                raise GraphError(f"dependency cycle: {cycle}")
+            node = self._nodes.get(name)
+            if node is None:
+                raise GraphError(f"unknown dependency {name!r} (from {chain[-1]!r})")
+            state[name] = 0
+            for dep in node.deps:
+                visit(dep, chain + (name,))
+            state[name] = 1
+            order.append(name)
+
+        for name in self._nodes:
+            visit(name, ())
+        return order
+
+    def key(self, name: str) -> str:
+        """The content address of one node (memoized per graph build).
+
+        SHA-256 over the node's kind, its sorted input items and its
+        dependencies' keys — upstream changes therefore re-key every
+        downstream node, which is exactly the invalidation rule.
+        """
+        cached = self._keys.get(name)
+        if cached is not None:
+            return cached
+        node = self._nodes[name]
+        digest = hashlib.sha256()
+        digest.update(b"node\0")
+        digest.update(node.kind.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(
+            json.dumps(dict(node.inputs), sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        )
+        for dep in node.deps:
+            digest.update(b"\0")
+            digest.update(self.key(dep).encode("utf-8"))
+        key = digest.hexdigest()
+        self._keys[name] = key
+        return key
+
+    def keys(self) -> Dict[str, str]:
+        """Every node's content address (computed without executing)."""
+        return {name: self.key(name) for name in self.topo_order()}
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        store: Optional[NodeStore] = None,
+        wanted: Optional[Iterable[str]] = None,
+        force: bool = False,
+        tracer: Any = None,
+        metrics: Any = None,
+        runners: Optional[Mapping[str, GroupRunner]] = None,
+        stats: Optional[GraphStats] = None,
+    ) -> Dict[str, Any]:
+        """Execute (or replay) the graph; returns ``{name: output}``.
+
+        *wanted* restricts the goal set (a shard executes only its run
+        nodes); dependencies of wanted nodes are pulled in as needed.
+        With a *store*, cacheable nodes whose key is stored **replay**
+        — unless *force*, or a *tracer* is attached (traces are
+        execution artifacts: a traced graph executes every needed node
+        and still refreshes the store).  Non-cacheable nodes execute
+        only when some dependent executes.  *runners* maps a node kind
+        to a group runner executing all simultaneously ready nodes of
+        that kind in one call (the campaign layer's pool dispatch);
+        kinds without a runner execute their nodes' ``run`` callables
+        one by one, in topological order.
+        """
+        order = self.topo_order()
+        position = {name: index for index, name in enumerate(order)}
+        goal: Set[str] = set(order) if wanted is None else set(wanted)
+        for name in goal:
+            if name not in self._nodes:
+                raise GraphError(f"unknown wanted node {name!r}")
+        stats = stats if stats is not None else GraphStats()
+        replay_ok = store is not None and not force and tracer is None
+
+        # Plan, dependents before dependencies: a node is *needed* when
+        # it is a goal or feeds a pending dependent; it is *pending*
+        # (must execute) when it is needed and cannot replay from store.
+        dependents: Dict[str, List[str]] = {name: [] for name in order}
+        for name in order:
+            for dep in self._nodes[name].deps:
+                dependents[dep].append(name)
+        explicit: Set[str] = set() if wanted is None else set(wanted)
+        needed: Set[str] = set()
+        pending: Set[str] = set()
+        cached_output: Dict[str, Any] = {}
+        for name in reversed(order):
+            node = self._nodes[name]
+            feeds_pending = any(
+                dependent in pending for dependent in dependents[name]
+            )
+            if not node.cacheable:
+                # Side-effect nodes have no storable output: they run
+                # only for an executing dependent (or when explicitly
+                # wanted), never to satisfy a replayed one.
+                if name in explicit or feeds_pending:
+                    needed.add(name)
+                    pending.add(name)
+                continue
+            if not (name in goal or feeds_pending):
+                continue
+            needed.add(name)
+            if replay_ok:
+                status, output = store.get(node, self.key(name))
+                if status == "hit":
+                    cached_output[name] = output
+                    continue
+                if status == "mismatch":
+                    stats.mismatches += 1
+            pending.add(name)
+
+        outputs: Dict[str, Any] = {}
+        for name, output in cached_output.items():
+            node = self._nodes[name]
+            stats.note(node.kind, "cached")
+            if metrics is not None:
+                metrics.counter("graph_nodes_cached_total", kind=node.kind).inc()
+            outputs[name] = output
+        for name in order:
+            if name not in needed:
+                stats.note(self._nodes[name].kind, "skipped")
+
+        def _dep_outputs(node: Node) -> Dict[str, Any]:
+            return {dep: outputs.get(dep) for dep in node.deps}
+
+        def _finish(node: Node, key: str, output: Any) -> None:
+            outputs[node.name] = output
+            stats.note(node.kind, "executed")
+            if node.cacheable and store is not None:
+                store.put(node, key, output)
+            if metrics is not None:
+                metrics.counter("graph_nodes_executed_total", kind=node.kind).inc()
+            if tracer is not None:
+                tracer.emit("campaign", "node-done", node=node.name, node_kind=node.kind)
+
+        # Execute in topological waves: ready pending nodes of one kind
+        # go to that kind's group runner together, everything else runs
+        # one node at a time.
+        remaining = [name for name in order if name in pending]
+        completed: Set[str] = set(cached_output)
+        if tracer is not None:
+            for name in sorted(cached_output, key=position.__getitem__):
+                node = self._nodes[name]
+                tracer.emit("campaign", "node-cached", node=name, node_kind=node.kind)
+        while remaining:
+            ready = [
+                name
+                for name in remaining
+                if all(
+                    dep in completed or dep not in pending
+                    for dep in self._nodes[name].deps
+                )
+            ]
+            if not ready:  # cannot happen on an acyclic graph
+                raise GraphError(f"scheduling deadlock among {remaining!r}")
+            kind = self._nodes[ready[0]].kind
+            wave = [name for name in ready if self._nodes[name].kind == kind]
+            nodes = [self._nodes[name] for name in wave]
+            runner = (runners or {}).get(kind)
+            if tracer is not None:
+                for node in nodes:
+                    tracer.emit("campaign", "node-start", node=node.name, node_kind=kind)
+            if runner is not None:
+                produced = runner(
+                    nodes, {node.name: _dep_outputs(node) for node in nodes}
+                )
+                for node in nodes:
+                    if node.name not in produced:
+                        raise GraphError(
+                            f"group runner for kind {kind!r} returned no output "
+                            f"for node {node.name!r}"
+                        )
+                    _finish(node, self.key(node.name), produced[node.name])
+            else:
+                for node in nodes:
+                    _finish(node, self.key(node.name), node.run(_dep_outputs(node)))
+            completed.update(wave)
+            remaining = [name for name in remaining if name not in completed]
+        return outputs

@@ -169,42 +169,69 @@ def load_results(path: Union[str, Path]) -> ResultSet:
 # most one torn final line, which the tolerant loader drops).
 
 
-def append_records(path: Union[str, Path], records: Iterable[RunRecord]) -> Path:
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+
+def append_records(
+    path: Union[str, Path], records: Iterable[RunRecord], locked: bool = False
+) -> Path:
     """Append *records* to the checkpoint at *path*, creating it if needed.
 
     A new (or empty) file gets the :data:`CSV_COLUMNS` header first; an
     existing one must carry that exact header.  The batch is flushed and
     fsynced before returning so completed runs survive a crash.
+
+    With *locked*, the whole append (header check included) runs under an
+    exclusive ``flock`` on the file, so concurrent same-file writers —
+    two campaign shards sharing a result-store directory — serialise
+    batch-atomically instead of interleaving rows.  On platforms without
+    ``fcntl`` the flag silently degrades to the unlocked path.
     """
     path = Path(path)
-    fresh = not path.exists() or path.stat().st_size == 0
-    if not fresh:
-        with path.open("r", encoding="utf-8", newline="") as handle:
-            header = next(csv.reader(handle), None)
-        if header is None or tuple(header) != CSV_COLUMNS:
-            raise ValueError(
-                f"unexpected results header {header!r} in checkpoint {path}; "
-                "refusing to append"
-            )
-    with path.open("a", encoding="utf-8", newline="") as handle:
-        writer = csv.writer(handle)
-        if fresh:
-            writer.writerow(CSV_COLUMNS)
-        for record in records:
-            writer.writerow(encode_record(record))
-        handle.flush()
-        os.fsync(handle.fileno())
+    with path.open("a+", encoding="utf-8", newline="") as handle:
+        hold_lock = locked and fcntl is not None
+        if hold_lock:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            handle.seek(0, os.SEEK_END)
+            fresh = handle.tell() == 0
+            if not fresh:
+                handle.seek(0)
+                header = next(csv.reader(handle), None)
+                if header is None or tuple(header) != CSV_COLUMNS:
+                    raise ValueError(
+                        f"unexpected results header {header!r} in checkpoint "
+                        f"{path}; refusing to append"
+                    )
+                handle.seek(0, os.SEEK_END)
+            writer = csv.writer(handle)
+            if fresh:
+                writer.writerow(CSV_COLUMNS)
+            for record in records:
+                writer.writerow(encode_record(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            if hold_lock:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
     return path
 
 
-def load_checkpoint(path: Union[str, Path]) -> ResultSet:
+def load_checkpoint(path: Union[str, Path], lenient: bool = False) -> ResultSet:
     """Read a (possibly torn) checkpoint written by :func:`append_records`.
 
     Unlike :func:`load_results` this tolerates an interrupted final
     write: a trailing row that does not parse is dropped rather than
     rejected, because resuming will simply re-run that spec.  A missing
     file yields an empty result set; a malformed row *before* the end
-    still raises (the file is not a checkpoint of ours).
+    still raises (the file is not a checkpoint of ours) — unless
+    *lenient*, which drops every malformed row instead.  Lenient loading
+    is for multi-writer store files, where a writer killed mid-append
+    can leave a torn row in the *middle* of the file once a later writer
+    appends past it; the intact rows are still worth restoring.
     """
     path = Path(path)
     if not path.exists():
@@ -224,7 +251,7 @@ def load_checkpoint(path: Union[str, Path]) -> ResultSet:
         try:
             records.append(decode_row(row))
         except ValueError:
-            if index == len(rows) - 1:
-                break  # torn final line from an interrupted append
+            if lenient or index == len(rows) - 1:
+                continue  # torn row from an interrupted append
             raise
     return ResultSet(records)

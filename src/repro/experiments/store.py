@@ -145,10 +145,13 @@ class ResultStore:
     # -- persistence ---------------------------------------------------------
 
     def _load(self) -> Dict[Tuple, RunRecord]:
+        # Lenient: a store file is shared by every campaign of one
+        # context, including concurrent shards — a writer killed
+        # mid-append must cost one torn row, not the whole context.
         if self._records is None:
             self._records = {
                 canonical_key(record): record
-                for record in load_checkpoint(self.path).records
+                for record in load_checkpoint(self.path, lenient=True).records
             }
         return self._records
 
@@ -187,5 +190,7 @@ class ResultStore:
             fresh.append(record)
         if fresh:
             self.root.mkdir(parents=True, exist_ok=True)
-            append_records(self.path, fresh)
+            # Locked: concurrent same-directory writers (shards) must
+            # not interleave rows within a batch.
+            append_records(self.path, fresh, locked=True)
         return len(fresh)

@@ -67,6 +67,9 @@ EVENT_KINDS = (
     (SUBSYSTEM_CAMPAIGN, "snapshot-prewarm"),
     (SUBSYSTEM_CAMPAIGN, "chunk-retry"),
     (SUBSYSTEM_CAMPAIGN, "campaign-end"),
+    (SUBSYSTEM_CAMPAIGN, "node-start"),
+    (SUBSYSTEM_CAMPAIGN, "node-cached"),
+    (SUBSYSTEM_CAMPAIGN, "node-done"),
 )
 
 

@@ -6,6 +6,7 @@ from repro.stats.estimators import (
     clopper_pearson_interval,
     estimate_coverage,
     normal_interval,
+    wilson_interval,
 )
 from repro.stats.compare import Agreement, compare_to_published
 from repro.stats.summary import LatencySummary, summarize_latencies
@@ -16,6 +17,7 @@ __all__ = [
     "clopper_pearson_interval",
     "estimate_coverage",
     "normal_interval",
+    "wilson_interval",
     "Agreement",
     "compare_to_published",
     "LatencySummary",

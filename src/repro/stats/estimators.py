@@ -22,6 +22,7 @@ __all__ = [
     "estimate_coverage",
     "normal_interval",
     "clopper_pearson_interval",
+    "wilson_interval",
     "Z_95",
 ]
 
@@ -40,6 +41,30 @@ def normal_interval(nd: int, ne: int, z: float = Z_95) -> float:
         raise ValueError(f"nd must be in [0, ne]; got nd={nd}, ne={ne}")
     p = nd / ne
     return 100.0 * z * math.sqrt(p * (1.0 - p) / ne)
+
+
+def wilson_interval(nd: int, ne: int, z: float = Z_95) -> tuple:
+    """Wilson score CI for ``p = nd/ne`` in percent: ``(lower, upper)``.
+
+    Unlike the normal approximation, the Wilson interval stays inside
+    [0, 100] and remains informative at ``p`` of exactly 0 or 1, which
+    makes it the right tool for regression comparisons between two
+    campaigns where perfect detection is common (the normal interval
+    degenerates to zero width there and every change would look
+    significant).
+    """
+    if ne <= 0:
+        raise ValueError(f"ne must be positive, got {ne}")
+    if not 0 <= nd <= ne:
+        raise ValueError(f"nd must be in [0, ne]; got nd={nd}, ne={ne}")
+    p = nd / ne
+    z2 = z * z
+    denominator = 1.0 + z2 / ne
+    centre = (p + z2 / (2.0 * ne)) / denominator
+    half = (
+        z * math.sqrt(p * (1.0 - p) / ne + z2 / (4.0 * ne * ne)) / denominator
+    )
+    return (100.0 * max(0.0, centre - half), 100.0 * min(1.0, centre + half))
 
 
 def _beta_ppf(q: float, a: float, b: float) -> float:

@@ -109,5 +109,12 @@ class ArrestorTarget(Target):
             "repro.targets.batch.core",
             "repro.targets.batch.arrestor",
             "repro.experiments.testcases",
+            "repro.experiments.graph",
+            "repro.experiments.dag",
+            "repro.experiments.parallel",
+            "repro.experiments.persistence",
+            "repro.experiments.results",
+            "repro.experiments.store",
+            "repro.stats",
             "repro.arrestor",
         )

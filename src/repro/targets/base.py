@@ -306,6 +306,16 @@ class Target(abc.ABC):
             "repro.targets.base",
             "repro.targets.snapshot",
             "repro.experiments.testcases",
+            # The execution engine and the campaign task graph decide
+            # how runs execute, replay, and aggregate, so their source
+            # is part of every stored record's content address.
+            "repro.experiments.graph",
+            "repro.experiments.dag",
+            "repro.experiments.parallel",
+            "repro.experiments.persistence",
+            "repro.experiments.results",
+            "repro.experiments.store",
+            "repro.stats",
             package,
         )
 

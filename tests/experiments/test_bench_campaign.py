@@ -20,7 +20,7 @@ def _load_bench_module():
 
 VALID = {
     "benchmark": "campaign",
-    "schema_version": 5,
+    "schema_version": 6,
     "repeats": 3,
     "cpus": 1,
     "scale": {
@@ -53,6 +53,14 @@ VALID = {
         "grid": {"versions": 8, "errors": 112, "runs": 896},
         "vectorized": {"runs": 896, "seconds": 12.0, "runs_per_sec": 74.7},
         "speedup_vs_cold_serial": 22.4,
+        "equivalent": True,
+    },
+    "graph": {
+        "cold": {"runs": 16, "seconds": 2.0, "runs_per_sec": 8.0},
+        "warm_replay": {"runs": 16, "seconds": 0.02, "runs_per_sec": 800.0},
+        "replay_speedup": 100.0,
+        "cache_hit_rate": 1.0,
+        "shard_merge": {"shards": 2, "merged_nodes": 16, "seconds": 2.2},
         "equivalent": True,
     },
 }
@@ -107,6 +115,31 @@ class TestSchemaValidation:
                 "speedup_vs_cold_serial",
             ),
             ({"batch": {**VALID["batch"], "equivalent": False}}, "batch.equivalent"),
+            ({"graph": None}, "graph"),
+            ({"graph": {**VALID["graph"], "cold": {}}}, "graph.cold"),
+            (
+                {"graph": {**VALID["graph"], "warm_replay": {}}},
+                "graph.warm_replay",
+            ),
+            (
+                {"graph": {**VALID["graph"], "replay_speedup": "fast"}},
+                "replay_speedup",
+            ),
+            (
+                {"graph": {**VALID["graph"], "cache_hit_rate": 1.5}},
+                "cache_hit_rate",
+            ),
+            ({"graph": {**VALID["graph"], "shard_merge": None}}, "shard_merge"),
+            (
+                {
+                    "graph": {
+                        **VALID["graph"],
+                        "shard_merge": {"shards": 2, "seconds": 1.0},
+                    }
+                },
+                "merged_nodes",
+            ),
+            ({"graph": {**VALID["graph"], "equivalent": False}}, "graph.equivalent"),
         ],
     )
     def test_broken_documents_rejected(self, mutation, match):
@@ -130,6 +163,23 @@ class TestSchemaValidation:
         module.validate_bench_json(data)  # plain check passes
         with pytest.raises(ValueError, match="regression"):
             module.validate_bench_json(data, smoke=True)
+
+    def test_smoke_guard_rejects_graph_replay_regression(self):
+        module = _load_bench_module()
+        slow_replay = {
+            **VALID,
+            "graph": {**VALID["graph"], "replay_speedup": 0.9},
+        }
+        module.validate_bench_json(slow_replay)  # plain check passes
+        with pytest.raises(ValueError, match="regression"):
+            module.validate_bench_json(slow_replay, smoke=True)
+        partial_hit = {
+            **VALID,
+            "graph": {**VALID["graph"], "cache_hit_rate": 0.5},
+        }
+        module.validate_bench_json(partial_hit)
+        with pytest.raises(ValueError, match="replay regression"):
+            module.validate_bench_json(partial_hit, smoke=True)
 
     def test_smoke_guard_rejects_regression(self):
         # A warm configuration slower than cold is valid JSON but fails

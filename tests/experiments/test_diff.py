@@ -1,0 +1,292 @@
+"""The cross-campaign regression diff and the hardened store appends.
+
+Covers :mod:`repro.experiments.diff` (per-signal P(d) deltas with
+Wilson CIs, regression exit codes, loading from CSVs / result stores /
+node stores), the Wilson estimator itself, and the satellite
+persistence fixes: lenient mid-file torn-row tolerance and locked
+concurrent appends.
+"""
+
+import csv
+
+import pytest
+
+from repro.experiments.diff import diff_results, load_records, render_diff
+from repro.experiments.persistence import append_records, load_checkpoint
+from repro.experiments.results import ResultSet, RunRecord
+from repro.stats import wilson_interval
+
+
+def record(signal="mscnt", detected=True, version="All", bit=0, **overrides):
+    base = dict(
+        error_name=f"S{bit + 1}",
+        signal=signal,
+        signal_bit=bit,
+        area="RAM",
+        version=version,
+        mass_kg=50.0,
+        velocity_mps=60.0,
+        detected=detected,
+        failed=False,
+        latency_ms=4.0 if detected else None,
+        wedged=False,
+        duration_ms=30000,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def results_with_rate(signal, detected, total):
+    return ResultSet(
+        record(signal=signal, detected=index < detected, bit=index % 16,
+               mass_kg=50.0 + index)
+        for index in range(total)
+    )
+
+
+class TestWilsonInterval:
+    def test_brackets_the_point_estimate(self):
+        lower, upper = wilson_interval(30, 40)
+        assert lower < 75.0 < upper
+
+    def test_stays_informative_at_the_extremes(self):
+        lower, upper = wilson_interval(10, 10)
+        assert lower > 65.0  # not collapsed to a point like the normal CI
+        assert upper == pytest.approx(100.0)
+        lower0, upper0 = wilson_interval(0, 10)
+        assert lower0 == 0.0
+        assert upper0 < 30.0
+
+    def test_narrows_with_sample_size(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestDiffResults:
+    def test_identical_campaigns_show_no_regression(self):
+        a = results_with_rate("mscnt", 30, 40)
+        deltas = diff_results(a, a)
+        assert len(deltas) == 1
+        assert deltas[0].delta == 0.0
+        assert not deltas[0].significant
+        assert not deltas[0].regression
+
+    def test_large_drop_is_a_significant_regression(self):
+        a = results_with_rate("mscnt", 95, 100)
+        b = results_with_rate("mscnt", 20, 100)
+        [delta] = diff_results(a, b)
+        assert delta.significant
+        assert delta.regression
+        assert delta.delta == pytest.approx(-75.0)
+
+    def test_large_gain_is_significant_but_not_a_regression(self):
+        a = results_with_rate("mscnt", 20, 100)
+        b = results_with_rate("mscnt", 95, 100)
+        [delta] = diff_results(a, b)
+        assert delta.significant
+        assert not delta.regression
+
+    def test_small_fluctuation_is_not_significant(self):
+        a = results_with_rate("mscnt", 29, 40)
+        b = results_with_rate("mscnt", 31, 40)
+        [delta] = diff_results(a, b)
+        assert not delta.significant
+
+    def test_only_common_signals_compared(self):
+        a = results_with_rate("mscnt", 5, 10)
+        b = ResultSet(
+            list(results_with_rate("mscnt", 5, 10).records)
+            + list(results_with_rate("i", 9, 10).records)
+        )
+        deltas = diff_results(a, b)
+        assert [delta.signal for delta in deltas] == ["mscnt"]
+
+    def test_e2_records_group_by_area(self):
+        e2 = ResultSet(
+            [
+                record(signal=None, signal_bit=None, area="STACK", bit=0),
+                record(signal=None, signal_bit=None, area="STACK", bit=1,
+                       mass_kg=51.0),
+            ]
+        )
+        [delta] = diff_results(e2, e2)
+        assert delta.signal == "area:STACK"
+
+    def test_render_mentions_regressions(self):
+        a = results_with_rate("mscnt", 95, 100)
+        b = results_with_rate("mscnt", 20, 100)
+        text = render_diff(diff_results(a, b))
+        assert "REGRESSION" in text
+        assert "1 significant regression(s): mscnt" in text
+        clean = render_diff(diff_results(a, a))
+        assert "no significant regressions" in clean
+
+
+class TestLoadRecords:
+    def test_from_checkpoint_csv(self, tmp_path):
+        path = tmp_path / "runs.csv"
+        append_records(path, results_with_rate("mscnt", 3, 5).records)
+        assert len(load_records(path)) == 5
+
+    def test_from_result_store_directory(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path, target="arrestor")
+        store.add(results_with_rate("mscnt", 3, 5).records)
+        assert len(load_records(tmp_path)) == 5
+
+    def test_from_node_store_directory(self, tmp_path):
+        from repro.experiments.dag import run_campaign_graph
+        from repro.experiments.graph import NodeStore
+        from repro.experiments.parallel import enumerate_e1_specs
+        from repro.experiments.campaign import CampaignConfig
+
+        config = CampaignConfig(cases_all=1, cases_per_ea=1,
+                                target="arrestor", versions=("All",))
+        specs = [
+            spec
+            for spec in enumerate_e1_specs(config)
+            if spec.error_name in ("S1", "S2")
+        ]
+        outcome = run_campaign_graph(specs, store=NodeStore(tmp_path / "ns"))
+        loaded = load_records(tmp_path / "ns")
+        assert sorted(loaded.records, key=repr) == sorted(
+            outcome.results.records, key=repr
+        )
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_records(tmp_path / "nope")
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_records(tmp_path / "empty")
+
+
+class TestDiffCli:
+    def _write(self, path, results):
+        append_records(path, results.records)
+
+    def test_exit_zero_without_regression(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        self._write(a, results_with_rate("mscnt", 30, 40))
+        self._write(b, results_with_rate("mscnt", 31, 40))
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "no significant regressions" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        self._write(a, results_with_rate("mscnt", 95, 100))
+        self._write(b, results_with_rate("mscnt", 20, 100))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_store(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a = tmp_path / "a.csv"
+        self._write(a, results_with_rate("mscnt", 3, 5))
+        assert main(["diff", str(a), str(tmp_path / "nope")]) == 2
+
+
+class TestTornRowTolerance:
+    """Satellite: a shard killed mid-append must not poison the store."""
+
+    def _checkpoint_with_torn_middle(self, path):
+        results = results_with_rate("mscnt", 3, 5)
+        append_records(path, results.records)
+        lines = path.read_text().splitlines(keepends=True)
+        # Tear a *middle* row, as if a concurrent writer appended past a
+        # crashed one.
+        lines[2] = lines[2][: len(lines[2]) // 2].rstrip("\n") + "\n"
+        path.write_text("".join(lines))
+        return results
+
+    def test_strict_load_still_raises_mid_file(self, tmp_path):
+        path = tmp_path / "store.csv"
+        self._checkpoint_with_torn_middle(path)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_lenient_load_drops_only_the_torn_row(self, tmp_path):
+        path = tmp_path / "store.csv"
+        self._checkpoint_with_torn_middle(path)
+        assert len(load_checkpoint(path, lenient=True)) == 4
+
+    def test_result_store_survives_torn_middle_row(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path, target="arrestor")
+        store.add(results_with_rate("mscnt", 3, 5).records)
+        lines = store.path.read_text().splitlines(keepends=True)
+        lines[2] = lines[2][: len(lines[2]) // 2].rstrip("\n") + "\n"
+        store.path.write_text("".join(lines))
+        reloaded = ResultStore(tmp_path, target="arrestor")
+        assert len(reloaded) == 4  # intact rows restored, torn row lost
+
+    def test_trailing_torn_row_still_tolerated_strictly(self, tmp_path):
+        path = tmp_path / "cp.csv"
+        append_records(path, results_with_rate("mscnt", 2, 3).records)
+        with path.open("a") as handle:
+            handle.write("S9,mscnt,3,RAM,All")  # interrupted final append
+        assert len(load_checkpoint(path)) == 3
+
+
+class TestLockedAppends:
+    def test_locked_append_roundtrips(self, tmp_path):
+        path = tmp_path / "cp.csv"
+        results = results_with_rate("mscnt", 2, 4)
+        append_records(path, results.records[:2], locked=True)
+        append_records(path, results.records[2:], locked=True)
+        assert len(load_checkpoint(path)) == 4
+
+    def test_locked_append_checks_header(self, tmp_path):
+        path = tmp_path / "cp.csv"
+        path.write_text("not,a,checkpoint\n")
+        with pytest.raises(ValueError, match="refusing to append"):
+            append_records(
+                path, results_with_rate("mscnt", 1, 1).records, locked=True
+            )
+
+    def test_concurrent_writers_never_interleave_rows(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "store.csv"
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=_append_batch, args=(str(path), worker))
+            for worker in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        with path.open() as handle:
+            rows = [row for row in csv.reader(handle) if row]
+        # Header exactly once, and every data row fully formed.
+        from repro.experiments.persistence import CSV_COLUMNS
+
+        assert rows[0] == list(CSV_COLUMNS)
+        assert sum(1 for row in rows if row == list(CSV_COLUMNS)) == 1
+        assert len(rows) == 1 + 4 * 25
+        assert all(len(row) == len(CSV_COLUMNS) for row in rows)
+
+
+def _append_batch(path, worker):
+    """Subprocess body: append 25 records under the lock."""
+    records = [
+        record(mass_kg=100.0 * worker + index, bit=index % 16)
+        for index in range(25)
+    ]
+    append_records(path, records, locked=True)

@@ -1,0 +1,411 @@
+"""Unit tests for the task-graph runtime (:mod:`repro.experiments.graph`).
+
+Covers graph construction and ordering, content-address derivation (the
+invalidation rule), the file-backed node store, the shard/merge
+protocol, and the execution planner (replay, force, tracer, group
+runners, side-effect nodes).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.graph import (
+    Graph,
+    GraphError,
+    GraphStats,
+    Node,
+    NodeStore,
+    StoreMergeError,
+    merge_stores,
+    shard_of,
+)
+
+
+def const(value):
+    """A run callable ignoring its dependency outputs."""
+    return lambda deps: value
+
+
+def diamond():
+    """a -> (b, c) -> d, with d summing its dependencies.
+
+    Inputs carry each node's distinguishing parameter — the runtime's
+    contract: the content address covers everything that determines the
+    output, so same-kind nodes doing different work must differ there.
+    """
+    graph = Graph()
+    graph.add(Node(name="a", kind="src", run=const(1), inputs={"v": "1"}))
+    graph.add(
+        Node(
+            name="b",
+            kind="mid",
+            run=lambda d: d["a"] + 10,
+            inputs={"add": "10"},
+            deps=("a",),
+        )
+    )
+    graph.add(
+        Node(
+            name="c",
+            kind="mid",
+            run=lambda d: d["a"] + 20,
+            inputs={"add": "20"},
+            deps=("a",),
+        )
+    )
+    graph.add(
+        Node(name="d", kind="sink", run=lambda d: d["b"] + d["c"], deps=("b", "c"))
+    )
+    return graph
+
+
+class TestGraphConstruction:
+    def test_topo_order_deps_first(self):
+        assert diamond().topo_order() == ["a", "b", "c", "d"]
+
+    def test_insertion_order_breaks_ties(self):
+        graph = Graph()
+        graph.add(Node(name="z", kind="k", run=const(0)))
+        graph.add(Node(name="a", kind="k", run=const(0)))
+        assert graph.topo_order() == ["z", "a"]
+
+    def test_duplicate_name_rejected(self):
+        graph = Graph()
+        graph.add(Node(name="a", kind="k", run=const(0)))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add(Node(name="a", kind="k", run=const(0)))
+
+    def test_unknown_dependency_rejected(self):
+        graph = Graph()
+        graph.add(Node(name="a", kind="k", run=const(0), deps=("ghost",)))
+        with pytest.raises(GraphError, match="ghost"):
+            graph.topo_order()
+
+    def test_cycle_rejected(self):
+        graph = Graph()
+        graph.add(Node(name="a", kind="k", run=const(0), deps=("b",)))
+        graph.add(Node(name="b", kind="k", run=const(0), deps=("a",)))
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topo_order()
+
+    def test_execute_returns_outputs(self):
+        assert diamond().execute() == {"a": 1, "b": 11, "c": 21, "d": 32}
+
+
+class TestContentAddresses:
+    def test_keys_are_deterministic(self):
+        assert diamond().keys() == diamond().keys()
+
+    def test_input_flip_rekeys_exactly_the_subtree(self):
+        base = diamond().keys()
+        changed_graph = diamond()
+        changed_graph._nodes["b"] = Node(
+            name="b",
+            kind="mid",
+            run=const(0),
+            inputs={"v": "changed"},
+            deps=("a",),
+        )
+        changed = changed_graph.keys()
+        assert changed["a"] == base["a"]
+        assert changed["c"] == base["c"]  # sibling untouched
+        assert changed["b"] != base["b"]
+        assert changed["d"] != base["d"]  # dependent re-keyed transitively
+
+    def test_kind_enters_the_key(self):
+        g1, g2 = Graph(), Graph()
+        g1.add(Node(name="n", kind="x", run=const(0)))
+        g2.add(Node(name="n", kind="y", run=const(0)))
+        assert g1.key("n") != g2.key("n")
+
+    def test_name_does_not_enter_the_key(self):
+        # Content-addressing: renaming a node without changing its work
+        # must not invalidate it (shards address records purely by key).
+        g1, g2 = Graph(), Graph()
+        g1.add(Node(name="n1", kind="x", run=const(0), inputs={"v": "1"}))
+        g2.add(Node(name="n2", kind="x", run=const(0), inputs={"v": "1"}))
+        assert g1.key("n1") == g2.key("n2")
+
+
+class TestNodeStore:
+    def test_roundtrip(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        node = Node(name="n", kind="k", run=const(0), inputs={"v": "1"})
+        store.put(node, "k" * 64, {"answer": 42})
+        assert store.get(node, "k" * 64) == ("hit", {"answer": 42})
+        assert list(store.iter_keys()) == ["k" * 64]
+        assert len(store) == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        node = Node(name="n", kind="k", run=const(0))
+        assert store.get(node, "0" * 64) == ("miss", None)
+
+    def test_descriptor_mismatch_is_not_a_hit(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        node = Node(name="n", kind="k", run=const(0), inputs={"v": "1"})
+        store.put(node, "k" * 64, 1)
+        other = Node(name="n", kind="k", run=const(0), inputs={"v": "2"})
+        assert store.get(other, "k" * 64) == ("mismatch", None)
+
+    def test_torn_file_reads_as_miss(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        node = Node(name="n", kind="k", run=const(0))
+        path = store.put(node, "k" * 64, 1)
+        path.write_text('{"kind": "k", "trunc')  # simulated torn write
+        assert store.get(node, "k" * 64) == ("miss", None)
+
+    def test_records_carry_descriptor(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        node = Node(
+            name="n", kind="k", run=const(0), inputs={"v": "1"}, deps=("up",)
+        )
+        path = store.put(node, "k" * 64, "out")
+        record = json.loads(path.read_text())
+        assert record == {
+            "key": "k" * 64,
+            "name": "n",
+            "kind": "k",
+            "inputs": {"v": "1"},
+            "deps": ["up"],
+            "output": "out",
+        }
+
+
+class TestMergeStores:
+    def _store_with(self, root, name, value):
+        store = NodeStore(root)
+        node = Node(name=name, kind="k", run=const(0), inputs={"n": name})
+        graph = Graph()
+        graph.add(node)
+        store.put(node, graph.key(name), value)
+        return store
+
+    def test_union_of_disjoint_stores(self, tmp_path):
+        s0 = self._store_with(tmp_path / "s0", "a", 1)
+        s1 = self._store_with(tmp_path / "s1", "b", 2)
+        dest = NodeStore(tmp_path / "dest")
+        assert merge_stores(dest, [s0, s1]) == (2, 0)
+        assert sorted(dest.iter_keys()) == sorted(
+            list(s0.iter_keys()) + list(s1.iter_keys())
+        )
+
+    def test_identical_duplicates_count_as_present(self, tmp_path):
+        s0 = self._store_with(tmp_path / "s0", "a", 1)
+        s1 = self._store_with(tmp_path / "s1", "a", 1)
+        dest = NodeStore(tmp_path / "dest")
+        assert merge_stores(dest, [s0, s1]) == (1, 1)
+
+    def test_conflicting_records_refused(self, tmp_path):
+        s0 = self._store_with(tmp_path / "s0", "a", 1)
+        s1 = self._store_with(tmp_path / "s1", "a, but different", 1)
+        # Force the same key with a different record body.
+        [key0] = list(s0.iter_keys())
+        [key1] = list(s1.iter_keys())
+        (s1.dir / f"{key0}.json").write_text(
+            (s1.dir / f"{key1}.json").read_text()
+        )
+        dest = NodeStore(tmp_path / "dest")
+        merge_stores(dest, [s0])
+        with pytest.raises(StoreMergeError, match="refusing"):
+            merge_stores(dest, [s1])
+
+    def test_merge_is_idempotent(self, tmp_path):
+        s0 = self._store_with(tmp_path / "s0", "a", 1)
+        dest = NodeStore(tmp_path / "dest")
+        assert merge_stores(dest, [s0]) == (1, 0)
+        assert merge_stores(dest, [s0]) == (0, 1)
+
+
+class TestSharding:
+    def test_shard_of_partitions_completely(self):
+        keys = [f"{i:064x}" for i in range(100)]
+        for shards in (1, 2, 3, 5):
+            assigned = [shard_of(key, shards) for key in keys]
+            assert all(0 <= index < shards for index in assigned)
+        assert [shard_of(key, 1) for key in keys] == [0] * 100
+
+    def test_shard_of_rejects_zero(self):
+        with pytest.raises(ValueError):
+            shard_of("0" * 64, 0)
+
+
+class TestExecutionPlanning:
+    def test_second_run_replays_everything(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        diamond().execute(store=store)
+        stats = GraphStats()
+        outputs = diamond().execute(store=store, stats=stats)
+        assert outputs == {"a": 1, "b": 11, "c": 21, "d": 32}
+        assert stats.executed == 0
+        assert stats.cached == 4
+        assert stats.hit_rate == 1.0
+
+    def test_force_re_executes_and_refreshes(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        diamond().execute(store=store)
+        stats = GraphStats()
+        diamond().execute(store=store, force=True, stats=stats)
+        assert stats.cached == 0
+        assert stats.executed == 4
+
+    def test_tracer_disables_replay(self, tmp_path):
+        class BusStub:
+            def __init__(self):
+                self.events = []
+
+            def emit(self, subsystem, kind, **data):
+                self.events.append((subsystem, kind, data))
+
+        store = NodeStore(tmp_path / "s")
+        diamond().execute(store=store)
+        bus = BusStub()
+        stats = GraphStats()
+        diamond().execute(store=store, tracer=bus, stats=stats)
+        assert stats.cached == 0
+        assert stats.executed == 4
+        kinds = [kind for _, kind, _ in bus.events]
+        assert kinds.count("node-start") == 4
+        assert kinds.count("node-done") == 4
+        assert "node-cached" not in kinds
+
+    def test_wanted_subset_skips_unneeded(self, tmp_path):
+        stats = GraphStats()
+        outputs = diamond().execute(wanted=["b"], stats=stats)
+        assert outputs == {"a": 1, "b": 11}
+        assert stats.executed == 2
+        assert stats.skipped == 2
+
+    def test_partial_store_executes_only_the_gap(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        diamond().execute(store=store, wanted=["b"])
+        stats = GraphStats()
+        outputs = diamond().execute(store=store, stats=stats)
+        assert outputs["d"] == 32
+        assert stats.cached == 2  # a, b replayed
+        assert stats.executed == 2  # c, d executed
+
+    def test_descriptor_mismatch_re_executes(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        graph = diamond()
+        graph.execute(store=store)
+        # Corrupt node b's record descriptor in place.
+        path = store.path_for(graph.key("b"))
+        record = json.loads(path.read_text())
+        record["inputs"] = {"v": "poisoned"}
+        path.write_text(json.dumps(record))
+        stats = GraphStats()
+        outputs = diamond().execute(store=store, stats=stats)
+        assert outputs["d"] == 32
+        assert stats.mismatches == 1
+        assert stats.executed >= 1
+
+    def test_unknown_wanted_rejected(self):
+        with pytest.raises(GraphError, match="ghost"):
+            diamond().execute(wanted=["ghost"])
+
+
+class TestSideEffectNodes:
+    def _graph(self, log):
+        graph = Graph()
+        graph.add(
+            Node(
+                name="warm",
+                kind="prewarm",
+                run=lambda d: log.append("warm"),
+                cacheable=False,
+            )
+        )
+        graph.add(
+            Node(
+                name="run",
+                kind="run",
+                run=lambda d: (log.append("run"), 42)[1],
+                inputs={"v": "1"},
+                deps=("warm",),
+            )
+        )
+        return graph
+
+    def test_side_effect_runs_for_executing_dependent(self, tmp_path):
+        log = []
+        self._graph(log).execute(store=NodeStore(tmp_path / "s"))
+        assert log == ["warm", "run"]
+
+    def test_side_effect_skipped_when_dependent_replays(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        self._graph([]).execute(store=store)
+        log = []
+        stats = GraphStats()
+        outputs = self._graph(log).execute(store=store, stats=stats)
+        assert outputs["run"] == 42
+        assert log == []  # no side effect re-ran
+        assert stats.by_kind["prewarm"]["skipped"] == 1
+
+    def test_side_effect_output_never_stored(self, tmp_path):
+        store = NodeStore(tmp_path / "s")
+        graph = self._graph([])
+        graph.execute(store=store)
+        assert store.load(graph.key("warm")) is None
+
+    def test_explicitly_wanted_side_effect_executes(self, tmp_path):
+        log = []
+        self._graph(log).execute(
+            store=NodeStore(tmp_path / "s"), wanted=["warm"]
+        )
+        assert log == ["warm"]
+
+
+class TestGroupRunners:
+    def test_same_kind_wave_dispatched_together(self):
+        graph = Graph()
+        for index in range(4):
+            graph.add(
+                Node(
+                    name=f"n{index}",
+                    kind="batch",
+                    run=const(None),
+                    inputs={"i": str(index)},
+                )
+            )
+        waves = []
+
+        def runner(nodes, dep_outputs):
+            waves.append([node.name for node in nodes])
+            return {node.name: node.inputs["i"] for node in nodes}
+
+        outputs = graph.execute(runners={"batch": runner})
+        assert waves == [["n0", "n1", "n2", "n3"]]
+        assert outputs == {"n0": "0", "n1": "1", "n2": "2", "n3": "3"}
+
+    def test_runner_must_cover_all_nodes(self):
+        graph = Graph()
+        graph.add(Node(name="n", kind="batch", run=const(0)))
+        with pytest.raises(GraphError, match="no output"):
+            graph.execute(runners={"batch": lambda nodes, deps: {}})
+
+    def test_runner_receives_dependency_outputs(self):
+        graph = Graph()
+        graph.add(Node(name="up", kind="src", run=const(7)))
+        graph.add(Node(name="down", kind="batch", run=const(None), deps=("up",)))
+        seen = {}
+
+        def runner(nodes, dep_outputs):
+            seen.update(dep_outputs)
+            return {node.name: 0 for node in nodes}
+
+        graph.execute(runners={"batch": runner})
+        assert seen == {"down": {"up": 7}}
+
+    def test_metrics_counters(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        store = NodeStore(tmp_path / "s")
+        metrics = MetricsRegistry()
+        diamond().execute(store=store, metrics=metrics)
+        rendered = metrics.render()
+        assert "graph_nodes_executed_total{kind=mid} 2" in rendered
+        metrics2 = MetricsRegistry()
+        diamond().execute(store=store, metrics=metrics2)
+        assert "graph_nodes_cached_total{kind=sink} 1" in metrics2.render()

@@ -1,0 +1,302 @@
+"""The campaign stack on the task graph: equivalence, replay, sharding.
+
+Pins the PR's hard invariants:
+
+* the graph runtime produces **record-for-record** the same results as
+  the flat engine for the full E1 grid of every registered target;
+* an unchanged campaign replays 100 % of its nodes from the store and
+  executes **zero** simulations;
+* flipping one :class:`RunSpec` input re-keys exactly that run node's
+  subtree (content-address invalidation);
+* a 2-way sharded run, after ``merge``, reproduces the unsharded
+  aggregate CSV byte-for-byte;
+* a tracer disables replay (traced nodes execute, never replay).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.campaign import CampaignConfig
+from repro.experiments.dag import (
+    AGGREGATE_NODE,
+    build_campaign_graph,
+    run_campaign_graph,
+    run_node_name,
+)
+from repro.experiments.graph import GraphStats, NodeStore, merge_stores
+from repro.experiments.parallel import enumerate_e1_specs, execute_specs
+from repro.targets.registry import target_names
+
+#: Mid-run first injection: the graph's prewarm nodes then matter (boot
+#: + fault-free prefix), matching the batch-equivalence harness.
+INJECTION_START = {"arrestor": 12000, "tanklevel": 3000}
+
+
+def _config(target_name, **overrides):
+    return CampaignConfig(
+        cases_all=1,
+        cases_per_ea=1,
+        target=target_name,
+        injection_start_ms=INJECTION_START[target_name],
+        **overrides,
+    )
+
+
+def _slice_specs(target_name, errors=3, versions=("EA1", "All")):
+    """A small deterministic E1 slice (a few errors, two versions)."""
+    config = _config(target_name, versions=versions)
+    specs = enumerate_e1_specs(config)
+    names = sorted({spec.error_name for spec in specs})[:errors]
+    return [spec for spec in specs if spec.error_name in names]
+
+
+@pytest.mark.parametrize("name", target_names())
+class TestFullGridEquivalence:
+    """Full E1 grid per target: graph runtime vs the flat engine.
+
+    Both sides use the vectorized batch path (batch ≡ serial is pinned
+    separately by the batch differential harness), so this compares the
+    graph orchestration itself at full-campaign scale in tier-1 time.
+    """
+
+    def test_full_e1_grid_identical(self, name, tmp_path):
+        np = pytest.importorskip("numpy")  # noqa: F841 - batch path
+        config = _config(name)
+        specs = enumerate_e1_specs(config)
+        legacy = execute_specs(specs, batch=True)
+        outcome = run_campaign_graph(
+            specs, store=NodeStore(tmp_path / "nodes"), batch=True
+        )
+        assert outcome.results.records == legacy.records
+        assert outcome.stats.by_kind["run"]["executed"] == len(specs)
+
+
+class TestSerialSliceEquivalence:
+    """The non-batch group runner path matches the serial engine."""
+
+    @pytest.mark.parametrize("name", target_names())
+    def test_slice_identical(self, name, tmp_path):
+        specs = _slice_specs(name)
+        legacy = execute_specs(specs)
+        outcome = run_campaign_graph(specs, store=NodeStore(tmp_path / "n"))
+        assert outcome.results.records == legacy.records
+
+
+class TestReplay:
+    def test_unchanged_rerun_executes_zero_runs(self, tmp_path, monkeypatch):
+        specs = _slice_specs("arrestor")
+        store = NodeStore(tmp_path / "nodes")
+        cold = run_campaign_graph(specs, store=store)
+        assert cold.stats.executed > 0
+
+        # Any attempt to simulate on the warm path must explode.
+        import repro.experiments.dag as dag_module
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("warm replay must not execute any run")
+
+        monkeypatch.setattr(dag_module, "execute_specs", _forbidden)
+        warm = run_campaign_graph(specs, store=store)
+        assert warm.stats.executed == 0
+        assert warm.stats.hit_rate == 1.0
+        assert warm.results.records == cold.results.records
+        assert warm.aggregate_csv == cold.aggregate_csv
+
+    def test_flipping_one_input_re_executes_one_subtree(self, tmp_path):
+        specs = _slice_specs("arrestor", errors=2)
+        store = NodeStore(tmp_path / "nodes")
+        run_campaign_graph(specs, store=store)
+        changed = [dataclasses.replace(specs[0], injection_period_ms=40)] + specs[1:]
+        outcome = run_campaign_graph(changed, store=store)
+        assert outcome.stats.by_kind["run"]["executed"] == 1
+        assert outcome.stats.by_kind["run"]["cached"] == len(specs) - 1
+        # Aggregation depends on every run, so it re-executed too.
+        assert outcome.stats.by_kind["aggregate"]["executed"] == 1
+
+    def test_force_re_executes_everything(self, tmp_path):
+        specs = _slice_specs("arrestor", errors=1)
+        store = NodeStore(tmp_path / "nodes")
+        run_campaign_graph(specs, store=store)
+        forced = run_campaign_graph(specs, store=store, force=True)
+        assert forced.stats.cached == 0
+        assert forced.stats.by_kind["run"]["executed"] == len(specs)
+
+
+class TestKeyDerivation:
+    """Content-address invalidation at the key level (no execution)."""
+
+    FIELDS = ("injection_period_ms", "address", "bit")
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_one_spec_flip_rekeys_exactly_its_subtree(self, data):
+        specs = _slice_specs("arrestor", errors=2)
+        base_graph = build_campaign_graph(specs)
+        base_keys = base_graph.keys()
+        index = data.draw(st.integers(min_value=0, max_value=len(specs) - 1))
+        field = data.draw(st.sampled_from(self.FIELDS))
+        bump = data.draw(st.integers(min_value=1, max_value=7))
+        mutated = dataclasses.replace(
+            specs[index], **{field: getattr(specs[index], field) + bump}
+        )
+        changed_graph = build_campaign_graph(
+            specs[:index] + [mutated] + specs[index + 1 :]
+        )
+        changed_keys = changed_graph.keys()
+        flipped_name = run_node_name(specs[index])
+        for spec in specs:
+            node_name = run_node_name(spec)
+            if node_name == flipped_name:
+                assert changed_keys[node_name] != base_keys[node_name]
+            else:
+                assert changed_keys[node_name] == base_keys[node_name]
+        assert changed_keys[AGGREGATE_NODE] != base_keys[AGGREGATE_NODE]
+
+    def test_identical_grid_has_identical_keys(self):
+        specs = _slice_specs("tanklevel", errors=2)
+        assert build_campaign_graph(specs).keys() == build_campaign_graph(
+            specs
+        ).keys()
+
+
+class TestSharding:
+    def test_two_shard_merge_equals_unsharded(self, tmp_path):
+        specs = _slice_specs("arrestor")
+        unsharded_store = NodeStore(tmp_path / "unsharded")
+        unsharded = run_campaign_graph(specs, store=unsharded_store)
+
+        shard_stores = [NodeStore(tmp_path / f"s{i}") for i in range(2)]
+        shard_outcomes = [
+            run_campaign_graph(specs, store=shard_stores[i], shard=(i, 2))
+            for i in range(2)
+        ]
+        assert all(outcome.aggregate_csv is None for outcome in shard_outcomes)
+        shard_records = [
+            record
+            for outcome in shard_outcomes
+            for record in outcome.results.records
+        ]
+        assert len(shard_records) == len(specs)
+        assert sorted(
+            shard_records, key=repr
+        ) == sorted(unsharded.results.records, key=repr)
+
+        merged_store = NodeStore(tmp_path / "merged")
+        merged, present = merge_stores(merged_store, shard_stores)
+        assert merged == len(specs)
+        assert present == 0
+
+        final = run_campaign_graph(specs, store=merged_store)
+        assert final.stats.by_kind["run"]["executed"] == 0
+        assert final.stats.by_kind["run"]["cached"] == len(specs)
+        # Byte-for-byte: the aggregate CSV is canonical-order by
+        # construction, so shard-union replay reproduces it exactly.
+        assert final.aggregate_csv == unsharded.aggregate_csv
+        assert final.results.records == unsharded.results.records
+
+    def test_shard_string_parsing_rejects_bad_values(self):
+        specs = _slice_specs("arrestor", errors=1)
+        for bad in ("2/2", "-1/2", "x/y", "3"):
+            with pytest.raises(ValueError):
+                run_campaign_graph(specs, shard=bad)
+
+
+class TestTracing:
+    def test_tracer_disables_replay_and_emits_node_events(self, tmp_path):
+        import json
+
+        specs = _slice_specs("arrestor", errors=1)
+        store = NodeStore(tmp_path / "nodes")
+        run_campaign_graph(specs, store=store)
+        trace = tmp_path / "trace.jsonl"
+        traced = run_campaign_graph(specs, store=store, trace=trace)
+        assert traced.stats.cached == 0  # nodes execute, never replay
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = [event["kind"] for event in events]
+        assert kinds.count("node-start") == traced.stats.executed
+        assert kinds.count("node-done") == traced.stats.executed
+        assert "run-start" in kinds  # engine-level run lifecycle nested
+        started = [
+            event["data"]["node"]
+            for event in events
+            if event["kind"] == "node-start"
+        ]
+        assert run_node_name(specs[0]) in started
+
+
+class TestCampaignEntryPoints:
+    """run_e1_campaign/run_e2_campaign graph routing."""
+
+    def test_run_e1_campaign_graph_matches_legacy(self, tmp_path):
+        from repro.experiments.campaign import run_e1_campaign
+
+        config = _config("arrestor", versions=("EA1",))
+        error_filter = lambda e: e.signal_bit in (0, 15)  # noqa: E731
+        legacy = run_e1_campaign(config, error_filter=error_filter)
+        via_graph = run_e1_campaign(
+            config,
+            error_filter=error_filter,
+            graph=True,
+            store=tmp_path / "nodes",
+        )
+        assert via_graph.records == legacy.records
+
+    def test_run_e2_campaign_graph_matches_legacy(self, tmp_path):
+        from repro.experiments.campaign import run_e2_campaign
+
+        config = CampaignConfig(cases_e2=1, target="arrestor")
+        error_filter = lambda e: e.name in ("R1", "R2", "R3")  # noqa: E731
+        legacy = run_e2_campaign(config, error_filter=error_filter)
+        via_graph = run_e2_campaign(
+            config,
+            error_filter=error_filter,
+            graph=True,
+            store=tmp_path / "nodes",
+        )
+        assert via_graph.records == legacy.records
+
+    def test_checkpoint_plus_graph_rejected(self, tmp_path):
+        from repro.experiments.campaign import run_e1_campaign
+
+        with pytest.raises(ValueError, match="subsumed"):
+            run_e1_campaign(
+                _config("arrestor"),
+                graph=True,
+                checkpoint=tmp_path / "cp.csv",
+            )
+
+    def test_tables_artifact_rendered_and_cached(self, tmp_path):
+        from repro.experiments.campaign import run_campaign_graph as run_graph
+
+        config = _config("arrestor", versions=("All",))
+        error_filter = lambda e: e.signal == "mscnt"  # noqa: E731
+        store = tmp_path / "nodes"
+        cold = run_graph(config, "e1", error_filter=error_filter, store=store)
+        assert cold.tables is not None
+        assert "Table 7" in cold.tables
+        warm = run_graph(config, "e1", error_filter=error_filter, store=store)
+        assert warm.tables == cold.tables
+        assert warm.stats.by_kind["tables"]["cached"] == 1
+
+
+class TestGraphSmoke:
+    """Fast end-to-end slice for ``make graph-smoke``."""
+
+    def test_cold_warm_shard_merge_cycle(self, tmp_path):
+        specs = _slice_specs("arrestor", errors=1, versions=("All",))
+        store = NodeStore(tmp_path / "nodes")
+        cold = run_campaign_graph(specs, store=store)
+        warm = run_campaign_graph(specs, store=store)
+        assert cold.results.records == warm.results.records
+        assert warm.stats.executed == 0
+        shards = [NodeStore(tmp_path / f"s{i}") for i in range(2)]
+        for i in range(2):
+            run_campaign_graph(specs, store=shards[i], shard=(i, 2))
+        merged = NodeStore(tmp_path / "merged")
+        merge_stores(merged, shards)
+        final = run_campaign_graph(specs, store=merged)
+        assert final.stats.by_kind["run"]["executed"] == 0
+        assert final.aggregate_csv == cold.aggregate_csv

@@ -12,6 +12,19 @@ import pytest
 from repro.analysis.source import build_source_model
 from repro.targets.registry import get_target
 
+# The execution engine and campaign task graph decide how runs execute,
+# replay and aggregate, so both targets fingerprint them alongside the
+# simulation stack.
+ENGINE_FINGERPRINT = {
+    "repro.experiments.graph",
+    "repro.experiments.dag",
+    "repro.experiments.parallel",
+    "repro.experiments.persistence",
+    "repro.experiments.results",
+    "repro.experiments.store",
+    "repro.stats",
+}
+
 ARRESTOR_FINGERPRINT = {
     "repro.core",
     "repro.memory",
@@ -27,7 +40,7 @@ ARRESTOR_FINGERPRINT = {
     # the same runs: its semantics must invalidate cached results too.
     "repro.targets.batch.core",
     "repro.targets.batch.arrestor",
-}
+} | ENGINE_FINGERPRINT
 
 TANKLEVEL_FINGERPRINT = {
     "repro.core",
@@ -41,7 +54,7 @@ TANKLEVEL_FINGERPRINT = {
     "repro.targets.tanklevel",
     "repro.targets.batch.core",
     "repro.targets.batch.tanklevel",
-}
+} | ENGINE_FINGERPRINT
 
 
 class TestFingerprintLists:
