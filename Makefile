@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage regen-golden bench bench-lint bench-smoke graph-smoke bench-tables bench-full e1 e2 reference examples clean
+.PHONY: install test lint coverage regen-golden bench bench-lint bench-smoke graph-smoke bench-serve serve-smoke bench-tables bench-full e1 e2 reference examples clean
 
 # Coverage floor for the instrumented packages (ratchet: raise as
 # coverage improves, never lower).
@@ -34,6 +34,7 @@ lint:
 	@$(MAKE) --no-print-directory coverage
 	@$(MAKE) --no-print-directory bench-smoke
 	@$(MAKE) --no-print-directory graph-smoke
+	@$(MAKE) --no-print-directory serve-smoke
 
 # Ratcheted coverage gate over the assertion engines and the
 # observability layer; skipped when pytest-cov is not installed
@@ -81,6 +82,22 @@ bench-smoke:
 		$(PYTHON) benchmarks/bench_campaign.py --check BENCH_smoke_$$target.json --smoke || exit 1; \
 		rm -f BENCH_smoke_$$target.json; \
 	done
+
+# Serving-engine throughput at the committed full scale (>= 1000
+# sustained sessions, the >= 5x vectorized-path gate, and the
+# serve-vs-offline equivalence check) + schema check of BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --out BENCH_serve.json $(BENCH_SERVE_ARGS)
+	$(PYTHON) benchmarks/bench_serve.py --check BENCH_serve.json
+
+# Tiny serving smoke: a short synthetic load through both serving paths
+# plus the serve-vs-offline determinism gate on every servable target.
+# Fails on any dropped frame, a batch-path throughput regression
+# (< 1x serial), or any online/offline detection-sequence mismatch.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke --out BENCH_smoke_serve.json
+	$(PYTHON) benchmarks/bench_serve.py --check BENCH_smoke_serve.json --smoke
+	rm -f BENCH_smoke_serve.json
 
 # Fast end-to-end slice through the campaign task graph: cold run, warm
 # replay (zero executions), 2-way shard + merge, byte-identical

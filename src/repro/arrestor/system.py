@@ -148,6 +148,28 @@ class TargetSystem:
         """The master node's detection log (the target-protocol surface)."""
         return self.master.detection_log
 
+    # -- serving seam (see repro.serve) --------------------------------------
+
+    @property
+    def clock_ms(self) -> int:
+        """The next millisecond the run loop will execute."""
+        return self._loop.next_ms if self._loop is not None else 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the run has completed (window end or early stop)."""
+        return self._loop is not None and self._loop.finished
+
+    @property
+    def horizon_ms(self) -> int:
+        """The observation window's upper bound (runs may stop earlier)."""
+        return self.config.observe_ms_max
+
+    @property
+    def memory_map(self):
+        """The master node's injectable memory image."""
+        return self.master.mem.map
+
     def run_prefix(self, until_ms: int) -> None:
         """Advance the fault-free run up to (excluding) tick *until_ms*.
 
@@ -169,7 +191,18 @@ class TargetSystem:
         where the prefix paused; otherwise it runs start to finish.
         """
         self._advance(injector, None)
-        state = self._loop
+        return self.result_now(injector)
+
+    def result_now(self, injector=None) -> RunResult:
+        """The run's result as it stands, without advancing the loop.
+
+        The online serving path uses this to close a session whose
+        telemetry stream ended before the arrestment did; :meth:`run`
+        delegates here after advancing to the end.  *injector* only
+        supplies the injection counters — anything with
+        ``first_injection_ms``/``injections`` attributes duck-types.
+        """
+        last_ms = self._loop.last_ms if self._loop is not None else -1
         summary = self.env.summary()
         verdict = self.classifier.classify(summary)
         log = self.master.detection_log
@@ -185,7 +218,7 @@ class TargetSystem:
             ),
             injection_count=(injector.injections if injector is not None else 0),
             wedged=self.master.wedged,
-            duration_ms=state.last_ms + 1,
+            duration_ms=last_ms + 1,
             watchdog_fired_ms=(
                 self.watchdog.fired_at_ms if self.watchdog is not None else None
             ),
@@ -221,6 +254,7 @@ class TargetSystem:
                 # executes it (injector first), exactly as the cold loop
                 # would have.
                 state.next_ms = now
+                state.last_ms = now - 1
                 state.stop_deadline = stop_deadline
                 state.events_seen = events_seen
                 state.tx_pending = tx_pending

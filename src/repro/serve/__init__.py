@@ -1,0 +1,59 @@
+"""Fleet-scale online monitoring: the paper's assertions as a service.
+
+Where :mod:`repro.experiments` replays error grids offline, this
+package turns the same Section-2 executable assertions into a
+long-running detection service: thousands of concurrent monitored
+target instances multiplexed in one process, each consuming streamed
+per-tick telemetry and emitting detection events online.
+
+Layers (bottom up):
+
+* :mod:`repro.serve.session` — one streamed instance; restores from the
+  snapshot cache, advances the resumable run loop per frame, lands the
+  declared injection schedule exactly as the offline injector would.
+* :mod:`repro.serve.batchserve` — lockstep generations of eligible
+  sessions over the resumable vectorized kernels (one numpy step per
+  round for hundreds of sessions).
+* :mod:`repro.serve.fleet` — sharded scheduler: consistent-hash
+  placement, bounded per-session queues with backpressure, LRU
+  ``max_sessions`` eviction, ``repro.obs`` metrics and traces.
+* :mod:`repro.serve.load` / :mod:`repro.serve.adapters` — synthetic
+  load + replay drivers, and the newline-JSON stdin/socket protocol.
+
+``python -m repro.serve --target tanklevel --sessions 1000 --load
+synthetic`` runs the built-in load generator; see
+``benchmarks/bench_serve.py`` for the committed throughput/latency
+figures (BENCH_serve.json).
+"""
+
+from repro.serve.session import (
+    Frame,
+    ServeError,
+    ServeEvent,
+    Session,
+    SessionClosed,
+    SessionOutcome,
+    SessionSpec,
+)
+from repro.serve.fleet import BATCH_ENV_VAR, Fleet, FleetConfig, HashRing, WORKERS_ENV_VAR
+from repro.serve.load import LoadReport, percentile, run_load, serve_replay, synthetic_specs
+
+__all__ = [
+    "Frame",
+    "ServeError",
+    "ServeEvent",
+    "Session",
+    "SessionClosed",
+    "SessionOutcome",
+    "SessionSpec",
+    "Fleet",
+    "FleetConfig",
+    "HashRing",
+    "WORKERS_ENV_VAR",
+    "BATCH_ENV_VAR",
+    "LoadReport",
+    "percentile",
+    "run_load",
+    "serve_replay",
+    "synthetic_specs",
+]

@@ -1,0 +1,335 @@
+"""Online monitoring sessions: one streamed target instance each.
+
+A :class:`Session` is the serving counterpart of one offline campaign
+run: a booted target system (restored from the process-global snapshot
+cache, so instantiation is one ``pickle.loads`` instead of a rebuild of
+the module graph) that consumes streamed telemetry :class:`Frame`\\ s,
+advances the simulation and its monitors incrementally, and emits the
+detection events as they happen.
+
+Equivalence with the offline path is by construction: the session
+drives the *same* resumable run loop (``run_prefix``/``run``) the
+campaign controller drives, and applies the session's declared
+injection schedule at exactly the tick boundaries the offline
+:class:`~repro.injection.injector.TimeTriggeredInjector` would — flips
+land *before* the due tick executes, flips past the run's early stop
+are skipped, counters match the serial injector's.  The determinism
+tests pin the full detection-event sequence against
+:class:`~repro.injection.fic.CampaignController` on every registered
+target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.targets.base import RunResult, Target, TestCase
+from repro.targets.registry import get_target
+from repro.targets import snapshot as snapshots_mod
+
+__all__ = [
+    "ServeError",
+    "SessionClosed",
+    "SessionSpec",
+    "Frame",
+    "ServeEvent",
+    "SessionOutcome",
+    "Session",
+]
+
+
+class ServeError(RuntimeError):
+    """A serving-layer configuration or protocol error (clean CLI exit)."""
+
+
+class SessionClosed(ServeError):
+    """The session was already closed (or evicted); frames are refused."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to open one monitored instance.
+
+    The injection schedule is declarative: *signal*/*signal_bit* (a
+    monitored 16-bit signal, bit 0..15) or a raw byte *address*/*bit*,
+    flipped every *period_ms* starting at *start_ms* — the paper's
+    time-triggered intermittent-fault model, arriving as part of the
+    instance's environment rather than from a campaign grid.  Leave the
+    location unset for a fault-free (reference) session.
+    """
+
+    session_id: str
+    target: Optional[str] = None
+    version: str = "All"
+    mass_kg: float = 10000.0
+    velocity_mps: float = 60.0
+    signal: Optional[str] = None
+    signal_bit: Optional[int] = None
+    address: Optional[int] = None
+    bit: Optional[int] = None
+    period_ms: int = 20
+    start_ms: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ValueError("session_id must be non-empty")
+        if self.period_ms < 1:
+            raise ValueError(f"period_ms must be positive, got {self.period_ms}")
+        if self.start_ms < 0:
+            raise ValueError(f"start_ms must be non-negative, got {self.start_ms}")
+        if self.signal is not None and self.address is not None:
+            raise ValueError("give signal/signal_bit or address/bit, not both")
+        if self.signal is not None and (
+            self.signal_bit is None or not 0 <= self.signal_bit <= 15
+        ):
+            raise ValueError(
+                f"signal_bit must be 0..15 with signal set, got {self.signal_bit}"
+            )
+        if self.address is not None and (
+            self.bit is None or not 0 <= self.bit <= 7
+        ):
+            raise ValueError(f"bit must be 0..7 with address set, got {self.bit}")
+
+    @property
+    def injects(self) -> bool:
+        return self.signal is not None or self.address is not None
+
+    def test_case(self) -> TestCase:
+        return TestCase(self.mass_kg, self.velocity_mps)
+
+
+@dataclasses.dataclass
+class Frame:
+    """One telemetry frame: advance the instance *ticks* milliseconds.
+
+    ``flips`` optionally carries ad-hoc ``(address, bit)`` byte-level
+    corruptions applied at the frame boundary before advancing (the
+    free-form ingestion path; scheduled sessions normally leave it
+    empty).  ``enqueued_at`` is stamped by the fleet at ingress for the
+    wall-clock serving-latency histograms.
+    """
+
+    session_id: str
+    ticks: int = 1
+    flips: Tuple[Tuple[int, int], ...] = ()
+    enqueued_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ticks < 0:
+            raise ValueError(f"ticks must be non-negative, got {self.ticks}")
+        self.flips = tuple((int(a), int(b)) for a, b in self.flips)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeEvent:
+    """One online detection: a monitor fired inside a served instance.
+
+    The serial path fills every field from the system's
+    :class:`~repro.core.monitor.DetectionEvent`; the vectorized batch
+    path knows only ``(time_ms, monitor_id, signal)`` (its book keeps
+    the aggregate, not the values), so ``value``/``previous`` are
+    ``None`` there.
+    """
+
+    session_id: str
+    time_ms: int
+    monitor_id: str
+    signal: Optional[str] = None
+    value: Optional[int] = None
+    previous: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionOutcome:
+    """A closed session's final readouts."""
+
+    session_id: str
+    result: RunResult
+    events: Tuple[ServeEvent, ...]
+    evicted: bool = False
+    completed: bool = True
+
+
+class _InjectionCounts:
+    """Duck-types the injector counters ``result_now`` reads."""
+
+    __slots__ = ("injections", "first_injection_ms")
+
+    def __init__(self) -> None:
+        self.injections = 0
+        self.first_injection_ms: Optional[int] = None
+
+
+def resolve_flip(target: Target, spec: SessionSpec) -> Optional[Tuple[int, int]]:
+    """The (byte address, bit-in-byte) a spec's schedule flips, if any.
+
+    Signal-relative specs resolve through the target's memory map (the
+    layout is deterministic per target, so a fresh map's addresses match
+    every booted instance's).
+    """
+    if spec.address is not None:
+        return (spec.address, spec.bit or 0)
+    if spec.signal is None:
+        return None
+    memory = target.memory()
+    try:
+        variable = memory.signal_variable(spec.signal)
+    except KeyError:
+        raise ServeError(
+            f"target {target.name!r} has no monitored signal {spec.signal!r} "
+            f"(signals: {', '.join(target.monitored_signals)})"
+        ) from None
+    bit = int(spec.signal_bit or 0)
+    return (variable.address + (bit >> 3), bit & 7)
+
+
+def require_servable(target: Target) -> None:
+    """Fail with a clean error when *target* cannot serve at fleet scale."""
+    if not target.supports_snapshots():
+        raise ServeError(
+            f"target {target.name!r} does not support snapshots; fleet-scale "
+            f"serving instantiates sessions through the snapshot restore path "
+            f"(implement Target.snapshot/restore or serve it offline)"
+        )
+
+
+class Session:
+    """One monitored instance consuming a telemetry stream serially."""
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        target: Optional[Any] = None,
+        snapshots: Optional[bool] = None,
+    ) -> None:
+        self.spec = spec
+        self.session_id = spec.session_id
+        self.target = get_target(target if target is not None else spec.target)
+        require_servable(self.target)
+        if snapshots is None:
+            snapshots = snapshots_mod.snapshots_enabled_default()
+        if snapshots:
+            self._system = snapshots_mod.booted_system(
+                self.target, spec.test_case(), spec.version
+            )
+        else:
+            self._system = self.target.boot(spec.test_case(), spec.version)
+        self._flip = resolve_flip(self.target, spec)
+        self._counts = _InjectionCounts()
+        self._events_seen = len(self._system.detection_log.events)
+        self.events: List[ServeEvent] = []
+        self.frames_fed = 0
+        self.closed = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def clock_ms(self) -> int:
+        return self._system.clock_ms
+
+    @property
+    def finished(self) -> bool:
+        return self._system.finished
+
+    @property
+    def horizon_ms(self) -> int:
+        return self._system.horizon_ms
+
+    @property
+    def first_injection_ms(self) -> Optional[int]:
+        return self._counts.first_injection_ms
+
+    # -- stream --------------------------------------------------------------
+
+    def _apply_flip(self, address: int, bit: int) -> None:
+        self._system.memory_map.data[address] ^= 1 << bit
+        self._counts.injections += 1
+        if self._counts.first_injection_ms is None:
+            self._counts.first_injection_ms = self.clock_ms
+
+    def _next_due(self, now_ms: int) -> int:
+        """The first scheduled flip time at or after *now_ms*."""
+        spec = self.spec
+        if now_ms <= spec.start_ms:
+            return spec.start_ms
+        periods = -(-(now_ms - spec.start_ms) // spec.period_ms)
+        return spec.start_ms + periods * spec.period_ms
+
+    def _advance_to(self, target_ms: int) -> None:
+        """Advance the system, landing scheduled flips at their due ticks.
+
+        Mirrors the serial injector exactly: a flip lands *before* its
+        due tick executes, and flips falling after the run finished
+        (the arrestor's early stop) are skipped — the offline loop only
+        ticks its injector on executed milliseconds.
+        """
+        system = self._system
+        if self._flip is None:
+            system.run_prefix(target_ms)
+            return
+        address, bit = self._flip
+        while not system.finished and system.clock_ms < target_ms:
+            due = self._next_due(system.clock_ms)
+            if due >= target_ms:
+                system.run_prefix(target_ms)
+                return
+            if due > system.clock_ms:
+                system.run_prefix(due)
+                if system.finished:
+                    return
+            self._apply_flip(address, bit)
+            system.run_prefix(due + 1)
+
+    def _drain_events(self) -> List[ServeEvent]:
+        log = self._system.detection_log
+        fresh = log.events[self._events_seen :]
+        self._events_seen = len(log.events)
+        out = [
+            ServeEvent(
+                session_id=self.session_id,
+                time_ms=event.time,
+                monitor_id=str(event.monitor_id),
+                signal=event.signal,
+                value=event.value,
+                previous=event.previous,
+            )
+            for event in fresh
+        ]
+        self.events.extend(out)
+        return out
+
+    def feed(self, frame: Frame) -> List[ServeEvent]:
+        """Consume one frame; return the detections it produced."""
+        if self.closed:
+            raise SessionClosed(f"session {self.session_id!r} is closed")
+        self.frames_fed += 1
+        if frame.flips and not self.finished:
+            for address, bit in frame.flips:
+                self._apply_flip(address, bit)
+        self._advance_to(self.clock_ms + frame.ticks)
+        return self._drain_events()
+
+    def close(self, complete: bool = True) -> RunResult:
+        """Finish the session and build its :class:`RunResult`.
+
+        With *complete* the remaining observation window is executed
+        (scheduled flips included) so the result equals an offline run's;
+        without it the result reflects the run exactly as far as the
+        stream carried it.
+        """
+        if self.closed:
+            raise SessionClosed(f"session {self.session_id!r} is closed")
+        if complete:
+            while not self.finished:
+                self._advance_to(self.horizon_ms)
+            self._drain_events()
+        self.closed = True
+        return self._system.result_now(self._counts)
+
+
+def events_key(events: Sequence[ServeEvent]):
+    """A comparable projection of an event sequence (determinism tests)."""
+    return [
+        (e.time_ms, e.monitor_id, e.signal, e.value, e.previous) for e in events
+    ]

@@ -121,15 +121,25 @@ class DetectionBook:
     ``record`` must be called in the same order the serial system calls
     ``SignalMonitor.test`` within a tick, so ``first_monitor`` names the
     same EA the serial log's first event does.
+
+    With ``capture_events`` every violation is additionally appended to
+    ``events`` as ``(row, now_ms, monitor_id)`` in record order — the
+    per-row projection of the serial detection log's event sequence.
+    The online serving engine drains these to emit detection events;
+    the offline kernels leave capture off so the whole-grid fast path
+    pays nothing for it.
     """
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, capture_events: bool = False) -> None:
         require_numpy()
         self.detected = np.zeros(n, dtype=bool)
         self.first_ms = np.full(n, -1, dtype=np.int64)
         self.first_monitor = np.full(n, -1, dtype=np.int64)
         self.count = np.zeros(n, dtype=np.int64)
         self.monitor_ids: List[str] = []
+        self.events: Optional[List[Tuple[int, int, str]]] = (
+            [] if capture_events else None
+        )
 
     def _monitor_index(self, monitor_id: str) -> int:
         try:
@@ -148,6 +158,16 @@ class DetectionBook:
         self.first_ms[fresh] = now_ms
         self.first_monitor[fresh] = index
         self.detected |= violation
+        if self.events is not None:
+            for row in np.nonzero(violation)[0]:
+                self.events.append((int(row), now_ms, monitor_id))
+
+    def drain_events(self) -> List[Tuple[int, int, str]]:
+        """Pop and return captured ``(row, now_ms, monitor_id)`` events."""
+        if self.events is None:
+            return []
+        drained, self.events = self.events, []
+        return drained
 
     def row(self, r: int) -> Tuple[bool, Optional[int], int, Optional[str]]:
         """(detected, first_detection_ms, detection_count, first_monitor)."""

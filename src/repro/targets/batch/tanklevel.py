@@ -7,11 +7,18 @@ the oracle — every statement here mirrors a statement of the serial tick
 path, in the same order, on the same 16-bit masked integer arithmetic
 and the same float64 plant updates, so results are identical
 row-for-row (pinned by ``tests/targets/test_batch_equivalence.py``).
+
+The kernel is *resumable*: :class:`TankBatchKernel` holds the whole
+vectorized machine state and advances any number of ticks per call, so
+the offline grid path (:func:`run_batch_detailed` — one call over the
+full window) and the online serving engine (:mod:`repro.serve` — one
+small ``advance`` per telemetry frame round, hundreds of sessions per
+numpy step) execute the identical statements in the identical order.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.targets.base import RunResult
 from repro.targets.batch.core import (
@@ -43,7 +50,7 @@ try:  # pragma: no cover - exercised only on numpy-less installs
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
-__all__ = ["OBSERVE_MS", "run_batch", "run_batch_detailed"]
+__all__ = ["OBSERVE_MS", "TankBatchKernel", "run_batch", "run_batch_detailed"]
 
 #: The serial default observation window (TankRunConfig.observe_ms).
 OBSERVE_MS = 5000
@@ -59,57 +66,94 @@ def _monitor_masks(specs):
     return {ea: all_rows | (version_arr == ea) for ea in ins.EA_IDS}
 
 
-def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
-    """Run every spec's injection run in one vectorized pass."""
-    require_numpy()
-    n = len(specs)
-    if n == 0:
-        return []
-    params = ins.assertion_parameters()
-    ea_rows = _monitor_masks(specs)
-    monitors = {
-        ea: VecMonitor(ea, params[ins.SIGNAL_BY_EA[ea]], n) for ea in ins.EA_IDS
-    }
-    book = DetectionBook(n)
-    xor, period, start = injection_masks(specs, MONITORED_SIGNALS)
-    always = np.ones(n, dtype=bool)
+class TankBatchKernel:
+    """The vectorized tank system as a resumable lockstep machine.
 
-    # -- boot (TankNode.boot on a cleared memory image) ----------------------
-    demand = np.array([demand_for(spec.mass_kg) for spec in specs], dtype=np.float64)
-    level_mm = np.array(
-        [initial_level_for(spec.velocity_mps) for spec in specs], dtype=np.float64
-    )
-    initial_level = level_mm.copy()
-    max_level = level_mm.copy()
-    min_level = level_mm.copy()
-    # int(round(...)) is banker's rounding, same as np.rint.
-    level = np.rint(level_mm).astype(np.int64)
-    tick = np.zeros(n, dtype=np.int64)
-    slot_id = np.zeros(n, dtype=np.int64)
-    set_point = np.zeros(n, dtype=np.int64)
-    flow_acc = np.zeros(n, dtype=np.int64)
-    valve_cmd = np.zeros(n, dtype=np.int64)
-    last_ctrl_tick = np.zeros(n, dtype=np.int64)
-    drain_received = np.zeros(n, dtype=np.int64)
-    # Boot validates the first level sample (EA2's reference seed).
-    monitors["EA2"].test(level, 0, ea_rows["EA2"], book)
+    All rows share one sim-clock ``now_ms`` (the next tick to execute);
+    ``advance(ticks)`` executes up to *ticks* further milliseconds for
+    every row, stopping at the observation window's end.  With
+    ``capture_events`` the per-row detection events are recorded into
+    the book (see :meth:`drain_events`).
+    """
 
-    for now in range(OBSERVE_MS):
+    def __init__(self, specs: Sequence, capture_events: bool = False) -> None:
+        require_numpy()
+        self.specs = list(specs)
+        n = len(self.specs)
+        if n == 0:
+            raise ValueError("TankBatchKernel needs at least one spec")
+        specs = self.specs
+        params = ins.assertion_parameters()
+        self.ea_rows = _monitor_masks(specs)
+        self.monitors = {
+            ea: VecMonitor(ea, params[ins.SIGNAL_BY_EA[ea]], n) for ea in ins.EA_IDS
+        }
+        self.book = DetectionBook(n, capture_events=capture_events)
+        self.xor, self.period, self.start = injection_masks(specs, MONITORED_SIGNALS)
+        self.always = np.ones(n, dtype=bool)
+        self.now_ms = 0
+
+        # -- boot (TankNode.boot on a cleared memory image) ------------------
+        self.demand = np.array(
+            [demand_for(spec.mass_kg) for spec in specs], dtype=np.float64
+        )
+        self.level_mm = np.array(
+            [initial_level_for(spec.velocity_mps) for spec in specs],
+            dtype=np.float64,
+        )
+        self.initial_level = self.level_mm.copy()
+        self.max_level = self.level_mm.copy()
+        self.min_level = self.level_mm.copy()
+        # int(round(...)) is banker's rounding, same as np.rint.
+        self.level = np.rint(self.level_mm).astype(np.int64)
+        self.tick = np.zeros(n, dtype=np.int64)
+        self.slot_id = np.zeros(n, dtype=np.int64)
+        self.set_point = np.zeros(n, dtype=np.int64)
+        self.flow_acc = np.zeros(n, dtype=np.int64)
+        self.valve_cmd = np.zeros(n, dtype=np.int64)
+        self.last_ctrl_tick = np.zeros(n, dtype=np.int64)
+        self.drain_received = np.zeros(n, dtype=np.int64)
+        # Boot validates the first level sample (EA2's reference seed).
+        self.monitors["EA2"].test(self.level, 0, self.ea_rows["EA2"], self.book)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def finished(self) -> bool:
+        return self.now_ms >= OBSERVE_MS
+
+    @property
+    def last_ms(self) -> int:
+        """The last millisecond executed so far (-1 = none yet)."""
+        return self.now_ms - 1
+
+    def drain_events(self) -> List[Tuple[int, int, str]]:
+        """Pop captured ``(row, time_ms, monitor_id)`` detection events."""
+        return self.book.drain_events()
+
+    def step(self) -> None:
+        """Execute one millisecond for every row (the serial tick body)."""
+        now = self.now_ms
+        monitors = self.monitors
+        ea_rows = self.ea_rows
+        book = self.book
+
         # -- injector ---------------------------------------------------------
-        due = injection_due(now, period, start, always)
-        tick ^= np.where(due, xor["tick"], 0)
-        slot_id ^= np.where(due, xor["slot_id"], 0)
-        level ^= np.where(due, xor["level"], 0)
-        set_point ^= np.where(due, xor["SetPoint"], 0)
-        flow_acc ^= np.where(due, xor["flow_acc"], 0)
+        due = injection_due(now, self.period, self.start, self.always)
+        self.tick ^= np.where(due, self.xor["tick"], 0)
+        self.slot_id ^= np.where(due, self.xor["slot_id"], 0)
+        self.level ^= np.where(due, self.xor["level"], 0)
+        self.set_point ^= np.where(due, self.xor["SetPoint"], 0)
+        self.flow_acc ^= np.where(due, self.xor["flow_acc"], 0)
 
         # -- CLOCK: tick + EA5, slot consumption + EA4, wrap fold ------------
-        tick = (tick + 1) & _MASK16
-        monitors["EA5"].test(tick, now, ea_rows["EA5"], book)
-        monitors["EA4"].test(slot_id, now, ea_rows["EA4"], book)
-        slot = slot_id + 1
+        self.tick = (self.tick + 1) & _MASK16
+        monitors["EA5"].test(self.tick, now, ea_rows["EA5"], book)
+        monitors["EA4"].test(self.slot_id, now, ea_rows["EA4"], book)
+        slot = self.slot_id + 1
         slot = np.where(slot >= ins.N_SLOTS, 0, slot)
-        slot_id = slot
+        self.slot_id = slot
 
         # Rows advance their slot counter in lockstep, so each slot's mask
         # is all-False on 4 of every 5 ticks (only a corrupted slot_id
@@ -119,82 +163,96 @@ def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
         # -- LEVEL_S ----------------------------------------------------------
         m_level_s = slot == 0
         if m_level_s.any():
-            latch = np.rint(level_mm).astype(np.int64) & _MASK16
-            level = np.where(m_level_s, latch, level)
+            latch = np.rint(self.level_mm).astype(np.int64) & _MASK16
+            self.level = np.where(m_level_s, latch, self.level)
 
         # -- CTRL -------------------------------------------------------------
         m_ctrl = slot == 1
         if m_ctrl.any():
-            lvl = monitors["EA2"].test(level, now, m_ctrl & ea_rows["EA2"], book)
-            elapsed = (tick - last_ctrl_tick) & _MASK16
-            last_ctrl_tick = np.where(m_ctrl, tick, last_ctrl_tick)
+            lvl = monitors["EA2"].test(
+                self.level, now, m_ctrl & ea_rows["EA2"], book
+            )
+            elapsed = (self.tick - self.last_ctrl_tick) & _MASK16
+            self.last_ctrl_tick = np.where(m_ctrl, self.tick, self.last_ctrl_tick)
             budget = ins.SLEW_PER_MS * elapsed
             # ctrl_err is a signed stack scratch: store masks to 16 bits, the
             # read-back sign-extends.
             err_stored = (_TARGET - lvl) & _MASK16
             err = err_stored - ((err_stored & 0x8000) << 1)
             sp_raw = np.minimum(np.maximum(ins.CTRL_KP * err, 0), ins.SETPOINT_MAX)
-            sp = set_point
+            sp = self.set_point
             sp_new = np.where(
                 sp_raw > sp,
                 np.minimum(sp + budget, sp_raw),
                 np.where(sp_raw < sp, np.maximum(sp - budget, sp_raw), sp),
             )
-            set_point = np.where(m_ctrl, sp_new, set_point)
-            flow_new = (flow_acc + (sp_new >> 6)) & _MASK16
-            flow_acc = np.where(m_ctrl, flow_new, flow_acc)
-            monitors["EA3"].test(flow_acc, now, m_ctrl & ea_rows["EA3"], book)
+            self.set_point = np.where(m_ctrl, sp_new, self.set_point)
+            flow_new = (self.flow_acc + (sp_new >> 6)) & _MASK16
+            self.flow_acc = np.where(m_ctrl, flow_new, self.flow_acc)
+            monitors["EA3"].test(self.flow_acc, now, m_ctrl & ea_rows["EA3"], book)
 
         # -- VALVE_A ----------------------------------------------------------
         m_valve = slot == 2
         if m_valve.any():
-            monitors["EA1"].test(set_point, now, m_valve & ea_rows["EA1"], book)
-            valve_cmd = np.where(
+            monitors["EA1"].test(self.set_point, now, m_valve & ea_rows["EA1"], book)
+            self.valve_cmd = np.where(
                 m_valve,
-                np.minimum(np.maximum(set_point, 0), ins.SETPOINT_MAX),
-                valve_cmd,
+                np.minimum(np.maximum(self.set_point, 0), ins.SETPOINT_MAX),
+                self.valve_cmd,
             )
 
         # -- COMM + same-tick drain receive -----------------------------------
         m_comm = slot == 3
         if m_comm.any():
-            drain_received = np.where(
+            self.drain_received = np.where(
                 m_comm,
-                np.minimum(np.maximum(set_point, 0), ins.SETPOINT_MAX),
-                drain_received,
+                np.minimum(np.maximum(self.set_point, 0), ins.SETPOINT_MAX),
+                self.drain_received,
             )
 
         # -- plant ------------------------------------------------------------
-        counts = np.minimum(np.maximum(valve_cmd, 0), 1023)
+        counts = np.minimum(np.maximum(self.valve_cmd, 0), 1023)
         inflow = Q_MAX_LPS * counts / 1023.0
-        trim = Q_TRIM_LPS * (ins.SETPOINT_MAX - drain_received) / ins.SETPOINT_MAX
-        outflow = demand + trim
-        level_mm = level_mm + (inflow - outflow) * MM_PER_LITRE * 0.001
-        level_mm = np.where(
-            level_mm > TANK_HEIGHT_MM,
-            TANK_HEIGHT_MM,
-            np.where(level_mm < 0.0, 0.0, level_mm),
+        trim = (
+            Q_TRIM_LPS * (ins.SETPOINT_MAX - self.drain_received) / ins.SETPOINT_MAX
         )
-        max_level = np.maximum(max_level, level_mm)
-        min_level = np.minimum(min_level, level_mm)
+        outflow = self.demand + trim
+        self.level_mm = self.level_mm + (inflow - outflow) * MM_PER_LITRE * 0.001
+        self.level_mm = np.where(
+            self.level_mm > TANK_HEIGHT_MM,
+            TANK_HEIGHT_MM,
+            np.where(self.level_mm < 0.0, 0.0, self.level_mm),
+        )
+        self.max_level = np.maximum(self.max_level, self.level_mm)
+        self.min_level = np.minimum(self.min_level, self.level_mm)
+        self.now_ms = now + 1
 
-    # -- assemble -------------------------------------------------------------
-    classifier = TankFailureClassifier()
-    last_ms = OBSERVE_MS - 1
-    outcomes: List[BatchOutcome] = []
-    for r, spec in enumerate(specs):
+    def advance(self, ticks: int) -> None:
+        """Execute up to *ticks* further milliseconds (lockstep, all rows)."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be non-negative, got {ticks}")
+        end = min(self.now_ms + ticks, OBSERVE_MS)
+        while self.now_ms < end:
+            self.step()
+
+    def outcome(self, r: int, classifier: Optional[TankFailureClassifier] = None) -> BatchOutcome:
+        """Row *r*'s result as it stands after the last executed tick."""
+        if classifier is None:
+            classifier = TankFailureClassifier()
+        spec = self.specs[r]
+        last_ms = self.last_ms
         summary = TankRunSummary(
-            demand_lps=float(demand[r]),
-            initial_level_mm=float(initial_level[r]),
-            max_level_mm=float(max_level[r]),
-            min_level_mm=float(min_level[r]),
-            final_level_mm=float(level_mm[r]),
+            demand_lps=float(self.demand[r]),
+            initial_level_mm=float(self.initial_level[r]),
+            max_level_mm=float(self.max_level[r]),
+            min_level_mm=float(self.min_level[r]),
+            final_level_mm=float(self.level_mm[r]),
             settled=bool(
-                abs(float(level_mm[r]) - TARGET_LEVEL_MM) <= LEVEL_TOLERANCE_MM
+                abs(float(self.level_mm[r]) - TARGET_LEVEL_MM) <= LEVEL_TOLERANCE_MM
             ),
             duration_s=(last_ms + 1) / 1000.0,
         )
-        detected, first_ms, count, first_monitor = book.row(r)
+        detected, first_ms, count, first_monitor = self.book.row(r)
         first_injection, injections = injection_stats(
             spec.injection_start_ms, spec.injection_period_ms, last_ms
         )
@@ -210,8 +268,22 @@ def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
             wedged=False,
             duration_ms=last_ms + 1,
         )
-        outcomes.append(BatchOutcome(result=result, first_monitor=first_monitor))
-    return outcomes
+        return BatchOutcome(result=result, first_monitor=first_monitor)
+
+    def outcomes(self) -> List[BatchOutcome]:
+        """Every row's outcome (one shared classifier instance)."""
+        classifier = TankFailureClassifier()
+        return [self.outcome(r, classifier) for r in range(len(self.specs))]
+
+
+def run_batch_detailed(specs: Sequence) -> List[BatchOutcome]:
+    """Run every spec's injection run in one vectorized pass."""
+    require_numpy()
+    if len(specs) == 0:
+        return []
+    kernel = TankBatchKernel(specs)
+    kernel.advance(OBSERVE_MS)
+    return kernel.outcomes()
 
 
 def run_batch(specs: Sequence) -> List[RunResult]:

@@ -255,6 +255,28 @@ class TankSystem:
         """The controller node's detection log (the target-protocol surface)."""
         return self.node.detection_log
 
+    # -- serving seam (see repro.serve) --------------------------------------
+
+    @property
+    def clock_ms(self) -> int:
+        """The next millisecond the run loop will execute."""
+        return self._loop.next_ms if self._loop is not None else 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the observation window has run to completion."""
+        return self._loop is not None and self._loop.finished
+
+    @property
+    def horizon_ms(self) -> int:
+        """The observation window's end (exclusive upper bound on ticks)."""
+        return self.config.observe_ms
+
+    @property
+    def memory_map(self):
+        """The controller node's injectable memory image."""
+        return self.node.mem.map
+
     def run_prefix(self, until_ms: int) -> None:
         """Advance the fault-free run up to (excluding) tick *until_ms*.
 
@@ -282,6 +304,7 @@ class TankSystem:
         for now in range(state.next_ms, self.config.observe_ms):
             if until_ms is not None and now >= until_ms:
                 state.next_ms = now
+                state.last_ms = now - 1
                 return
             if injector is not None:
                 injector.tick(now, memory)
@@ -300,8 +323,19 @@ class TankSystem:
         where the prefix paused; otherwise it runs start to finish.
         """
         self._advance(injector, None)
+        return self.result_now(injector)
+
+    def result_now(self, injector=None) -> RunResult:
+        """The run's result as it stands, without advancing the loop.
+
+        The online serving path uses this to close a session whose
+        telemetry stream ended before the observation window did;
+        :meth:`run` delegates here after advancing to the end.
+        *injector* only supplies the injection counters — anything with
+        ``first_injection_ms``/``injections`` attributes duck-types.
+        """
         log = self.node.detection_log
-        now = self._loop.last_ms
+        now = self._loop.last_ms if self._loop is not None else -1
         summary = self.plant.summary((now + 1) / 1000.0)
         verdict = self.classifier.classify(summary)
         return RunResult(

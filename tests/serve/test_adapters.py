@@ -1,0 +1,103 @@
+"""The newline-JSON ingestion protocol (stdin/socket adapter core)."""
+
+import asyncio
+import json
+
+from repro.serve.adapters import iter_lines, serve_lines
+from repro.serve.fleet import FleetConfig
+
+
+def _run(lines, config=None):
+    written = []
+    if config is None:
+        config = FleetConfig(workers=1, batch=False)
+    ops = asyncio.run(serve_lines(iter_lines(lines), written.append, config))
+    return ops, [json.loads(line) for line in written]
+
+
+class TestProtocol:
+    def test_open_frame_close_lifecycle(self):
+        lines = [
+            json.dumps(
+                {
+                    "op": "open",
+                    "session": "s1",
+                    "target": "tanklevel",
+                    "signal": "tick",
+                    "signal_bit": 6,
+                }
+            ),
+            json.dumps({"op": "frame", "session": "s1", "ticks": 100}),
+            json.dumps({"op": "close", "session": "s1", "complete": False}),
+        ]
+        ops, replies = _run(lines)
+        assert ops == 3
+        assert replies[0] == {"ok": True, "op": "open", "session": "s1"}
+        result = replies[-1]
+        assert result["event"] == "result"
+        assert result["session"] == "s1"
+        assert result["duration_ms"] == 100
+        assert result["injections"] == 5
+        # An injected tick-counter fault detects within the first 100 ms:
+        # the detection push precedes the close reply.
+        detections = [r for r in replies if r.get("event") == "detection"]
+        assert detections
+        assert detections[0]["session"] == "s1"
+        assert result["detected"]
+
+    def test_blank_lines_skipped(self):
+        ops, replies = _run(["", "   ", "\n"])
+        assert ops == 0
+        assert replies == []
+
+    def test_bad_json_keeps_stream_alive(self):
+        lines = [
+            "{not json",
+            json.dumps({"op": "open", "session": "s1", "target": "tanklevel"}),
+        ]
+        ops, replies = _run(lines)
+        assert ops == 2
+        assert replies[0]["ok"] is False
+        assert replies[1]["ok"] is True
+
+    def test_unknown_op_reported(self):
+        ops, replies = _run([json.dumps({"op": "warp"})])
+        assert replies[0]["ok"] is False
+        assert "warp" in replies[0]["error"]
+
+    def test_frame_for_unknown_session(self):
+        ops, replies = _run([json.dumps({"op": "frame", "session": "ghost"})])
+        assert replies[0]["ok"] is False
+        assert "unknown session" in replies[0]["error"]
+
+    def test_open_error_is_reported_not_fatal(self):
+        lines = [
+            json.dumps({"op": "open", "session": "s1", "target": "tanklevel",
+                        "signal": "tick"}),  # signal without signal_bit
+            json.dumps({"op": "stats"}),
+        ]
+        ops, replies = _run(lines)
+        assert replies[0]["ok"] is False
+        assert "signal_bit" in replies[0]["error"]
+        assert replies[1]["ok"] is True
+        assert replies[1]["stats"]["sessions_active"] == 0
+
+    def test_session_id_alias_accepted(self):
+        lines = [
+            json.dumps({"op": "open", "session_id": "s9", "target": "tanklevel"}),
+            json.dumps({"op": "close", "session": "s9", "complete": False}),
+        ]
+        ops, replies = _run(lines)
+        assert replies[0] == {"ok": True, "op": "open", "session": "s9"}
+        assert replies[1]["session"] == "s9"
+
+    def test_stats_reports_counters(self):
+        lines = [
+            json.dumps({"op": "open", "session": "s1", "target": "tanklevel"}),
+            json.dumps({"op": "frame", "session": "s1", "ticks": 20}),
+            json.dumps({"op": "stats"}),
+        ]
+        ops, replies = _run(lines)
+        stats = replies[-1]["stats"]
+        assert stats["sessions_active"] == 1
+        assert stats["counters"]["frames_ingested_total"] == 1

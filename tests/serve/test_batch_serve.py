@@ -1,0 +1,152 @@
+"""The vectorized serving layer: resumable kernel, groups, eligibility."""
+
+import pytest
+
+from repro.serve.batchserve import BatchGroup, batch_eligible, batch_kernel_factory
+from repro.serve.session import SessionSpec
+from repro.targets.registry import get_target
+
+numpy = pytest.importorskip("numpy")
+
+from repro.targets.batch.core import DetectionBook  # noqa: E402
+from repro.targets.batch.core import BatchRunSpec  # noqa: E402
+from repro.targets.batch.tanklevel import (  # noqa: E402
+    OBSERVE_MS,
+    TankBatchKernel,
+)
+
+
+def _batch_specs(count=4):
+    target = get_target("tanklevel")
+    case = target.test_cases()[0]
+    signals = target.monitored_signals
+    return [
+        BatchRunSpec(
+            version="All",
+            signal=signals[i % len(signals)],
+            signal_bit=(3 * i + 1) % 16,
+            mass_kg=case.mass_kg,
+            velocity_mps=case.velocity_mps,
+            injection_start_ms=0,
+            injection_period_ms=20,
+        )
+        for i in range(count)
+    ]
+
+
+class TestResumableKernel:
+    def test_chunked_advance_equals_one_shot(self):
+        specs = _batch_specs()
+        whole = TankBatchKernel(specs)
+        whole.advance(OBSERVE_MS)
+        chunked = TankBatchKernel(specs)
+        while not chunked.finished:
+            chunked.advance(7)
+        assert whole.now_ms == chunked.now_ms == OBSERVE_MS
+        for row in range(len(specs)):
+            a = whole.outcome(row).result
+            b = chunked.outcome(row).result
+            assert a.detected == b.detected
+            assert a.first_detection_ms == b.first_detection_ms
+            assert a.detection_count == b.detection_count
+            assert a.injection_count == b.injection_count
+
+    def test_advance_clamps_at_window_end(self):
+        kernel = TankBatchKernel(_batch_specs(2))
+        kernel.advance(OBSERVE_MS * 10)
+        assert kernel.now_ms == OBSERVE_MS
+        assert kernel.finished
+
+    def test_event_capture_off_by_default(self):
+        kernel = TankBatchKernel(_batch_specs(2))
+        kernel.advance(200)
+        assert kernel.drain_events() == []
+
+    def test_event_capture_records_rows(self):
+        kernel = TankBatchKernel(_batch_specs(2), capture_events=True)
+        kernel.advance(OBSERVE_MS)
+        events = kernel.drain_events()
+        assert events
+        rows = {row for row, _, _ in events}
+        assert rows <= {0, 1}
+        times = [t for _, t, _ in events]
+        assert times == sorted(times)
+        # Draining pops: a second drain is empty.
+        assert kernel.drain_events() == []
+
+
+class TestDetectionBook:
+    def test_capture_appends_tuples(self):
+        book = DetectionBook(3, capture_events=True)
+        violation = numpy.array([True, False, True])
+        book.record(violation, now_ms=42, monitor_id="EA5")
+        assert book.drain_events() == [(0, 42, "EA5"), (2, 42, "EA5")]
+
+    def test_capture_off_costs_nothing(self):
+        book = DetectionBook(3)
+        book.record(numpy.array([True, True, True]), now_ms=1, monitor_id="EA5")
+        assert book.events is None
+        assert book.drain_events() == []
+
+
+class TestEligibility:
+    def test_signal_schedule_eligible(self):
+        target = get_target("tanklevel")
+        spec = SessionSpec(session_id="s", target="tanklevel",
+                           signal="tick", signal_bit=3)
+        assert batch_eligible(target, spec)
+
+    def test_fault_free_not_eligible(self):
+        target = get_target("tanklevel")
+        assert not batch_eligible(target, SessionSpec(session_id="s"))
+
+    def test_raw_address_not_eligible(self):
+        target = get_target("tanklevel")
+        spec = SessionSpec(session_id="s", target="tanklevel", address=10, bit=0)
+        assert not batch_eligible(target, spec)
+
+    def test_target_without_kernel_not_eligible(self):
+        target = get_target("arrestor")
+        spec = SessionSpec(
+            session_id="s",
+            target="arrestor",
+            signal=target.monitored_signals[0],
+            signal_bit=0,
+        )
+        assert not batch_eligible(target, spec)
+        assert batch_kernel_factory("arrestor") is None
+
+
+class TestBatchGroup:
+    def test_group_seals_on_first_advance(self):
+        target = get_target("tanklevel")
+        group = BatchGroup(target)
+        group.add(SessionSpec(session_id="a", target="tanklevel",
+                              signal="tick", signal_bit=1))
+        assert group.accepting
+        group.advance(20)
+        assert group.sealed
+        assert not group.accepting
+        with pytest.raises(Exception):
+            group.add(SessionSpec(session_id="b", target="tanklevel",
+                                  signal="tick", signal_bit=2))
+
+    def test_max_rows_stops_accepting(self):
+        target = get_target("tanklevel")
+        group = BatchGroup(target, max_rows=2)
+        for sid in ("a", "b"):
+            group.add(SessionSpec(session_id=sid, target="tanklevel",
+                                  signal="tick", signal_bit=1))
+        assert not group.accepting
+
+    def test_deactivated_member_leaves_group_running(self):
+        target = get_target("tanklevel")
+        group = BatchGroup(target)
+        for sid in ("a", "b"):
+            group.add(SessionSpec(session_id=sid, target="tanklevel",
+                                  signal="tick", signal_bit=6))
+        group.advance(40)
+        group.deactivate("a")
+        events = group.advance(40)
+        assert all(e.session_id == "b" for e in events)
+        assert group.clock_ms == 80

@@ -1,0 +1,241 @@
+"""Fleet scheduler: placement, backpressure, eviction, accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.fleet import Fleet, FleetConfig, HashRing
+from repro.serve.session import Frame, ServeError, SessionSpec
+from repro.targets.registry import register_target, unregister_target
+
+
+def _spec(index, target="tanklevel", **kwargs):
+    kwargs.setdefault("signal", "tick")
+    kwargs.setdefault("signal_bit", index % 16)
+    return SessionSpec(session_id=f"s{index:03d}", target=target, **kwargs)
+
+
+def _config(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("batch", False)
+    return FleetConfig(**kwargs)
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w0", "w1", "w2"])
+        keys = [f"k{i}" for i in range(100)]
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+
+    def test_all_nodes_used(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        hit = {ring.node_for(f"k{i}") for i in range(300)}
+        assert hit == {"w0", "w1", "w2"}
+
+    def test_adding_a_node_remaps_a_minority(self):
+        keys = [f"k{i}" for i in range(1000)]
+        before = HashRing(["w0", "w1", "w2"])
+        after = HashRing(["w0", "w1", "w2", "w3"])
+        moved = sum(
+            1 for k in keys if before.node_for(k) != after.node_for(k)
+        )
+        # Consistent hashing: roughly 1/4 of keys move, never most of them.
+        assert moved < len(keys) // 2
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestFleetLifecycle:
+    def test_open_ingest_close(self):
+        async def main():
+            async with Fleet(_config()) as fleet:
+                await fleet.open_session(_spec(0))
+                assert fleet.sessions_active == 1
+                assert await fleet.ingest(Frame(session_id="s000", ticks=20))
+                assert await fleet.flush() == 0
+                outcome = await fleet.close_session("s000", complete=False)
+                assert outcome.result.duration_ms == 20
+                assert fleet.sessions_active == 0
+
+        asyncio.run(main())
+
+    def test_duplicate_session_id_rejected(self):
+        async def main():
+            async with Fleet(_config()) as fleet:
+                await fleet.open_session(_spec(0))
+                with pytest.raises(ServeError, match="duplicate"):
+                    await fleet.open_session(_spec(0))
+
+        asyncio.run(main())
+
+    def test_unknown_session_frame_dropped(self):
+        async def main():
+            async with Fleet(_config()) as fleet:
+                assert not await fleet.ingest(Frame(session_id="ghost"))
+                assert fleet.metrics.counter("frames_dropped_total").value == 1
+
+        asyncio.run(main())
+
+    def test_unknown_session_close_rejected(self):
+        async def main():
+            async with Fleet(_config()) as fleet:
+                with pytest.raises(ServeError, match="unknown"):
+                    await fleet.close_session("ghost")
+
+        asyncio.run(main())
+
+    def test_placement_spreads_shards(self):
+        async def main():
+            async with Fleet(_config(workers=4)) as fleet:
+                for i in range(32):
+                    await fleet.open_session(_spec(i))
+                shards = {shard.name for shard in fleet._where.values()}
+                assert len(shards) > 1
+
+        asyncio.run(main())
+
+    def test_snapshotless_target_clean_error(self):
+        class NoSnapshots:
+            name = "noserve"
+            description = "test-only"
+            versions = ("All",)
+            monitored_signals = ("tick",)
+
+            def supports_snapshots(self):
+                return False
+
+        register_target("noserve", NoSnapshots, replace=True)
+        try:
+
+            async def main():
+                async with Fleet(_config()) as fleet:
+                    with pytest.raises(ServeError, match="snapshots"):
+                        await fleet.open_session(
+                            SessionSpec(session_id="x", target="noserve")
+                        )
+
+            asyncio.run(main())
+        finally:
+            unregister_target("noserve")
+
+
+class TestBackpressure:
+    def test_ingest_blocks_when_queue_full(self):
+        async def main():
+            fleet = Fleet(_config(workers=1, queue_depth=1))
+            # Not started: no worker drains, so the queue genuinely fills.
+            await fleet.open_session(_spec(0))
+            assert await fleet.ingest(Frame(session_id="s000", ticks=1))
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    fleet.ingest(Frame(session_id="s000", ticks=1)), timeout=0.2
+                )
+            # Inline flush drains the queue; ingress unblocks.
+            assert await fleet.flush() == 0
+            assert await fleet.ingest(Frame(session_id="s000", ticks=1))
+
+        asyncio.run(main())
+
+    def test_flush_reports_stuck_batch_frames(self):
+        async def main():
+            async with Fleet(FleetConfig(workers=1, batch=True)) as fleet:
+                numpy_sessions = [_spec(0), _spec(1)]
+                for spec in numpy_sessions:
+                    await fleet.open_session(spec)
+                if not fleet._where["s000"].handles["s000"].is_batch:
+                    return  # numpy unavailable: the serial fallback drains
+                # Only one member of the lockstep group gets a frame: the
+                # round cannot fire, and flush says so instead of hanging.
+                await fleet.ingest(Frame(session_id="s000", ticks=20))
+                assert await fleet.flush() == 1
+                await fleet.ingest(Frame(session_id="s001", ticks=20))
+                assert await fleet.flush() == 0
+
+        asyncio.run(main())
+
+
+class TestLRUEviction:
+    def test_eviction_order_and_counter(self):
+        async def main():
+            async with Fleet(_config(workers=1, max_sessions=2)) as fleet:
+                await fleet.open_session(_spec(0))
+                await fleet.open_session(_spec(1))
+                # Touch s000 so s001 becomes least-recently-used.
+                await fleet.ingest(Frame(session_id="s000", ticks=20))
+                await fleet.flush()
+                await fleet.open_session(_spec(2))
+                assert not fleet.is_open("s001")
+                assert fleet.is_open("s000")
+                assert fleet.is_open("s002")
+                assert fleet.metrics.counter("sessions_evicted_total").value == 1
+                evicted = fleet.pop_outcome("s001")
+                assert evicted is not None
+                assert evicted.evicted
+                assert not evicted.completed
+
+        asyncio.run(main())
+
+    def test_untouched_fleet_evicts_oldest(self):
+        async def main():
+            async with Fleet(_config(workers=1, max_sessions=3)) as fleet:
+                for i in range(5):
+                    await fleet.open_session(_spec(i))
+                assert fleet.sessions_active == 3
+                assert sorted(fleet._where) == ["s002", "s003", "s004"]
+                assert fleet.metrics.counter("sessions_evicted_total").value == 2
+
+        asyncio.run(main())
+
+
+class TestBatchPath:
+    def test_flips_rejected_on_batch_sessions(self):
+        async def main():
+            async with Fleet(FleetConfig(workers=1, batch=True)) as fleet:
+                await fleet.open_session(_spec(0))
+                if not fleet._where["s000"].handles["s000"].is_batch:
+                    return  # numpy unavailable
+                with pytest.raises(ServeError, match="batch path"):
+                    await fleet.ingest(
+                        Frame(session_id="s000", ticks=20, flips=((0, 0),))
+                    )
+
+        asyncio.run(main())
+
+    def test_heterogeneous_ticks_rejected(self):
+        async def main():
+            async with Fleet(FleetConfig(workers=1, batch=True)) as fleet:
+                await fleet.open_session(_spec(0))
+                await fleet.open_session(_spec(1))
+                if not fleet._where["s000"].handles["s000"].is_batch:
+                    return  # numpy unavailable
+                await fleet.ingest(Frame(session_id="s000", ticks=20))
+                await fleet.ingest(Frame(session_id="s001", ticks=40))
+                with pytest.raises(ServeError, match="lockstep"):
+                    await fleet.flush()
+
+        asyncio.run(main())
+
+
+class TestMetrics:
+    def test_counters_track_a_run(self):
+        async def main():
+            async with Fleet(_config(workers=1)) as fleet:
+                await fleet.open_session(_spec(0, signal_bit=6))
+                for _ in range(5):
+                    await fleet.ingest(Frame(session_id="s000", ticks=20))
+                await fleet.flush()
+                await fleet.close_session("s000", complete=False)
+                metrics = fleet.metrics
+                assert metrics.counter("sessions_opened_total").value == 1
+                assert metrics.counter("sessions_closed_total").value == 1
+                assert metrics.counter("frames_ingested_total").value == 5
+                assert metrics.counter("frames_processed_total").value == 5
+                stats = fleet.stats()
+                assert stats["sessions_active"] == 0
+                assert stats["queued_frames"] == 0
+                assert stats["counters"]["frames_ingested_total"] == 5
+
+        asyncio.run(main())

@@ -1,0 +1,147 @@
+"""Online serving must reproduce the offline campaign path exactly.
+
+The acceptance gate for the serving engine: for the same injection
+schedule, the fleet's detection-event sequence is event-for-event
+identical to a fresh system driven by ``TimeTriggeredInjector`` — on
+both registered targets, on both serving paths.
+"""
+
+import pytest
+
+from repro.injection.errors import ErrorSpec
+from repro.injection.fic import CampaignController
+from repro.injection.injector import TimeTriggeredInjector
+from repro.serve import FleetConfig, SessionSpec, serve_replay
+from repro.serve.session import events_key
+from repro.targets.registry import get_target, target_names
+
+
+def _offline(target, spec):
+    controller = CampaignController(
+        target=target,
+        injection_period_ms=spec.period_ms,
+        injection_start_ms=spec.start_ms,
+    )
+    system = controller._build_system(spec.test_case(), spec.version,
+                                      fast_forward=True)
+    variable = target.memory().signal_variable(spec.signal)
+    error = ErrorSpec(
+        name="t",
+        address=variable.address + (spec.signal_bit >> 3),
+        bit=spec.signal_bit & 7,
+        area="ram",
+        signal=spec.signal,
+        signal_bit=spec.signal_bit,
+    )
+    injector = TimeTriggeredInjector(
+        error, period_ms=spec.period_ms, start_ms=spec.start_ms
+    )
+    result = system.run(injector)
+    key = [
+        (e.time, e.monitor_id, e.signal, e.value, e.previous)
+        for e in system.detection_log.events
+    ]
+    return result, key
+
+
+def _specs(target_name, count=3):
+    target = get_target(target_name)
+    signals = target.monitored_signals
+    return [
+        SessionSpec(
+            session_id=f"{target_name}-{i}",
+            target=target_name,
+            signal=signals[i % len(signals)],
+            signal_bit=(5 * i + 1) % 16,
+            period_ms=20,
+            start_ms=0,
+        )
+        for i in range(count)
+    ]
+
+
+def _assert_matches_offline(outcome, offline_result, offline_key, batch):
+    served = events_key(outcome.events)
+    if batch:
+        # The vectorized detection book records (time, monitor, signal).
+        assert [(t, m, s) for (t, m, s, _, _) in served] == [
+            (t, m, s) for (t, m, s, _, _) in offline_key
+        ]
+    else:
+        assert served == offline_key
+    result = outcome.result
+    assert result.detected == offline_result.detected
+    assert result.first_detection_ms == offline_result.first_detection_ms
+    assert result.detection_count == offline_result.detection_count
+    assert result.first_injection_ms == offline_result.first_injection_ms
+    assert result.injection_count == offline_result.injection_count
+    assert result.duration_ms == offline_result.duration_ms
+    assert result.failed == offline_result.failed
+
+
+@pytest.mark.parametrize("target_name", sorted(target_names()))
+def test_serial_fleet_matches_offline_campaign(target_name):
+    target = get_target(target_name)
+    specs = _specs(target_name)
+    report = serve_replay(
+        specs, FleetConfig(workers=2, batch=False), frame_ticks=20
+    )
+    detected_any = False
+    for spec in specs:
+        offline_result, offline_key = _offline(target, spec)
+        outcome = report.outcomes[spec.session_id]
+        assert outcome.completed
+        _assert_matches_offline(outcome, offline_result, offline_key, batch=False)
+        detected_any = detected_any or offline_result.detected
+    # The sample must actually exercise the detection path.
+    assert detected_any
+
+
+def test_batch_fleet_matches_offline_campaign():
+    target = get_target("tanklevel")
+    if not target.supports_batch():
+        pytest.skip("numpy unavailable: no vectorized serving path")
+    specs = _specs("tanklevel", count=4)
+    report = serve_replay(
+        specs, FleetConfig(workers=1, batch=True), frame_ticks=20
+    )
+    for spec in specs:
+        offline_result, offline_key = _offline(target, spec)
+        _assert_matches_offline(
+            report.outcomes[spec.session_id], offline_result, offline_key,
+            batch=True,
+        )
+
+
+def test_batch_and_serial_paths_agree_per_frame():
+    target = get_target("tanklevel")
+    if not target.supports_batch():
+        pytest.skip("numpy unavailable: no vectorized serving path")
+    specs = _specs("tanklevel", count=4)
+    serial = serve_replay(specs, FleetConfig(workers=1, batch=False),
+                          frame_ticks=50)
+    batch = serve_replay(specs, FleetConfig(workers=1, batch=True),
+                         frame_ticks=50)
+    for spec in specs:
+        a = serial.outcomes[spec.session_id]
+        b = batch.outcomes[spec.session_id]
+        assert [(e.time_ms, e.monitor_id, e.signal) for e in a.events] == [
+            (e.time_ms, e.monitor_id, e.signal) for e in b.events
+        ]
+        assert a.result.detected == b.result.detected
+        assert a.result.injection_count == b.result.injection_count
+        assert a.result.duration_ms == b.result.duration_ms
+
+
+def test_frame_size_does_not_change_events():
+    target = get_target("tanklevel")
+    spec = _specs("tanklevel", count=1)[0]
+    offline_result, offline_key = _offline(target, spec)
+    for frame_ticks in (1, 13, 250):
+        report = serve_replay(
+            [spec], FleetConfig(workers=1, batch=False), frame_ticks=frame_ticks
+        )
+        _assert_matches_offline(
+            report.outcomes[spec.session_id], offline_result, offline_key,
+            batch=False,
+        )
